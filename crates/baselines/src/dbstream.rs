@@ -1,0 +1,382 @@
+//! DBSTREAM (Hahsler & Bolaños, TKDE'16) — shared-density stream
+//! clustering.
+//!
+//! Online phase: leader-based micro-clusters of radius `r`. A point updates
+//! *every* MC whose center lies within `r` (weight +1, center nudged toward
+//! the point by a Gaussian neighborhood factor) and, crucially, increments
+//! a **shared density** counter for every *pair* of MCs covering the point.
+//! Offline phase: connect MCs `i, j` whose shared density relative to
+//! their weights exceeds the intersection factor α, and take connected
+//! components among strong MCs.
+//!
+//! The paper (§6.3.4) notes DBSTREAM is "sensitive to the density of
+//! space": the all-pairs neighborhood search per point is what makes it
+//! fast on sparse high-dimensional streams but slow on dense ones — this
+//! implementation preserves that cost profile.
+
+use edm_common::decay::DecayModel;
+use edm_common::hash::{fx_map, FxHashMap};
+use edm_common::point::DenseVector;
+use edm_common::time::Timestamp;
+use edm_data::clusterer::StreamClusterer;
+
+/// Configuration for DBSTREAM.
+#[derive(Debug, Clone)]
+pub struct DbStreamConfig {
+    /// Micro-cluster (neighborhood) radius.
+    pub radius: f64,
+    /// Decay model (aligned with EDMStream's, §6.1).
+    pub decay: DecayModel,
+    /// Gaussian neighborhood width factor for center movement.
+    pub neighborhood: f64,
+    /// Intersection factor α: MCs connect when
+    /// `s_ij / ((w_i + w_j)/2) ≥ α`.
+    pub alpha: f64,
+    /// Minimum weight for an MC to participate in clustering.
+    pub w_min: f64,
+    /// Cleanup cadence in points.
+    pub gap: u64,
+    /// Offline (component) recomputation cadence in points.
+    pub offline_every: u64,
+}
+
+impl DbStreamConfig {
+    /// Defaults for a dataset whose natural cell radius is `r`.
+    pub fn new(r: f64) -> Self {
+        DbStreamConfig {
+            radius: r,
+            decay: DecayModel::paper_default(),
+            neighborhood: 0.25,
+            alpha: 0.3,
+            w_min: 3.0,
+            gap: 1_000,
+            offline_every: 1_000,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Mc {
+    center: DenseVector,
+    w: f64,
+    last: Timestamp,
+    /// Component id from the last offline pass.
+    cluster: Option<usize>,
+}
+
+/// The DBSTREAM clusterer.
+pub struct DbStream {
+    cfg: DbStreamConfig,
+    mcs: Vec<Mc>,
+    /// Liveness per MC slot (O(1) checks on the per-point hot path).
+    live: Vec<bool>,
+    /// Free slot indices available for reuse.
+    free: Vec<usize>,
+    /// Shared density per MC index pair (lo, hi).
+    shared: FxHashMap<(u32, u32), (f64, Timestamp)>,
+    points: u64,
+    n_clusters: usize,
+    offline_done: bool,
+    /// Scratch: indices of MCs within radius of the current point.
+    neighbors: Vec<usize>,
+}
+
+impl DbStream {
+    /// Creates a DBSTREAM instance.
+    pub fn new(cfg: DbStreamConfig) -> Self {
+        assert!(cfg.radius > 0.0 && cfg.alpha > 0.0);
+        DbStream {
+            cfg,
+            mcs: Vec::new(),
+            live: Vec::new(),
+            free: Vec::new(),
+            shared: fx_map(),
+            points: 0,
+            n_clusters: 0,
+            offline_done: false,
+            neighbors: Vec::new(),
+        }
+    }
+
+    fn alive(&self, i: usize) -> bool {
+        i < self.mcs.len() && self.live[i]
+    }
+
+    fn cleanup(&mut self, t: Timestamp) {
+        let decay = self.cfg.decay;
+        let w_weak = self.cfg.w_min * 0.5;
+        for i in 0..self.mcs.len() {
+            if !self.live[i] {
+                continue;
+            }
+            let w = self.mcs[i].w * decay.factor(t - self.mcs[i].last);
+            if w < w_weak * 0.1 {
+                self.live[i] = false;
+                self.free.push(i);
+            }
+        }
+        let live = &self.live;
+        let alpha_cut = 0.01;
+        self.shared.retain(|(a, b), (s, last)| {
+            let faded = *s * decay.factor(t - *last);
+            live[*a as usize] && live[*b as usize] && faded > alpha_cut
+        });
+        self.offline_done = false;
+    }
+
+    /// Offline step: connected components over strong MCs with high
+    /// relative shared density.
+    fn offline(&mut self, t: Timestamp) {
+        let decay = self.cfg.decay;
+        let n = self.mcs.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        let strong: Vec<bool> = (0..n)
+            .map(|i| {
+                self.alive(i)
+                    && self.mcs[i].w * decay.factor(t - self.mcs[i].last) >= self.cfg.w_min
+            })
+            .collect();
+        for (&(a, b), &(s, last)) in self.shared.iter() {
+            let (a, b) = (a as usize, b as usize);
+            if a >= n || b >= n || !strong[a] || !strong[b] {
+                continue;
+            }
+            let s_t = s * decay.factor(t - last);
+            let wa = self.mcs[a].w * decay.factor(t - self.mcs[a].last);
+            let wb = self.mcs[b].w * decay.factor(t - self.mcs[b].last);
+            if s_t / ((wa + wb) / 2.0) >= self.cfg.alpha {
+                let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                if ra != rb {
+                    parent[ra] = rb;
+                }
+            }
+        }
+        // Densify component ids over strong MCs.
+        let mut ids: FxHashMap<usize, usize> = fx_map();
+        let mut n_clusters = 0;
+        for i in 0..n {
+            if strong[i] {
+                let root = find(&mut parent, i);
+                let id = *ids.entry(root).or_insert_with(|| {
+                    let id = n_clusters;
+                    n_clusters += 1;
+                    id
+                });
+                self.mcs[i].cluster = Some(id);
+            } else {
+                self.mcs[i].cluster = None;
+            }
+        }
+        self.n_clusters = n_clusters;
+        self.offline_done = true;
+    }
+
+    /// Number of live micro-clusters.
+    pub fn n_mcs(&self) -> usize {
+        self.mcs.len() - self.free.len()
+    }
+}
+
+impl StreamClusterer<DenseVector> for DbStream {
+    fn name(&self) -> &'static str {
+        "DBSTREAM"
+    }
+
+    fn insert(&mut self, p: &DenseVector, t: Timestamp) {
+        self.points += 1;
+        let decay = self.cfg.decay;
+        self.neighbors.clear();
+        for i in 0..self.mcs.len() {
+            if !self.live[i] {
+                continue;
+            }
+            if self.mcs[i].center.dist(p) <= self.cfg.radius {
+                self.neighbors.push(i);
+            }
+        }
+        if self.neighbors.is_empty() {
+            let mc = Mc { center: p.clone(), w: 1.0, last: t, cluster: None };
+            if let Some(slot) = self.free.pop() {
+                self.mcs[slot] = mc;
+                self.live[slot] = true;
+            } else {
+                self.mcs.push(mc);
+                self.live.push(true);
+            }
+        } else {
+            // Update every covering MC; nudge centers toward the point.
+            let k = self.cfg.neighborhood;
+            for idx in 0..self.neighbors.len() {
+                let i = self.neighbors[idx];
+                let f = decay.factor(t - self.mcs[i].last);
+                let d = self.mcs[i].center.dist(p);
+                let h = (-(d / self.cfg.radius).powi(2) / (2.0 * k * k)).exp();
+                self.mcs[i].w = self.mcs[i].w * f + 1.0;
+                self.mcs[i].last = t;
+                let step = h.min(1.0);
+                let coords: Vec<f64> = self.mcs[i]
+                    .center
+                    .coords()
+                    .iter()
+                    .zip(p.coords())
+                    .map(|(c, x)| c + step * 0.1 * (x - c))
+                    .collect();
+                self.mcs[i].center = DenseVector::from(coords);
+            }
+            // Shared density for every covering pair.
+            for x in 0..self.neighbors.len() {
+                for y in (x + 1)..self.neighbors.len() {
+                    let (a, b) = (self.neighbors[x] as u32, self.neighbors[y] as u32);
+                    let key = if a < b { (a, b) } else { (b, a) };
+                    let entry = self.shared.entry(key).or_insert((0.0, t));
+                    let f = decay.factor(t - entry.1);
+                    entry.0 = entry.0 * f + 1.0;
+                    entry.1 = t;
+                }
+            }
+        }
+        self.offline_done = false;
+        if self.points % self.cfg.gap == 0 {
+            self.cleanup(t);
+        }
+        if self.points % self.cfg.offline_every == 0 {
+            self.offline(t);
+        }
+    }
+
+    fn cluster_of(&mut self, p: &DenseVector, t: Timestamp) -> Option<usize> {
+        if !self.offline_done {
+            self.offline(t);
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..self.mcs.len() {
+            if !self.live[i] {
+                continue;
+            }
+            let d = self.mcs[i].center.dist(p);
+            if best.map_or(true, |(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        match best {
+            Some((i, d)) if d <= self.cfg.radius => self.mcs[i].cluster,
+            _ => None,
+        }
+    }
+
+    fn n_clusters(&mut self, t: Timestamp) -> usize {
+        if !self.offline_done {
+            self.offline(t);
+        }
+        self.n_clusters
+    }
+
+    fn n_summaries(&self) -> usize {
+        self.n_mcs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DbStreamConfig {
+        let mut c = DbStreamConfig::new(1.0);
+        c.gap = 200;
+        c.offline_every = 200;
+        c
+    }
+
+    /// Two dense stripes; points within a stripe overlap several MCs so
+    /// shared density accumulates.
+    fn feed_stripes(db: &mut DbStream, n: usize) {
+        for i in 0..n {
+            let t = i as f64 / 100.0;
+            let x = (i % 5) as f64 * 0.3;
+            let p = if i % 2 == 0 {
+                DenseVector::from([x, 0.0])
+            } else {
+                DenseVector::from([x, 50.0])
+            };
+            db.insert(&p, t);
+        }
+    }
+
+    #[test]
+    fn stripes_form_two_clusters() {
+        let mut db = DbStream::new(cfg());
+        feed_stripes(&mut db, 1_000);
+        let t = 10.0;
+        // Stripe ends can fragment (a known DBSTREAM trait); the essential
+        // property is that the stripes never merge across the gap.
+        let k = db.n_clusters(t);
+        assert!((2..=4).contains(&k), "clusters {k}");
+        let a = db.cluster_of(&DenseVector::from([0.6, 0.0]), t);
+        let b = db.cluster_of(&DenseVector::from([0.6, 50.0]), t);
+        assert!(a.is_some() && b.is_some());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn outlier_is_unassigned() {
+        let mut db = DbStream::new(cfg());
+        feed_stripes(&mut db, 1_000);
+        assert_eq!(db.cluster_of(&DenseVector::from([500.0, 500.0]), 10.0), None);
+    }
+
+    #[test]
+    fn shared_density_accumulates_for_overlapping_mcs() {
+        let mut db = DbStream::new(cfg());
+        feed_stripes(&mut db, 600);
+        assert!(!db.shared.is_empty(), "overlapping coverage must create shared entries");
+    }
+
+    #[test]
+    fn isolated_point_creates_mc() {
+        let mut db = DbStream::new(cfg());
+        db.insert(&DenseVector::from([0.0, 0.0]), 0.0);
+        assert_eq!(db.n_mcs(), 1);
+        db.insert(&DenseVector::from([100.0, 0.0]), 0.01);
+        assert_eq!(db.n_mcs(), 2);
+    }
+
+    #[test]
+    fn weak_mcs_are_cleaned_up() {
+        let mut db = DbStream::new(cfg());
+        db.insert(&DenseVector::from([99.0, 99.0]), 0.0);
+        // Heavy traffic elsewhere, far in the future.
+        for i in 0..4_000 {
+            let t = 2_000.0 + i as f64 / 100.0;
+            db.insert(&DenseVector::from([(i % 7) as f64 * 0.4, 0.0]), t);
+        }
+        // The stale MC at (99,99) decayed below the removal bound.
+        let stale_alive = (0..db.mcs.len())
+            .filter(|&i| db.alive(i))
+            .any(|i| db.mcs[i].center.coords()[0] > 90.0);
+        assert!(!stale_alive, "stale MC should be recycled");
+    }
+
+    #[test]
+    fn centers_drift_toward_data() {
+        let mut db = DbStream::new(cfg());
+        db.insert(&DenseVector::from([0.0, 0.0]), 0.0);
+        for i in 1..50 {
+            db.insert(&DenseVector::from([0.5, 0.0]), i as f64 / 100.0);
+        }
+        let c = db.mcs[0].center.coords()[0];
+        assert!(c > 0.05, "center should have moved toward the data ({c})");
+    }
+}

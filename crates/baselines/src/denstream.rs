@@ -1,0 +1,390 @@
+//! DenStream (Cao et al., SDM'06) — micro-cluster stream clustering.
+//!
+//! Online phase: decayed CF micro-clusters, split into *potential* (p-MC,
+//! weight ≥ βµ) and *outlier* (o-MC) buffers. A new point merges into the
+//! nearest p-MC if the merged radius stays ≤ ε, else into the nearest o-MC
+//! under the same test, else it seeds a new o-MC. o-MCs are promoted at
+//! weight βµ; periodic pruning drops decayed p-MCs and under-grown o-MCs
+//! (the original's ξ lower bound).
+//!
+//! Offline phase (every `offline_every` points): weighted DBSCAN over p-MC
+//! centers — a p-MC is core when the summed weight of p-MCs within
+//! `offline_eps` reaches µ — exactly the "clustering on summaries" design
+//! the paper contrasts with EDMStream's incremental updates.
+
+use edm_common::decay::DecayModel;
+use edm_common::metric::Euclidean;
+use edm_common::point::DenseVector;
+use edm_common::time::Timestamp;
+use edm_data::clusterer::StreamClusterer;
+use edm_dp::dbscan::{self, DbscanConfig};
+
+/// Configuration for DenStream.
+#[derive(Debug, Clone)]
+pub struct DenStreamConfig {
+    /// Micro-cluster radius bound ε.
+    pub eps: f64,
+    /// Core weight µ.
+    pub mu: f64,
+    /// Potential factor β (p-MC when `w ≥ β·µ`).
+    pub beta: f64,
+    /// Decay model (aligned with EDMStream's, §6.1).
+    pub decay: DecayModel,
+    /// Neighborhood radius of the offline DBSCAN over p-MC centers.
+    pub offline_eps: f64,
+    /// Run the offline phase every this many points.
+    pub offline_every: u64,
+    /// Prune buffers every this many points.
+    pub prune_every: u64,
+}
+
+impl DenStreamConfig {
+    /// Defaults for a dataset whose natural cell radius is `r`. ε is an
+    /// RMS radius (CF-based), which covers roughly twice the volume of a
+    /// seed-distance radius — ε = r/2 gives micro-clusters the same
+    /// granularity as EDMStream's cells.
+    pub fn new(r: f64) -> Self {
+        DenStreamConfig {
+            eps: r / 2.0,
+            mu: 5.0,
+            beta: 0.25,
+            decay: DecayModel::paper_default(),
+            offline_eps: 4.0 * r,
+            offline_every: 1_000,
+            prune_every: 1_000,
+        }
+    }
+}
+
+/// A decayed clustering-feature micro-cluster.
+#[derive(Debug, Clone)]
+struct MicroCluster {
+    /// Decayed weight (count mass).
+    w: f64,
+    /// Decayed linear sum per dimension.
+    ls: Vec<f64>,
+    /// Decayed sum of squared norms.
+    ss: f64,
+    /// Epoch of the stored decayed values.
+    last: Timestamp,
+    /// Creation time (drives the o-MC ξ pruning bound).
+    born: Timestamp,
+}
+
+impl MicroCluster {
+    fn new(p: &DenseVector, t: Timestamp) -> Self {
+        let ls = p.coords().to_vec();
+        let ss = p.coords().iter().map(|x| x * x).sum();
+        MicroCluster { w: 1.0, ls, ss, last: t, born: t }
+    }
+
+    fn fade(&mut self, t: Timestamp, decay: &DecayModel) {
+        let f = decay.factor(t - self.last);
+        self.w *= f;
+        for x in &mut self.ls {
+            *x *= f;
+        }
+        self.ss *= f;
+        self.last = t;
+    }
+
+    fn center(&self) -> DenseVector {
+        DenseVector::from(
+            self.ls.iter().map(|x| x / self.w).collect::<Vec<f64>>(),
+        )
+    }
+
+    /// Root-mean-square deviation from the center.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn radius(&self) -> f64 {
+        let c2: f64 = self.ls.iter().map(|x| (x / self.w) * (x / self.w)).sum();
+        (self.ss / self.w - c2).max(0.0).sqrt()
+    }
+
+    /// Radius if `p` were merged (tentative insertion test).
+    fn radius_with(&self, p: &DenseVector, t: Timestamp, decay: &DecayModel) -> f64 {
+        let f = decay.factor(t - self.last);
+        let w = self.w * f + 1.0;
+        let mut c2 = 0.0;
+        for (ls, x) in self.ls.iter().zip(p.coords()) {
+            let l = ls * f + x;
+            c2 += (l / w) * (l / w);
+        }
+        let ss = self.ss * f + p.coords().iter().map(|x| x * x).sum::<f64>();
+        (ss / w - c2).max(0.0).sqrt()
+    }
+
+    fn absorb(&mut self, p: &DenseVector, t: Timestamp, decay: &DecayModel) {
+        self.fade(t, decay);
+        self.w += 1.0;
+        for (ls, x) in self.ls.iter_mut().zip(p.coords()) {
+            *ls += x;
+        }
+        self.ss += p.coords().iter().map(|x| x * x).sum::<f64>();
+    }
+
+    fn dist_to(&self, p: &DenseVector) -> f64 {
+        self.center().dist(p)
+    }
+}
+
+/// The DenStream clusterer.
+pub struct DenStream {
+    cfg: DenStreamConfig,
+    potential: Vec<MicroCluster>,
+    outlier: Vec<MicroCluster>,
+    points: u64,
+    /// Offline result: cluster id per p-MC index (parallel to `potential`).
+    offline_assign: Vec<Option<usize>>,
+    n_clusters: usize,
+    offline_done: bool,
+    last_prune: Timestamp,
+}
+
+impl DenStream {
+    /// Creates a DenStream instance.
+    pub fn new(cfg: DenStreamConfig) -> Self {
+        assert!(cfg.eps > 0.0 && cfg.mu > 0.0 && cfg.beta > 0.0 && cfg.beta < 1.0);
+        DenStream {
+            cfg,
+            potential: Vec::new(),
+            outlier: Vec::new(),
+            points: 0,
+            offline_assign: Vec::new(),
+            n_clusters: 0,
+            offline_done: false,
+            last_prune: 0.0,
+        }
+    }
+
+    fn nearest(mcs: &[MicroCluster], p: &DenseVector) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, mc) in mcs.iter().enumerate() {
+            let d = mc.dist_to(p);
+            if best.map_or(true, |(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        best
+    }
+
+    fn prune(&mut self, t: Timestamp) {
+        let decay = self.cfg.decay;
+        let wmin = self.cfg.beta * self.cfg.mu;
+        for mc in &mut self.potential {
+            mc.fade(t, &decay);
+        }
+        self.potential.retain(|mc| mc.w >= wmin);
+        // o-MC lower bound ξ(t, t0) = (a^{λ(age+Tp)} − 1)/(a^{λTp} − 1)
+        // (original DenStream Eq., rebased to our decay model): a fresh
+        // o-MC must hold weight ≥ 1, an old one must have grown toward its
+        // steady state or it will never reach βµ — delete it.
+        let ret = decay.retention();
+        let tp = (t - self.last_prune).max(1e-3);
+        self.last_prune = t;
+        self.outlier.retain_mut(|mc| {
+            mc.fade(t, &decay);
+            let age = t - mc.born;
+            let xi = (ret.powf(age + tp) - 1.0) / (ret.powf(tp) - 1.0);
+            mc.w >= xi.min(self.cfg.beta * self.cfg.mu)
+        });
+        self.offline_done = false;
+    }
+
+    fn offline(&mut self, t: Timestamp) {
+        let decay = self.cfg.decay;
+        for mc in &mut self.potential {
+            mc.fade(t, &decay);
+        }
+        let centers: Vec<DenseVector> = self.potential.iter().map(|m| m.center()).collect();
+        let weights: Vec<f64> = self.potential.iter().map(|m| m.w).collect();
+        let res = dbscan::cluster_weighted(
+            &centers,
+            Some(&weights),
+            &Euclidean,
+            &DbscanConfig { eps: self.cfg.offline_eps, min_weight: self.cfg.mu },
+        );
+        self.offline_assign = res.assignment;
+        self.n_clusters = res.n_clusters;
+        self.offline_done = true;
+    }
+
+    /// Number of potential micro-clusters (diagnostics).
+    pub fn n_potential(&self) -> usize {
+        self.potential.len()
+    }
+
+    /// Number of outlier micro-clusters (diagnostics).
+    pub fn n_outlier(&self) -> usize {
+        self.outlier.len()
+    }
+}
+
+impl StreamClusterer<DenseVector> for DenStream {
+    fn name(&self) -> &'static str {
+        "DenStream"
+    }
+
+    fn insert(&mut self, p: &DenseVector, t: Timestamp) {
+        self.points += 1;
+        let decay = self.cfg.decay;
+        // Try the nearest p-MC, then the nearest o-MC, then a fresh o-MC.
+        if let Some((i, _)) = Self::nearest(&self.potential, p) {
+            if self.potential[i].radius_with(p, t, &decay) <= self.cfg.eps {
+                self.potential[i].absorb(p, t, &decay);
+                self.offline_done = false;
+                if self.points % self.cfg.prune_every == 0 {
+                    self.prune(t);
+                }
+                if self.points % self.cfg.offline_every == 0 {
+                    self.offline(t);
+                }
+                return;
+            }
+        }
+        let mut placed = false;
+        if let Some((i, _)) = Self::nearest(&self.outlier, p) {
+            if self.outlier[i].radius_with(p, t, &decay) <= self.cfg.eps {
+                self.outlier[i].absorb(p, t, &decay);
+                if self.outlier[i].w >= self.cfg.beta * self.cfg.mu {
+                    let mc = self.outlier.swap_remove(i);
+                    self.potential.push(mc);
+                }
+                placed = true;
+            }
+        }
+        if !placed {
+            self.outlier.push(MicroCluster::new(p, t));
+        }
+        self.offline_done = false;
+        if self.points % self.cfg.prune_every == 0 {
+            self.prune(t);
+        }
+        if self.points % self.cfg.offline_every == 0 {
+            self.offline(t);
+        }
+    }
+
+    fn cluster_of(&mut self, p: &DenseVector, t: Timestamp) -> Option<usize> {
+        if !self.offline_done {
+            self.offline(t);
+        }
+        match Self::nearest(&self.potential, p) {
+            Some((i, d)) if d <= self.cfg.offline_eps => self.offline_assign[i],
+            _ => None,
+        }
+    }
+
+    fn n_clusters(&mut self, t: Timestamp) -> usize {
+        if !self.offline_done {
+            self.offline(t);
+        }
+        self.n_clusters
+    }
+
+    fn n_summaries(&self) -> usize {
+        self.potential.len() + self.outlier.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DenStreamConfig {
+        let mut c = DenStreamConfig::new(0.5);
+        c.offline_every = 200;
+        c.prune_every = 200;
+        c
+    }
+
+    fn feed_blobs(ds: &mut DenStream, n: usize) {
+        for i in 0..n {
+            let t = i as f64 / 100.0;
+            let jitter = (i % 4) as f64 * 0.1;
+            let p = if i % 2 == 0 {
+                DenseVector::from([jitter, 0.0])
+            } else {
+                DenseVector::from([30.0 + jitter, 0.0])
+            };
+            ds.insert(&p, t);
+        }
+    }
+
+    #[test]
+    fn two_blobs_two_clusters() {
+        let mut ds = DenStream::new(cfg());
+        feed_blobs(&mut ds, 800);
+        let t = 8.0;
+        assert_eq!(ds.n_clusters(t), 2);
+        let a = ds.cluster_of(&DenseVector::from([0.1, 0.0]), t);
+        let b = ds.cluster_of(&DenseVector::from([30.1, 0.0]), t);
+        assert!(a.is_some() && b.is_some());
+        assert_ne!(a, b);
+        assert_eq!(ds.cluster_of(&DenseVector::from([500.0, 0.0]), t), None);
+    }
+
+    #[test]
+    fn micro_cluster_radius_is_bounded() {
+        let mut ds = DenStream::new(cfg());
+        feed_blobs(&mut ds, 800);
+        for mc in &ds.potential {
+            assert!(mc.radius() <= ds.cfg.eps + 1e-9, "radius {}", mc.radius());
+        }
+    }
+
+    #[test]
+    fn outliers_promote_to_potential() {
+        let mut ds = DenStream::new(cfg());
+        // Feed the same tight location: first point seeds an o-MC, the
+        // promotion happens at w ≥ βµ = 1.25.
+        for i in 0..10 {
+            ds.insert(&DenseVector::from([5.0, 5.0]), i as f64 / 100.0);
+        }
+        assert_eq!(ds.n_potential(), 1);
+    }
+
+    #[test]
+    fn cf_additivity_matches_direct_computation() {
+        let decay = DecayModel::paper_default();
+        let mut mc = MicroCluster::new(&DenseVector::from([1.0, 2.0]), 0.0);
+        mc.absorb(&DenseVector::from([3.0, 4.0]), 0.0, &decay);
+        // No decay at equal timestamps: center = mean, radius = std-dev.
+        let c = mc.center();
+        assert!((c.coords()[0] - 2.0).abs() < 1e-12);
+        assert!((c.coords()[1] - 3.0).abs() < 1e-12);
+        // ss = 1+4+9+16 = 30; w=2; c² = 4+9=13 → radius² = 15−13 = 2.
+        assert!((mc.radius() - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fading_reduces_weight_but_keeps_center() {
+        let decay = DecayModel::paper_default();
+        let mut mc = MicroCluster::new(&DenseVector::from([4.0, -2.0]), 0.0);
+        mc.fade(100.0, &decay);
+        assert!(mc.w < 1.0);
+        let c = mc.center();
+        assert!((c.coords()[0] - 4.0).abs() < 1e-9);
+        assert!((c.coords()[1] + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn starved_pmc_is_pruned() {
+        let mut ds = DenStream::new(cfg());
+        // Build one p-MC, then starve it while feeding elsewhere for long.
+        for i in 0..20 {
+            ds.insert(&DenseVector::from([0.0, 0.0]), i as f64 / 100.0);
+        }
+        assert_eq!(ds.n_potential(), 1);
+        // w ≈ 20 must decay below βµ = 1.25: ~1400 s of decay.
+        for i in 0..4_000 {
+            let t = 1.0 + i as f64;
+            ds.insert(&DenseVector::from([50.0, 50.0]), t);
+        }
+        let still_there = ds
+            .potential
+            .iter()
+            .any(|mc| mc.center().coords()[0] < 1.0);
+        assert!(!still_there, "starved p-MC should be pruned");
+    }
+}

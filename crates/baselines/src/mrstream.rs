@@ -1,0 +1,298 @@
+//! MR-Stream (Wan et al., TKDD'09) — multi-resolution grid-tree stream
+//! clustering.
+//!
+//! The data space is recursively bisected per dimension up to height `H`;
+//! a point updates the decayed density of one cell *per level* along its
+//! root-to-leaf path (H+1 hash updates per point — the per-point cost that
+//! makes MR-Stream the slowest online phase in the paper's Fig 9/10).
+//! The offline phase clusters the cells of a chosen resolution `L` by
+//! face-adjacency over dense cells, like D-Stream but at a configurable
+//! granularity; sparse subtrees are pruned periodically.
+
+use edm_common::decay::DecayModel;
+use edm_common::hash::{fx_map, FxHashMap};
+use edm_common::point::DenseVector;
+use edm_common::time::Timestamp;
+use edm_data::clusterer::StreamClusterer;
+
+/// Cell coordinates at some level.
+type CellKey = Box<[i32]>;
+
+/// Configuration for MR-Stream.
+#[derive(Debug, Clone)]
+pub struct MrStreamConfig {
+    /// Width of a level-0 cell (the coarsest resolution).
+    pub top_width: f64,
+    /// Tree height: levels 0..=height are maintained.
+    pub height: usize,
+    /// Offline clustering resolution (level index ≤ height).
+    pub cluster_level: usize,
+    /// Decay model (the original fixes a = 1.002 with λ = −1; §6.1 aligns
+    /// it to a^λ = 0.998, identical to ours).
+    pub decay: DecayModel,
+    /// Dense-cell coefficient (points/sec a dense cell must sustain).
+    pub c_m: f64,
+    /// Offline cadence in points.
+    pub offline_every: u64,
+    /// Prune cadence in points.
+    pub prune_every: u64,
+}
+
+impl MrStreamConfig {
+    /// Defaults for a dataset whose natural cell radius is `r`: the
+    /// clustering level has cells of width ≈ r (see `DStreamConfig::new`
+    /// on why grid widths match the radius, not the diameter), with two
+    /// finer levels below it.
+    pub fn new(r: f64) -> Self {
+        let cluster_level = 3;
+        MrStreamConfig {
+            top_width: r * (1 << cluster_level) as f64,
+            height: 5,
+            cluster_level,
+            decay: DecayModel::paper_default(),
+            c_m: 3.0,
+            offline_every: 1_000,
+            prune_every: 1_000,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    density: f64,
+    last: Timestamp,
+    cluster: Option<usize>,
+}
+
+/// The MR-Stream clusterer.
+pub struct MrStream {
+    cfg: MrStreamConfig,
+    /// One sparse grid per level.
+    levels: Vec<FxHashMap<CellKey, Node>>,
+    points: u64,
+    n_clusters: usize,
+    offline_done: bool,
+    start: Option<Timestamp>,
+}
+
+impl MrStream {
+    /// Creates an MR-Stream instance.
+    pub fn new(cfg: MrStreamConfig) -> Self {
+        assert!(cfg.top_width > 0.0, "top width must be positive");
+        assert!(cfg.cluster_level <= cfg.height, "cluster level beyond tree height");
+        let levels = (0..=cfg.height).map(|_| fx_map()).collect();
+        MrStream { cfg, levels, points: 0, n_clusters: 0, offline_done: false, start: None }
+    }
+
+    fn key_at(&self, p: &DenseVector, level: usize) -> CellKey {
+        let w = self.cfg.top_width / (1u64 << level) as f64;
+        p.coords()
+            .iter()
+            .map(|&x| (x / w).floor() as i32)
+            .collect::<Vec<i32>>()
+            .into_boxed_slice()
+    }
+
+    fn dense_threshold(&self, t: Timestamp) -> f64 {
+        let age = (t - self.start.unwrap_or(t)).max(0.0);
+        let ret = self.cfg.decay.retention();
+        let geo = ((1.0 - ret.powf(age)) / (1.0 - ret)).max(1.0);
+        self.cfg.c_m * geo
+    }
+
+    fn prune(&mut self, t: Timestamp) {
+        // Sparse subtree pruning: drop cells whose decayed density is
+        // negligible (below 5% of the sparse threshold).
+        let cut = self.dense_threshold(t) * 0.01;
+        let decay = self.cfg.decay;
+        for level in &mut self.levels {
+            level.retain(|_, n| n.density * decay.factor(t - n.last) > cut);
+        }
+        self.offline_done = false;
+    }
+
+    fn offline(&mut self, t: Timestamp) {
+        let thr = self.dense_threshold(t);
+        let decay = self.cfg.decay;
+        let level = &mut self.levels[self.cfg.cluster_level];
+        let mut dense: Vec<CellKey> = Vec::new();
+        for (k, n) in level.iter_mut() {
+            n.cluster = None;
+            if n.density * decay.factor(t - n.last) >= thr {
+                dense.push(k.clone());
+            }
+        }
+        let dense_set: std::collections::HashSet<&CellKey> = dense.iter().collect();
+        let mut cluster_of: FxHashMap<CellKey, usize> = fx_map();
+        let mut n_clusters = 0;
+        let mut stack: Vec<CellKey> = Vec::new();
+        for k in &dense {
+            if cluster_of.contains_key(k) {
+                continue;
+            }
+            let cid = n_clusters;
+            n_clusters += 1;
+            cluster_of.insert(k.clone(), cid);
+            stack.push(k.clone());
+            while let Some(cur) = stack.pop() {
+                for dim in 0..cur.len() {
+                    for delta in [-1i32, 1] {
+                        let mut nb = cur.to_vec();
+                        nb[dim] += delta;
+                        let nb: CellKey = nb.into_boxed_slice();
+                        if dense_set.contains(&nb) && !cluster_of.contains_key(&nb) {
+                            cluster_of.insert(nb.clone(), cid);
+                            stack.push(nb);
+                        }
+                    }
+                }
+            }
+        }
+        for (k, cid) in &cluster_of {
+            if let Some(n) = level.get_mut(k) {
+                n.cluster = Some(*cid);
+            }
+        }
+        self.n_clusters = n_clusters;
+        self.offline_done = true;
+    }
+}
+
+impl StreamClusterer<DenseVector> for MrStream {
+    fn name(&self) -> &'static str {
+        "MR-Stream"
+    }
+
+    fn insert(&mut self, p: &DenseVector, t: Timestamp) {
+        self.start.get_or_insert(t);
+        self.points += 1;
+        let decay = self.cfg.decay;
+        // Update the full root-to-leaf path: one cell per level.
+        for level in 0..=self.cfg.height {
+            let key = self.key_at(p, level);
+            let node = self.levels[level]
+                .entry(key)
+                .or_insert(Node { density: 0.0, last: t, cluster: None });
+            node.density = node.density * decay.factor(t - node.last) + 1.0;
+            node.last = t;
+        }
+        if self.points % self.cfg.prune_every == 0 {
+            self.prune(t);
+        }
+        if self.points % self.cfg.offline_every == 0 {
+            self.offline(t);
+        }
+    }
+
+    fn cluster_of(&mut self, p: &DenseVector, t: Timestamp) -> Option<usize> {
+        if !self.offline_done {
+            self.offline(t);
+        }
+        let key = self.key_at(p, self.cfg.cluster_level);
+        self.levels[self.cfg.cluster_level].get(&key).and_then(|n| n.cluster)
+    }
+
+    fn n_clusters(&mut self, t: Timestamp) -> usize {
+        if !self.offline_done {
+            self.offline(t);
+        }
+        self.n_clusters
+    }
+
+    fn n_summaries(&self) -> usize {
+        self.levels.iter().map(|l| l.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MrStreamConfig {
+        let mut c = MrStreamConfig::new(0.5);
+        c.offline_every = 200;
+        c.prune_every = 400;
+        c
+    }
+
+    fn feed_blobs(mr: &mut MrStream, n: usize) {
+        for i in 0..n {
+            let t = i as f64 / 100.0;
+            let jitter = (i % 4) as f64 * 0.1;
+            let p = if i % 2 == 0 {
+                DenseVector::from([jitter, jitter])
+            } else {
+                DenseVector::from([40.0 + jitter, 40.0 + jitter])
+            };
+            mr.insert(&p, t);
+        }
+    }
+
+    #[test]
+    fn two_blobs_two_clusters() {
+        let mut mr = MrStream::new(cfg());
+        feed_blobs(&mut mr, 800);
+        let t = 8.0;
+        assert_eq!(mr.n_clusters(t), 2);
+        let a = mr.cluster_of(&DenseVector::from([0.1, 0.1]), t);
+        let b = mr.cluster_of(&DenseVector::from([40.1, 40.1]), t);
+        assert!(a.is_some() && b.is_some());
+        assert_ne!(a, b);
+        assert_eq!(mr.cluster_of(&DenseVector::from([500.0, 500.0]), t), None);
+    }
+
+    #[test]
+    fn every_level_is_updated_per_point() {
+        let mut mr = MrStream::new(cfg());
+        mr.insert(&DenseVector::from([0.1, 0.1]), 0.0);
+        for level in 0..=mr.cfg.height {
+            assert_eq!(mr.levels[level].len(), 1, "level {level} missing its cell");
+        }
+        assert_eq!(mr.n_summaries(), mr.cfg.height + 1);
+    }
+
+    #[test]
+    fn finer_levels_separate_what_coarse_levels_merge() {
+        let mut mr = MrStream::new(cfg());
+        // Two points in the same top cell but different leaf cells.
+        mr.insert(&DenseVector::from([0.1, 0.1]), 0.0);
+        mr.insert(&DenseVector::from([3.9, 3.9]), 0.01);
+        assert_eq!(mr.levels[0].len(), 1, "same coarse cell");
+        assert_eq!(mr.levels[mr.cfg.height].len(), 2, "distinct leaf cells");
+    }
+
+    #[test]
+    fn sparse_cells_are_pruned() {
+        let mut mr = MrStream::new(cfg());
+        mr.insert(&DenseVector::from([90.0, 90.0]), 0.0);
+        for i in 0..4_000 {
+            let t = 1_000.0 + i as f64 / 100.0;
+            mr.insert(&DenseVector::from([(i % 4) as f64 * 0.2, 0.0]), t);
+        }
+        let lvl = mr.cfg.cluster_level;
+        let stale: Vec<&CellKey> =
+            mr.levels[lvl].keys().filter(|k| k[0] > 5).collect();
+        assert!(stale.is_empty(), "stale cells remain: {stale:?}");
+    }
+
+    #[test]
+    fn cluster_level_controls_granularity() {
+        // Two groups 3 apart: merged at a coarse level, separate at fine.
+        let run = |level: usize| {
+            let mut c = cfg();
+            c.cluster_level = level;
+            let mut mr = MrStream::new(c);
+            for i in 0..600 {
+                let t = i as f64 / 100.0;
+                let x = if i % 2 == 0 { 0.2 } else { 3.2 };
+                mr.insert(&DenseVector::from([x, 0.2]), t);
+            }
+            mr.n_clusters(6.0)
+        };
+        let coarse = run(0);
+        let fine = run(3);
+        assert!(coarse <= fine, "coarse {coarse} fine {fine}");
+        assert_eq!(coarse, 1);
+        assert_eq!(fine, 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! Criterion bench: per-point insert cost of every baseline vs EDMStream
+//! on the same KDD surrogate prefix (the microscopic view of Fig 10).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use edm_bench::catalog::{self, DatasetId};
+
+fn bench_baselines(c: &mut Criterion) {
+    let ds = catalog::load(DatasetId::Kdd, 0.01, 1_000.0);
+    let mut group = c.benchmark_group("all_algorithms_kdd");
+    group.sample_size(10);
+    for name in ["EDMStream", "D-Stream", "DenStream", "DBSTREAM", "MR-Stream"] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    catalog::all_algorithms(&ds, 1_000)
+                        .into_iter()
+                        .find(|a| a.name() == name)
+                        .expect("algorithm exists")
+                },
+                |mut algo| {
+                    for p in ds.stream.iter() {
+                        algo.insert(&p.payload, p.ts);
+                    }
+                    algo.n_summaries()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

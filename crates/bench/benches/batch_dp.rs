@@ -1,0 +1,28 @@
+//! Criterion bench: batch Density Peaks clustering (the initialization
+//! path and the Fig 2 substrate) at increasing point counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edm_common::metric::Euclidean;
+use edm_data::gen::blobs::{sample_mixture, Blob};
+use edm_dp::dp::{self, DpConfig};
+
+fn bench_dp(c: &mut Criterion) {
+    let blobs = vec![
+        Blob::new(vec![0.0, 0.0], 0.5, 1.0, 0),
+        Blob::new(vec![10.0, 0.0], 0.5, 1.0, 1),
+        Blob::new(vec![5.0, 8.0], 0.5, 1.0, 2),
+    ];
+    let mut group = c.benchmark_group("batch_dp");
+    group.sample_size(10);
+    for n in [200usize, 500, 1_000] {
+        let stream = sample_mixture("bench", &blobs, n, 1_000.0, 0.3, 5);
+        let points: Vec<_> = stream.points.iter().map(|p| p.payload.clone()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, pts| {
+            b.iter(|| dp::cluster(pts, &Euclidean, &DpConfig::new(0.5, 1.0, 3.0)).n_clusters())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench: raw DP-Tree operations — attach/detach churn and
+//! strong-root walks — on a synthetic chain-heavy tree.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edm_core::cell::Cell;
+use edm_core::slab::CellSlab;
+use edm_core::tree;
+
+/// Builds a slab of `n` active cells wired as a long strong chain with
+/// periodic weak links (every 16th link weak).
+fn chain(n: usize) -> (CellSlab<u32>, Vec<edm_core::CellId>) {
+    let decay = edm_common::decay::DecayModel::paper_default();
+    let mut slab = CellSlab::new();
+    let mut ids = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut cell = Cell::new(i as u32, 0.0);
+        for _ in 0..(n - i) {
+            cell.absorb(0.0, &decay);
+        }
+        cell.active = true;
+        ids.push(slab.insert(cell));
+    }
+    for i in 1..n {
+        let delta = if i % 16 == 0 { 10.0 } else { 0.5 };
+        tree::attach(&mut slab, ids[i], ids[i - 1], delta);
+    }
+    (slab, ids)
+}
+
+fn bench_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dptree");
+    group.sample_size(20);
+    group.bench_function("strong_root_walk_512", |b| {
+        let (slab, ids) = chain(512);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &id in &ids {
+                acc ^= tree::strong_root(&slab, id, 1.0).0;
+            }
+            acc
+        })
+    });
+    group.bench_function("set_dep_churn_512", |b| {
+        let (mut slab, ids) = chain(512);
+        b.iter(|| {
+            // Re-point the tail cell across parents repeatedly.
+            let tail = ids[511];
+            for i in 1..64 {
+                tree::set_dep(&mut slab, tail, ids[i], 0.5);
+            }
+            slab.get(tail).dep
+        })
+    });
+    group.bench_function("strong_roots_enumeration_512", |b| {
+        let (slab, _) = chain(512);
+        b.iter(|| tree::strong_roots(&slab, 1.0).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree);
+criterion_main!(benches);

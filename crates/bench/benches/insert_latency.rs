@@ -1,0 +1,38 @@
+//! Criterion micro-bench: EDMStream per-point insert latency on each
+//! dataset surrogate (the microscopic view of paper Fig 9).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use edm_bench::catalog::{self, DatasetId};
+use edm_common::metric::Euclidean;
+use edm_core::EdmStream;
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edmstream_insert");
+    group.sample_size(10);
+    for id in [DatasetId::Kdd, DatasetId::CoverType, DatasetId::Pamap2] {
+        let ds = catalog::load(id, 0.01, 1_000.0);
+        group.bench_function(ds.id.name(), |b| {
+            b.iter_batched(
+                || {
+                    // Warm engine: initialized and past the init buffer.
+                    let mut e = EdmStream::new(ds.edm.clone(), Euclidean);
+                    for p in ds.stream.iter().take(2_000) {
+                        e.insert(&p.payload, p.ts);
+                    }
+                    e
+                },
+                |mut e| {
+                    for p in ds.stream.iter().skip(2_000) {
+                        e.insert(&p.payload, p.ts);
+                    }
+                    e
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: CMM evaluation cost over windows of increasing size
+//! (the evaluation overhead of Fig 13).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edm_common::metric::Euclidean;
+use edm_data::gen::blobs::{sample_mixture, Blob};
+use edm_metrics::cmm::{cmm, CmmConfig, EvalObject};
+
+fn bench_cmm(c: &mut Criterion) {
+    let blobs = vec![
+        Blob::new(vec![0.0, 0.0], 0.5, 1.0, 0),
+        Blob::new(vec![10.0, 0.0], 0.5, 1.0, 1),
+    ];
+    let mut group = c.benchmark_group("cmm_window");
+    group.sample_size(10);
+    for n in [100usize, 300, 600] {
+        let stream = sample_mixture("bench", &blobs, n, 1_000.0, 0.3, 11);
+        let objs: Vec<EvalObject<'_, _>> = stream
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| EvalObject {
+                payload: &p.payload,
+                weight: 1.0,
+                class: p.label,
+                // An imperfect clustering: every 13th point missed.
+                cluster: if i % 13 == 0 { None } else { p.label.map(|l| l as usize) },
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &objs, |b, objs| {
+            b.iter(|| cmm(objs, &Euclidean, &CmmConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cmm);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Fig 9 (response time) and Fig 10 (throughput).
+//!
+//! Drives every algorithm through KDDCUP99 / CoverType / PAMAP2 and
+//! reports per-point processing latency in µs over stream-length buckets
+//! (Fig 9, without MR-Stream, which the paper says cannot sustain
+//! 1k pt/s) and sustained throughput in points/sec (Fig 10, all five).
+//! The shape to reproduce: EDMStream runs in single-digit-to-tens of µs
+//! and leads by a wide margin; the two-phase baselines pay for their
+//! periodic offline re-clustering.
+
+use edm_common::point::DenseVector;
+use edm_common::time::Stopwatch;
+use edm_data::clusterer::StreamClusterer;
+
+use super::Ctx;
+use crate::catalog::{self, DatasetId};
+use crate::report::{f, Report};
+
+/// Latency series for one algorithm: (points_processed, avg_us) buckets.
+pub fn latency_series(
+    algo: &mut dyn StreamClusterer<DenseVector>,
+    stream: &edm_data::stream::LabeledStream<DenseVector>,
+    buckets: usize,
+) -> Vec<(usize, f64)> {
+    let n = stream.len();
+    let bucket = (n / buckets).max(1);
+    let mut series = Vec::with_capacity(buckets);
+    let mut w = Stopwatch::start();
+    let mut processed = 0usize;
+    for p in stream.iter() {
+        algo.insert(&p.payload, p.ts);
+        processed += 1;
+        if processed % bucket == 0 {
+            let us = w.lap_secs() * 1e6 / bucket as f64;
+            series.push((processed, us));
+        }
+    }
+    series
+}
+
+const PERF_DATASETS: [DatasetId; 3] = [DatasetId::Kdd, DatasetId::CoverType, DatasetId::Pamap2];
+
+/// Regenerates Fig 9 (response time; EDMStream vs D-Stream, DenStream,
+/// DBSTREAM).
+pub fn run_fig9(ctx: &Ctx) -> std::io::Result<()> {
+    let mut rep = Report::new(
+        "fig9_response_time",
+        &["dataset", "algorithm", "len_k", "avg_us", "sustains_1k_per_s"],
+        ctx.out_dir(),
+    );
+    for id in PERF_DATASETS {
+        let ds = catalog::load(id, ctx.scale, 1_000.0);
+        for mut algo in catalog::fig9_algorithms(&ds, 1_000) {
+            let series = latency_series(algo.as_mut(), &ds.stream, 8);
+            for (len, us) in &series {
+                rep.row(vec![
+                    ds.id.name(),
+                    algo.name().into(),
+                    format!("{}", len / 1_000),
+                    f(*us, 2),
+                    (if *us < 1_000.0 { "yes" } else { "NO" }).into(),
+                ]);
+            }
+        }
+    }
+    rep.finish()
+}
+
+/// Regenerates Fig 10 (throughput stress test; all five algorithms).
+pub fn run_fig10(ctx: &Ctx) -> std::io::Result<()> {
+    let mut rep = Report::new(
+        "fig10_throughput",
+        &["dataset", "algorithm", "points", "total_s", "pts_per_s"],
+        ctx.out_dir(),
+    );
+    for id in PERF_DATASETS {
+        let ds = catalog::load(id, ctx.scale, 1_000.0);
+        for mut algo in catalog::all_algorithms(&ds, 1_000) {
+            let w = Stopwatch::start();
+            for p in ds.stream.iter() {
+                algo.insert(&p.payload, p.ts);
+            }
+            let secs = w.elapsed_secs();
+            rep.row(vec![
+                ds.id.name(),
+                algo.name().into(),
+                ds.stream.len().to_string(),
+                f(secs, 3),
+                f(ds.stream.len() as f64 / secs, 0),
+            ]);
+        }
+    }
+    rep.finish()
+}

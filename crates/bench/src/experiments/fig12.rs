@@ -1,0 +1,32 @@
+//! Fig 12 — response time vs data dimensionality (HDS, 10–1000 dims).
+//!
+//! All five algorithms process HDS streams of increasing width; the paper
+//! expects response time to grow with dimensionality for most algorithms
+//! (distance computations dominate), with DBSTREAM showing its
+//! space-density anomaly.
+
+use super::Ctx;
+use crate::catalog::{self, DatasetId};
+use crate::experiments::fig09_10::latency_series;
+use crate::report::{f, Report};
+
+/// Regenerates Fig 12.
+pub fn run(ctx: &Ctx) -> std::io::Result<()> {
+    let mut rep = Report::new(
+        "fig12_dimensions",
+        &["dim", "algorithm", "avg_us"],
+        ctx.out_dir(),
+    );
+    for dim in [10usize, 30, 100, 300, 1000] {
+        // Wide streams get expensive per point; cap the length so the
+        // sweep stays laptop-friendly at any scale.
+        let scale = if dim >= 300 { ctx.scale.min(0.03) } else { ctx.scale };
+        let ds = catalog::load(DatasetId::Hds(dim), scale, 1_000.0);
+        for mut algo in catalog::all_algorithms(&ds, 1_000) {
+            let series = latency_series(algo.as_mut(), &ds.stream, 4);
+            let avg = series.iter().map(|(_, us)| *us).sum::<f64>() / series.len().max(1) as f64;
+            rep.row(vec![dim.to_string(), algo.name().into(), f(avg, 2)]);
+        }
+    }
+    rep.finish()
+}

@@ -1,0 +1,82 @@
+//! Fig 13 (cluster quality over the stream, CMM) and Fig 14 (quality vs
+//! stream rate).
+//!
+//! Fig 13: all five algorithms on the three real-dataset surrogates,
+//! scored by the Cluster Mapping Measure over a sliding horizon. Expected
+//! shape: EDMStream / DenStream / DBSTREAM comparable and above D-Stream /
+//! MR-Stream.
+//!
+//! Fig 14: EDMStream on CoverType at 1k / 5k / 10k pt/s — quality should
+//! stay stable across rates.
+
+use edm_common::metric::Euclidean;
+use edm_core::EdmStream;
+use edm_metrics::{EvalWindow, WindowConfig};
+
+use super::Ctx;
+use crate::catalog::{self, DatasetId};
+use crate::report::{f, Report};
+
+/// Regenerates Fig 13.
+pub fn run_fig13(ctx: &Ctx) -> std::io::Result<()> {
+    let mut rep = Report::new(
+        "fig13_quality_cmm",
+        &["dataset", "algorithm", "len_k", "cmm", "purity", "clusters"],
+        ctx.out_dir(),
+    );
+    let window = EvalWindow::new(WindowConfig { horizon: 400, ..Default::default() });
+    for id in [DatasetId::Kdd, DatasetId::CoverType, DatasetId::Pamap2] {
+        let ds = catalog::load(id, ctx.scale, 1_000.0);
+        let n = ds.stream.len();
+        let eval_every = (n / 5).max(1_000);
+        for mut algo in catalog::all_algorithms(&ds, 1_000) {
+            for (i, p) in ds.stream.iter().enumerate() {
+                algo.insert(&p.payload, p.ts);
+                if (i + 1) % eval_every == 0 {
+                    let scores =
+                        window.evaluate(algo.as_mut(), &Euclidean, &ds.stream.points[..=i], p.ts);
+                    rep.row(vec![
+                        ds.id.name(),
+                        algo.name().into(),
+                        format!("{}", (i + 1) / 1_000),
+                        f(scores.cmm, 3),
+                        f(scores.purity, 3),
+                        scores.n_clusters.to_string(),
+                    ]);
+                }
+            }
+        }
+    }
+    rep.finish()
+}
+
+/// Regenerates Fig 14.
+pub fn run_fig14(ctx: &Ctx) -> std::io::Result<()> {
+    let mut rep = Report::new(
+        "fig14_quality_vs_rate",
+        &["rate_pt_s", "len_k", "cmm", "purity", "clusters"],
+        ctx.out_dir(),
+    );
+    let window = EvalWindow::new(WindowConfig { horizon: 400, ..Default::default() });
+    for rate in [1_000.0, 5_000.0, 10_000.0] {
+        let ds = catalog::load(DatasetId::CoverType, ctx.scale, rate);
+        let mut engine = EdmStream::new(ds.edm.clone(), Euclidean);
+        let n = ds.stream.len();
+        let eval_every = (n / 5).max(1_000);
+        for (i, p) in ds.stream.iter().enumerate() {
+            engine.insert(&p.payload, p.ts);
+            if (i + 1) % eval_every == 0 {
+                let scores =
+                    window.evaluate(&mut engine, &Euclidean, &ds.stream.points[..=i], p.ts);
+                rep.row(vec![
+                    format!("{rate:.0}"),
+                    format!("{}", (i + 1) / 1_000),
+                    f(scores.cmm, 3),
+                    f(scores.purity, 3),
+                    scores.n_clusters.to_string(),
+                ]);
+            }
+        }
+    }
+    rep.finish()
+}

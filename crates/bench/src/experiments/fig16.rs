@@ -1,0 +1,49 @@
+//! Fig 16 — outlier reservoir population vs its theoretical upper bound
+//! (`ΔT_del·v + 1/β`, paper §4.4), on CoverType and PAMAP2 at 1k / 5k /
+//! 10k pt/s.
+//!
+//! Expected shape: the measured reservoir stays well below the bound at
+//! every rate, and both grow with the rate.
+
+use edm_common::metric::Euclidean;
+use edm_core::EdmStream;
+
+use super::Ctx;
+use crate::catalog::{self, DatasetId};
+use crate::report::{f, Report};
+
+/// Regenerates Fig 16.
+pub fn run(ctx: &Ctx) -> std::io::Result<()> {
+    let mut rep = Report::new(
+        "fig16_reservoir",
+        &["dataset", "rate_pt_s", "len_k", "reservoir", "peak", "upper_bound"],
+        ctx.out_dir(),
+    );
+    for id in [DatasetId::CoverType, DatasetId::Pamap2] {
+        for rate in [1_000.0, 5_000.0, 10_000.0] {
+            let ds = catalog::load(id, ctx.scale, rate);
+            let bound = ds.edm.reservoir_bound();
+            let mut engine = EdmStream::new(ds.edm.clone(), Euclidean);
+            let n = ds.stream.len();
+            let bucket = (n / 6).max(1);
+            for (i, p) in ds.stream.iter().enumerate() {
+                engine.insert(&p.payload, p.ts);
+                if (i + 1) % bucket == 0 {
+                    assert!(
+                        (engine.reservoir_len() as f64) <= bound,
+                        "reservoir exceeded its theoretical bound"
+                    );
+                    rep.row(vec![
+                        ds.id.name(),
+                        format!("{rate:.0}"),
+                        format!("{}", (i + 1) / 1_000),
+                        engine.reservoir_len().to_string(),
+                        engine.reservoir_peak().to_string(),
+                        f(bound, 0),
+                    ]);
+                }
+            }
+        }
+    }
+    rep.finish()
+}

@@ -1,0 +1,62 @@
+//! One module per paper table/figure. Each experiment prints the same
+//! rows/series the paper reports and writes a CSV when `--out` is set.
+
+pub mod fig02;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09_10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13_14;
+pub mod fig15_tab4;
+pub mod fig16;
+pub mod fig17;
+pub mod tab02;
+
+use std::path::PathBuf;
+
+/// Shared experiment context (from the harness CLI).
+#[derive(Debug, Clone)]
+pub struct Ctx {
+    /// Stream-length scale relative to Table 2 sizes (1.0 = paper scale).
+    pub scale: f64,
+    /// Output directory for CSVs (`None` = stdout only).
+    pub out: Option<PathBuf>,
+}
+
+impl Ctx {
+    /// Output path as an `Option<&Path>` for `Report::new`.
+    pub fn out_dir(&self) -> Option<&std::path::Path> {
+        self.out.as_deref()
+    }
+}
+
+/// All experiment names in run order.
+pub const ALL: &[&str] = &[
+    "tab2", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "tab4", "fig16", "fig17",
+];
+
+/// Runs one experiment by name. Returns false for an unknown name.
+pub fn run(name: &str, ctx: &Ctx) -> std::io::Result<bool> {
+    match name {
+        "tab2" => tab02::run(ctx)?,
+        "fig2" => fig02::run(ctx)?,
+        "fig6" => fig06::run(ctx)?,
+        "fig7" => fig07::run(ctx)?,
+        "fig8" => fig08::run(ctx)?,
+        "fig9" => fig09_10::run_fig9(ctx)?,
+        "fig10" => fig09_10::run_fig10(ctx)?,
+        "fig11" => fig11::run(ctx)?,
+        "fig12" => fig12::run(ctx)?,
+        "fig13" => fig13_14::run_fig13(ctx)?,
+        "fig14" => fig13_14::run_fig14(ctx)?,
+        "fig15" => fig15_tab4::run_fig15(ctx)?,
+        "tab4" => fig15_tab4::run_tab4(ctx)?,
+        "fig16" => fig16::run(ctx)?,
+        "fig17" => fig17::run(ctx)?,
+        _ => return Ok(false),
+    }
+    Ok(true)
+}

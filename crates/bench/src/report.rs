@@ -1,0 +1,188 @@
+//! Output helpers: aligned text tables, CSV files, and a tiny 2-D ASCII
+//! scatter renderer used by the Fig 6 snapshots.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Collects rows for one experiment, prints an aligned table to stdout and
+/// optionally writes a CSV next to it.
+#[derive(Debug, Clone)]
+pub struct Report {
+    name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    out_dir: Option<PathBuf>,
+}
+
+impl Report {
+    /// Creates a report with column names.
+    pub fn new(name: &str, header: &[&str], out_dir: Option<&Path>) -> Self {
+        Report {
+            name: name.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            out_dir: out_dir.map(|p| p.to_path_buf()),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, (c, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{c:>w$}", w = w));
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Prints the table and writes `<out>/<name>.csv` when an output
+    /// directory was configured.
+    pub fn finish(&self) -> std::io::Result<()> {
+        println!("\n== {} ==", self.name);
+        print!("{}", self.render());
+        if let Some(dir) = &self.out_dir {
+            std::fs::create_dir_all(dir)?;
+            let path = dir.join(format!("{}.csv", self.name));
+            let mut f = std::fs::File::create(&path)?;
+            writeln!(f, "{}", self.header.join(","))?;
+            for row in &self.rows {
+                writeln!(f, "{}", row.join(","))?;
+            }
+            println!("[written {}]", path.display());
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with `p` decimals (helper for report rows).
+pub fn f(x: f64, p: usize) -> String {
+    format!("{x:.p$}")
+}
+
+/// ASCII scatter of 2-D points in `rows × cols`; `shade` returns a glyph
+/// per point (used to draw freshness in Fig 6).
+pub fn ascii_scatter(
+    points: &[(f64, f64, char)],
+    x_range: (f64, f64),
+    y_range: (f64, f64),
+    rows: usize,
+    cols: usize,
+) -> String {
+    assert!(rows >= 2 && cols >= 2);
+    let mut grid = vec![vec![' '; cols]; rows];
+    let (x0, x1) = x_range;
+    let (y0, y1) = y_range;
+    for &(x, y, glyph) in points {
+        if x < x0 || x > x1 || y < y0 || y > y1 {
+            continue;
+        }
+        let c = ((x - x0) / (x1 - x0) * (cols - 1) as f64).round() as usize;
+        let r = ((1.0 - (y - y0) / (y1 - y0)) * (rows - 1) as f64).round() as usize;
+        let cell = &mut grid[r.min(rows - 1)][c.min(cols - 1)];
+        // Darker glyphs win (later in the palette string).
+        const PALETTE: &str = " .:*#@";
+        let rank = |g: char| PALETTE.find(g).unwrap_or(0);
+        if rank(glyph) > rank(*cell) {
+            *cell = glyph;
+        }
+    }
+    let mut out = String::with_capacity(rows * (cols + 2));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut r = Report::new("t", &["a", "long-col"], None);
+        r.row(vec!["1".into(), "2".into()]);
+        r.row(vec!["100".into(), "2000".into()]);
+        let s = r.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long-col"));
+        assert!(lines[3].ends_with("2000"));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_wrong_width() {
+        let mut r = Report::new("t", &["a"], None);
+        r.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_written_to_out_dir() {
+        let dir = std::env::temp_dir().join("edm-bench-test-report");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut r = Report::new("unit", &["x"], Some(&dir));
+        r.row(vec!["7".into()]);
+        r.finish().unwrap();
+        let csv = std::fs::read_to_string(dir.join("unit.csv")).unwrap();
+        assert_eq!(csv, "x\n7\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scatter_marks_points_with_darkest_glyph() {
+        let s = ascii_scatter(
+            &[(0.0, 0.0, '.'), (0.0, 0.0, '#'), (1.0, 1.0, ':')],
+            (0.0, 1.0),
+            (0.0, 1.0),
+            5,
+            5,
+        );
+        assert!(s.contains('#'), "{s}");
+        assert!(s.contains(':'));
+        // The '.' at the same cell as '#' must have been overridden.
+        assert!(!s.contains('.'));
+    }
+
+    #[test]
+    fn float_formatter() {
+        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(10.0, 0), "10");
+    }
+}

@@ -1,0 +1,273 @@
+//! The exponential time-decay model (paper §3.1, Eq. 3).
+//!
+//! Every density in EDMStream — and in the D-Stream / DenStream / DBSTREAM /
+//! MR-Stream baselines — is a sum of point *freshness* values
+//! `f_i(t) = a^{λ(t − t_i)}`, so the whole time model is concentrated here:
+//!
+//! * the decay factor between two instants (Eq. 8's `a^{λ(t_{j+1}−t_j)}`),
+//! * the total decayed mass of an unbounded stream at rate `v`
+//!   (`v / (1 − a^λ)`, §4.3),
+//! * the active-cell threshold `β·v / (1 − a^λ)` (§4.3),
+//! * the safe-deletion horizon `ΔT_del` (Theorem 3/4),
+//! * the outlier-reservoir size bound `ΔT_del·v + 1/β` (§4.4).
+//!
+//! Timestamps are in *seconds*; with the paper's parameters `a = 0.998`,
+//! `λ = 1`, a point loses 0.2% of its weight per second. The paper states
+//! all cells decay at the same pace, so density *order* between two cells
+//! only changes when one of them absorbs a point — the property behind the
+//! density filter (Theorem 1). That makes lazy decay sound: we store
+//! `(ρ, t_last)` and evaluate `ρ·a^{λ(t−t_last)}` on demand.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Timestamp;
+
+/// Exponential decay model `f(t) = a^{λ·t}` with `0 < a < 1`, `λ > 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecayModel {
+    a: f64,
+    lambda: f64,
+    /// Cached `ln(a) · λ` so a decay factor is a single `exp`.
+    ln_a_lambda: f64,
+}
+
+impl DecayModel {
+    /// The paper's configuration: `a = 0.998`, `λ = 1` (freshness in `(0,1]`).
+    pub const PAPER_A: f64 = 0.998;
+    /// The paper's λ.
+    pub const PAPER_LAMBDA: f64 = 1.0;
+
+    /// Creates a decay model.
+    ///
+    /// # Panics
+    /// Panics unless `0 < a < 1` and `λ > 0`; a non-decaying model would
+    /// break every bound derived from the geometric series.
+    pub fn new(a: f64, lambda: f64) -> Self {
+        assert!(a > 0.0 && a < 1.0, "decay base must be in (0,1), got {a}");
+        assert!(lambda > 0.0, "decay exponent λ must be positive, got {lambda}");
+        DecayModel { a, lambda, ln_a_lambda: a.ln() * lambda }
+    }
+
+    /// The paper's default model (`a = 0.998`, `λ = 1`).
+    pub fn paper_default() -> Self {
+        Self::new(Self::PAPER_A, Self::PAPER_LAMBDA)
+    }
+
+    /// Decay base `a`.
+    #[inline]
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// Decay exponent `λ`.
+    #[inline]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The per-second retention `a^λ` (0.998 for the paper's setup).
+    #[inline]
+    pub fn retention(&self) -> f64 {
+        self.ln_a_lambda.exp()
+    }
+
+    /// Multiplicative decay over an elapsed duration `dt ≥ 0` seconds:
+    /// `a^{λ·dt}` (Eq. 8's factor).
+    #[inline]
+    pub fn factor(&self, dt: f64) -> f64 {
+        debug_assert!(dt >= -1e-9, "time must not flow backwards (dt = {dt})");
+        (self.ln_a_lambda * dt.max(0.0)).exp()
+    }
+
+    /// Freshness of a point that arrived at `t_i`, observed at `t ≥ t_i`
+    /// (Eq. 3).
+    #[inline]
+    pub fn freshness(&self, t: Timestamp, t_i: Timestamp) -> f64 {
+        self.factor(t - t_i)
+    }
+
+    /// Total decayed mass of an unbounded stream arriving at `v` points/sec:
+    /// `v / (1 − a^λ)` (paper §4.3).
+    #[inline]
+    pub fn total_mass(&self, v: f64) -> f64 {
+        v / (1.0 - self.retention())
+    }
+
+    /// Density threshold separating active from inactive cluster-cells:
+    /// `β·v / (1 − a^λ)` (paper §4.3).
+    #[inline]
+    pub fn active_threshold(&self, beta: f64, v: f64) -> f64 {
+        beta * self.total_mass(v)
+    }
+
+    /// Valid range for β at stream rate `v`: `(1 − a^λ)/v < β < 1`
+    /// (paper §4.3). Returned as `(lo, hi)` exclusive bounds.
+    pub fn beta_range(&self, v: f64) -> (f64, f64) {
+        ((1.0 - self.retention()) / v, 1.0)
+    }
+
+    /// Safe-deletion horizon for inactive cells (paper Theorem 3/4):
+    /// `ΔT_del > (log_a(1 − a^λ) − log_a(β·v)) / (λ·v)`.
+    ///
+    /// An inactive cell that has not absorbed a point for `ΔT_del` can be
+    /// deleted without affecting any future clustering decision.
+    pub fn delta_t_del(&self, beta: f64, v: f64) -> f64 {
+        let ln_a = self.a.ln();
+        let log_a = |x: f64| x.ln() / ln_a;
+        (log_a(1.0 - self.retention()) - log_a(beta * v)) / (self.lambda * v)
+    }
+
+    /// Theoretical upper bound on the outlier-reservoir population:
+    /// `ΔT_del·v + 1/β` (paper §4.4).
+    pub fn reservoir_bound(&self, beta: f64, v: f64) -> f64 {
+        self.delta_t_del(beta, v) * v + 1.0 / beta
+    }
+
+    /// Maximum number of *active* cells: `1/β` (paper §4.4: total mass over
+    /// per-cell minimum active mass).
+    #[inline]
+    pub fn max_active_cells(&self, beta: f64) -> f64 {
+        1.0 / beta
+    }
+
+    /// Time for freshness to halve, in seconds — a readability helper for
+    /// choosing λ (the paper's defaults give ≈ 346 s).
+    pub fn half_life(&self) -> f64 {
+        (0.5f64).ln() / self.ln_a_lambda
+    }
+
+    /// Applies Eq. 8: the decayed-then-incremented density of a cell that
+    /// held `rho` at `t_prev` and absorbs one point at `t_now`.
+    #[inline]
+    pub fn absorb(&self, rho: f64, t_prev: Timestamp, t_now: Timestamp) -> f64 {
+        rho * self.factor(t_now - t_prev) + 1.0
+    }
+}
+
+impl Default for DecayModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> DecayModel {
+        DecayModel::paper_default()
+    }
+
+    #[test]
+    fn retention_matches_paper_setting() {
+        assert!((paper().retention() - 0.998).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay base")]
+    fn rejects_a_of_one() {
+        DecayModel::new(1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "λ must be positive")]
+    fn rejects_nonpositive_lambda() {
+        DecayModel::new(0.5, 0.0);
+    }
+
+    #[test]
+    fn freshness_is_one_at_arrival_and_decreases() {
+        let m = paper();
+        assert_eq!(m.freshness(10.0, 10.0), 1.0);
+        let f1 = m.freshness(11.0, 10.0);
+        let f2 = m.freshness(12.0, 10.0);
+        assert!(f1 < 1.0 && f2 < f1);
+        assert!((f1 - 0.998).abs() < 1e-12);
+    }
+
+    #[test]
+    fn factor_composes_multiplicatively() {
+        let m = paper();
+        let whole = m.factor(7.5);
+        let split = m.factor(3.0) * m.factor(4.5);
+        assert!((whole - split).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_matches_eq8_against_bruteforce_freshness_sum() {
+        // A cell absorbing points at t = 0,1,2,...,9 must end with density
+        // equal to the direct sum of the ten freshness values at t = 9.
+        let m = paper();
+        let mut rho = 0.0;
+        let mut t_prev = 0.0;
+        for i in 0..10 {
+            let t = i as f64;
+            rho = m.absorb(rho, t_prev, t);
+            t_prev = t;
+        }
+        let brute: f64 = (0..10).map(|i| m.freshness(9.0, i as f64)).sum();
+        assert!((rho - brute).abs() < 1e-9, "eq8 {rho} vs brute {brute}");
+    }
+
+    #[test]
+    fn total_mass_matches_paper_numbers() {
+        // v = 1000 pt/s, 1 − a^λ = 0.002 → 500,000.
+        let m = paper();
+        assert!((m.total_mass(1000.0) - 500_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn active_threshold_uses_beta_fraction() {
+        let m = paper();
+        // β = 0.0021 (paper §6.1) at 1k pt/s → 1050.
+        assert!((m.active_threshold(0.0021, 1000.0) - 1050.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beta_range_is_consistent_with_new_cell_inactivity() {
+        // Lower bound: a brand-new cell (density 1) must be inactive,
+        // i.e. 1 < β·v/(1−a^λ) ⇔ β > (1−a^λ)/v.
+        let m = paper();
+        let (lo, hi) = m.beta_range(1000.0);
+        assert!(lo > 0.0 && hi == 1.0);
+        let beta = lo * 1.0001;
+        assert!(m.active_threshold(beta, 1000.0) > 1.0);
+    }
+
+    #[test]
+    fn delta_t_del_decays_threshold_below_one() {
+        // After ΔT_del·v point-intervals, a cell that sat exactly at the
+        // active threshold must have decayed below density 1 (Eq. 14).
+        let m = paper();
+        let (beta, v) = (0.0021, 1000.0);
+        let dt = m.delta_t_del(beta, v);
+        assert!(dt > 0.0);
+        // Eq. 14 uses exponent λ·v·ΔT_del.
+        let decayed = m.active_threshold(beta, v) * (m.a().ln() * m.lambda() * v * dt).exp();
+        assert!(decayed <= 1.0 + 1e-9, "decayed = {decayed}");
+    }
+
+    #[test]
+    fn reservoir_bound_exceeds_active_population_bound() {
+        let m = paper();
+        let bound = m.reservoir_bound(0.0021, 1000.0);
+        assert!(bound > m.max_active_cells(0.0021));
+    }
+
+    #[test]
+    fn half_life_paper_model_is_about_346s() {
+        let hl = paper().half_life();
+        assert!((hl - 346.2).abs() < 1.0, "half life {hl}");
+    }
+
+    #[test]
+    fn lazy_decay_preserves_density_order() {
+        // Two cells never absorbing: their density ratio is constant, so
+        // whichever is denser stays denser — Theorem 1's foundation.
+        let m = paper();
+        let (rho_a, rho_b) = (10.0, 7.0);
+        for dt in [0.1, 1.0, 10.0, 1000.0] {
+            assert!(rho_a * m.factor(dt) > rho_b * m.factor(dt));
+        }
+    }
+}

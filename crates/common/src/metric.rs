@@ -1,0 +1,103 @@
+//! Distance metrics.
+//!
+//! The paper's engine only needs a metric (symmetric, non-negative,
+//! triangle inequality) — the triangle-inequality filter (Theorem 2 of the
+//! paper) is *only sound for true metrics*, which is why the trait is
+//! explicit about the property instead of accepting an arbitrary closure.
+
+use crate::point::{DenseVector, TokenSet};
+
+/// A distance function over payloads of type `P`.
+///
+/// Implementations must satisfy the metric axioms; in particular the
+/// triangle inequality, which the EDMStream dependency-update filter relies
+/// on for correctness (paper Theorem 2).
+pub trait Metric<P>: Send + Sync {
+    /// Distance between two payloads. Must be `>= 0`, symmetric, `0` on
+    /// identical payloads, and satisfy `d(a,c) <= d(a,b) + d(b,c)`.
+    fn dist(&self, a: &P, b: &P) -> f64;
+
+    /// Human-readable metric name (for experiment output).
+    fn name(&self) -> &'static str;
+}
+
+/// Euclidean (L2) distance over dense vectors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Euclidean;
+
+impl Metric<DenseVector> for Euclidean {
+    #[inline]
+    fn dist(&self, a: &DenseVector, b: &DenseVector) -> f64 {
+        a.dist(b)
+    }
+
+    fn name(&self) -> &'static str {
+        "euclidean"
+    }
+}
+
+/// Jaccard distance over token sets: `1 − |A∩B|/|A∪B|`.
+///
+/// Jaccard distance is a true metric (it is the Steinhaus transform of the
+/// symmetric-difference metric), so the triangle-inequality filter remains
+/// sound on the NADS news stream.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Jaccard;
+
+impl Metric<TokenSet> for Jaccard {
+    #[inline]
+    fn dist(&self, a: &TokenSet, b: &TokenSet) -> f64 {
+        a.jaccard_dist(b)
+    }
+
+    fn name(&self) -> &'static str {
+        "jaccard"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_through_trait() {
+        let m = Euclidean;
+        let a = DenseVector::from([0.0, 0.0]);
+        let b = DenseVector::from([1.0, 1.0]);
+        assert!((m.dist(&a, &b) - 2f64.sqrt()).abs() < 1e-12);
+        assert_eq!(m.name(), "euclidean");
+    }
+
+    #[test]
+    fn jaccard_through_trait() {
+        let m = Jaccard;
+        let a = TokenSet::new(vec![1, 2]);
+        let b = TokenSet::new(vec![2, 3]);
+        assert!((m.dist(&a, &b) - (1.0 - 1.0 / 3.0)).abs() < 1e-12);
+        assert_eq!(m.name(), "jaccard");
+    }
+
+    /// Spot-check the triangle inequality on a few token sets — the
+    /// correctness of the paper's Theorem 2 filter depends on it.
+    #[test]
+    fn jaccard_triangle_inequality_spot_checks() {
+        let sets = [
+            TokenSet::new(vec![1, 2, 3]),
+            TokenSet::new(vec![2, 3, 4, 5]),
+            TokenSet::new(vec![1, 5, 9]),
+            TokenSet::new(vec![7]),
+            TokenSet::new(vec![]),
+        ];
+        let m = Jaccard;
+        for a in &sets {
+            for b in &sets {
+                for c in &sets {
+                    assert!(
+                        m.dist(a, c) <= m.dist(a, b) + m.dist(b, c) + 1e-12,
+                        "triangle inequality violated for {a:?},{b:?},{c:?}"
+                    );
+                }
+            }
+        }
+    }
+}

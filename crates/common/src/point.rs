@@ -1,0 +1,267 @@
+//! Data point representations.
+//!
+//! The EDMStream engine is generic over the payload type; the paper's
+//! experiments use two concrete spaces:
+//!
+//! * numeric attribute vectors under Euclidean distance (SDS, HDS,
+//!   KDDCUP99, CoverType, PAMAP2), represented by [`DenseVector`];
+//! * short news texts under Jaccard distance (NADS), represented by
+//!   [`TokenSet`] — a deduplicated, sorted bag of token ids.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense `d`-dimensional attribute vector.
+///
+/// Stored as a boxed slice: two words on the stack, no spare capacity, and
+/// the dimensionality is immutable after construction — points never change
+/// shape once they enter a stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseVector(Box<[f64]>);
+
+impl DenseVector {
+    /// Creates a vector from its coordinates.
+    pub fn new(coords: impl Into<Box<[f64]>>) -> Self {
+        DenseVector(coords.into())
+    }
+
+    /// Creates the origin of a `dim`-dimensional space.
+    pub fn zeros(dim: usize) -> Self {
+        DenseVector(vec![0.0; dim].into_boxed_slice())
+    }
+
+    /// Dimensionality of the vector.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Coordinate slice.
+    #[inline]
+    pub fn coords(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Mutable coordinate slice (used by generators when adding noise).
+    #[inline]
+    pub fn coords_mut(&mut self) -> &mut [f64] {
+        &mut self.0
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Kept on the type (in addition to [`crate::metric::Euclidean`]) because
+    /// hot loops that only *compare* distances can skip the square root.
+    #[inline]
+    pub fn sq_dist(&self, other: &DenseVector) -> f64 {
+        debug_assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        let mut acc = 0.0;
+        for (a, b) in self.0.iter().zip(other.0.iter()) {
+            let d = a - b;
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: &DenseVector) -> f64 {
+        self.sq_dist(other).sqrt()
+    }
+
+    /// Component-wise sum, used by micro-cluster style summaries.
+    pub fn add_assign(&mut self, other: &DenseVector) {
+        debug_assert_eq!(self.dim(), other.dim());
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Scales every coordinate by `s`.
+    pub fn scale(&mut self, s: f64) {
+        for a in self.0.iter_mut() {
+            *a *= s;
+        }
+    }
+
+    /// L2 norm of the vector.
+    pub fn norm(&self) -> f64 {
+        self.0.iter().map(|a| a * a).sum::<f64>().sqrt()
+    }
+}
+
+impl From<Vec<f64>> for DenseVector {
+    fn from(v: Vec<f64>) -> Self {
+        DenseVector(v.into_boxed_slice())
+    }
+}
+
+impl From<&[f64]> for DenseVector {
+    fn from(v: &[f64]) -> Self {
+        DenseVector(v.to_vec().into_boxed_slice())
+    }
+}
+
+impl<const N: usize> From<[f64; N]> for DenseVector {
+    fn from(v: [f64; N]) -> Self {
+        DenseVector(Box::new(v))
+    }
+}
+
+impl std::ops::Index<usize> for DenseVector {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+/// A deduplicated, ascending set of token ids representing a short text.
+///
+/// News items in the NADS stream are titles of a few words; representing
+/// them as sorted integer ids makes Jaccard distance a linear merge and
+/// keeps the payload allocation-free after construction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TokenSet(Box<[u32]>);
+
+impl TokenSet {
+    /// Builds a token set from arbitrary ids (sorted and deduplicated here).
+    pub fn new(mut tokens: Vec<u32>) -> Self {
+        tokens.sort_unstable();
+        tokens.dedup();
+        TokenSet(tokens.into_boxed_slice())
+    }
+
+    /// Builds from a slice already known to be sorted and unique.
+    ///
+    /// # Panics
+    /// In debug builds, panics if the invariant does not hold.
+    pub fn from_sorted_unique(tokens: Vec<u32>) -> Self {
+        debug_assert!(tokens.windows(2).all(|w| w[0] < w[1]), "tokens must be sorted+unique");
+        TokenSet(tokens.into_boxed_slice())
+    }
+
+    /// Number of distinct tokens.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the set holds no tokens.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The sorted token ids.
+    #[inline]
+    pub fn tokens(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Size of the intersection with `other` (linear merge).
+    pub fn intersection_size(&self, other: &TokenSet) -> usize {
+        let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+        let (a, b) = (&self.0, &other.0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Jaccard distance `1 − |A∩B| / |A∪B|`; two empty sets have distance 0.
+    pub fn jaccard_dist(&self, other: &TokenSet) -> f64 {
+        if self.is_empty() && other.is_empty() {
+            return 0.0;
+        }
+        let inter = self.intersection_size(other);
+        let union = self.len() + other.len() - inter;
+        1.0 - inter as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_vector_dist_matches_hand_computation() {
+        let a = DenseVector::from([0.0, 0.0]);
+        let b = DenseVector::from([3.0, 4.0]);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.sq_dist(&b), 25.0);
+    }
+
+    #[test]
+    fn dense_vector_dist_is_symmetric_and_zero_on_self() {
+        let a = DenseVector::from([1.5, -2.0, 7.0]);
+        let b = DenseVector::from([0.0, 4.0, -1.0]);
+        assert_eq!(a.dist(&b), b.dist(&a));
+        assert_eq!(a.dist(&a), 0.0);
+    }
+
+    #[test]
+    fn dense_vector_add_and_scale() {
+        let mut a = DenseVector::from([1.0, 2.0]);
+        a.add_assign(&DenseVector::from([3.0, 4.0]));
+        assert_eq!(a.coords(), &[4.0, 6.0]);
+        a.scale(0.5);
+        assert_eq!(a.coords(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn dense_vector_zeros_has_zero_norm() {
+        assert_eq!(DenseVector::zeros(8).norm(), 0.0);
+        assert_eq!(DenseVector::zeros(8).dim(), 8);
+    }
+
+    #[test]
+    fn token_set_dedups_and_sorts() {
+        let t = TokenSet::new(vec![5, 1, 5, 3, 1]);
+        assert_eq!(t.tokens(), &[1, 3, 5]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn jaccard_identical_sets_is_zero() {
+        let t = TokenSet::new(vec![1, 2, 3]);
+        assert_eq!(t.jaccard_dist(&t.clone()), 0.0);
+    }
+
+    #[test]
+    fn jaccard_disjoint_sets_is_one() {
+        let a = TokenSet::new(vec![1, 2]);
+        let b = TokenSet::new(vec![3, 4]);
+        assert_eq!(a.jaccard_dist(&b), 1.0);
+    }
+
+    #[test]
+    fn jaccard_partial_overlap() {
+        let a = TokenSet::new(vec![1, 2, 3]);
+        let b = TokenSet::new(vec![2, 3, 4]);
+        // |A∩B| = 2, |A∪B| = 4 → distance 0.5
+        assert!((a.jaccard_dist(&b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_empty_sets() {
+        let e = TokenSet::new(vec![]);
+        let a = TokenSet::new(vec![1]);
+        assert_eq!(e.jaccard_dist(&e.clone()), 0.0);
+        assert_eq!(e.jaccard_dist(&a), 1.0);
+    }
+
+    #[test]
+    fn intersection_size_counts_common_tokens() {
+        let a = TokenSet::new(vec![1, 3, 5, 7]);
+        let b = TokenSet::new(vec![3, 4, 5, 8]);
+        assert_eq!(a.intersection_size(&b), 2);
+    }
+}

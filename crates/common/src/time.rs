@@ -1,0 +1,123 @@
+//! Timestamps and the stream clock.
+//!
+//! The paper fixes a point arrival rate `v` (default 1,000 pt/s) and indexes
+//! every experiment by stream *time*; [`StreamClock`] converts between point
+//! indices and timestamps so generators, engines and the harness agree on
+//! the time axis. [`Stopwatch`] is a tiny wall-clock helper used by the
+//! response-time experiments (Figs 9, 10, 12, 17).
+
+use serde::{Deserialize, Serialize};
+
+/// Stream time in seconds since the stream started.
+pub type Timestamp = f64;
+
+/// Converts point indices to arrival timestamps at a fixed rate
+/// (`t_i = i / v`, paper §4.3's "fixed point arrival rate" assumption).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamClock {
+    rate: f64,
+}
+
+impl StreamClock {
+    /// Creates a clock emitting `rate` points per second.
+    ///
+    /// # Panics
+    /// Panics when `rate` is not finite and positive.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "stream rate must be positive, got {rate}");
+        StreamClock { rate }
+    }
+
+    /// Points per second.
+    #[inline]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Arrival time of the `i`-th point (0-based).
+    #[inline]
+    pub fn at(&self, i: u64) -> Timestamp {
+        i as f64 / self.rate
+    }
+
+    /// Interval between consecutive points (`Δt = 1/v`).
+    #[inline]
+    pub fn tick(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Index of the last point to arrive no later than `t` (`⌊t·v⌋`).
+    #[inline]
+    pub fn index_at(&self, t: Timestamp) -> u64 {
+        debug_assert!(t >= 0.0);
+        (t * self.rate).floor() as u64
+    }
+}
+
+/// Wall-clock stopwatch for measuring processing latency.
+#[derive(Debug)]
+pub struct Stopwatch {
+    start: std::time::Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch { start: std::time::Instant::now() }
+    }
+
+    /// Seconds elapsed since start.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Microseconds elapsed since start (the paper reports µs/point).
+    pub fn elapsed_micros(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Restarts the stopwatch, returning the elapsed seconds before reset.
+    pub fn lap_secs(&mut self) -> f64 {
+        let e = self.elapsed_secs();
+        self.start = std::time::Instant::now();
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_maps_indices_to_seconds() {
+        let c = StreamClock::new(1000.0);
+        assert_eq!(c.at(0), 0.0);
+        assert_eq!(c.at(1000), 1.0);
+        assert_eq!(c.at(20_000), 20.0);
+        assert!((c.tick() - 0.001).abs() < 1e-15);
+    }
+
+    #[test]
+    fn clock_roundtrips_index_at() {
+        let c = StreamClock::new(250.0);
+        for i in [0u64, 1, 17, 249, 250, 9999] {
+            assert_eq!(c.index_at(c.at(i)), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn clock_rejects_zero_rate() {
+        StreamClock::new(0.0);
+    }
+
+    #[test]
+    fn stopwatch_measures_nonnegative_time() {
+        let mut w = Stopwatch::start();
+        assert!(w.elapsed_secs() >= 0.0);
+        assert!(w.elapsed_micros() >= 0.0);
+        let lap = w.lap_secs();
+        assert!(lap >= 0.0);
+        assert!(w.elapsed_secs() >= 0.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the decay algebra — every density computation in the
+//! workspace rests on these identities.
+
+use edm_common::decay::DecayModel;
+use proptest::prelude::*;
+
+fn model() -> impl Strategy<Value = DecayModel> {
+    ((0.5f64..0.9999), (0.01f64..50.0)).prop_map(|(a, l)| DecayModel::new(a, l))
+}
+
+proptest! {
+    /// Eq. 8 (incremental absorb) must equal the brute-force freshness sum
+    /// for arbitrary arrival times.
+    #[test]
+    fn eq8_equals_bruteforce_sum(
+        m in model(),
+        gaps in prop::collection::vec(0.0f64..5.0, 1..40),
+    ) {
+        let mut ts = Vec::new();
+        let mut t = 0.0;
+        for g in &gaps {
+            t += g;
+            ts.push(t);
+        }
+        let mut rho = 0.0;
+        let mut prev = ts[0];
+        for &ti in &ts {
+            rho = m.absorb(rho, prev, ti);
+            prev = ti;
+        }
+        let last = *ts.last().unwrap();
+        let brute: f64 = ts.iter().map(|&ti| m.freshness(last, ti)).sum();
+        prop_assert!((rho - brute).abs() < 1e-6 * brute.max(1.0), "{rho} vs {brute}");
+    }
+
+    /// Shared decay never *reverses* density order (Theorem 1's
+    /// foundation). IEEE multiplication by a common non-negative factor is
+    /// monotone; extreme decay can underflow both sides to equality, but a
+    /// strict reversal is impossible.
+    #[test]
+    fn decay_never_reverses_order(
+        m in model(),
+        rho_a in 0.1f64..1e6,
+        rho_b in 0.1f64..1e6,
+        dt in 0.0f64..1e3,
+    ) {
+        let f = m.factor(dt);
+        if rho_a > rho_b {
+            prop_assert!(rho_a * f >= rho_b * f);
+        } else if rho_b > rho_a {
+            prop_assert!(rho_b * f >= rho_a * f);
+        }
+    }
+
+    /// Decay composes multiplicatively: factor(a+b) = factor(a)·factor(b).
+    #[test]
+    fn factor_composes(m in model(), a in 0.0f64..500.0, b in 0.0f64..500.0) {
+        let lhs = m.factor(a + b);
+        let rhs = m.factor(a) * m.factor(b);
+        prop_assert!((lhs - rhs).abs() <= 1e-12 + 1e-9 * lhs.abs());
+    }
+
+    /// Freshness is always in [0, 1] for non-negative ages (extreme decay
+    /// may underflow to exactly 0, which the engine treats as fully stale).
+    #[test]
+    fn freshness_bounded(m in model(), age in 0.0f64..1e4) {
+        let f = m.factor(age);
+        prop_assert!((0.0..=1.0).contains(&f), "f = {f}");
+    }
+
+    /// The active threshold sits strictly between a single fresh point and
+    /// the total stream mass whenever β is inside its admissible range.
+    #[test]
+    fn threshold_within_admissible_range(
+        m in model(),
+        v in 1.0f64..1e5,
+        frac in 0.0001f64..0.9999,
+    ) {
+        let (lo, hi) = m.beta_range(v);
+        // Pick β strictly inside the range.
+        let beta = lo + (hi - lo) * frac;
+        let thr = m.active_threshold(beta, v);
+        prop_assert!(thr > 1.0, "thr {thr} not above a fresh point");
+        prop_assert!(thr < m.total_mass(v), "thr {thr} above total mass");
+    }
+
+    /// Theorem 3: after the deletion horizon, a threshold-level density has
+    /// decayed below one fresh point (in the paper's per-point time unit).
+    #[test]
+    fn deletion_horizon_is_safe(
+        m in model(),
+        v in 10.0f64..1e4,
+        frac in 0.001f64..0.999,
+    ) {
+        let (lo, hi) = m.beta_range(v);
+        let beta = lo + (hi - lo) * frac;
+        let dt = m.delta_t_del(beta, v);
+        prop_assert!(dt > 0.0);
+        let decayed =
+            m.active_threshold(beta, v) * (m.a().ln() * m.lambda() * v * dt).exp();
+        prop_assert!(decayed <= 1.0 + 1e-6, "decayed = {decayed}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Engine configuration.
+
+use edm_common::decay::DecayModel;
+use serde::{Deserialize, Serialize};
+
+use crate::filters::FilterConfig;
+use crate::tau::TauMode;
+
+/// Configuration of the EDMStream engine.
+///
+/// Defaults reproduce the paper's §6.1 setup: `a = 0.998`, `λ = 1`,
+/// `β = 0.0021`, stream rate 1,000 pt/s, both update filters on, adaptive τ
+/// with α learned from the initial decision graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EdmConfig {
+    /// Cluster-cell radius `r` (paper Table 2 lists one per dataset; §6.7
+    /// recommends the 0.5–2 % pairwise-distance quantile).
+    pub r: f64,
+    /// Decay model (paper Eq. 3).
+    pub decay: DecayModel,
+    /// Active-cell threshold factor β (paper §4.3).
+    pub beta: f64,
+    /// Expected stream rate `v` in points/sec — sets the active threshold
+    /// `β·v/(1−a^λ)` and the recycling horizon ΔT_del.
+    pub rate: f64,
+    /// Number of points cached before the initialization step (paper §4.1).
+    pub init_points: usize,
+    /// τ policy (static or adaptive; paper §5).
+    pub tau_mode: TauMode,
+    /// The "user's pick" τ₀ from the initial decision graph; `None` uses
+    /// the largest-gap heuristic to simulate the interaction step.
+    pub tau0: Option<f64>,
+    /// Re-optimize τ every this many points (adaptive mode only).
+    pub tau_every: u64,
+    /// Run the decay/recycling sweep every this many points.
+    pub maintenance_every: u64,
+    /// Dependency-update filters (paper Theorems 1–2; Fig 11 ablation).
+    pub filters: FilterConfig,
+    /// Override for the reservoir recycling horizon in seconds. `None`
+    /// uses the paper's Theorem 3 formula. The override exists because the
+    /// paper's formula divides by `λ·v` (its §4.3–4.4 analysis counts decay
+    /// per *point* while Eq. 3 decays per *second*); for strongly decaying
+    /// configurations (large λ) the formula degenerates to milliseconds
+    /// and would delete growing cells between absorptions.
+    pub recycle_horizon: Option<f64>,
+    /// Scale the activation threshold by the stream's accumulated decayed
+    /// mass, `thr(t) = β·v·(1−a^{λ·age})/(1−a^λ)`. The paper's fixed
+    /// threshold is this formula's steady state (age → ∞, reached after
+    /// ~2000 s with the default decay); the age adjustment makes early
+    /// stream behavior — and scaled-down reproduction runs — consistent
+    /// with full-length behavior. Disable for the strict paper formula.
+    pub age_adjusted_threshold: bool,
+    /// Record evolution events (Figs 7–8). Disable for pure-throughput runs.
+    pub track_evolution: bool,
+}
+
+impl EdmConfig {
+    /// Paper-default configuration for a dataset with cell radius `r`.
+    pub fn new(r: f64) -> Self {
+        EdmConfig {
+            r,
+            decay: DecayModel::paper_default(),
+            beta: 0.0021,
+            rate: 1_000.0,
+            init_points: 1_000,
+            tau_mode: TauMode::Adaptive { alpha: None },
+            tau0: None,
+            tau_every: 256,
+            maintenance_every: 64,
+            filters: FilterConfig::all(),
+            recycle_horizon: None,
+            age_adjusted_threshold: true,
+            track_evolution: true,
+        }
+    }
+
+    /// The active-cell density threshold `β·v/(1−a^λ)` this config implies.
+    pub fn active_threshold(&self) -> f64 {
+        self.decay.active_threshold(self.beta, self.rate)
+    }
+
+    /// The safe-deletion horizon ΔT_del this config implies (Theorem 3,
+    /// unless overridden by `recycle_horizon`).
+    pub fn delta_t_del(&self) -> f64 {
+        self.recycle_horizon.unwrap_or_else(|| self.decay.delta_t_del(self.beta, self.rate))
+    }
+
+    /// Theoretical reservoir bound `ΔT_del·v + 1/β` (paper §4.4, Fig 16).
+    pub fn reservoir_bound(&self) -> f64 {
+        self.delta_t_del() * self.rate + 1.0 / self.beta
+    }
+
+    /// Validates parameter ranges; called by the engine constructor.
+    ///
+    /// # Panics
+    /// Panics on invalid combinations (non-positive r/rate, β outside the
+    /// admissible range of §4.3, zero cadences).
+    pub fn validate(&self) {
+        assert!(self.r > 0.0, "cell radius must be positive");
+        assert!(self.rate > 0.0, "stream rate must be positive");
+        let (lo, hi) = self.decay.beta_range(self.rate);
+        assert!(
+            self.beta > lo && self.beta < hi,
+            "beta {} outside admissible range ({lo:e}, {hi})",
+            self.beta
+        );
+        assert!(self.init_points > 0, "init_points must be positive");
+        assert!(self.tau_every > 0, "tau_every must be positive");
+        assert!(self.maintenance_every > 0, "maintenance_every must be positive");
+        if let TauMode::Static(t) = self.tau_mode {
+            assert!(t > 0.0, "static tau must be positive");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_are_consistent() {
+        let cfg = EdmConfig::new(0.3);
+        cfg.validate();
+        assert!((cfg.active_threshold() - 1050.0).abs() < 1e-6);
+        assert!(cfg.delta_t_del() > 0.0);
+        assert!(cfg.reservoir_bound() > cfg.delta_t_del() * cfg.rate);
+        assert!(cfg.track_evolution);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be positive")]
+    fn rejects_zero_radius() {
+        EdmConfig::new(0.0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside admissible range")]
+    fn rejects_beta_below_lower_bound() {
+        let mut cfg = EdmConfig::new(1.0);
+        cfg.beta = 1e-9;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "static tau")]
+    fn rejects_nonpositive_static_tau() {
+        let mut cfg = EdmConfig::new(1.0);
+        cfg.tau_mode = TauMode::Static(0.0);
+        cfg.validate();
+    }
+
+    #[test]
+    fn beta_can_be_tuned_for_short_streams() {
+        // Short demo streams (SDS) need a lower activation threshold; the
+        // admissible range allows it.
+        let mut cfg = EdmConfig::new(0.3);
+        cfg.beta = 1e-4;
+        cfg.validate();
+        assert!((cfg.active_threshold() - 50.0).abs() < 1e-9);
+    }
+}

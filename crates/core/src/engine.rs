@@ -1,0 +1,946 @@
+//! The EDMStream engine (paper §4).
+//!
+//! Processing pipeline per stream point (Fig 5):
+//!
+//! 1. **assign** — nearest cell seed within `r` absorbs the point, else a
+//!    new inactive cell is born into the outlier reservoir;
+//! 2. **dependency update** — the absorbing cell rose in the density
+//!    order; only cells it *overtook* can change dependency (Theorem 1),
+//!    and of those the triangle inequality prunes most (Theorem 2);
+//! 3. **emergence** — a reservoir cell crossing the active threshold is
+//!    inserted into the DP-Tree;
+//! 4. **decay** — active cells falling below the threshold move (with
+//!    their whole subtree) to the reservoir; outdated reservoir cells are
+//!    recycled after ΔT_del (Theorem 3).
+//!
+//! Structural changes mark the tree dirty; the evolution registry then
+//! diffs the MSDSubTree partition and records emerge / disappear / split /
+//! merge / adjust events (§3.3). The adaptive-τ controller re-optimizes
+//! the separation threshold on a configurable cadence (§5).
+
+use edm_common::decay::DecayModel;
+use edm_common::hash::fx_map;
+use edm_common::metric::Metric;
+use edm_common::time::Timestamp;
+
+use crate::cell::{Cell, CellId};
+use crate::config::EdmConfig;
+use crate::evolution::{
+    AdjustKind, ClusterId, ClusterRegistry, EventKind, EvolutionLog, GroupInput,
+};
+use crate::filters::EngineStats;
+use crate::slab::CellSlab;
+use crate::tau::TauController;
+use crate::tree;
+
+/// Engine phase: caching the initialization buffer, or running.
+enum Phase<P> {
+    Caching(Vec<(P, Timestamp)>),
+    Running,
+}
+
+/// A summary of one current cluster, as returned by [`EdmStream::clusters`].
+#[derive(Debug, Clone)]
+pub struct ClusterInfo {
+    /// Persistent cluster id.
+    pub id: ClusterId,
+    /// Root cell (the cluster center, paper Def. 2).
+    pub root: CellId,
+    /// Member cells.
+    pub cells: Vec<CellId>,
+    /// Total decayed density of the member cells.
+    pub density: f64,
+}
+
+/// The EDMStream engine, generic over payload type and metric.
+pub struct EdmStream<P, M> {
+    cfg: EdmConfig,
+    metric: M,
+    slab: CellSlab<P>,
+    phase: Phase<P>,
+    tau_ctl: TauController,
+    registry: ClusterRegistry,
+    log: EvolutionLog,
+    stats: EngineStats,
+    /// |p, s_c| per slab slot, filled by the assignment scan of the current
+    /// point (feeds the triangle filter for free, paper §4.2).
+    scratch: Vec<f64>,
+    active_thr: f64,
+    dt_del: f64,
+    start: Option<Timestamp>,
+    now: Timestamp,
+    active_count: usize,
+    reservoir_peak: usize,
+    structure_dirty: bool,
+}
+
+impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
+    /// Creates an engine; the first `cfg.init_points` inserts are buffered
+    /// for the initialization step.
+    pub fn new(cfg: EdmConfig, metric: M) -> Self {
+        cfg.validate();
+        let active_thr = cfg.active_threshold();
+        let dt_del = cfg.delta_t_del();
+        EdmStream {
+            tau_ctl: TauController::new(cfg.tau_mode),
+            phase: Phase::Caching(Vec::with_capacity(cfg.init_points)),
+            metric,
+            slab: CellSlab::new(),
+            registry: ClusterRegistry::new(),
+            log: EvolutionLog::new(),
+            stats: EngineStats::default(),
+            scratch: Vec::new(),
+            active_thr,
+            dt_del,
+            start: None,
+            now: 0.0,
+            active_count: 0,
+            reservoir_peak: 0,
+            structure_dirty: false,
+            cfg,
+        }
+    }
+
+    /// Feeds one stream point.
+    pub fn insert(&mut self, p: &P, t: Timestamp) {
+        debug_assert!(t >= self.now - 1e-9, "stream time must not go backwards");
+        self.start.get_or_insert(t);
+        self.now = self.now.max(t);
+        self.stats.points += 1;
+        match &mut self.phase {
+            Phase::Caching(buf) => {
+                buf.push((p.clone(), t));
+                if buf.len() >= self.cfg.init_points {
+                    self.initialize();
+                }
+            }
+            Phase::Running => self.process(p, t),
+        }
+    }
+
+    /// Forces initialization with whatever is buffered (no-op when already
+    /// running). Needed for streams shorter than `init_points` and before
+    /// early queries.
+    pub fn force_init(&mut self) {
+        if matches!(self.phase, Phase::Caching(_)) {
+            self.initialize();
+        }
+    }
+
+    /// True once the initialization step has run.
+    pub fn is_initialized(&self) -> bool {
+        matches!(self.phase, Phase::Running)
+    }
+
+    // ----- initialization (paper §4.1 "Initialization") -----
+
+    fn initialize(&mut self) {
+        let buf = match std::mem::replace(&mut self.phase, Phase::Running) {
+            Phase::Caching(buf) => buf,
+            Phase::Running => return,
+        };
+        let t = self.now;
+        // Build cells by sequential nearest-seed assignment.
+        for (p, tp) in buf {
+            match self.nearest_cell(&p) {
+                Some((cid, d)) if d <= self.cfg.r => {
+                    let decay = self.cfg.decay;
+                    self.slab.get_mut(cid).absorb(tp, &decay);
+                }
+                _ => {
+                    self.slab.insert(Cell::new(p, tp));
+                }
+            }
+        }
+        // Activate dense cells and wire the DP-Tree among them, scanning in
+        // density order (the O(k²) batch pass the paper performs once).
+        let mut order: Vec<(f64, CellId)> = self
+            .slab
+            .iter()
+            .map(|(id, c)| (c.rho_at(t, self.decay()), id))
+            .collect();
+        order.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("density NaN").then(a.1.cmp(&b.1)));
+        let thr = self.threshold_at(t);
+        let mut placed: Vec<CellId> = Vec::new();
+        for &(rho, id) in &order {
+            if rho < thr {
+                break; // sorted: everything after is inactive too
+            }
+            self.slab.get_mut(id).active = true;
+            self.active_count += 1;
+            let mut best: Option<(f64, CellId)> = None;
+            for &prev in &placed {
+                let d = self.metric.dist(&self.slab.get(id).seed, &self.slab.get(prev).seed);
+                if best.map_or(true, |(bd, bid)| d < bd || (d == bd && prev < bid)) {
+                    best = Some((d, prev));
+                }
+            }
+            if let Some((d, dep)) = best {
+                tree::attach(&mut self.slab, id, dep, d);
+            }
+            placed.push(id);
+        }
+        // τ initialization: the "user" picks τ₀ from the decision graph
+        // (largest-gap heuristic unless configured explicitly).
+        let mut deltas = self.active_deltas_sorted();
+        let tau0 = self.cfg.tau0.unwrap_or_else(|| {
+            suggest_tau_from_deltas(&deltas).unwrap_or(4.0 * self.cfg.r)
+        });
+        self.tau_ctl.initialize(&deltas, tau0);
+        deltas.clear();
+        self.structure_dirty = true;
+        self.run_diff(t);
+        self.update_reservoir_peak();
+    }
+
+    // ----- per-point processing (paper §4.1 "Key Operations") -----
+
+    fn process(&mut self, p: &P, t: Timestamp) {
+        let nearest = self.scan_distances(p);
+        match nearest {
+            Some((cid, d)) if d <= self.cfg.r => {
+                self.stats.absorbed += 1;
+                let decay = self.cfg.decay;
+                let (before, after) = self.slab.get_mut(cid).absorb(t, &decay);
+                let was_active = self.slab.get(cid).active;
+                if was_active {
+                    self.dependency_maintenance(cid, before, after, t, false);
+                } else if after >= self.threshold_at(t) {
+                    // Cluster-cell emergence (DP-Tree insertion, §4.3).
+                    self.slab.get_mut(cid).active = true;
+                    self.active_count += 1;
+                    self.stats.activations += 1;
+                    self.dependency_maintenance(cid, before, after, t, true);
+                    self.structure_dirty = true;
+                }
+            }
+            _ => {
+                // New cluster-cell, cached in the reservoir (low density).
+                self.stats.new_cells += 1;
+                self.slab.insert(Cell::new(p.clone(), t));
+            }
+        }
+        if self.stats.points % self.cfg.maintenance_every == 0 {
+            self.maintenance(t);
+        }
+        if self.stats.points % self.cfg.tau_every == 0 {
+            let deltas = self.active_deltas_sorted();
+            if self.tau_ctl.update(&deltas) {
+                self.structure_dirty = true;
+            }
+        }
+        if self.structure_dirty {
+            self.run_diff(t);
+        }
+        self.update_reservoir_peak();
+    }
+
+    /// Fills the scratch distance table and returns the nearest cell.
+    fn scan_distances(&mut self, p: &P) -> Option<(CellId, f64)> {
+        self.scratch.resize(self.slab.capacity_slots(), f64::INFINITY);
+        let mut best: Option<(CellId, f64)> = None;
+        for (id, cell) in self.slab.iter() {
+            let d = self.metric.dist(p, &cell.seed);
+            self.scratch[id.0 as usize] = d;
+            match best {
+                Some((bid, bd)) if d > bd || (d == bd && id > bid) => {}
+                _ => best = Some((id, d)),
+            }
+        }
+        best
+    }
+
+    /// Nearest cell without touching scratch (initialization path).
+    fn nearest_cell(&self, p: &P) -> Option<(CellId, f64)> {
+        let mut best: Option<(CellId, f64)> = None;
+        for (id, cell) in self.slab.iter() {
+            let d = self.metric.dist(p, &cell.seed);
+            match best {
+                Some((bid, bd)) if d > bd || (d == bd && id > bid) => {}
+                _ => best = Some((id, d)),
+            }
+        }
+        best
+    }
+
+    // ----- dependency maintenance (paper §4.2) -----
+
+    /// Handles the density rise of `cprime` from `before` to `after` at
+    /// time `t`. When `freshly_activated`, `cprime` just entered the tree
+    /// and needs its own dependency computed unconditionally.
+    fn dependency_maintenance(
+        &mut self,
+        cprime: CellId,
+        before: f64,
+        after: f64,
+        t: Timestamp,
+        freshly_activated: bool,
+    ) {
+        let started = std::time::Instant::now();
+        let filters = self.cfg.filters;
+        let p_dist_cprime = self.scratch.get(cprime.0 as usize).copied().unwrap_or(0.0);
+
+        // Candidate pass: cells whose dependency may now be `cprime`.
+        let mut candidates: Vec<CellId> = Vec::new();
+        for (id, cell) in self.slab.iter() {
+            if !cell.active || id == cprime {
+                continue;
+            }
+            self.stats.dep_candidates += 1;
+            // Theorem 2 first: |p,s_c| and |p,s_c'| are already in scratch,
+            // so this check costs two reads — cheaper than the density
+            // comparison, which needs a decay evaluation per cell.
+            if filters.triangle {
+                let p_dist_c = self.scratch.get(id.0 as usize).copied().unwrap_or(f64::INFINITY);
+                if (p_dist_c - p_dist_cprime).abs() > cell.delta {
+                    self.stats.filtered_triangle += 1;
+                    continue;
+                }
+            }
+            let rho_c = cell.rho_at(t, self.decay());
+            // `cprime` must now outrank `c` for any update to be possible;
+            // this is not a filter but the update rule itself.
+            let now_denser_c = denser_scalar(rho_c, id, after, cprime);
+            if filters.density {
+                // Theorem 1: only cells `cprime` overtook need checking.
+                let was_denser_c = denser_scalar(rho_c, id, before, cprime);
+                if !was_denser_c || now_denser_c {
+                    self.stats.filtered_density += 1;
+                    continue;
+                }
+            } else if now_denser_c {
+                continue;
+            }
+            candidates.push(id);
+        }
+        for c in candidates {
+            let d = self.metric.dist(&self.slab.get(c).seed, &self.slab.get(cprime).seed);
+            if d < self.slab.get(c).delta {
+                tree::set_dep(&mut self.slab, c, cprime, d);
+                self.stats.dep_updates += 1;
+                self.structure_dirty = true;
+            }
+        }
+
+        // Did `cprime` overtake its own dependency? Then its δ must be
+        // recomputed against the (shrunken) set of denser cells.
+        let needs_recompute = if freshly_activated {
+            true
+        } else {
+            match self.slab.get(cprime).dep {
+                Some(dep) => {
+                    let rho_dep = self.slab.get(dep).rho_at(t, self.decay());
+                    !denser_scalar(rho_dep, dep, after, cprime)
+                }
+                None => false, // already the root; absorbing keeps it there
+            }
+        };
+        if needs_recompute {
+            self.stats.dep_recomputes += 1;
+            self.recompute_dep(cprime, after, t);
+            self.structure_dirty = true;
+        }
+        self.stats.dep_update_nanos += started.elapsed().as_nanos() as u64;
+    }
+
+    /// Recomputes `cell`'s dependency by scanning all denser active cells.
+    fn recompute_dep(&mut self, cell: CellId, rho_cell: f64, t: Timestamp) {
+        let mut best: Option<(f64, CellId)> = None;
+        for (id, other) in self.slab.iter() {
+            if !other.active || id == cell {
+                continue;
+            }
+            let rho_o = other.rho_at(t, self.decay());
+            if denser_scalar(rho_o, id, rho_cell, cell) {
+                let d = self.metric.dist(&other.seed, &self.slab.get(cell).seed);
+                if best.map_or(true, |(bd, bid)| d < bd || (d == bd && id < bid)) {
+                    best = Some((d, id));
+                }
+            }
+        }
+        tree::detach(&mut self.slab, cell);
+        if let Some((d, dep)) = best {
+            tree::attach(&mut self.slab, cell, dep, d);
+        }
+    }
+
+    // ----- decay sweep and recycling (paper §4.3–4.4) -----
+
+    fn maintenance(&mut self, t: Timestamp) {
+        // Cluster-cell decay: find top-most active cells below the
+        // threshold; their subtrees (all sparser) decay with them.
+        let thr = self.threshold_at(t);
+        let mut decayed_tops: Vec<CellId> = Vec::new();
+        for (id, cell) in self.slab.iter() {
+            if !cell.active || cell.rho_at(t, self.decay()) >= thr {
+                continue;
+            }
+            let parent_above = match cell.dep {
+                Some(p) => self.slab.get(p).rho_at(t, self.decay()) >= thr,
+                None => true,
+            };
+            if parent_above {
+                decayed_tops.push(id);
+            }
+        }
+        if !decayed_tops.is_empty() {
+            let mut removed: Vec<CellId> = Vec::new();
+            let mut by_cluster: std::collections::HashMap<Option<ClusterId>, u32> =
+                std::collections::HashMap::new();
+            for top in decayed_tops {
+                tree::detach(&mut self.slab, top);
+                removed.clear();
+                tree::collect_subtree(&self.slab, top, &mut removed);
+                for &id in removed.iter() {
+                    let cell = self.slab.get_mut(id);
+                    cell.active = false;
+                    cell.dep = None;
+                    cell.delta = f64::INFINITY;
+                    cell.children.clear();
+                    *by_cluster.entry(cell.cluster.take()).or_insert(0) += 1;
+                    self.active_count -= 1;
+                    self.stats.deactivations += 1;
+                }
+            }
+            if self.cfg.track_evolution {
+                for (cluster, cells) in by_cluster {
+                    if let Some(cluster) = cluster {
+                        self.log.push(
+                            t,
+                            EventKind::Adjust {
+                                kind: AdjustKind::BecameOutliers,
+                                cluster,
+                                cells,
+                            },
+                        );
+                        self.stats.events += 1;
+                    }
+                }
+            }
+            self.structure_dirty = true;
+        }
+        // Memory recycling: inactive cells idle for ΔT_del are deleted
+        // (Theorem 3: they can never become active again in time).
+        let outdated: Vec<CellId> = self
+            .slab
+            .iter()
+            .filter(|(_, c)| !c.active && t - c.last_absorb > self.dt_del)
+            .map(|(id, _)| id)
+            .collect();
+        for id in outdated {
+            self.slab.remove(id);
+            self.stats.recycled += 1;
+        }
+    }
+
+    // ----- evolution bookkeeping (paper §3.3) -----
+
+    fn run_diff(&mut self, t: Timestamp) {
+        self.structure_dirty = false;
+        if !self.cfg.track_evolution {
+            return;
+        }
+        let tau = self.tau_ctl.tau();
+        let mut groups: edm_common::hash::FxHashMap<CellId, GroupInput> = fx_map();
+        for (id, cell) in self.slab.iter() {
+            if !cell.active {
+                continue;
+            }
+            let root = tree::strong_root(&self.slab, id, tau);
+            groups
+                .entry(root)
+                .or_insert_with(|| GroupInput { root, members: Vec::new() })
+                .members
+                .push((id, cell.cluster));
+        }
+        let mut group_vec: Vec<GroupInput> = groups.into_values().collect();
+        group_vec.sort_by_key(|g| g.root);
+        let before = self.log.len();
+        let assignments = self.registry.diff(t, &group_vec, &mut self.log);
+        self.stats.events += (self.log.len() - before) as u64;
+        for (cell, cid) in assignments {
+            self.slab.get_mut(cell).cluster = Some(cid);
+        }
+    }
+
+    fn update_reservoir_peak(&mut self) {
+        let r = self.reservoir_len();
+        if r > self.reservoir_peak {
+            self.reservoir_peak = r;
+        }
+    }
+
+    // ----- queries -----
+
+    /// Decay model in use.
+    #[inline]
+    fn decay(&self) -> &DecayModel {
+        &self.cfg.decay
+    }
+
+    /// The activation threshold at time `t` (age-adjusted unless disabled;
+    /// floored at 1 so a threshold below a single fresh point never
+    /// occurs). See `EdmConfig::age_adjusted_threshold`.
+    #[inline]
+    fn threshold_at(&self, t: Timestamp) -> f64 {
+        if !self.cfg.age_adjusted_threshold {
+            return self.active_thr;
+        }
+        let age = (t - self.start.unwrap_or(t)).max(0.0);
+        let ret = self.cfg.decay.retention();
+        (self.active_thr * (1.0 - ret.powf(age))).max(1.0)
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &EdmConfig {
+        &self.cfg
+    }
+
+    /// Current τ.
+    pub fn tau(&self) -> f64 {
+        self.tau_ctl.tau()
+    }
+
+    /// Learned / configured α.
+    pub fn alpha(&self) -> f64 {
+        self.tau_ctl.alpha()
+    }
+
+    /// Runtime statistics.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Evolution event log.
+    pub fn events(&self) -> &[crate::evolution::Event] {
+        self.log.events()
+    }
+
+    /// Number of active cells (DP-Tree nodes).
+    pub fn active_len(&self) -> usize {
+        self.active_count
+    }
+
+    /// Number of inactive cells (outlier reservoir population).
+    pub fn reservoir_len(&self) -> usize {
+        self.slab.len() - self.active_count
+    }
+
+    /// Largest reservoir population observed (Fig 16).
+    pub fn reservoir_peak(&self) -> usize {
+        self.reservoir_peak
+    }
+
+    /// Total live cells.
+    pub fn n_cells(&self) -> usize {
+        self.slab.len()
+    }
+
+    /// Current number of clusters (MSDSubTrees).
+    pub fn n_clusters(&self) -> usize {
+        let tau = self.tau_ctl.tau();
+        self.slab
+            .iter()
+            .filter(|(_, c)| c.active && (c.dep.is_none() || c.delta > tau))
+            .count()
+    }
+
+    /// Snapshot of the current clusters.
+    pub fn clusters(&self, t: Timestamp) -> Vec<ClusterInfo> {
+        let tau = self.tau_ctl.tau();
+        let mut by_root: std::collections::HashMap<CellId, ClusterInfo> = Default::default();
+        for (id, cell) in self.slab.iter() {
+            if !cell.active {
+                continue;
+            }
+            let root = tree::strong_root(&self.slab, id, tau);
+            let info = by_root.entry(root).or_insert_with(|| ClusterInfo {
+                id: self.registry.cluster_at_root(root).unwrap_or(u64::MAX),
+                root,
+                cells: Vec::new(),
+                density: 0.0,
+            });
+            info.cells.push(id);
+            info.density += cell.rho_at(t, self.decay());
+        }
+        let mut v: Vec<ClusterInfo> = by_root.into_values().collect();
+        v.sort_by_key(|c| c.root);
+        v
+    }
+
+    /// Cluster id of the nearest cell within `r`, or `None` when the point
+    /// falls into no cell or an inactive (outlier) cell.
+    pub fn cluster_of(&self, p: &P, _t: Timestamp) -> Option<ClusterId> {
+        let mut best: Option<(CellId, f64)> = None;
+        for (id, cell) in self.slab.iter() {
+            let d = self.metric.dist(p, &cell.seed);
+            match best {
+                Some((bid, bd)) if d > bd || (d == bd && id > bid) => {}
+                _ => best = Some((id, d)),
+            }
+        }
+        match best {
+            Some((id, d)) if d <= self.cfg.r && self.slab.get(id).active => {
+                let root = tree::strong_root(&self.slab, id, self.tau_ctl.tau());
+                self.registry.cluster_at_root(root).or(Some(root.0 as u64))
+            }
+            _ => None,
+        }
+    }
+
+    /// The (ρ, δ) pairs of all active cells at time `t` — the decision
+    /// graph of Fig 2b/15. The root's infinite δ is reported as 1.05× the
+    /// largest finite δ so it plots at the top of the graph.
+    pub fn decision_graph(&self, t: Timestamp) -> (Vec<f64>, Vec<f64>) {
+        let mut rho = Vec::new();
+        let mut delta = Vec::new();
+        for (_, cell) in self.slab.iter() {
+            if cell.active {
+                rho.push(cell.rho_at(t, self.decay()));
+                delta.push(cell.delta);
+            }
+        }
+        let max_finite = delta.iter().copied().filter(|d| d.is_finite()).fold(0.0, f64::max);
+        for d in delta.iter_mut() {
+            if !d.is_finite() {
+                *d = if max_finite > 0.0 { max_finite * 1.05 } else { 1.0 };
+            }
+        }
+        (rho, delta)
+    }
+
+    /// Sorted finite δ values of active cells (adaptive-τ input).
+    fn active_deltas_sorted(&self) -> Vec<f64> {
+        let mut ds: Vec<f64> = self
+            .slab
+            .iter()
+            .filter(|(_, c)| c.active && c.delta.is_finite())
+            .map(|(_, c)| c.delta)
+            .collect();
+        ds.sort_by(|a, b| a.partial_cmp(b).expect("delta NaN"));
+        ds
+    }
+
+    /// Read access to the cell slab (tests and diagnostics).
+    pub fn slab(&self) -> &CellSlab<P> {
+        &self.slab
+    }
+
+    /// Verifies all DP-Tree invariants at time `t` (test support).
+    pub fn check_invariants(&self, t: Timestamp) -> Result<(), String> {
+        tree::check_invariants(&self.slab, t, self.decay())
+    }
+}
+
+/// Strict density order with id tie-break (ids ascending win).
+#[inline]
+fn denser_scalar(rho_a: f64, id_a: CellId, rho_b: f64, id_b: CellId) -> bool {
+    rho_a > rho_b || (rho_a == rho_b && id_a < id_b)
+}
+
+/// Largest-gap τ heuristic over sorted δ values (the simulated user of the
+/// initialization step; mirrors `edm_dp::DecisionGraph::suggest_tau`).
+fn suggest_tau_from_deltas(sorted: &[f64]) -> Option<f64> {
+    if sorted.len() < 2 {
+        return None;
+    }
+    let mut best = (0.0f64, None);
+    for w in sorted.windows(2) {
+        let gap = w[1] / w[0].max(1e-12);
+        if gap > best.0 {
+            best = (gap, Some(0.5 * (w[0] + w[1])));
+        }
+    }
+    best.1
+}
+
+impl<P: Clone, M: Metric<P>> edm_data::clusterer::StreamClusterer<P> for EdmStream<P, M> {
+    fn name(&self) -> &'static str {
+        "EDMStream"
+    }
+
+    fn insert(&mut self, payload: &P, t: Timestamp) {
+        EdmStream::insert(self, payload, t);
+    }
+
+    fn cluster_of(&mut self, payload: &P, t: Timestamp) -> Option<usize> {
+        self.force_init();
+        EdmStream::cluster_of(self, payload, t).map(|c| c as usize)
+    }
+
+    fn n_clusters(&mut self, _t: Timestamp) -> usize {
+        self.force_init();
+        EdmStream::n_clusters(self)
+    }
+
+    fn n_summaries(&self) -> usize {
+        self.n_cells()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filters::FilterConfig;
+    use crate::tau::TauMode;
+    use edm_common::metric::Euclidean;
+    use edm_common::point::DenseVector;
+
+    /// A small-scale config: rate 100 pt/s, activation threshold ≈ 3.
+    fn mini_cfg(r: f64) -> EdmConfig {
+        let mut cfg = EdmConfig::new(r);
+        cfg.rate = 100.0;
+        cfg.beta = 3.0 * (1.0 - cfg.decay.retention()) / cfg.rate; // thr ≈ 3
+        cfg.init_points = 40;
+        cfg.tau_every = 16;
+        cfg.maintenance_every = 8;
+        cfg
+    }
+
+    /// Two tight blobs far apart; points alternate between them.
+    fn feed_two_blobs(engine: &mut EdmStream<DenseVector, Euclidean>, n: usize) {
+        for i in 0..n {
+            let t = i as f64 / 100.0;
+            let jitter = (i % 5) as f64 * 0.05;
+            let p = if i % 2 == 0 {
+                DenseVector::from([jitter, 0.0])
+            } else {
+                DenseVector::from([10.0 + jitter, 0.0])
+            };
+            engine.insert(&p, t);
+        }
+    }
+
+    #[test]
+    fn initialization_builds_two_clusters() {
+        let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+        feed_two_blobs(&mut e, 200);
+        assert!(e.is_initialized());
+        assert_eq!(e.n_clusters(), 2, "tau = {}", e.tau());
+        assert!(e.check_invariants(2.0).is_ok());
+    }
+
+    #[test]
+    fn cluster_of_distinguishes_blobs_and_outliers() {
+        let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+        feed_two_blobs(&mut e, 300);
+        let t = 3.0;
+        let a = e.cluster_of(&DenseVector::from([0.1, 0.0]), t);
+        let b = e.cluster_of(&DenseVector::from([10.1, 0.0]), t);
+        let far = e.cluster_of(&DenseVector::from([500.0, 0.0]), t);
+        assert!(a.is_some() && b.is_some());
+        assert_ne!(a, b);
+        assert_eq!(far, None);
+    }
+
+    #[test]
+    fn invariants_hold_throughout_a_noisy_stream() {
+        let mut e = EdmStream::new(mini_cfg(0.6), Euclidean);
+        // Deterministic pseudo-noise around three moving centers.
+        let mut x = 0u64;
+        for i in 0..600 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((x >> 33) as f64) / (u32::MAX as f64 / 2.0);
+            let c = (i % 3) as f64 * 6.0 + (i as f64) * 0.002;
+            let p = DenseVector::from([c + u * 0.8, u * 0.5]);
+            let t = i as f64 / 100.0;
+            e.insert(&p, t);
+            if i % 50 == 0 && e.is_initialized() {
+                e.check_invariants(t).unwrap();
+            }
+        }
+        e.check_invariants(6.0).unwrap();
+    }
+
+    #[test]
+    fn filters_do_not_change_the_result() {
+        // The theorems claim the filters are exact: the final tree must be
+        // identical with and without them.
+        let run = |filters: FilterConfig| {
+            let mut cfg = mini_cfg(0.6);
+            cfg.filters = filters;
+            let mut e = EdmStream::new(cfg, Euclidean);
+            let mut x = 7u64;
+            for i in 0..500 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let u = ((x >> 33) as f64) / (u32::MAX as f64 / 2.0);
+                let c = (i % 2) as f64 * 8.0;
+                e.insert(&DenseVector::from([c + u, u * 0.3]), i as f64 / 100.0);
+            }
+            // Capture (dep, delta) per live cell id.
+            let mut state: Vec<(u32, Option<CellId>, f64)> = e
+                .slab()
+                .iter()
+                .map(|(id, c)| (id.0, c.dep, c.delta))
+                .collect();
+            state.sort_by_key(|s| s.0);
+            state
+        };
+        let wf = run(FilterConfig::none());
+        let df = run(FilterConfig::density_only());
+        let all = run(FilterConfig::all());
+        assert_eq!(wf, df, "density filter changed the outcome");
+        assert_eq!(df, all, "triangle filter changed the outcome");
+    }
+
+    #[test]
+    fn filters_reduce_work() {
+        // Three blobs with very different arrival rates: the cells end up
+        // far apart in the density order, so most absorptions leave the
+        // sparser cells strictly below the window — exactly what Theorem 1
+        // prunes. (With two equally-fed blobs the cells leapfrog each other
+        // every point and nothing can be pruned.)
+        let feed = |e: &mut EdmStream<DenseVector, Euclidean>| {
+            for i in 0..600usize {
+                let t = i as f64 / 100.0;
+                let which = match i % 20 {
+                    0 => 2usize,           // 5% to blob 2
+                    x if x < 6 => 1,       // 25% to blob 1
+                    _ => 0,                // 70% to blob 0
+                };
+                let jitter = (i % 5) as f64 * 0.05;
+                e.insert(&DenseVector::from([which as f64 * 10.0 + jitter, 0.0]), t);
+            }
+        };
+        let run = |filters: FilterConfig| {
+            let mut cfg = mini_cfg(0.6);
+            cfg.filters = filters;
+            let mut e = EdmStream::new(cfg, Euclidean);
+            feed(&mut e);
+            (e.stats().filtered_density, e.stats().filtered_triangle)
+        };
+        let (fd, _) = run(FilterConfig::all());
+        assert!(fd > 0, "density filter should prune candidates");
+        let (fd_off, _) = run(FilterConfig::none());
+        assert_eq!(fd_off, 0);
+    }
+
+    #[test]
+    fn reservoir_cells_activate_on_absorption() {
+        let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+        feed_two_blobs(&mut e, 100);
+        let before_active = e.active_len();
+        // Hammer a brand-new location until its cell activates.
+        for i in 0..40 {
+            let t = 1.0 + i as f64 / 100.0;
+            e.insert(&DenseVector::from([50.0, 50.0]), t);
+        }
+        assert!(e.active_len() > before_active, "new region never activated");
+        assert!(e.stats().activations > 0);
+        assert!(e.check_invariants(1.4).is_ok());
+    }
+
+    #[test]
+    fn starved_cluster_decays_to_reservoir() {
+        let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+        feed_two_blobs(&mut e, 200);
+        assert_eq!(e.n_clusters(), 2);
+        // Feed only the left blob; advance time far enough for the right
+        // blob's cells (thr ≈ 3) to decay below threshold.
+        // Density ~50 → below 3 after ln(3/50)/ln(0.998) ≈ 1400 s.
+        for i in 0..2_000 {
+            let t = 2.0 + i as f64;
+            e.insert(&DenseVector::from([(i % 5) as f64 * 0.05, 0.0]), t);
+        }
+        assert_eq!(e.n_clusters(), 1, "right blob should have decayed");
+        assert!(e.stats().deactivations > 0);
+        assert!(e
+            .events()
+            .iter()
+            .any(|ev| matches!(ev.kind, EventKind::Disappear { .. })));
+    }
+
+    #[test]
+    fn outdated_reservoir_cells_are_recycled() {
+        let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+        feed_two_blobs(&mut e, 100);
+        // A lone outlier cell.
+        e.insert(&DenseVector::from([99.0, 99.0]), 1.0);
+        let with_outlier = e.n_cells();
+        // ΔT_del at rate 100, thr 3 is well under an hour; advance far past.
+        let dt = e.config().delta_t_del();
+        for i in 0..200 {
+            let t = 2.0 + dt + i as f64;
+            e.insert(&DenseVector::from([(i % 5) as f64 * 0.05, 0.0]), t);
+        }
+        assert!(e.stats().recycled > 0, "outlier cell should be recycled");
+        assert!(e.n_cells() < with_outlier + 200);
+    }
+
+    #[test]
+    fn merge_event_fires_when_blobs_bridge() {
+        let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+        // Two blobs at distance 6 (r = 0.5): distinct clusters.
+        for i in 0..300 {
+            let t = i as f64 / 100.0;
+            let jitter = (i % 5) as f64 * 0.05;
+            let p = if i % 2 == 0 {
+                DenseVector::from([jitter, 0.0])
+            } else {
+                DenseVector::from([6.0 + jitter, 0.0])
+            };
+            e.insert(&p, t);
+        }
+        assert_eq!(e.n_clusters(), 2, "tau {}", e.tau());
+        // Fill the valley: a dense bridge between them.
+        for i in 0..1_200 {
+            let t = 3.0 + i as f64 / 100.0;
+            let x = 0.5 + 5.0 * ((i % 11) as f64 / 11.0);
+            e.insert(&DenseVector::from([x, 0.0]), t);
+        }
+        assert_eq!(e.n_clusters(), 1, "bridge should merge the blobs (tau {})", e.tau());
+        assert!(
+            e.events().iter().any(|ev| matches!(ev.kind, EventKind::Merge { .. })),
+            "no merge event recorded; events: {:?}",
+            e.events().len()
+        );
+    }
+
+    #[test]
+    fn stream_clusterer_interface_works() {
+        use edm_data::clusterer::StreamClusterer;
+        let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+        let p = DenseVector::from([0.0, 0.0]);
+        StreamClusterer::insert(&mut e, &p, 0.0);
+        // Query before the init buffer fills: forces initialization. With
+        // the age-adjusted threshold a lone fresh point bootstraps one
+        // cluster (the threshold floor is exactly one fresh point).
+        assert_eq!(StreamClusterer::n_clusters(&mut e, 0.0), 1);
+        assert!(e.is_initialized());
+        assert_eq!(StreamClusterer::name(&e), "EDMStream");
+    }
+
+    #[test]
+    fn decision_graph_reports_finite_deltas() {
+        let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+        feed_two_blobs(&mut e, 300);
+        let (rho, delta) = e.decision_graph(3.0);
+        assert_eq!(rho.len(), delta.len());
+        assert!(!rho.is_empty());
+        assert!(delta.iter().all(|d| d.is_finite()));
+        // Exactly one cell (the root) carries the display-max δ.
+        let max = delta.iter().cloned().fold(0.0, f64::max);
+        assert!(delta.iter().filter(|&&d| d == max).count() >= 1);
+    }
+
+    #[test]
+    fn static_tau_is_respected() {
+        let mut cfg = mini_cfg(0.5);
+        cfg.tau_mode = TauMode::Static(2.5);
+        let mut e = EdmStream::new(cfg, Euclidean);
+        feed_two_blobs(&mut e, 300);
+        assert_eq!(e.tau(), 2.5);
+    }
+
+    #[test]
+    fn stats_count_points_and_cells() {
+        let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+        feed_two_blobs(&mut e, 150);
+        assert_eq!(e.stats().points, 150);
+        assert!(e.stats().absorbed > 0);
+        // A far-away point after initialization must seed a fresh cell.
+        e.insert(&DenseVector::from([321.0, 321.0]), 1.51);
+        assert_eq!(e.stats().new_cells, 1);
+        assert!(e.n_cells() >= 3);
+    }
+}

@@ -1,0 +1,535 @@
+//! Cluster evolution tracking (paper §3.1 Table 1, §3.3).
+//!
+//! The five evolution types — **emerge**, **disappear**, **split**,
+//! **merge**, **adjust** — are detected by diffing consecutive MSDSubTree
+//! partitions of the DP-Tree. Cluster *identity* persists across updates by
+//! maximum member overlap (the MONIC/MEC notion the paper cites): each new
+//! subtree inherits the id of the old cluster contributing most of its
+//! cells, greedily by overlap size, and the leftover flows become events.
+//!
+//! The engine calls [`ClusterRegistry::diff`] only on points that actually
+//! changed the tree structure (dependency switch, activation, deactivation,
+//! τ change), so the tracker costs nothing on the common
+//! absorb-without-restructure path.
+
+use edm_common::hash::{fx_map, FxHashMap, FxHashSet};
+use edm_common::time::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::cell::CellId;
+
+/// Persistent cluster identifier (stable across tree updates).
+pub type ClusterId = u64;
+
+/// The paper's three adjustment flavors (Table 1, "Adjust").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdjustKind {
+    /// Cells moved from one surviving cluster to another.
+    Moved {
+        /// Cluster the cells left.
+        from: ClusterId,
+    },
+    /// Former outliers (reservoir cells) joined the cluster.
+    OutliersJoined,
+    /// Cells of the cluster decayed into outliers.
+    BecameOutliers,
+}
+
+/// One evolution event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A cluster was born with no predecessor (`∅ → C`).
+    Emerge {
+        /// The new cluster.
+        cluster: ClusterId,
+    },
+    /// A cluster ended with no successor (`C → ∅`).
+    Disappear {
+        /// The deceased cluster.
+        cluster: ClusterId,
+    },
+    /// One cluster split into several (`C → {C1..Cx}`); `from` keeps its id
+    /// in the largest fragment, `into` lists the new fragment ids.
+    Split {
+        /// The cluster that split (surviving in its largest fragment).
+        from: ClusterId,
+        /// Newly created fragment clusters.
+        into: Vec<ClusterId>,
+    },
+    /// Several clusters merged into one (`{C1..Cx} → C`).
+    Merge {
+        /// The absorbed clusters (their ids end here).
+        from: Vec<ClusterId>,
+        /// The surviving cluster.
+        into: ClusterId,
+    },
+    /// Membership adjustment that changes no cluster count.
+    Adjust {
+        /// Which flavor of adjustment.
+        kind: AdjustKind,
+        /// The cluster gaining (Moved/OutliersJoined) or losing
+        /// (BecameOutliers) cells.
+        cluster: ClusterId,
+        /// Number of cells involved.
+        cells: u32,
+    },
+}
+
+/// A timestamped evolution event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Stream time of the structural change.
+    pub t: Timestamp,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Append-only log of evolution events.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EvolutionLog {
+    events: Vec<Event>,
+}
+
+impl EvolutionLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an event.
+    pub fn push(&mut self, t: Timestamp, kind: EventKind) {
+        self.events.push(Event { t, kind });
+    }
+
+    /// All events in arrival order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Counts of (emerge, disappear, split, merge, adjust) events.
+    pub fn counts(&self) -> (usize, usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0, 0);
+        for e in &self.events {
+            match e.kind {
+                EventKind::Emerge { .. } => c.0 += 1,
+                EventKind::Disappear { .. } => c.1 += 1,
+                EventKind::Split { .. } => c.2 += 1,
+                EventKind::Merge { .. } => c.3 += 1,
+                EventKind::Adjust { .. } => c.4 += 1,
+            }
+        }
+        c
+    }
+}
+
+/// Metadata of a live cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterMeta {
+    /// Current MSDSubTree root cell.
+    pub root: CellId,
+    /// Number of member cells at the last diff.
+    pub size: usize,
+    /// Stream time of birth.
+    pub born: Timestamp,
+}
+
+/// One MSDSubTree handed to [`ClusterRegistry::diff`]: its root and its
+/// members tagged with their previous cluster id (`None` = fresh cell).
+#[derive(Debug, Clone)]
+pub struct GroupInput {
+    /// Subtree root cell.
+    pub root: CellId,
+    /// `(member cell, previous cluster id)` pairs; must include the root.
+    pub members: Vec<(CellId, Option<ClusterId>)>,
+}
+
+/// Tracks cluster identity over time and emits evolution events.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterRegistry {
+    next_id: ClusterId,
+    clusters: FxHashMap<ClusterId, ClusterMeta>,
+    root_to_cluster: FxHashMap<CellId, ClusterId>,
+}
+
+impl ClusterRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Live clusters as `(id, meta)` pairs (unordered).
+    pub fn clusters(&self) -> impl Iterator<Item = (ClusterId, &ClusterMeta)> {
+        self.clusters.iter().map(|(&id, m)| (id, m))
+    }
+
+    /// Cluster id currently rooted at `root`, if any.
+    pub fn cluster_at_root(&self, root: CellId) -> Option<ClusterId> {
+        self.root_to_cluster.get(&root).copied()
+    }
+
+    fn fresh_id(&mut self) -> ClusterId {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Reconciles the new MSDSubTree partition with the previous one,
+    /// recording events into `log` and returning the new
+    /// `(cell, cluster id)` assignment for the engine to write back.
+    pub fn diff(
+        &mut self,
+        t: Timestamp,
+        groups: &[GroupInput],
+        log: &mut EvolutionLog,
+    ) -> Vec<(CellId, ClusterId)> {
+        // 1. Vote counting: for each group, how many members came from each
+        //    old cluster (and how many are fresh).
+        let mut votes: Vec<FxHashMap<ClusterId, usize>> = Vec::with_capacity(groups.len());
+        let mut fresh: Vec<usize> = Vec::with_capacity(groups.len());
+        for g in groups {
+            let mut v: FxHashMap<ClusterId, usize> = fx_map();
+            let mut f = 0;
+            for (_, old) in &g.members {
+                match old {
+                    Some(id) => *v.entry(*id).or_insert(0) += 1,
+                    None => f += 1,
+                }
+            }
+            votes.push(v);
+            fresh.push(f);
+        }
+
+        // 2. Greedy max-overlap matching: (votes, group, old id) descending.
+        let mut claims: Vec<(usize, usize, ClusterId)> = Vec::new();
+        for (gi, v) in votes.iter().enumerate() {
+            for (&old, &n) in v {
+                if self.clusters.contains_key(&old) {
+                    claims.push((n, gi, old));
+                }
+            }
+        }
+        // Deterministic order: by votes desc, then group index, then old id.
+        claims.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let mut group_id: Vec<Option<ClusterId>> = vec![None; groups.len()];
+        let mut claimed: FxHashSet<ClusterId> = FxHashSet::default();
+        for (_, gi, old) in &claims {
+            if group_id[*gi].is_none() && !claimed.contains(old) {
+                group_id[*gi] = Some(*old);
+                claimed.insert(*old);
+            }
+        }
+
+        // 3. Unmatched groups get fresh ids; classify as Split (their
+        //    dominant old cluster persists elsewhere) or Emerge.
+        let mut splits: FxHashMap<ClusterId, Vec<ClusterId>> = fx_map();
+        for gi in 0..groups.len() {
+            if group_id[gi].is_some() {
+                continue;
+            }
+            let id = self.fresh_id();
+            group_id[gi] = Some(id);
+            let dominant = votes[gi].iter().max_by_key(|(cid, n)| (**n, u64::MAX - **cid));
+            match dominant {
+                Some((&old, &n)) if n > 0 => splits.entry(old).or_default().push(id),
+                _ => log.push(t, EventKind::Emerge { cluster: id }),
+            }
+        }
+        for (old, into) in splits {
+            log.push(t, EventKind::Split { from: old, into });
+        }
+
+        // 4. Old clusters nobody claimed: Merge when their members
+        //    majority-flowed into another cluster, Disappear otherwise.
+        let mut merges: FxHashMap<ClusterId, Vec<ClusterId>> = fx_map();
+        let old_ids: Vec<ClusterId> = self.clusters.keys().copied().collect();
+        for old in old_ids {
+            if claimed.contains(&old) {
+                continue;
+            }
+            // Where did `old`'s surviving members go?
+            let mut best: Option<(usize, usize)> = None; // (votes, group)
+            for (gi, v) in votes.iter().enumerate() {
+                if let Some(&n) = v.get(&old) {
+                    if best.map_or(true, |(bn, bg)| n > bn || (n == bn && gi < bg)) {
+                        best = Some((n, gi));
+                    }
+                }
+            }
+            match best {
+                Some((n, gi)) if n > 0 => {
+                    let target = group_id[gi].expect("assigned above");
+                    merges.entry(target).or_default().push(old);
+                }
+                _ => log.push(t, EventKind::Disappear { cluster: old }),
+            }
+        }
+        for (into, mut from) in merges {
+            from.sort_unstable();
+            log.push(t, EventKind::Merge { from, into });
+        }
+
+        // 5. Adjust events: cross-cluster flows not explained by the
+        //    structural events above, and outliers joining a continuing
+        //    cluster.
+        for (gi, g) in groups.iter().enumerate() {
+            let id = group_id[gi].expect("assigned above");
+            let continuing = claimed.contains(&id);
+            for (&old, &n) in &votes[gi] {
+                if old != id && claimed.contains(&old) {
+                    log.push(
+                        t,
+                        EventKind::Adjust { kind: AdjustKind::Moved { from: old }, cluster: id, cells: n as u32 },
+                    );
+                }
+            }
+            if continuing && fresh[gi] > 0 && !g.members.is_empty() && fresh[gi] < g.members.len()
+            {
+                log.push(
+                    t,
+                    EventKind::Adjust {
+                        kind: AdjustKind::OutliersJoined,
+                        cluster: id,
+                        cells: fresh[gi] as u32,
+                    },
+                );
+            }
+        }
+
+        // 6. Rebuild metadata and produce the write-back assignment.
+        let mut assignments = Vec::new();
+        let old_meta = std::mem::take(&mut self.clusters);
+        self.root_to_cluster.clear();
+        for (gi, g) in groups.iter().enumerate() {
+            let id = group_id[gi].expect("assigned above");
+            let born = old_meta.get(&id).map_or(t, |m| m.born);
+            self.clusters.insert(id, ClusterMeta { root: g.root, size: g.members.len(), born });
+            self.root_to_cluster.insert(g.root, id);
+            for (cell, _) in &g.members {
+                assignments.push((*cell, id));
+            }
+        }
+        assignments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid(i: u32) -> CellId {
+        CellId(i)
+    }
+
+    fn group(root: u32, members: &[(u32, Option<ClusterId>)]) -> GroupInput {
+        GroupInput {
+            root: cid(root),
+            members: members.iter().map(|(c, o)| (cid(*c), *o)).collect(),
+        }
+    }
+
+    fn diff(
+        reg: &mut ClusterRegistry,
+        t: f64,
+        groups: Vec<GroupInput>,
+        log: &mut EvolutionLog,
+    ) -> FxHashMap<CellId, ClusterId> {
+        reg.diff(t, &groups, log).into_iter().collect()
+    }
+
+    #[test]
+    fn first_diff_emerges_all_clusters() {
+        let mut reg = ClusterRegistry::new();
+        let mut log = EvolutionLog::new();
+        let a = diff(
+            &mut reg,
+            0.0,
+            vec![group(0, &[(0, None), (1, None)]), group(2, &[(2, None)])],
+            &mut log,
+        );
+        assert_eq!(reg.n_clusters(), 2);
+        assert_eq!(log.counts(), (2, 0, 0, 0, 0));
+        assert_eq!(a[&cid(0)], a[&cid(1)]);
+        assert_ne!(a[&cid(0)], a[&cid(2)]);
+    }
+
+    #[test]
+    fn stable_partition_produces_no_events() {
+        let mut reg = ClusterRegistry::new();
+        let mut log = EvolutionLog::new();
+        let a = diff(&mut reg, 0.0, vec![group(0, &[(0, None), (1, None)])], &mut log);
+        let id = a[&cid(0)];
+        let b = diff(
+            &mut reg,
+            1.0,
+            vec![group(0, &[(0, Some(id)), (1, Some(id))])],
+            &mut log,
+        );
+        assert_eq!(b[&cid(0)], id, "identity persists");
+        assert_eq!(log.counts(), (1, 0, 0, 0, 0), "only the initial emerge");
+    }
+
+    #[test]
+    fn split_keeps_id_on_largest_fragment() {
+        let mut reg = ClusterRegistry::new();
+        let mut log = EvolutionLog::new();
+        let a = diff(
+            &mut reg,
+            0.0,
+            vec![group(0, &[(0, None), (1, None), (2, None)])],
+            &mut log,
+        );
+        let id = a[&cid(0)];
+        // Split: {0,1} stays, {2} leaves.
+        let b = diff(
+            &mut reg,
+            1.0,
+            vec![
+                group(0, &[(0, Some(id)), (1, Some(id))]),
+                group(2, &[(2, Some(id))]),
+            ],
+            &mut log,
+        );
+        assert_eq!(b[&cid(0)], id, "largest fragment keeps id");
+        assert_ne!(b[&cid(2)], id);
+        let split_events: Vec<&Event> = log
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Split { .. }))
+            .collect();
+        assert_eq!(split_events.len(), 1);
+        if let EventKind::Split { from, into } = &split_events[0].kind {
+            assert_eq!(*from, id);
+            assert_eq!(into, &vec![b[&cid(2)]]);
+        }
+    }
+
+    #[test]
+    fn merge_ends_absorbed_cluster() {
+        let mut reg = ClusterRegistry::new();
+        let mut log = EvolutionLog::new();
+        let a = diff(
+            &mut reg,
+            0.0,
+            vec![
+                group(0, &[(0, None), (1, None)]),
+                group(2, &[(2, None)]),
+            ],
+            &mut log,
+        );
+        let (big, small) = (a[&cid(0)], a[&cid(2)]);
+        let b = diff(
+            &mut reg,
+            1.0,
+            vec![group(0, &[(0, Some(big)), (1, Some(big)), (2, Some(small))])],
+            &mut log,
+        );
+        assert_eq!(b[&cid(2)], big, "absorbed members adopt surviving id");
+        assert_eq!(reg.n_clusters(), 1);
+        let merge: Vec<&Event> =
+            log.events().iter().filter(|e| matches!(e.kind, EventKind::Merge { .. })).collect();
+        assert_eq!(merge.len(), 1);
+        if let EventKind::Merge { from, into } = &merge[0].kind {
+            assert_eq!(from, &vec![small]);
+            assert_eq!(*into, big);
+        }
+    }
+
+    #[test]
+    fn disappear_when_members_vanish() {
+        let mut reg = ClusterRegistry::new();
+        let mut log = EvolutionLog::new();
+        let a = diff(
+            &mut reg,
+            0.0,
+            vec![group(0, &[(0, None)]), group(1, &[(1, None)])],
+            &mut log,
+        );
+        let dead = a[&cid(1)];
+        // Next diff: cluster at root 1 is simply gone (cells deactivated).
+        diff(&mut reg, 1.0, vec![group(0, &[(0, Some(a[&cid(0)]))])], &mut log);
+        assert_eq!(reg.n_clusters(), 1);
+        assert!(log
+            .events()
+            .iter()
+            .any(|e| e.kind == EventKind::Disappear { cluster: dead }));
+    }
+
+    #[test]
+    fn outliers_joining_is_an_adjust() {
+        let mut reg = ClusterRegistry::new();
+        let mut log = EvolutionLog::new();
+        let a = diff(&mut reg, 0.0, vec![group(0, &[(0, None), (1, None)])], &mut log);
+        let id = a[&cid(0)];
+        diff(
+            &mut reg,
+            1.0,
+            vec![group(0, &[(0, Some(id)), (1, Some(id)), (7, None)])],
+            &mut log,
+        );
+        assert!(log.events().iter().any(|e| matches!(
+            e.kind,
+            EventKind::Adjust { kind: AdjustKind::OutliersJoined, cells: 1, .. }
+        )));
+    }
+
+    #[test]
+    fn moved_cells_between_surviving_clusters_is_an_adjust() {
+        let mut reg = ClusterRegistry::new();
+        let mut log = EvolutionLog::new();
+        let a = diff(
+            &mut reg,
+            0.0,
+            vec![
+                group(0, &[(0, None), (1, None), (2, None)]),
+                group(5, &[(5, None), (6, None)]),
+            ],
+            &mut log,
+        );
+        let (x, y) = (a[&cid(0)], a[&cid(5)]);
+        diff(
+            &mut reg,
+            1.0,
+            vec![
+                group(0, &[(0, Some(x)), (1, Some(x))]),
+                group(5, &[(5, Some(y)), (6, Some(y)), (2, Some(x))]),
+            ],
+            &mut log,
+        );
+        assert!(log.events().iter().any(|e| matches!(
+            e.kind,
+            EventKind::Adjust { kind: AdjustKind::Moved { from }, cluster, cells: 1 }
+                if from == x && cluster == y
+        )));
+        // Both clusters persist: no split/merge/disappear recorded.
+        let (_, d, s, m, _) = log.counts();
+        assert_eq!((d, s, m), (0, 0, 0));
+    }
+
+    #[test]
+    fn root_lookup_tracks_current_roots() {
+        let mut reg = ClusterRegistry::new();
+        let mut log = EvolutionLog::new();
+        let a = diff(&mut reg, 0.0, vec![group(3, &[(3, None)])], &mut log);
+        assert_eq!(reg.cluster_at_root(cid(3)), Some(a[&cid(3)]));
+        // Re-rooting: same members, new root cell.
+        let id = a[&cid(3)];
+        diff(&mut reg, 1.0, vec![group(9, &[(3, Some(id)), (9, None)])], &mut log);
+        assert_eq!(reg.cluster_at_root(cid(9)), Some(id));
+        assert_eq!(reg.cluster_at_root(cid(3)), None);
+    }
+}

@@ -1,0 +1,150 @@
+//! The two dependency-update filters (paper Theorems 1 and 2) and the
+//! engine's instrumentation counters.
+//!
+//! When cell `c'` absorbs a point, in principle every other cell's
+//! dependency could change. The paper proves two exemptions:
+//!
+//! * **Density filter (Thm 1)** — only cells that `c'` *overtook* in the
+//!   density order can be affected: `ρ_c^{t_j} ≥ ρ_{c'}^{t_j}` and
+//!   `ρ_c^{t_{j+1}} < ρ_{c'}^{t_{j+1}}`. All others keep their dependency.
+//! * **Triangle-inequality filter (Thm 2)** — among those, any cell with
+//!   `||p,s_c| − |p,s_{c'}|| > δ_c` cannot switch to `c'`, because the
+//!   triangle inequality bounds `|s_c,s_{c'}| > δ_c`. Both distances are
+//!   already known from the assignment scan, so this check is free.
+//!
+//! `FilterConfig` lets each theorem be disabled independently — that is the
+//! wf / df / df+tif ablation of the paper's Fig 11 — and `EngineStats`
+//! records what each filter did plus the accumulated wall-clock time of the
+//! dependency-maintenance phase.
+
+use serde::{Deserialize, Serialize};
+
+/// Which update filters are enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilterConfig {
+    /// Theorem 1: density-window filtering.
+    pub density: bool,
+    /// Theorem 2: triangle-inequality filtering.
+    pub triangle: bool,
+}
+
+impl FilterConfig {
+    /// No filtering ("wf" in Fig 11): every active cell is a candidate on
+    /// every absorption.
+    pub fn none() -> Self {
+        FilterConfig { density: false, triangle: false }
+    }
+
+    /// Density filter only ("df").
+    pub fn density_only() -> Self {
+        FilterConfig { density: true, triangle: false }
+    }
+
+    /// Both filters ("df+tif") — the paper's default configuration.
+    pub fn all() -> Self {
+        FilterConfig { density: true, triangle: true }
+    }
+
+    /// Fig 11 series label for this configuration.
+    pub fn label(&self) -> &'static str {
+        match (self.density, self.triangle) {
+            (false, false) => "wf",
+            (true, false) => "df",
+            (false, true) => "tif",
+            (true, true) => "df+tif",
+        }
+    }
+}
+
+impl Default for FilterConfig {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+/// Counters and timings the engine accumulates while running.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Stream points processed (including the initialization buffer).
+    pub points: u64,
+    /// Points absorbed by an existing cell.
+    pub absorbed: u64,
+    /// Points that seeded a brand-new cell.
+    pub new_cells: u64,
+    /// Dependency-maintenance candidates examined before filtering.
+    pub dep_candidates: u64,
+    /// Candidates discarded by the density filter (Thm 1).
+    pub filtered_density: u64,
+    /// Candidates discarded by the triangle filter (Thm 2).
+    pub filtered_triangle: u64,
+    /// Dependencies actually re-pointed.
+    pub dep_updates: u64,
+    /// Full δ recomputations (absorbing cell overtook its own dependency).
+    pub dep_recomputes: u64,
+    /// Accumulated wall-clock nanoseconds in dependency maintenance —
+    /// the quantity Fig 11 plots.
+    pub dep_update_nanos: u64,
+    /// Cells moved reservoir → DP-Tree (emergence).
+    pub activations: u64,
+    /// Cells moved DP-Tree → reservoir (decay).
+    pub deactivations: u64,
+    /// Outdated cells deleted from the reservoir (Theorem 3 recycling).
+    pub recycled: u64,
+    /// Evolution events recorded.
+    pub events: u64,
+}
+
+impl EngineStats {
+    /// Accumulated dependency-update time in milliseconds (Fig 11's y-axis).
+    pub fn dep_update_millis(&self) -> f64 {
+        self.dep_update_nanos as f64 / 1e6
+    }
+
+    /// Fraction of candidates each filter removed — a quick health check
+    /// that the theorems are actually pruning work.
+    pub fn filter_rate(&self) -> f64 {
+        if self.dep_candidates == 0 {
+            0.0
+        } else {
+            (self.filtered_density + self.filtered_triangle) as f64 / self.dep_candidates as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_fig11_series() {
+        assert_eq!(FilterConfig::none().label(), "wf");
+        assert_eq!(FilterConfig::density_only().label(), "df");
+        assert_eq!(FilterConfig::all().label(), "df+tif");
+    }
+
+    #[test]
+    fn default_enables_both_filters() {
+        let f = FilterConfig::default();
+        assert!(f.density && f.triangle);
+    }
+
+    #[test]
+    fn stats_derived_quantities() {
+        let s = EngineStats {
+            dep_candidates: 100,
+            filtered_density: 60,
+            filtered_triangle: 20,
+            dep_update_nanos: 2_500_000,
+            ..Default::default()
+        };
+        assert!((s.filter_rate() - 0.8).abs() < 1e-12);
+        assert!((s.dep_update_millis() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = EngineStats::default();
+        assert_eq!(s.filter_rate(), 0.0);
+        assert_eq!(s.dep_update_millis(), 0.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! # edm-core
+//!
+//! EDMStream — stream clustering by exploring the evolution of density
+//! mountains (Gong, Zhang & Yu, VLDB 2017).
+//!
+//! The engine summarizes the stream into **cluster-cells** (Def. 4),
+//! arranges the active cells in a **DP-Tree** whose parent edges point at
+//! each cell's nearest denser neighbor (§2.2), and reads clusters off the
+//! tree as maximal strongly-dependent subtrees (Def. 2). Two filtering
+//! theorems make the per-point dependency maintenance cheap (§4.2), an
+//! **outlier reservoir** holds low-density cells with provable recycling
+//! and size bounds (§4.3–4.4, Thm 3), an adaptive **τ** controller tracks
+//! the cluster-separation threshold as the stream drifts (§5), and a
+//! **cluster registry** turns tree updates into emerge / disappear /
+//! split / merge / adjust events (§3.3).
+//!
+//! ```
+//! use edm_core::{EdmConfig, EdmStream};
+//! use edm_common::metric::Euclidean;
+//! use edm_common::point::DenseVector;
+//!
+//! let mut cfg = EdmConfig::new(0.5); // cell radius r
+//! cfg.rate = 100.0;                  // expected points/sec
+//! cfg.beta = 6e-5;                   // activation threshold ≈ 3 points
+//! cfg.init_points = 16;
+//! let mut engine = EdmStream::new(cfg, Euclidean);
+//! for i in 0..64 {
+//!     let x = if i % 2 == 0 { 0.0 } else { 8.0 };
+//!     engine.insert(&DenseVector::from([x, 0.1 * (i % 4) as f64]), i as f64 / 100.0);
+//! }
+//! assert!(engine.is_initialized());
+//! assert_eq!(engine.n_clusters(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cell;
+pub mod config;
+pub mod engine;
+pub mod evolution;
+pub mod filters;
+pub mod slab;
+pub mod tau;
+pub mod tree;
+
+pub use cell::{Cell, CellId};
+pub use config::EdmConfig;
+pub use engine::{ClusterInfo, EdmStream};
+pub use evolution::{AdjustKind, ClusterId, Event, EventKind, EvolutionLog};
+pub use filters::{EngineStats, FilterConfig};
+pub use tau::TauMode;

@@ -1,0 +1,72 @@
+//! Property tests for the adaptive-τ machinery and the cell slab.
+
+use edm_core::cell::Cell;
+use edm_core::slab::CellSlab;
+use edm_core::tau::{learn_alpha, optimize_tau};
+use proptest::prelude::*;
+
+proptest! {
+    /// The optimized τ is scale-equivariant: scaling every δ scales τ.
+    #[test]
+    fn optimize_tau_is_scale_equivariant(
+        mut deltas in prop::collection::vec(0.01f64..100.0, 3..60),
+        scale in 0.1f64..10.0,
+    ) {
+        deltas.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let alpha = 0.5;
+        let t1 = optimize_tau(alpha, &deltas).unwrap();
+        let scaled: Vec<f64> = deltas.iter().map(|d| d * scale).collect();
+        let t2 = optimize_tau(alpha, &scaled).unwrap();
+        prop_assert!((t2 - t1 * scale).abs() < 1e-6 * t2.abs().max(1.0),
+            "t1 {t1} scale {scale} t2 {t2}");
+    }
+
+    /// τ always lands within the δ range (never separates nothing from
+    /// everything at a nonsensical value).
+    #[test]
+    fn optimize_tau_stays_in_range(
+        mut deltas in prop::collection::vec(0.01f64..100.0, 2..60),
+        alpha in 0.05f64..0.95,
+    ) {
+        deltas.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let tau = optimize_tau(alpha, &deltas).unwrap();
+        prop_assert!(tau >= deltas[0] - 1e-9);
+        prop_assert!(tau <= deltas[deltas.len() - 1] + 1e-9);
+    }
+
+    /// learn_alpha always returns a usable balance parameter.
+    #[test]
+    fn learn_alpha_in_unit_interval(
+        mut deltas in prop::collection::vec(0.01f64..100.0, 2..40),
+        tau0 in 0.01f64..120.0,
+    ) {
+        deltas.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let alpha = learn_alpha(&deltas, tau0);
+        prop_assert!(alpha > 0.0 && alpha < 1.0, "alpha {alpha}");
+    }
+
+    /// Slab ids remain stable across arbitrary interleavings of inserts and
+    /// removals; removed ids are reused, live cells never corrupted.
+    #[test]
+    fn slab_survives_insert_remove_interleavings(ops in prop::collection::vec(any::<bool>(), 1..200)) {
+        let mut slab: CellSlab<u64> = CellSlab::new();
+        let mut live: std::collections::HashMap<edm_core::CellId, u64> = Default::default();
+        let mut next_tag = 0u64;
+        for op in ops {
+            if op || live.is_empty() {
+                let id = slab.insert(Cell::new(next_tag, 0.0));
+                live.insert(id, next_tag);
+                next_tag += 1;
+            } else {
+                let id = *live.keys().next().unwrap();
+                let tag = live.remove(&id).unwrap();
+                let cell = slab.remove(id);
+                prop_assert_eq!(cell.seed, tag);
+            }
+            prop_assert_eq!(slab.len(), live.len());
+            for (&id, &tag) in &live {
+                prop_assert_eq!(slab.get(id).seed, tag);
+            }
+        }
+    }
+}

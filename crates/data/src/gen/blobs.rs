@@ -1,0 +1,149 @@
+//! Generic isotropic-Gaussian mixture sampling — the building block for the
+//! vector-valued dataset surrogates and for unit tests across the workspace.
+
+use edm_common::point::DenseVector;
+use edm_common::time::StreamClock;
+
+use crate::stream::{LabeledStream, StreamPoint};
+
+use super::{randn, rng, sample_weighted, GenRng};
+
+/// One mixture component: an isotropic Gaussian with a class label.
+#[derive(Debug, Clone)]
+pub struct Blob {
+    /// Component mean.
+    pub center: Vec<f64>,
+    /// Isotropic standard deviation.
+    pub sigma: f64,
+    /// Unnormalized mixture weight.
+    pub weight: f64,
+    /// Ground-truth class emitted with each sample.
+    pub label: u32,
+}
+
+impl Blob {
+    /// Creates a component.
+    pub fn new(center: Vec<f64>, sigma: f64, weight: f64, label: u32) -> Self {
+        assert!(sigma >= 0.0 && weight >= 0.0);
+        Blob { center, sigma, weight, label }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, r: &mut GenRng) -> DenseVector {
+        let coords: Vec<f64> =
+            self.center.iter().map(|&c| c + self.sigma * randn(r)).collect();
+        DenseVector::from(coords)
+    }
+}
+
+/// Samples `n` points from a static mixture at a fixed stream rate.
+///
+/// Used directly by Fig 2 (decision graph) and as a test fixture elsewhere.
+pub fn sample_mixture(
+    name: &str,
+    blobs: &[Blob],
+    n: usize,
+    rate: f64,
+    default_r: f64,
+    seed: u64,
+) -> LabeledStream<DenseVector> {
+    assert!(!blobs.is_empty(), "mixture needs at least one component");
+    let dim = blobs[0].center.len();
+    assert!(blobs.iter().all(|b| b.center.len() == dim), "component dims must agree");
+    let mut r = rng(seed);
+    let clock = StreamClock::new(rate);
+    let weights: Vec<f64> = blobs.iter().map(|b| b.weight).collect();
+    let points = (0..n)
+        .map(|i| {
+            let k = sample_weighted(&mut r, &weights);
+            StreamPoint::new(blobs[k].sample(&mut r), clock.at(i as u64), Some(blobs[k].label))
+        })
+        .collect();
+    LabeledStream::new(name, points, dim, default_r)
+}
+
+/// Scatters `k` blob centers uniformly in `[0, extent]^dim`, with minimum
+/// pairwise separation `min_sep` enforced by rejection (best-effort after
+/// 200 tries per center, which suffices for the densities we use).
+pub fn scatter_centers(
+    k: usize,
+    dim: usize,
+    extent: f64,
+    min_sep: f64,
+    r: &mut GenRng,
+) -> Vec<Vec<f64>> {
+    use rand::Rng as _;
+    let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut best: Option<Vec<f64>> = None;
+        for _try in 0..200 {
+            let cand: Vec<f64> = (0..dim).map(|_| r.gen::<f64>() * extent).collect();
+            let ok = centers.iter().all(|c| dist(c, &cand) >= min_sep);
+            if ok {
+                best = Some(cand);
+                break;
+            }
+            if best.is_none() {
+                best = Some(cand);
+            }
+        }
+        centers.push(best.expect("at least one candidate generated"));
+    }
+    centers
+}
+
+fn dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixture_emits_requested_count_and_labels() {
+        let blobs = vec![
+            Blob::new(vec![0.0, 0.0], 0.5, 1.0, 0),
+            Blob::new(vec![10.0, 10.0], 0.5, 1.0, 1),
+        ];
+        let s = sample_mixture("two-blobs", &blobs, 500, 1000.0, 0.3, 42);
+        assert_eq!(s.len(), 500);
+        assert_eq!(s.n_classes, 2);
+        assert_eq!(s.dim, 2);
+        // Labels must match geometry: label-0 points near origin.
+        for p in s.iter() {
+            let near_origin = p.payload.coords()[0] < 5.0;
+            assert_eq!(p.label == Some(0), near_origin, "point {:?}", p.payload);
+        }
+    }
+
+    #[test]
+    fn mixture_is_deterministic_per_seed() {
+        let blobs = vec![Blob::new(vec![0.0], 1.0, 1.0, 0)];
+        let a = sample_mixture("d", &blobs, 50, 1.0, 0.3, 9);
+        let b = sample_mixture("d", &blobs, 50, 1.0, 0.3, 9);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.payload, y.payload);
+        }
+        let c = sample_mixture("d", &blobs, 50, 1.0, 0.3, 10);
+        assert!(a.iter().zip(c.iter()).any(|(x, y)| x.payload != y.payload));
+    }
+
+    #[test]
+    fn scatter_respects_separation_when_feasible() {
+        let mut r = rng(5);
+        let centers = scatter_centers(10, 3, 100.0, 15.0, &mut r);
+        assert_eq!(centers.len(), 10);
+        for i in 0..centers.len() {
+            for j in (i + 1)..centers.len() {
+                assert!(dist(&centers[i], &centers[j]) >= 15.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn mixture_rejects_empty() {
+        sample_mixture("e", &[], 1, 1.0, 0.3, 0);
+    }
+}

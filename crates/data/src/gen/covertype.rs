@@ -1,0 +1,152 @@
+//! CoverType surrogate (Table 2: 581,012 × 54, 7 classes).
+//!
+//! The real dataset maps cartographic variables to one of seven forest
+//! cover types. Converted to a stream in input order, it exhibits *gradual
+//! drift*: the survey traverses geography, so class prevalence shifts
+//! slowly rather than in bursts. The surrogate keeps the real class
+//! proportions (two classes cover 85 % of points), the 54-dimensional
+//! mixed-scale feature space, and slow sinusoidal prevalence drift.
+
+use edm_common::point::DenseVector;
+use edm_common::time::StreamClock;
+
+use crate::stream::{LabeledStream, StreamPoint};
+
+use super::blobs::scatter_centers;
+use super::{randn, rng, sample_weighted};
+
+/// Real class counts of CoverType (sums to 581,012).
+pub const CLASS_COUNTS: [u64; 7] =
+    [211_840, 283_301, 35_754, 2_747, 9_493, 17_367, 20_510];
+
+/// Dimensionality (Table 2: 54).
+pub const DIM: usize = 54;
+
+/// Configuration for the CoverType surrogate.
+#[derive(Debug, Clone)]
+pub struct CoverTypeConfig {
+    /// Number of points (paper: 581,012).
+    pub n: usize,
+    /// Arrival rate in points/sec.
+    pub rate: f64,
+    /// Amplitude of the prevalence drift in [0, 1).
+    pub drift_amplitude: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CoverTypeConfig {
+    fn default() -> Self {
+        CoverTypeConfig { n: 581_012, rate: 1_000.0, drift_amplitude: 0.7, seed: 0xC0F }
+    }
+}
+
+/// Generates the CoverType surrogate stream.
+pub fn generate(cfg: &CoverTypeConfig) -> LabeledStream<DenseVector> {
+    assert!((0.0..1.0).contains(&cfg.drift_amplitude));
+    let mut r = rng(cfg.seed);
+    // Elevation-like coordinate scales: class centers scattered in
+    // [0, 3000]^54 with enough separation that r = 250 (Table 2) resolves
+    // them; each class spreads over sub-modes (real cover types span many
+    // terrain pockets), so classes summarize into many cells.
+    let centers = scatter_centers(CLASS_COUNTS.len(), DIM, 3000.0, 900.0, &mut r);
+    let submodes = 30usize;
+    let modes: Vec<Vec<Vec<f64>>> = centers
+        .iter()
+        .map(|c| {
+            (0..submodes)
+                .map(|_| {
+                    c.iter()
+                        .map(|&x| x + (rand::Rng::gen::<f64>(&mut r) - 0.5) * 110.0)
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let base: Vec<f64> = CLASS_COUNTS.iter().map(|&c| c as f64).collect();
+    let phases: Vec<f64> = (0..CLASS_COUNTS.len())
+        .map(|i| i as f64 / CLASS_COUNTS.len() as f64)
+        .collect();
+    let clock = StreamClock::new(cfg.rate);
+    let total = cfg.n.max(1) as f64 / cfg.rate;
+    // σ keeps sub-mode pairwise distance (σ·√(2·54) ≈ 125) inside
+    // Table 2's r = 250.
+    let sigma = 12.0;
+    let mut points = Vec::with_capacity(cfg.n);
+    let mut weights = base.clone();
+    for i in 0..cfg.n {
+        let t = clock.at(i as u64);
+        // Slow sinusoidal prevalence drift (recomputed every 256 points —
+        // plenty for a drift period of the whole stream).
+        if i % 256 == 0 {
+            let u = t / total;
+            for (w, (b, ph)) in weights.iter_mut().zip(base.iter().zip(phases.iter())) {
+                let m = 1.0
+                    + cfg.drift_amplitude
+                        * (2.0 * std::f64::consts::PI * (u + ph)).sin();
+                *w = b * m.max(0.0);
+            }
+        }
+        let k = sample_weighted(&mut r, &weights);
+        let m = rand::Rng::gen_range(&mut r, 0..submodes);
+        let coords: Vec<f64> =
+            modes[k][m].iter().map(|&c| c + sigma * randn(&mut r)).collect();
+        points.push(StreamPoint::new(
+            DenseVector::from(coords),
+            t,
+            Some(k as u32),
+        ));
+    }
+    LabeledStream::new("CoverType", points, DIM, 250.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_counts_sum_to_dataset_size() {
+        assert_eq!(CLASS_COUNTS.iter().sum::<u64>(), 581_012);
+    }
+
+    #[test]
+    fn shape_matches_table2() {
+        let s = generate(&CoverTypeConfig { n: 2_000, ..Default::default() });
+        assert_eq!(s.dim, 54);
+        assert_eq!(s.default_r, 250.0);
+        assert_eq!(s.len(), 2_000);
+    }
+
+    #[test]
+    fn two_dominant_classes() {
+        let s = generate(&CoverTypeConfig { n: 40_000, ..Default::default() });
+        let mut counts = vec![0usize; 7];
+        for p in s.iter() {
+            counts[p.label.unwrap() as usize] += 1;
+        }
+        let top2 = counts[0] + counts[1];
+        assert!(top2 as f64 / s.len() as f64 > 0.7, "top2 share {top2}");
+    }
+
+    #[test]
+    fn prevalence_drifts_over_time() {
+        let s = generate(&CoverTypeConfig { n: 60_000, drift_amplitude: 0.8, ..Default::default() });
+        let share = |lo: usize, hi: usize, class: u32| {
+            let sel = &s.points[lo..hi];
+            sel.iter().filter(|p| p.label == Some(class)).count() as f64 / sel.len() as f64
+        };
+        // Class 2's prevalence early vs late should differ noticeably.
+        let early = share(0, 15_000, 2);
+        let late = share(45_000, 60_000, 2);
+        assert!(
+            (early - late).abs() > 0.01,
+            "class-2 share early {early:.4} late {late:.4}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = CoverTypeConfig { n: 300, ..Default::default() };
+        assert_eq!(generate(&cfg).points[99].payload, generate(&cfg).points[99].payload);
+    }
+}

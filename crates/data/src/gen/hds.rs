@@ -1,0 +1,164 @@
+//! HDS — high-dimensional synthetic streams (Table 2: 100,000 points,
+//! 20 clusters, dimensionality ∈ {10, 30, 100, 300, 1000}).
+//!
+//! Following the SynDECA-style generation the paper cites, HDS is a mixture
+//! of well-separated isotropic Gaussians whose centers drift slowly, so the
+//! stream exercises high-dimensional distance computation (Fig 12) without
+//! changing the cluster structure mid-run.
+
+use edm_common::point::DenseVector;
+use edm_common::time::StreamClock;
+
+use crate::stream::{LabeledStream, StreamPoint};
+
+use super::blobs::scatter_centers;
+use super::{randn, rng, sample_weighted};
+
+/// Configuration for the HDS generator.
+#[derive(Debug, Clone)]
+pub struct HdsConfig {
+    /// Number of points (paper: 100,000).
+    pub n: usize,
+    /// Dimensionality (paper sweeps 10–1000).
+    pub dim: usize,
+    /// Number of clusters (paper: 20).
+    pub k: usize,
+    /// Arrival rate in points/sec.
+    pub rate: f64,
+    /// Per-cluster standard deviation.
+    pub sigma: f64,
+    /// Center drift speed in units/sec (0 = static).
+    pub drift: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl HdsConfig {
+    /// The paper's configuration at a given dimensionality. σ is scaled so
+    /// the intra-cluster pairwise distance (σ·√(2d)) stays at half of
+    /// Table 2's cell radius at every dimensionality — without this, wide
+    /// streams would scatter every cluster across unboundedly many cells.
+    pub fn paper(dim: usize) -> Self {
+        let sigma = (0.5 * default_r(dim) / (2.0 * dim as f64).sqrt()).min(4.0);
+        HdsConfig { n: 100_000, dim, k: 20, rate: 1_000.0, sigma, drift: 0.2, seed: 0xADD5 }
+    }
+}
+
+/// The cluster-cell radius the paper's Table 2 lists per dimensionality.
+pub fn default_r(dim: usize) -> f64 {
+    match dim {
+        d if d <= 10 => 60.0,
+        d if d <= 30 => 65.0,
+        d if d <= 100 => 68.0,
+        _ => 70.0,
+    }
+}
+
+/// Generates an HDS stream.
+pub fn generate(cfg: &HdsConfig) -> LabeledStream<DenseVector> {
+    assert!(cfg.k > 0 && cfg.dim > 0);
+    let mut r = rng(cfg.seed);
+    // Extent 100 per axis; min separation keeps the 20 mountains distinct
+    // at low dimensionality (higher dims separate on their own).
+    let min_sep = if cfg.dim <= 10 { 45.0 } else { 0.0 };
+    let centers = scatter_centers(cfg.k, cfg.dim, 100.0, min_sep, &mut r);
+    // Unit drift directions per cluster.
+    let dirs: Vec<Vec<f64>> = (0..cfg.k)
+        .map(|_| {
+            let v: Vec<f64> = (0..cfg.dim).map(|_| randn(&mut r)).collect();
+            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+            v.into_iter().map(|x| x / norm).collect()
+        })
+        .collect();
+    let weights = vec![1.0; cfg.k];
+    let clock = StreamClock::new(cfg.rate);
+    let mut points = Vec::with_capacity(cfg.n);
+    let mut buf = vec![0.0f64; cfg.dim];
+    for i in 0..cfg.n {
+        let t = clock.at(i as u64);
+        let k = sample_weighted(&mut r, &weights);
+        for (j, b) in buf.iter_mut().enumerate() {
+            *b = centers[k][j] + dirs[k][j] * cfg.drift * t + cfg.sigma * randn(&mut r);
+        }
+        points.push(StreamPoint::new(DenseVector::from(buf.as_slice()), t, Some(k as u32)));
+    }
+    LabeledStream::new(format!("HDS-{}d", cfg.dim), points, cfg.dim, default_r(cfg.dim))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table2() {
+        let cfg = HdsConfig::paper(30);
+        assert_eq!(cfg.n, 100_000);
+        assert_eq!(cfg.k, 20);
+        assert_eq!(default_r(10), 60.0);
+        assert_eq!(default_r(30), 65.0);
+        assert_eq!(default_r(100), 68.0);
+        assert_eq!(default_r(300), 70.0);
+        assert_eq!(default_r(1000), 70.0);
+    }
+
+    #[test]
+    fn generates_all_twenty_classes() {
+        let cfg = HdsConfig { n: 5_000, ..HdsConfig::paper(10) };
+        let s = generate(&cfg);
+        assert_eq!(s.n_classes, 20);
+        assert_eq!(s.dim, 10);
+        assert_eq!(s.len(), 5_000);
+    }
+
+    #[test]
+    fn points_stay_near_their_cluster_center() {
+        let cfg = HdsConfig { n: 2_000, drift: 0.0, ..HdsConfig::paper(10) };
+        let s = generate(&cfg);
+        // With σ=4 in 10 dims, a point sits ~ σ√d ≈ 12.6 from its center;
+        // cross-cluster distances are ≥ 45. Nearest-center classification
+        // must recover the label essentially always.
+        let mut r = rng(cfg.seed);
+        let centers = scatter_centers(cfg.k, cfg.dim, 100.0, 45.0, &mut r);
+        let mut wrong = 0;
+        for p in s.iter() {
+            let mut best = (f64::INFINITY, 0u32);
+            for (ci, c) in centers.iter().enumerate() {
+                let d: f64 = c
+                    .iter()
+                    .zip(p.payload.coords())
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                if d < best.0 {
+                    best = (d, ci as u32);
+                }
+            }
+            if Some(best.1) != p.label {
+                wrong += 1;
+            }
+        }
+        assert!(wrong < 20, "{wrong} of 2000 misclassified");
+    }
+
+    #[test]
+    fn drift_moves_cluster_means_over_time() {
+        let cfg = HdsConfig { n: 40_000, drift: 1.0, rate: 1000.0, ..HdsConfig::paper(10) };
+        let s = generate(&cfg);
+        // Mean position of cluster 0 over a window, across all dimensions.
+        let mean_of = |pts: &[StreamPoint<DenseVector>]| -> Vec<f64> {
+            let sel: Vec<&StreamPoint<DenseVector>> =
+                pts.iter().filter(|p| p.label == Some(0)).collect();
+            let n = sel.len().max(1) as f64;
+            (0..10)
+                .map(|j| sel.iter().map(|p| p.payload.coords()[j]).sum::<f64>() / n)
+                .collect()
+        };
+        let early = mean_of(&s.points[..5_000]);
+        let late = mean_of(&s.points[35_000..]);
+        // The center drifts 1 unit/sec along a unit vector; after ~35 s the
+        // displacement norm must be well above the sampling noise.
+        let disp: f64 =
+            early.iter().zip(&late).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        assert!(disp > 5.0, "displacement {disp}");
+    }
+}

@@ -1,0 +1,467 @@
+//! NADS surrogate — a token-set news stream with a scripted event calendar
+//! (Table 2: 422,937 items, no fixed dimensionality, Jaccard distance,
+//! r = 0.4).
+//!
+//! The real NADS is the UCI News Aggregator dataset: headlines arriving
+//! over spring 2014, clustered by story. The paper's Fig 8 / Table 3 use it
+//! to show evolution tracking catching four real events. The surrogate
+//! reproduces the *structure* that makes those events detectable:
+//!
+//! * a headline is a small token set; headlines of the same **story** are
+//!   near-duplicates (Jaccard distance ≲ 0.4, inside the cell radius);
+//! * stories of the same **topic** share topic *tag* tokens (distance
+//!   ≈ 0.7, bridged by the dependency tree into one cluster);
+//! * unrelated topics share at most an entity token (distance ≳ 0.9).
+//!
+//! The scripted calendar (days relative to March 1):
+//!
+//! | Day | Date | Event |
+//! |-----|------|-------|
+//! | 10  | 3-11 | {Google, Chromecast} **merges into** {Google, wearable} |
+//! | 16  | 3-17 | {Google, smartwatch} **splits from** {Google, wearable} |
+//! | 30  | 3-31 | {Apple, Samsung} **splits from** {Apple, 5c} |
+//! | 51  | 4-21 | {MS, mobile, suit} **merges into** {MS, Nokia} |
+//!
+//! Merges are driven the way the paper describes: the fading topic's
+//! headlines increasingly borrow the absorbing topic's tags (the news
+//! overlap), building a density bridge; splits are driven by a new
+//! sub-topic whose early headlines live inside the parent's vocabulary and
+//! later switch to their own tags with a volume surge.
+
+use edm_common::point::TokenSet;
+use edm_common::time::StreamClock;
+use rand::Rng as _;
+
+use crate::stream::{LabeledStream, StreamPoint};
+
+use super::{rng, sample_weighted, GenRng};
+
+/// Configuration for the NADS surrogate.
+#[derive(Debug, Clone)]
+pub struct NadsConfig {
+    /// Number of headlines (paper: 422,937).
+    pub n: usize,
+    /// Stream seconds per calendar day (compresses 61 days into the
+    /// stream's time axis; default 6 s/day → ≈ 366 s total).
+    pub seconds_per_day: f64,
+    /// Number of background topics besides the seven scripted ones.
+    pub n_background: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NadsConfig {
+    fn default() -> Self {
+        NadsConfig { n: 422_937, seconds_per_day: 6.0, n_background: 24, seed: 0x4AD5 }
+    }
+}
+
+/// Total calendar span in days (March 1 – April 30).
+pub const DAYS: f64 = 61.0;
+
+/// Scripted topic labels.
+pub mod topic {
+    /// {Google, wearable} — absorbs Chromecast, parents smartwatch.
+    pub const G_WEAR: u32 = 0;
+    /// {Google, Chromecast} — fades and merges into G_WEAR on day 10.
+    pub const G_CHROME: u32 = 1;
+    /// {Google, smartwatch} — splits from G_WEAR on day 16.
+    pub const G_WATCH: u32 = 2;
+    /// {Apple, 5c} — parents the Samsung-patent topic.
+    pub const A_5C: u32 = 3;
+    /// {Apple, Samsung} — splits from A_5C on day 30.
+    pub const A_SAMS: u32 = 4;
+    /// {MS, mobile, suit} — fades and merges into MS_NOKIA on day 51.
+    pub const MS_MOB: u32 = 5;
+    /// {MS, Nokia}.
+    pub const MS_NOKIA: u32 = 6;
+    /// First background topic label.
+    pub const BACKGROUND0: u32 = 7;
+}
+
+/// The scripted events with their day offsets — used by the Fig 8 / Table 3
+/// harness output and by integration tests.
+pub fn event_calendar() -> Vec<(f64, &'static str)> {
+    vec![
+        (10.0, "merge: {Google,Chromecast} -> {Google,wearable}"),
+        (16.0, "split: {Google,smartwatch} out of {Google,wearable}"),
+        (30.0, "split: {Apple,Samsung} out of {Apple,5c}"),
+        (51.0, "merge: {MS,mobile,suit} -> {MS,Nokia}"),
+    ]
+}
+
+// Entity and tag token ids (stable, documented constants).
+const GOOGLE: u32 = 1000;
+const WEARABLE: u32 = 1001;
+const SDK: u32 = 1002;
+const CHROMECAST: u32 = 1003;
+const TV: u32 = 1004;
+const SMARTWATCH: u32 = 1005;
+const ANDROID: u32 = 1006;
+const APPLE: u32 = 1010;
+const IPHONE: u32 = 1011;
+const FIVEC: u32 = 1012;
+const SAMSUNG: u32 = 1013;
+const PATENT: u32 = 1014;
+const MICROSOFT: u32 = 1020;
+const MOBILE: u32 = 1021;
+const SUIT: u32 = 1022;
+const NOKIA: u32 = 1023;
+const ACQUISITION: u32 = 1024;
+
+/// Noise tokens come from [0, NOISE_POOL).
+const NOISE_POOL: u32 = 500;
+/// Background-topic tags start here.
+const BG_TAG_BASE: u32 = 2000;
+/// Story tokens start here.
+const STORY_BASE: u32 = 100_000;
+/// A story lasts this many days before the press moves on.
+const STORY_DAYS: f64 = 3.0;
+/// Concurrent stories per topic.
+const STORY_SLOTS: u32 = 3;
+
+fn base_tags(t: u32, cfg: &NadsConfig) -> [u32; 3] {
+    match t {
+        topic::G_WEAR => [GOOGLE, WEARABLE, SDK],
+        topic::G_CHROME => [GOOGLE, CHROMECAST, TV],
+        topic::G_WATCH => [GOOGLE, SMARTWATCH, ANDROID],
+        topic::A_5C => [APPLE, IPHONE, FIVEC],
+        topic::A_SAMS => [APPLE, SAMSUNG, PATENT],
+        topic::MS_MOB => [MICROSOFT, MOBILE, SUIT],
+        topic::MS_NOKIA => [MICROSOFT, NOKIA, ACQUISITION],
+        bg => {
+            let i = bg - topic::BACKGROUND0;
+            debug_assert!((i as usize) < cfg.n_background);
+            [BG_TAG_BASE + i * 10, BG_TAG_BASE + i * 10 + 1, BG_TAG_BASE + i * 10 + 2]
+        }
+    }
+}
+
+/// Volume (unnormalized weight) of a topic on a given day; 0 = dormant.
+fn weight(t: u32, day: f64, bg_windows: &[(f64, f64, f64)]) -> f64 {
+    let ramp = |x: f64| x.clamp(0.0, 1.0);
+    match t {
+        topic::G_WEAR => {
+            // SDK announcement surge from day 8 on.
+            if day >= 8.0 {
+                2.0
+            } else {
+                1.0
+            }
+        }
+        topic::G_CHROME => {
+            if day < 9.0 {
+                1.0
+            } else if day < 12.0 {
+                // Fading toward the merge (the bridge is already dense).
+                1.0 - 0.9 * ramp((day - 9.0) / 2.5)
+            } else {
+                0.0
+            }
+        }
+        topic::G_WATCH => {
+            if day < 12.0 {
+                0.0
+            } else if day < 16.0 {
+                0.5
+            } else {
+                1.8
+            }
+        }
+        topic::A_5C => 1.0,
+        topic::A_SAMS => {
+            if day < 24.0 {
+                0.0
+            } else if day < 30.0 {
+                0.5
+            } else {
+                1.6
+            }
+        }
+        topic::MS_MOB => {
+            if !(28.0..54.0).contains(&day) {
+                0.0
+            } else if day < 49.5 {
+                1.0
+            } else {
+                1.0 - 0.9 * ramp((day - 49.5) / 4.0)
+            }
+        }
+        topic::MS_NOKIA => {
+            if day < 33.0 {
+                0.0
+            } else if day < 48.0 {
+                1.0
+            } else {
+                2.0
+            }
+        }
+        bg => {
+            let (start, end, w) = bg_windows[(bg - topic::BACKGROUND0) as usize];
+            if (start..end).contains(&day) {
+                w
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+/// Tags actually used by a headline of topic `t` on `day` — this is where
+/// the merge bridges and pre-split phases are encoded.
+fn tags_for(t: u32, day: f64, cfg: &NadsConfig, r: &mut GenRng) -> [u32; 3] {
+    match t {
+        topic::G_CHROME if day >= 7.0 => {
+            // Bridge: with rising probability a Chromecast story is framed
+            // entirely in the wearable topic's vocabulary (its own story
+            // tokens keep it attached to the Chromecast cells, the tags
+            // attach it to the wearable cells) — the density bridge that
+            // merges the mountains.
+            let p = ((day - 7.0) / 4.0).clamp(0.0, 0.55);
+            if r.gen::<f64>() < p {
+                base_tags(topic::G_WEAR, cfg)
+            } else {
+                base_tags(t, cfg)
+            }
+        }
+
+        topic::MS_MOB if day >= 46.0 => {
+            let p = ((day - 46.0) / 5.0).clamp(0.0, 0.55);
+            if r.gen::<f64>() < p {
+                base_tags(topic::MS_NOKIA, cfg)
+            } else {
+                base_tags(t, cfg)
+            }
+        }
+        _ => base_tags(t, cfg),
+    }
+}
+
+/// The topic whose *story pool* a headline of `t` draws from on `day`.
+///
+/// Pre-split subtopics report on the parent topic's stories (their own
+/// tags, the parent's story tokens): their cells sit strongly dependent
+/// inside the parent's MSDSubTree. When the subtopic switches to its own
+/// stories (and surges), the shared-story cells fade and the subtree's
+/// uplink turns weak — a topological **split**, which is exactly how the
+/// paper's Fig 8 events materialize in the DP-Tree.
+fn story_pool(t: u32, day: f64) -> u32 {
+    match t {
+        topic::G_WATCH if day < 16.0 => topic::G_WEAR,
+        topic::A_SAMS if day < 30.0 => topic::A_5C,
+        _ => t,
+    }
+}
+
+/// Story tokens for topic `t` on `day`, slot `slot` (3 tokens). Slot
+/// epochs are staggered by one day so a topic never loses all its live
+/// stories at once — without the stagger every topic cluster would flicker
+/// at each 3-day epoch boundary.
+fn story_tokens(t: u32, day: f64, slot: u32) -> [u32; 3] {
+    let pool = story_pool(t, day);
+    let epoch = ((day + slot as f64) / STORY_DAYS) as u32;
+    let story = epoch * STORY_SLOTS + slot;
+    let base = STORY_BASE + pool * 1_000 + story * 4;
+    [base, base + 1, base + 2]
+}
+
+/// Generates the NADS surrogate stream.
+pub fn generate(cfg: &NadsConfig) -> LabeledStream<TokenSet> {
+    assert!(cfg.seconds_per_day > 0.0);
+    let mut r = rng(cfg.seed);
+    // Background topic activity windows: (start_day, end_day, weight).
+    let bg_windows: Vec<(f64, f64, f64)> = (0..cfg.n_background)
+        .map(|_| {
+            let start = r.gen::<f64>() * (DAYS - 15.0);
+            let len = 15.0 + r.gen::<f64>() * 25.0;
+            (start, (start + len).min(DAYS), 0.5 + r.gen::<f64>())
+        })
+        .collect();
+    let n_topics = 7 + cfg.n_background;
+    let duration = DAYS * cfg.seconds_per_day;
+    let rate = cfg.n as f64 / duration;
+    let clock = StreamClock::new(rate);
+    let mut weights = vec![0.0f64; n_topics];
+    let mut points = Vec::with_capacity(cfg.n);
+    for i in 0..cfg.n {
+        let ts = clock.at(i as u64);
+        let day = ts / cfg.seconds_per_day;
+        for (ti, w) in weights.iter_mut().enumerate() {
+            *w = weight(ti as u32, day, &bg_windows);
+        }
+        let t = sample_weighted(&mut r, &weights) as u32;
+        let tags = tags_for(t, day, cfg, &mut r);
+        let slot = r.gen_range(0..STORY_SLOTS);
+        let story = story_tokens(t, day, slot);
+        // Headline: all 3 tags + 2 of the 3 story tokens + occasionally one
+        // noise word. This keeps same-story headlines within Jaccard 0.4 of
+        // each other, same-topic stories at ≈ 0.6 (linked by the DP-Tree),
+        // and distinct topics at ≥ 0.9 (separated by τ).
+        let mut tokens: Vec<u32> = Vec::with_capacity(6);
+        tokens.extend_from_slice(&tags);
+        let skip_story = r.gen_range(0..3usize);
+        for (j, &s) in story.iter().enumerate() {
+            if j != skip_story {
+                tokens.push(s);
+            }
+        }
+        if r.gen::<f64>() < 0.2 {
+            tokens.push(r.gen_range(0..NOISE_POOL));
+        }
+        points.push(StreamPoint::new(TokenSet::new(tokens), ts, Some(t)));
+    }
+    LabeledStream::new("NADS", points, 0, 0.4)
+}
+
+/// Converts a stream timestamp back to a calendar day offset.
+pub fn day_of(ts: f64, cfg: &NadsConfig) -> f64 {
+    ts / cfg.seconds_per_day
+}
+
+/// Human-readable name of a scripted topic label (for Fig 8 output);
+/// background topics print as `bg-i`.
+pub fn topic_name(label: u32) -> String {
+    match label {
+        topic::G_WEAR => "{Google,wearable}".into(),
+        topic::G_CHROME => "{Google,Chromecast}".into(),
+        topic::G_WATCH => "{Google,smartwatch}".into(),
+        topic::A_5C => "{Apple,5c}".into(),
+        topic::A_SAMS => "{Apple,Samsung}".into(),
+        topic::MS_MOB => "{MS,mobile,suit}".into(),
+        topic::MS_NOKIA => "{MS,Nokia}".into(),
+        bg => format!("bg-{}", bg - topic::BACKGROUND0),
+    }
+}
+
+/// Formats a day offset as the paper's `month-day` notation
+/// (day 0 = March 1, 2014).
+pub fn format_day(day: f64) -> String {
+    let d = day.floor() as i64;
+    let (month, dom) = if d < 31 { (3, d + 1) } else { (4, d - 30) };
+    format!("{month}-{dom}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edm_common::metric::{Jaccard, Metric};
+
+    fn small() -> LabeledStream<TokenSet> {
+        generate(&NadsConfig { n: 20_000, ..Default::default() })
+    }
+
+    #[test]
+    fn same_story_headlines_are_within_cell_radius() {
+        let s = small();
+        let m = Jaccard;
+        // Collect pairs from the same topic arriving within a tenth of a
+        // day — overwhelmingly same-story; measure median distance.
+        let mut close = Vec::new();
+        for w in s.points.windows(40) {
+            let a = &w[0];
+            for b in &w[1..] {
+                if a.label == b.label {
+                    close.push(m.dist(&a.payload, &b.payload));
+                }
+            }
+            if close.len() > 4_000 {
+                break;
+            }
+        }
+        let within = close.iter().filter(|&&d| d <= 0.4).count();
+        // Not all pairs are same-story (3 slots), so require a solid share.
+        assert!(
+            within as f64 / close.len() as f64 > 0.2,
+            "only {within}/{} near-duplicate pairs",
+            close.len()
+        );
+    }
+
+    #[test]
+    fn cross_topic_headlines_are_far() {
+        let s = small();
+        let m = Jaccard;
+        let mut far = 0usize;
+        let mut total = 0usize;
+        for w in s.points.windows(2) {
+            if w[0].label != w[1].label {
+                total += 1;
+                if m.dist(&w[0].payload, &w[1].payload) > 0.6 {
+                    far += 1;
+                }
+            }
+        }
+        assert!(far as f64 / total as f64 > 0.95, "{far}/{total}");
+    }
+
+    #[test]
+    fn chromecast_topic_dies_after_day_12() {
+        let cfg = NadsConfig { n: 40_000, ..Default::default() };
+        let s = generate(&cfg);
+        let after = s
+            .iter()
+            .filter(|p| day_of(p.ts, &cfg) > 12.5 && p.label == Some(topic::G_CHROME))
+            .count();
+        assert_eq!(after, 0);
+        let before = s
+            .iter()
+            .filter(|p| day_of(p.ts, &cfg) < 6.0 && p.label == Some(topic::G_CHROME))
+            .count();
+        assert!(before > 100, "chromecast had {before} early items");
+    }
+
+    #[test]
+    fn smartwatch_volume_surges_after_split_day() {
+        let cfg = NadsConfig { n: 40_000, ..Default::default() };
+        let s = generate(&cfg);
+        let count_in = |lo: f64, hi: f64| {
+            s.iter()
+                .filter(|p| {
+                    let d = day_of(p.ts, &cfg);
+                    d >= lo && d < hi && p.label == Some(topic::G_WATCH)
+                })
+                .count()
+        };
+        let pre = count_in(12.0, 16.0);
+        let post = count_in(16.0, 20.0);
+        assert!(post > 2 * pre, "pre {pre} post {post}");
+    }
+
+    #[test]
+    fn bridge_headlines_mix_vocabularies_near_merge() {
+        let cfg = NadsConfig { n: 60_000, ..Default::default() };
+        let s = generate(&cfg);
+        let bridged = s
+            .iter()
+            .filter(|p| {
+                let d = day_of(p.ts, &cfg);
+                d >= 9.0
+                    && d < 12.0
+                    && p.label == Some(topic::G_CHROME)
+                    && p.payload.tokens().contains(&WEARABLE)
+            })
+            .count();
+        assert!(bridged > 5, "no bridge headlines found ({bridged})");
+    }
+
+    #[test]
+    fn format_day_matches_paper_dates() {
+        assert_eq!(format_day(10.0), "3-11");
+        assert_eq!(format_day(16.0), "3-17");
+        assert_eq!(format_day(30.0), "3-31");
+        assert_eq!(format_day(51.0), "4-21");
+    }
+
+    #[test]
+    fn calendar_lists_four_events_in_order() {
+        let cal = event_calendar();
+        assert_eq!(cal.len(), 4);
+        assert!(cal.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = NadsConfig { n: 500, ..Default::default() };
+        assert_eq!(generate(&cfg).points[123].payload, generate(&cfg).points[123].payload);
+    }
+}

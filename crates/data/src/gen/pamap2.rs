@@ -1,0 +1,150 @@
+//! PAMAP2 surrogate (Table 2: 447,000 × 51, 13 classes).
+//!
+//! The real PAMAP2 dataset records body-worn IMU and heart-rate channels
+//! while subjects perform activities (walking, cycling, ironing, …) one at
+//! a time. As a stream it is *piecewise stationary*: long single-activity
+//! segments with abrupt transitions, plus sensor glitches. The surrogate
+//! reproduces the segment structure (activity sessions of configurable
+//! length), the 51-dimensional sensor space at small scale (Table 2 lists
+//! r = 5), and a 1 % uniform-glitch rate that exercises the outlier
+//! reservoir (Figs 16, 17 run on this dataset).
+
+use edm_common::point::DenseVector;
+use edm_common::time::StreamClock;
+
+use crate::stream::{LabeledStream, StreamPoint};
+
+use super::blobs::scatter_centers;
+use super::{randn, rng, sample_weighted};
+
+/// Number of activity classes (Table 2: 13).
+pub const N_CLASSES: usize = 13;
+
+/// Dimensionality (Table 2: 51).
+pub const DIM: usize = 51;
+
+/// Configuration for the PAMAP2 surrogate.
+#[derive(Debug, Clone)]
+pub struct Pamap2Config {
+    /// Number of points (paper: 447,000).
+    pub n: usize,
+    /// Arrival rate in points/sec.
+    pub rate: f64,
+    /// Mean points per activity session.
+    pub segment_len: usize,
+    /// Probability of a sensor glitch (uniform noise point).
+    pub glitch_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Pamap2Config {
+    fn default() -> Self {
+        Pamap2Config { n: 447_000, rate: 1_000.0, segment_len: 4_000, glitch_rate: 0.01, seed: 0xBA1 }
+    }
+}
+
+/// Generates the PAMAP2 surrogate stream. Glitch points carry no label.
+pub fn generate(cfg: &Pamap2Config) -> LabeledStream<DenseVector> {
+    assert!(cfg.segment_len > 0 && (0.0..1.0).contains(&cfg.glitch_rate));
+    let mut r = rng(cfg.seed);
+    let extent = 50.0;
+    let centers = scatter_centers(N_CLASSES, DIM, extent, 18.0, &mut r);
+    // Each activity spans sub-modes (gait phases, posture variants): the
+    // activity summarizes into several cells ~6 units apart, within
+    // Table 2's separation structure (classes ≥ 18 apart, r = 5).
+    let submodes = 8usize;
+    let modes: Vec<Vec<Vec<f64>>> = centers
+        .iter()
+        .map(|c| {
+            (0..submodes)
+                .map(|_| {
+                    c.iter()
+                        .map(|&x| x + (rand::Rng::gen::<f64>(&mut r) - 0.5) * 2.2)
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let clock = StreamClock::new(cfg.rate);
+    // σ keeps sub-mode pairwise distance (σ·√(2·51) ≈ 2.5) inside r = 5.
+    let sigma = 0.25;
+    let weights = vec![1.0; N_CLASSES];
+    let mut points = Vec::with_capacity(cfg.n);
+    let mut activity = sample_weighted(&mut r, &weights);
+    for i in 0..cfg.n {
+        if i % cfg.segment_len == 0 {
+            // Switch to a different activity at each session boundary.
+            let next = sample_weighted(&mut r, &weights);
+            activity = if next == activity { (next + 1) % N_CLASSES } else { next };
+        }
+        let t = clock.at(i as u64);
+        if rand::Rng::gen::<f64>(&mut r) < cfg.glitch_rate {
+            // Sensor glitch: uniform noise anywhere in the data space.
+            let coords: Vec<f64> =
+                (0..DIM).map(|_| rand::Rng::gen::<f64>(&mut r) * extent * 1.5 - extent * 0.25).collect();
+            points.push(StreamPoint::new(DenseVector::from(coords), t, None));
+        } else {
+            let m = rand::Rng::gen_range(&mut r, 0..submodes);
+            let coords: Vec<f64> =
+                modes[activity][m].iter().map(|&c| c + sigma * randn(&mut r)).collect();
+            points.push(StreamPoint::new(
+                DenseVector::from(coords),
+                t,
+                Some(activity as u32),
+            ));
+        }
+    }
+    LabeledStream::new("PAMAP2", points, DIM, 5.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table2() {
+        let s = generate(&Pamap2Config { n: 3_000, ..Default::default() });
+        assert_eq!(s.dim, 51);
+        assert_eq!(s.default_r, 5.0);
+    }
+
+    #[test]
+    fn stream_is_piecewise_stationary() {
+        let cfg = Pamap2Config { n: 20_000, segment_len: 2_000, glitch_rate: 0.0, ..Default::default() };
+        let s = generate(&cfg);
+        // Within a session, one label dominates completely.
+        for w in s.points.chunks(2_000) {
+            let first = w[0].label;
+            let same = w.iter().filter(|p| p.label == first).count();
+            assert_eq!(same, w.len(), "session not pure");
+        }
+        // Across sessions, the label changes at least sometimes.
+        let labels: Vec<Option<u32>> = s.points.chunks(2_000).map(|w| w[0].label).collect();
+        assert!(labels.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn glitches_are_unlabeled_and_about_one_percent() {
+        let s = generate(&Pamap2Config { n: 50_000, ..Default::default() });
+        let glitches = s.points.iter().filter(|p| p.label.is_none()).count();
+        let rate = glitches as f64 / s.len() as f64;
+        assert!((rate - 0.01).abs() < 0.004, "glitch rate {rate}");
+    }
+
+    #[test]
+    fn consecutive_sessions_differ() {
+        let cfg = Pamap2Config { n: 30_000, segment_len: 3_000, glitch_rate: 0.0, ..Default::default() };
+        let s = generate(&cfg);
+        let labels: Vec<Option<u32>> = s.points.chunks(3_000).map(|w| w[0].label).collect();
+        for w in labels.windows(2) {
+            assert_ne!(w[0], w[1], "adjacent sessions share an activity");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = Pamap2Config { n: 400, ..Default::default() };
+        assert_eq!(generate(&cfg).points[200].payload, generate(&cfg).points[200].payload);
+    }
+}

@@ -1,0 +1,193 @@
+//! SDS — the paper's 2-D synthetic stream (Table 2: 20,000 × 2, 2 clusters).
+//!
+//! The stream follows the evolution script visible in the paper's Fig 6/7:
+//!
+//! * `0–9 s`  — two clusters **A** (left) and **B** (right) drift toward
+//!   each other;
+//! * `≈9 s`   — A and B **merge** into a single cluster near the origin;
+//! * `12 s`   — a new cluster **C emerges** on the right while the merged
+//!   cluster starts fading;
+//! * `14 s`   — the merged cluster **disappears**; C **splits** into two
+//!   halves;
+//! * `14–20 s` — the two halves move away from each other.
+//!
+//! Times scale linearly with the configured stream length, so a scaled-down
+//! run keeps the same relative script. [`component_state`] exposes the
+//! scripted ground truth so tests and Fig 6 can validate against it.
+
+use edm_common::point::DenseVector;
+use edm_common::time::StreamClock;
+
+use crate::stream::{LabeledStream, StreamPoint};
+
+use super::{randn, rng, sample_weighted};
+
+/// Configuration for the SDS generator.
+#[derive(Debug, Clone)]
+pub struct SdsConfig {
+    /// Number of points (paper: 20,000).
+    pub n: usize,
+    /// Arrival rate in points/sec (paper: 1,000 → 20 s stream).
+    pub rate: f64,
+    /// Isotropic cluster standard deviation.
+    pub sigma: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SdsConfig {
+    fn default() -> Self {
+        SdsConfig { n: 20_000, rate: 1_000.0, sigma: 0.8, seed: 0x5D5 }
+    }
+}
+
+/// Scripted state of one mixture component at a normalized time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentState {
+    /// Component mean.
+    pub center: [f64; 2],
+    /// Mixture weight (0 = inactive).
+    pub weight: f64,
+    /// Ground-truth label the component emits.
+    pub label: u32,
+}
+
+/// Linear interpolation helper clamped to the segment.
+fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    let t = t.clamp(0.0, 1.0);
+    a + (b - a) * t
+}
+
+/// Returns the scripted component states at normalized time `u = t / T`
+/// (`u ∈ [0, 1]`, where `T` is the total stream duration; `u = 0.45`
+/// corresponds to the 9-second mark of the paper's 20 s stream).
+pub fn component_state(u: f64) -> [ComponentState; 4] {
+    let u = u.clamp(0.0, 1.0);
+    // A and B approach each other during [0, 0.45], then sit merged near
+    // the origin, then fade out during [0.6, 0.7].
+    let approach = (u / 0.45).clamp(0.0, 1.0);
+    let ab_weight = if u < 0.6 {
+        1.0
+    } else {
+        lerp(1.0, 0.0, (u - 0.6) / 0.1)
+    };
+    let a = ComponentState {
+        center: [lerp(-6.0, -0.8, approach), 0.0],
+        weight: ab_weight,
+        label: 0,
+    };
+    let b = ComponentState {
+        center: [lerp(6.0, 0.8, approach), 0.0],
+        weight: ab_weight,
+        label: 1,
+    };
+    // C emerges at u = 0.6 at (10, 0); its two halves separate after u = 0.7.
+    let c_weight = if u < 0.6 { 0.0 } else { lerp(0.0, 1.0, (u - 0.6) / 0.05) };
+    let spread = ((u - 0.7) / 0.3).clamp(0.0, 1.0);
+    let c1 = ComponentState {
+        center: [lerp(10.0, 8.0, spread), lerp(0.0, 3.5, spread)],
+        weight: c_weight,
+        label: 2,
+    };
+    let c2 = ComponentState {
+        center: [lerp(10.0, 12.0, spread), lerp(0.0, -3.5, spread)],
+        weight: c_weight,
+        label: 3,
+    };
+    [a, b, c1, c2]
+}
+
+/// Generates the SDS stream.
+pub fn generate(cfg: &SdsConfig) -> LabeledStream<DenseVector> {
+    let mut r = rng(cfg.seed);
+    let clock = StreamClock::new(cfg.rate);
+    let total = cfg.n.max(1) as f64 / cfg.rate;
+    let mut points = Vec::with_capacity(cfg.n);
+    for i in 0..cfg.n {
+        let t = clock.at(i as u64);
+        let states = component_state(t / total);
+        let weights: Vec<f64> = states.iter().map(|s| s.weight).collect();
+        let k = sample_weighted(&mut r, &weights);
+        let s = &states[k];
+        let payload = DenseVector::from([
+            s.center[0] + cfg.sigma * randn(&mut r),
+            s.center[1] + cfg.sigma * randn(&mut r),
+        ]);
+        points.push(StreamPoint::new(payload, t, Some(s.label)));
+    }
+    LabeledStream::new("SDS", points, 2, 0.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table2_shape() {
+        let s = generate(&SdsConfig::default());
+        assert_eq!(s.len(), 20_000);
+        assert_eq!(s.dim, 2);
+        assert!((s.duration() - 19.999).abs() < 0.01);
+        assert_eq!(s.default_r, 0.3);
+    }
+
+    #[test]
+    fn clusters_approach_then_merge_by_script() {
+        let early = component_state(0.05);
+        let merged = component_state(0.5);
+        let sep_early = early[1].center[0] - early[0].center[0];
+        let sep_merged = merged[1].center[0] - merged[0].center[0];
+        assert!(sep_early > 10.0, "early separation {sep_early}");
+        assert!((sep_merged - 1.6).abs() < 1e-9, "merged separation {sep_merged}");
+    }
+
+    #[test]
+    fn c_emerges_after_60_percent_and_splits_after_70() {
+        assert_eq!(component_state(0.55)[2].weight, 0.0);
+        assert!(component_state(0.66)[2].weight > 0.9);
+        // Before split the halves coincide.
+        let pre = component_state(0.68);
+        assert_eq!(pre[2].center, pre[3].center);
+        // After, they separate.
+        let post = component_state(0.9);
+        assert!(post[2].center[1] > 1.0 && post[3].center[1] < -1.0);
+    }
+
+    #[test]
+    fn ab_disappear_by_70_percent() {
+        assert_eq!(component_state(0.75)[0].weight, 0.0);
+        assert_eq!(component_state(0.75)[1].weight, 0.0);
+    }
+
+    #[test]
+    fn early_points_form_two_separated_groups() {
+        let cfg = SdsConfig { n: 2_000, ..Default::default() };
+        let s = generate(&cfg);
+        // First 2 s of a 2 s stream: everything is pre-merge.
+        let (mut left, mut right) = (0usize, 0usize);
+        for p in s.iter() {
+            if p.payload.coords()[0] < 0.0 {
+                left += 1;
+            } else {
+                right += 1;
+            }
+        }
+        assert!(left > 600 && right > 600, "left {left} right {right}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&SdsConfig::default());
+        let b = generate(&SdsConfig::default());
+        assert_eq!(a.points[1234].payload, b.points[1234].payload);
+    }
+
+    #[test]
+    fn late_points_come_only_from_c_halves() {
+        let s = generate(&SdsConfig::default());
+        for p in s.iter().filter(|p| p.ts > 15.0) {
+            assert!(p.label == Some(2) || p.label == Some(3));
+            assert!(p.payload.coords()[0] > 4.0, "late point {:?}", p.payload);
+        }
+    }
+}

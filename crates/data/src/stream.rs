@@ -1,0 +1,152 @@
+//! Timestamped stream points and materialized labeled streams.
+
+use edm_common::time::{StreamClock, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// One element of a data stream: a payload, its arrival time, and (for
+/// evaluation only) the ground-truth class it was generated from.
+///
+/// The label is never shown to a clustering algorithm; the quality metrics
+/// (CMM, purity, …) consume it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamPoint<P> {
+    /// The data payload (vector, token set, …).
+    pub payload: P,
+    /// Arrival timestamp in stream seconds.
+    pub ts: Timestamp,
+    /// Ground-truth class id, if the generator knows one.
+    pub label: Option<u32>,
+}
+
+impl<P> StreamPoint<P> {
+    /// Creates a labeled stream point.
+    pub fn new(payload: P, ts: Timestamp, label: Option<u32>) -> Self {
+        StreamPoint { payload, ts, label }
+    }
+}
+
+/// A fully materialized, time-ordered stream with generation metadata.
+///
+/// Streams are materialized (rather than lazily generated) because every
+/// experiment replays the same stream through several algorithms and several
+/// configurations; determinism and fairness matter more than peak memory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LabeledStream<P> {
+    /// Dataset name as it appears in the paper's Table 2.
+    pub name: String,
+    /// The points in arrival order (timestamps non-decreasing).
+    pub points: Vec<StreamPoint<P>>,
+    /// Number of distinct ground-truth classes that appear.
+    pub n_classes: usize,
+    /// Dimensionality (0 for non-vector payloads such as token sets).
+    pub dim: usize,
+    /// Default cluster-cell radius `r` for this dataset (paper Table 2).
+    pub default_r: f64,
+}
+
+impl<P> LabeledStream<P> {
+    /// Builds a stream, validating time ordering.
+    ///
+    /// # Panics
+    /// Panics if timestamps are not non-decreasing — every algorithm in the
+    /// workspace assumes in-order arrival.
+    pub fn new(
+        name: impl Into<String>,
+        points: Vec<StreamPoint<P>>,
+        dim: usize,
+        default_r: f64,
+    ) -> Self {
+        assert!(
+            points.windows(2).all(|w| w[0].ts <= w[1].ts),
+            "stream timestamps must be non-decreasing"
+        );
+        let mut classes: Vec<u32> = points.iter().filter_map(|p| p.label).collect();
+        classes.sort_unstable();
+        classes.dedup();
+        LabeledStream { name: name.into(), points, n_classes: classes.len(), dim, default_r }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the stream holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total stream duration in seconds (0 for empty streams).
+    pub fn duration(&self) -> f64 {
+        match (self.points.first(), self.points.last()) {
+            (Some(a), Some(b)) => b.ts - a.ts,
+            _ => 0.0,
+        }
+    }
+
+    /// Iterates over `(payload, ts, label)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = &StreamPoint<P>> {
+        self.points.iter()
+    }
+
+    /// Retimes the stream to a new fixed arrival rate (points/sec), keeping
+    /// order and labels. Used by the rate-sweep experiments (Figs 14, 16).
+    pub fn with_rate(mut self, rate: f64) -> Self {
+        let clock = StreamClock::new(rate);
+        for (i, p) in self.points.iter_mut().enumerate() {
+            p.ts = clock.at(i as u64);
+        }
+        self
+    }
+
+    /// Keeps only the first `n` points (for `--scale` runs).
+    pub fn truncated(mut self, n: usize) -> Self {
+        self.points.truncate(n);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(ts: &[f64]) -> Vec<StreamPoint<u32>> {
+        ts.iter().enumerate().map(|(i, &t)| StreamPoint::new(i as u32, t, Some(i as u32 % 2))).collect()
+    }
+
+    #[test]
+    fn stream_collects_class_count() {
+        let s = LabeledStream::new("t", pts(&[0.0, 0.5, 1.0, 1.5]), 0, 1.0);
+        assert_eq!(s.n_classes, 2);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.duration(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn stream_rejects_out_of_order_timestamps() {
+        LabeledStream::new("t", pts(&[1.0, 0.5]), 0, 1.0);
+    }
+
+    #[test]
+    fn with_rate_retimes_uniformly() {
+        let s = LabeledStream::new("t", pts(&[0.0, 10.0, 20.0]), 0, 1.0).with_rate(2.0);
+        let ts: Vec<f64> = s.points.iter().map(|p| p.ts).collect();
+        assert_eq!(ts, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let s = LabeledStream::new("t", pts(&[0.0, 1.0, 2.0]), 0, 1.0).truncated(2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.points[1].ts, 1.0);
+    }
+
+    #[test]
+    fn empty_stream_duration_is_zero() {
+        let s: LabeledStream<u32> = LabeledStream::new("e", vec![], 0, 1.0);
+        assert_eq!(s.duration(), 0.0);
+        assert!(s.is_empty());
+    }
+}

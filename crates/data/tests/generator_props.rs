@@ -1,0 +1,70 @@
+//! Property tests for the dataset generators: determinism, timestamp
+//! monotonicity, and label consistency at arbitrary sizes and seeds.
+
+use edm_data::gen::{covertype, hds, kdd, nads, pamap2, sds};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sds_deterministic_and_ordered(n in 200usize..3000, seed in any::<u64>()) {
+        let cfg = sds::SdsConfig { n, seed, ..Default::default() };
+        let a = sds::generate(&cfg);
+        let b = sds::generate(&cfg);
+        prop_assert_eq!(a.len(), n);
+        prop_assert!(a.points.windows(2).all(|w| w[0].ts <= w[1].ts));
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(&x.payload, &y.payload);
+            prop_assert_eq!(x.label, y.label);
+        }
+    }
+
+    #[test]
+    fn kdd_labels_within_class_range(n in 500usize..4000, seed in any::<u64>()) {
+        let s = kdd::generate(&kdd::KddConfig { n, seed, ..Default::default() });
+        prop_assert!(s.iter().all(|p| p.label.unwrap() < 23));
+        prop_assert!(s.iter().all(|p| p.payload.dim() == 34));
+    }
+
+    #[test]
+    fn covertype_dimensions_and_labels(n in 500usize..4000, seed in any::<u64>()) {
+        let s = covertype::generate(&covertype::CoverTypeConfig {
+            n, seed, ..Default::default()
+        });
+        prop_assert!(s.iter().all(|p| p.label.unwrap() < 7));
+        prop_assert!(s.iter().all(|p| p.payload.dim() == 54));
+    }
+
+    #[test]
+    fn pamap2_glitches_unlabeled(n in 500usize..4000, seed in any::<u64>()) {
+        let s = pamap2::generate(&pamap2::Pamap2Config { n, seed, ..Default::default() });
+        for p in s.iter() {
+            match p.label {
+                Some(l) => prop_assert!(l < 13),
+                None => {} // glitch
+            }
+            prop_assert_eq!(p.payload.dim(), 51);
+        }
+    }
+
+    #[test]
+    fn hds_respects_dimension(dim in 2usize..64, seed in any::<u64>()) {
+        let mut cfg = hds::HdsConfig::paper(dim);
+        cfg.n = 500;
+        cfg.seed = seed;
+        let s = hds::generate(&cfg);
+        prop_assert!(s.iter().all(|p| p.payload.dim() == dim));
+        prop_assert!(s.iter().all(|p| p.label.unwrap() < 20));
+    }
+
+    #[test]
+    fn nads_headlines_are_nonempty_sorted_token_sets(n in 500usize..4000, seed in any::<u64>()) {
+        let s = nads::generate(&nads::NadsConfig { n, seed, ..Default::default() });
+        for p in s.iter() {
+            prop_assert!(!p.payload.is_empty());
+            prop_assert!(p.payload.tokens().windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(p.payload.len() <= 6);
+        }
+    }
+}

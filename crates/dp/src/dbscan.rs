@@ -1,0 +1,170 @@
+//! DBSCAN (Ester et al., KDD'96) — paper §2.3's contrast algorithm and the
+//! offline step of the DenStream baseline.
+//!
+//! Supports weighted points: a point is *core* when the total weight inside
+//! its ε-neighborhood (including itself) reaches `min_weight`. With unit
+//! weights and `min_weight = minPts` this is textbook DBSCAN; with
+//! micro-cluster weights it is exactly DenStream's offline variant.
+
+use edm_common::metric::Metric;
+use serde::{Deserialize, Serialize};
+
+/// DBSCAN configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DbscanConfig {
+    /// Neighborhood radius ε.
+    pub eps: f64,
+    /// Minimum neighborhood weight (minPts for unit weights).
+    pub min_weight: f64,
+}
+
+/// DBSCAN result: cluster id per point (`None` = noise) and cluster count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DbscanResult {
+    /// Cluster id per input point; `None` marks noise.
+    pub assignment: Vec<Option<usize>>,
+    /// Number of clusters found.
+    pub n_clusters: usize,
+}
+
+/// Runs DBSCAN with unit weights.
+pub fn cluster<P, M: Metric<P>>(points: &[P], metric: &M, cfg: &DbscanConfig) -> DbscanResult {
+    cluster_weighted(points, None, metric, cfg)
+}
+
+/// Runs weighted DBSCAN. `weights`, when given, must parallel `points`.
+pub fn cluster_weighted<P, M: Metric<P>>(
+    points: &[P],
+    weights: Option<&[f64]>,
+    metric: &M,
+    cfg: &DbscanConfig,
+) -> DbscanResult {
+    assert!(cfg.eps > 0.0, "eps must be positive");
+    let n = points.len();
+    if let Some(w) = weights {
+        assert_eq!(w.len(), n, "one weight per point required");
+    }
+    let w = |i: usize| weights.map_or(1.0, |w| w[i]);
+
+    // Precompute ε-neighborhoods (O(n²); inputs are summaries, not raw
+    // streams, so n stays in the hundreds).
+    let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if metric.dist(&points[i], &points[j]) <= cfg.eps {
+                neighbors[i].push(j);
+                neighbors[j].push(i);
+            }
+        }
+    }
+    let is_core: Vec<bool> = (0..n)
+        .map(|i| {
+            let mass: f64 = w(i) + neighbors[i].iter().map(|&j| w(j)).sum::<f64>();
+            mass >= cfg.min_weight
+        })
+        .collect();
+
+    // Expand clusters from unvisited core points (standard BFS growth).
+    let mut assignment: Vec<Option<usize>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut n_clusters = 0;
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n {
+        if visited[start] || !is_core[start] {
+            continue;
+        }
+        let cid = n_clusters;
+        n_clusters += 1;
+        queue.push_back(start);
+        visited[start] = true;
+        while let Some(p) = queue.pop_front() {
+            assignment[p] = Some(cid);
+            if !is_core[p] {
+                continue; // border points don't expand
+            }
+            for &q in &neighbors[p] {
+                if !visited[q] {
+                    visited[q] = true;
+                    queue.push_back(q);
+                }
+            }
+        }
+    }
+    DbscanResult { assignment, n_clusters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edm_common::metric::Euclidean;
+    use edm_common::point::DenseVector;
+
+    fn line(coords: &[f64]) -> Vec<DenseVector> {
+        coords.iter().map(|&x| DenseVector::from([x])).collect()
+    }
+
+    #[test]
+    fn two_groups_and_noise() {
+        // Groups at 0..0.4 and 10..10.4 (5 points each), noise at 100.
+        let mut xs: Vec<f64> = (0..5).map(|i| i as f64 * 0.1).collect();
+        xs.extend((0..5).map(|i| 10.0 + i as f64 * 0.1));
+        xs.push(100.0);
+        let pts = line(&xs);
+        let res = cluster(&pts, &Euclidean, &DbscanConfig { eps: 0.5, min_weight: 3.0 });
+        assert_eq!(res.n_clusters, 2);
+        assert_eq!(res.assignment[10], None, "far point must be noise");
+        assert_eq!(res.assignment[0], res.assignment[4]);
+        assert_ne!(res.assignment[0], res.assignment[5]);
+    }
+
+    #[test]
+    fn border_points_join_but_do_not_expand() {
+        // Chain: core cluster 0,0.1,0.2; border at 0.6 (1 neighbor at 0.2);
+        // point at 1.05 reachable only through the border → must be noise
+        // (eps=0.45: 0.6→1.05 distance 0.45 is within eps, but 0.6 is not
+        // core with min_weight 3: neighbors of 0.6 are 0.2 and 1.05 → mass 3).
+        // Make it strict: min_weight 4 keeps 0.6 non-core.
+        let pts = line(&[0.0, 0.1, 0.2, 0.6, 1.05]);
+        let res = cluster(&pts, &Euclidean, &DbscanConfig { eps: 0.45, min_weight: 4.0 });
+        // 0.0,0.1,0.2 are pairwise within 0.45 of each other... 0.0↔0.2 d=0.2 ok,
+        // plus 0.6 in 0.2's neighborhood → 0.2 has mass 4 → core.
+        assert!(res.assignment[0].is_some());
+        assert_eq!(res.assignment[3], res.assignment[2], "border joins cluster");
+        assert_eq!(res.assignment[4], None, "beyond-border point stays noise");
+    }
+
+    #[test]
+    fn weights_make_sparse_region_core() {
+        // Two points far apart; with weight 10 each, both become core
+        // singletons → two clusters instead of all-noise.
+        let pts = line(&[0.0, 10.0]);
+        let noise =
+            cluster(&pts, &Euclidean, &DbscanConfig { eps: 1.0, min_weight: 5.0 });
+        assert_eq!(noise.n_clusters, 0);
+        let weighted = cluster_weighted(
+            &pts,
+            Some(&[10.0, 10.0]),
+            &Euclidean,
+            &DbscanConfig { eps: 1.0, min_weight: 5.0 },
+        );
+        assert_eq!(weighted.n_clusters, 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let res = cluster::<DenseVector, _>(&[], &Euclidean, &DbscanConfig { eps: 1.0, min_weight: 1.0 });
+        assert_eq!(res.n_clusters, 0);
+        assert!(res.assignment.is_empty());
+    }
+
+    #[test]
+    fn assignments_are_dense_cluster_ids() {
+        let pts = line(&[0.0, 0.1, 5.0, 5.1, 9.0, 9.1]);
+        let res = cluster(&pts, &Euclidean, &DbscanConfig { eps: 0.3, min_weight: 2.0 });
+        assert_eq!(res.n_clusters, 3);
+        let mut ids: Vec<usize> = res.assignment.iter().flatten().copied().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

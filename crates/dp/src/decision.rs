@@ -1,0 +1,178 @@
+//! The (ρ, δ) decision graph (paper Fig 2b, Fig 15).
+//!
+//! Density Peaks picks cluster centers by eye: centers stand out in the
+//! upper-right of a ρ-δ scatter. EDMStream automates the "eye" — the
+//! initial τ₀ comes from a user picking a horizontal line on this graph,
+//! and the adaptive-τ machinery (paper §5) learns the preference behind
+//! that pick. This module materializes the graph, suggests a τ via the
+//! largest-gap heuristic (standing in for the user of §5), and renders an
+//! ASCII scatter for the harness outputs of Figs 2 and 15.
+
+use serde::{Deserialize, Serialize};
+
+/// A decision graph: one (ρ, δ) pair per point or cluster-cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionGraph {
+    pairs: Vec<(f64, f64)>,
+}
+
+impl DecisionGraph {
+    /// Builds a graph from parallel ρ and δ slices.
+    ///
+    /// # Panics
+    /// Panics when the slices disagree in length.
+    pub fn new(rho: &[f64], delta: &[f64]) -> Self {
+        assert_eq!(rho.len(), delta.len(), "rho/delta must be parallel");
+        DecisionGraph { pairs: rho.iter().copied().zip(delta.iter().copied()).collect() }
+    }
+
+    /// The underlying (ρ, δ) pairs.
+    pub fn pairs(&self) -> &[(f64, f64)] {
+        &self.pairs
+    }
+
+    /// Number of points in the graph.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Number of centers a horizontal line at `tau` would select among
+    /// points denser than `xi` (finite δ assumed for non-roots; the global
+    /// peak's large δ naturally lands above any sensible τ).
+    pub fn centers_at(&self, tau: f64, xi: f64) -> usize {
+        self.pairs.iter().filter(|(r, d)| *r > xi && *d > tau).count()
+    }
+
+    /// Suggests τ₀ the way the paper's interactive user would: find the
+    /// largest multiplicative gap in the sorted δ values (ignoring points
+    /// with ρ ≤ ξ) and cut in the middle of it. Returns `None` when fewer
+    /// than two eligible points exist.
+    ///
+    /// The *largest gap* is exactly what makes centers "anomalously large
+    /// in δ" (paper §2.1); cutting inside it separates peak δs from bulk δs.
+    pub fn suggest_tau(&self, xi: f64) -> Option<f64> {
+        let mut ds: Vec<f64> = self
+            .pairs
+            .iter()
+            .filter(|(r, d)| *r > xi && d.is_finite())
+            .map(|(_, d)| *d)
+            .collect();
+        if ds.len() < 2 {
+            return None;
+        }
+        ds.sort_by(|a, b| a.partial_cmp(b).expect("delta never NaN"));
+        let mut best = (0.0f64, None::<f64>);
+        for w in ds.windows(2) {
+            let (lo, hi) = (w[0].max(1e-12), w[1]);
+            let gap = hi / lo;
+            if gap > best.0 {
+                best = (gap, Some(0.5 * (w[0] + w[1])));
+            }
+        }
+        best.1
+    }
+
+    /// Renders an ASCII scatter `rows × cols` with `*` marks, plus optional
+    /// horizontal τ lines drawn as `-` (labeled by the caller). Axes: x = ρ
+    /// (left→right), y = δ (bottom→top). Used by the Fig 2/15 harness.
+    pub fn render_ascii(&self, rows: usize, cols: usize, tau_lines: &[f64]) -> String {
+        assert!(rows >= 2 && cols >= 2);
+        let finite: Vec<(f64, f64)> =
+            self.pairs.iter().copied().filter(|(r, d)| r.is_finite() && d.is_finite()).collect();
+        if finite.is_empty() {
+            return String::from("(empty decision graph)\n");
+        }
+        let max_r = finite.iter().map(|p| p.0).fold(0.0, f64::max).max(1e-12);
+        let max_d = finite
+            .iter()
+            .map(|p| p.1)
+            .chain(tau_lines.iter().copied())
+            .fold(0.0, f64::max)
+            .max(1e-12);
+        let mut grid = vec![vec![' '; cols]; rows];
+        for &tau in tau_lines {
+            let row = ((1.0 - tau / max_d) * (rows - 1) as f64).round() as usize;
+            if row < rows {
+                for c in grid[row].iter_mut() {
+                    *c = '-';
+                }
+            }
+        }
+        for (r, d) in finite {
+            let col = ((r / max_r) * (cols - 1) as f64).round() as usize;
+            let row = ((1.0 - d / max_d) * (rows - 1) as f64).round() as usize;
+            grid[row.min(rows - 1)][col.min(cols - 1)] = '*';
+        }
+        let mut out = String::with_capacity(rows * (cols + 2));
+        for row in grid {
+            out.push('|');
+            out.extend(row);
+            out.push('\n');
+        }
+        out.push('+');
+        out.extend(std::iter::repeat('-').take(cols));
+        out.push('\n');
+        out.push_str(&format!("rho: 0..{max_r:.3}  delta: 0..{max_d:.3}\n"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suggest_tau_finds_the_big_gap() {
+        // Bulk δs around 1, two peaks around 10 → τ in between.
+        let rho = vec![5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        let delta = vec![0.9, 1.0, 1.1, 1.2, 10.0, 11.0];
+        let g = DecisionGraph::new(&rho, &delta);
+        let tau = g.suggest_tau(0.0).unwrap();
+        assert!(tau > 1.2 && tau < 10.0, "tau {tau}");
+        assert_eq!(g.centers_at(tau, 0.0), 2);
+    }
+
+    #[test]
+    fn suggest_tau_ignores_low_density_points() {
+        // A sparse point with a huge δ must not fool the heuristic.
+        let rho = vec![0.1, 5.0, 6.0, 7.0];
+        let delta = vec![50.0, 1.0, 1.1, 9.0];
+        let g = DecisionGraph::new(&rho, &delta);
+        let tau = g.suggest_tau(1.0).unwrap();
+        assert!(tau > 1.1 && tau < 9.0, "tau {tau}");
+    }
+
+    #[test]
+    fn suggest_tau_needs_two_points() {
+        let g = DecisionGraph::new(&[1.0], &[2.0]);
+        assert_eq!(g.suggest_tau(0.0), None);
+    }
+
+    #[test]
+    fn centers_at_counts_upper_right_region() {
+        let g = DecisionGraph::new(&[1.0, 5.0, 9.0], &[0.5, 3.0, 8.0]);
+        assert_eq!(g.centers_at(2.0, 2.0), 2);
+        assert_eq!(g.centers_at(5.0, 2.0), 1);
+        assert_eq!(g.centers_at(10.0, 2.0), 0);
+    }
+
+    #[test]
+    fn ascii_render_contains_marks_and_tau_line() {
+        let g = DecisionGraph::new(&[1.0, 10.0], &[1.0, 10.0]);
+        let art = g.render_ascii(10, 20, &[5.0]);
+        assert!(art.contains('*'));
+        assert!(art.contains('-'));
+        assert!(art.contains("rho: 0..10"));
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn rejects_mismatched_slices() {
+        DecisionGraph::new(&[1.0], &[]);
+    }
+}

@@ -1,0 +1,297 @@
+//! Batch Density Peaks clustering (Rodriguez & Laio 2014; paper §2.1).
+//!
+//! For every point the algorithm computes its local density ρ (Eq. 1 — the
+//! mass of points within the cutoff distance `dc`) and its dependent
+//! distance δ (Eq. 2 — distance to the nearest point of higher density).
+//! Cluster centers are the points with anomalously large ρ *and* δ; every
+//! other point follows its dependency chain to a center. Outliers are
+//! points with ρ ≤ ξ. With the weak-link threshold τ this is exactly the
+//! MSDSubTree clustering of paper Def. 2, computed on a static snapshot.
+//!
+//! The implementation supports per-point weights so the stream engine can
+//! run its *initialization* (paper §4.1) on decayed freshness values
+//! (ρ = Σ f_i, Eq. 4) using the same code path.
+
+use edm_common::metric::Metric;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a batch DP run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DpConfig {
+    /// Cutoff distance `dc` defining the density neighborhood (Eq. 1).
+    pub dc: f64,
+    /// Outlier density threshold ξ: points with ρ ≤ ξ are outliers.
+    pub xi: f64,
+    /// Weak-dependency threshold τ: links longer than τ separate clusters.
+    pub tau: f64,
+}
+
+impl DpConfig {
+    /// Creates a config, validating positivity of `dc`.
+    pub fn new(dc: f64, xi: f64, tau: f64) -> Self {
+        assert!(dc > 0.0, "cutoff distance must be positive");
+        DpConfig { dc, xi, tau }
+    }
+}
+
+/// Output of a batch DP run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DpResult {
+    /// Local density per point (Eq. 1, optionally weighted per Eq. 4).
+    pub rho: Vec<f64>,
+    /// Dependent distance per point (Eq. 2); the global peak gets the
+    /// maximum pairwise distance observed so it plots at the top of the
+    /// decision graph.
+    pub delta: Vec<f64>,
+    /// Nearest higher-density point per point (`None` for the global peak).
+    pub dependency: Vec<Option<usize>>,
+    /// Cluster id per point (`None` = outlier).
+    pub assignment: Vec<Option<usize>>,
+    /// Indices of the cluster centers, one per cluster id (in id order).
+    pub centers: Vec<usize>,
+}
+
+impl DpResult {
+    /// Number of clusters found.
+    pub fn n_clusters(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Number of outlier points.
+    pub fn n_outliers(&self) -> usize {
+        self.assignment.iter().filter(|a| a.is_none()).count()
+    }
+}
+
+/// Runs Density Peaks clustering with unit point weights.
+pub fn cluster<P, M: Metric<P>>(points: &[P], metric: &M, cfg: &DpConfig) -> DpResult {
+    cluster_weighted(points, None, metric, cfg)
+}
+
+/// Runs Density Peaks clustering; `weights`, when given, are the freshness
+/// values of Eq. 4 (one per point, must be the same length as `points`).
+pub fn cluster_weighted<P, M: Metric<P>>(
+    points: &[P],
+    weights: Option<&[f64]>,
+    metric: &M,
+    cfg: &DpConfig,
+) -> DpResult {
+    let n = points.len();
+    if let Some(w) = weights {
+        assert_eq!(w.len(), n, "one weight per point required");
+    }
+    if n == 0 {
+        return empty_result();
+    }
+    let w = |i: usize| weights.map_or(1.0, |w| w[i]);
+
+    // ρ: weighted mass within dc (Eq. 1 / Eq. 4). O(n²) pairwise pass; the
+    // batch path only runs on snapshots and initialization caches.
+    let mut rho = vec![0.0f64; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = metric.dist(&points[i], &points[j]);
+            if d < cfg.dc {
+                rho[i] += w(j);
+                rho[j] += w(i);
+            }
+        }
+    }
+    finish(points, rho, metric, cfg)
+}
+
+/// Runs Density Peaks clustering over points whose local densities are
+/// already known — e.g. cluster-cell seeds carrying their decayed masses
+/// (the stream engine's initialization view of the world). Skips Eq. 1 and
+/// goes straight to the δ/dependency computation.
+pub fn cluster_with_density<P, M: Metric<P>>(
+    points: &[P],
+    rho: &[f64],
+    metric: &M,
+    cfg: &DpConfig,
+) -> DpResult {
+    assert_eq!(rho.len(), points.len(), "one density per point required");
+    if points.is_empty() {
+        return empty_result();
+    }
+    finish(points, rho.to_vec(), metric, cfg)
+}
+
+fn empty_result() -> DpResult {
+    DpResult { rho: vec![], delta: vec![], dependency: vec![], assignment: vec![], centers: vec![] }
+}
+
+/// Shared δ/dependency/assignment computation given densities.
+fn finish<P, M: Metric<P>>(points: &[P], rho: Vec<f64>, metric: &M, cfg: &DpConfig) -> DpResult {
+    let n = points.len();
+    let mut max_dist = 0.0f64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            max_dist = max_dist.max(metric.dist(&points[i], &points[j]));
+        }
+    }
+
+    // δ and dependency: scan points in density-descending order (Eq. 2).
+    // Ties broken by index so results are deterministic (the paper breaks
+    // ties randomly; any consistent order yields a valid dependency tree).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        rho[b].partial_cmp(&rho[a]).expect("density is never NaN").then(a.cmp(&b))
+    });
+    let mut delta = vec![f64::INFINITY; n];
+    let mut dependency: Vec<Option<usize>> = vec![None; n];
+    for oi in 1..n {
+        let i = order[oi];
+        let mut best = (f64::INFINITY, usize::MAX);
+        for &j in &order[..oi] {
+            let d = metric.dist(&points[i], &points[j]);
+            if d < best.0 {
+                best = (d, j);
+            }
+        }
+        delta[i] = best.0;
+        dependency[i] = Some(best.1);
+    }
+    // Global density peak: conventional δ = max pairwise distance.
+    delta[order[0]] = if n > 1 { max_dist } else { f64::INFINITY };
+
+    // Assignment: walk the order once; a point either starts a cluster
+    // (strong-root with ρ > ξ), inherits its dependency's cluster, or is an
+    // outlier (paper Def. 1/2).
+    let mut assignment: Vec<Option<usize>> = vec![None; n];
+    let mut centers = Vec::new();
+    for &i in &order {
+        if rho[i] <= cfg.xi {
+            continue; // outlier
+        }
+        match dependency[i] {
+            // The global peak always roots an MSDSubTree, whatever τ is.
+            None => {
+                assignment[i] = Some(centers.len());
+                centers.push(i);
+            }
+            Some(_) if delta[i] > cfg.tau => {
+                assignment[i] = Some(centers.len());
+                centers.push(i);
+            }
+            Some(dep) => assignment[i] = assignment[dep],
+        }
+    }
+    DpResult { rho, delta, dependency, assignment, centers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edm_common::metric::Euclidean;
+    use edm_common::point::DenseVector;
+
+    fn two_blob_points() -> Vec<DenseVector> {
+        // A tight blob near the origin and one near (10, 10), 8 points each.
+        let mut pts = Vec::new();
+        for i in 0..8 {
+            let o = i as f64 * 0.1;
+            pts.push(DenseVector::from([o, 0.1 * (i % 3) as f64]));
+            pts.push(DenseVector::from([10.0 + o, 10.0 - 0.1 * (i % 3) as f64]));
+        }
+        pts
+    }
+
+    #[test]
+    fn two_blobs_yield_two_clusters() {
+        let pts = two_blob_points();
+        let res = cluster(&pts, &Euclidean, &DpConfig::new(1.5, 0.0, 3.0));
+        assert_eq!(res.n_clusters(), 2);
+        assert_eq!(res.n_outliers(), 0);
+        // Points of the same blob share an assignment.
+        let a0 = res.assignment[0];
+        let a1 = res.assignment[1];
+        assert_ne!(a0, a1);
+        for (i, a) in res.assignment.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(*a, a0);
+            } else {
+                assert_eq!(*a, a1);
+            }
+        }
+    }
+
+    #[test]
+    fn global_peak_has_max_delta_and_no_dependency() {
+        let pts = two_blob_points();
+        let res = cluster(&pts, &Euclidean, &DpConfig::new(1.5, 0.0, 3.0));
+        let peak = (0..pts.len())
+            .max_by(|&a, &b| res.rho[a].partial_cmp(&res.rho[b]).unwrap().then(b.cmp(&a)))
+            .unwrap();
+        assert!(res.dependency[peak].is_none());
+        let max_delta = res.delta.iter().cloned().fold(0.0, f64::max);
+        assert_eq!(res.delta[peak], max_delta);
+    }
+
+    #[test]
+    fn dependency_points_to_higher_density() {
+        let pts = two_blob_points();
+        let res = cluster(&pts, &Euclidean, &DpConfig::new(1.5, 0.0, 3.0));
+        for (i, dep) in res.dependency.iter().enumerate() {
+            if let Some(j) = dep {
+                assert!(
+                    res.rho[*j] > res.rho[i]
+                        || (res.rho[*j] == res.rho[i] && *j < i),
+                    "dependency must have higher density (or earlier tie index)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_point_is_outlier() {
+        let mut pts = two_blob_points();
+        pts.push(DenseVector::from([50.0, 50.0]));
+        // ξ = 0.5: the isolated point has ρ = 0 ≤ ξ.
+        let res = cluster(&pts, &Euclidean, &DpConfig::new(1.5, 0.5, 3.0));
+        assert_eq!(res.assignment[pts.len() - 1], None);
+        assert_eq!(res.n_clusters(), 2);
+    }
+
+    #[test]
+    fn weights_shift_the_density_peak() {
+        // Two neighboring points: whoever sits next to the heavier point
+        // has the larger (weighted) density, so the dependency flips with
+        // the weights — this is Eq. 4's freshness-weighted density at work.
+        let pts = vec![DenseVector::from([0.0]), DenseVector::from([1.0])];
+        let cfg = DpConfig::new(1.5, 0.0, 10.0);
+        let right_heavy = cluster_weighted(&pts, Some(&[1.0, 3.0]), &Euclidean, &cfg);
+        // ρ_0 = w(1) = 3, ρ_1 = w(0) = 1 → point 0 is the peak.
+        assert!(right_heavy.rho[0] > right_heavy.rho[1]);
+        assert_eq!(right_heavy.dependency[1], Some(0));
+        let left_heavy = cluster_weighted(&pts, Some(&[3.0, 1.0]), &Euclidean, &cfg);
+        assert!(left_heavy.rho[1] > left_heavy.rho[0]);
+        assert_eq!(left_heavy.dependency[0], Some(1));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_result() {
+        let res = cluster::<DenseVector, _>(&[], &Euclidean, &DpConfig::new(1.0, 0.0, 1.0));
+        assert_eq!(res.n_clusters(), 0);
+        assert!(res.rho.is_empty());
+    }
+
+    #[test]
+    fn single_point_is_its_own_cluster_when_dense_enough() {
+        let pts = vec![DenseVector::from([1.0, 2.0])];
+        let res = cluster(&pts, &Euclidean, &DpConfig::new(1.0, -1.0, 1.0));
+        assert_eq!(res.n_clusters(), 1);
+        assert_eq!(res.assignment[0], Some(0));
+    }
+
+    #[test]
+    fn tau_controls_cluster_granularity() {
+        let pts = two_blob_points();
+        // Huge τ: everything strongly dependent → one cluster.
+        let coarse = cluster(&pts, &Euclidean, &DpConfig::new(1.5, 0.0, 100.0));
+        assert_eq!(coarse.n_clusters(), 1);
+        // Tiny τ: every link weak → every non-outlier is its own cluster.
+        let fine = cluster(&pts, &Euclidean, &DpConfig::new(1.5, 0.0, 1e-6));
+        assert_eq!(fine.n_clusters(), pts.len());
+    }
+}

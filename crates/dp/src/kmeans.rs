@@ -1,0 +1,172 @@
+//! Lloyd's k-means with k-means++ seeding.
+//!
+//! Not used by EDMStream itself — it is the *other* classic offline
+//! recluster in the related work (CluStream-style pipelines, paper §7) and
+//! serves as a reference point in tests and ablations.
+
+use edm_common::point::DenseVector;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// k-means configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct KmeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Seed for the k-means++ initialization.
+    pub seed: u64,
+}
+
+/// k-means result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KmeansResult {
+    /// Final centroids (length ≤ k; fewer when `points.len() < k`).
+    pub centroids: Vec<DenseVector>,
+    /// Cluster id per point.
+    pub assignment: Vec<usize>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Lloyd iterations actually executed.
+    pub iterations: usize,
+}
+
+/// Runs k-means. Empty input yields an empty result.
+pub fn cluster(points: &[DenseVector], cfg: &KmeansConfig) -> KmeansResult {
+    assert!(cfg.k > 0, "k must be positive");
+    let n = points.len();
+    if n == 0 {
+        return KmeansResult { centroids: vec![], assignment: vec![], inertia: 0.0, iterations: 0 };
+    }
+    let k = cfg.k.min(n);
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+
+    // k-means++ seeding: first centroid uniform, then proportional to D².
+    let mut centroids: Vec<DenseVector> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..n)].clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| p.sq_dist(&centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut x = rng.gen::<f64>() * total;
+            let mut pick = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                x -= d;
+                if x <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        centroids.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(p.sq_dist(centroids.last().unwrap()));
+        }
+    }
+
+    // Lloyd iterations.
+    let dim = points[0].dim();
+    let mut assignment = vec![0usize; n];
+    let mut iterations = 0;
+    for _ in 0..cfg.max_iters {
+        iterations += 1;
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = (f64::INFINITY, 0usize);
+            for (ci, c) in centroids.iter().enumerate() {
+                let d = p.sq_dist(c);
+                if d < best.0 {
+                    best = (d, ci);
+                }
+            }
+            if assignment[i] != best.1 {
+                assignment[i] = best.1;
+                changed = true;
+            }
+        }
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            counts[assignment[i]] += 1;
+            for (s, &x) in sums[assignment[i]].iter_mut().zip(p.coords()) {
+                *s += x;
+            }
+        }
+        for (ci, c) in centroids.iter_mut().enumerate() {
+            if counts[ci] > 0 {
+                let inv = 1.0 / counts[ci] as f64;
+                let coords: Vec<f64> = sums[ci].iter().map(|s| s * inv).collect();
+                *c = DenseVector::from(coords);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let inertia =
+        points.iter().zip(&assignment).map(|(p, &a)| p.sq_dist(&centroids[a])).sum();
+    KmeansResult { centroids, assignment, inertia, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(cx: f64, cy: f64, n: usize, spread: f64) -> Vec<DenseVector> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64 * 0.7;
+                DenseVector::from([cx + spread * a.sin(), cy + spread * a.cos()])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut pts = blob(0.0, 0.0, 20, 0.5);
+        pts.extend(blob(10.0, 10.0, 20, 0.5));
+        let res = cluster(&pts, &KmeansConfig { k: 2, max_iters: 50, seed: 1 });
+        assert_eq!(res.centroids.len(), 2);
+        let a = res.assignment[0];
+        assert!(pts.iter().zip(&res.assignment).all(|(p, &c)| {
+            let near_origin = p.coords()[0] < 5.0;
+            (c == a) == near_origin
+        }));
+        assert!(res.inertia < 20.0, "inertia {}", res.inertia);
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let pts = blob(0.0, 0.0, 3, 0.1);
+        let res = cluster(&pts, &KmeansConfig { k: 10, max_iters: 10, seed: 2 });
+        assert_eq!(res.centroids.len(), 3);
+    }
+
+    #[test]
+    fn converges_and_stops_early() {
+        let pts = blob(0.0, 0.0, 30, 0.3);
+        let res = cluster(&pts, &KmeansConfig { k: 1, max_iters: 100, seed: 3 });
+        assert!(res.iterations < 100, "should converge quickly");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let pts = blob(0.0, 0.0, 15, 1.0);
+        let a = cluster(&pts, &KmeansConfig { k: 3, max_iters: 20, seed: 7 });
+        let b = cluster(&pts, &KmeansConfig { k: 3, max_iters: 20, seed: 7 });
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn empty_input() {
+        let res = cluster(&[], &KmeansConfig { k: 2, max_iters: 5, seed: 0 });
+        assert!(res.centroids.is_empty());
+    }
+}

@@ -1,0 +1,94 @@
+//! Parameter-selection utilities.
+//!
+//! The paper chooses the cell radius `r` "from 0.5% to 2% of the distance
+//! of all pairs of objects in ascending order" (§6.7, following the DP
+//! paper's d_c heuristic). Computing all O(n²) pairwise distances is
+//! wasteful on half-million-point streams, so [`distance_quantile`] samples
+//! a bounded number of random pairs — the quantile estimate converges fast
+//! and the choice of `r` only needs one significant digit.
+
+use edm_common::metric::Metric;
+use edm_common::stats::quantile;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Estimates the `q`-quantile of pairwise distances by sampling up to
+/// `max_pairs` random point pairs (deterministic per seed).
+///
+/// # Panics
+/// Panics when fewer than two points are supplied or `q ∉ [0,1]`.
+pub fn distance_quantile<P, M: Metric<P>>(
+    points: &[P],
+    metric: &M,
+    q: f64,
+    max_pairs: usize,
+    seed: u64,
+) -> f64 {
+    assert!(points.len() >= 2, "need at least two points");
+    let n = points.len();
+    let total_pairs = n * (n - 1) / 2;
+    let mut dists: Vec<f64>;
+    if total_pairs <= max_pairs {
+        dists = Vec::with_capacity(total_pairs);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                dists.push(metric.dist(&points[i], &points[j]));
+            }
+        }
+    } else {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        dists = Vec::with_capacity(max_pairs);
+        while dists.len() < max_pairs {
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..n);
+            if i != j {
+                dists.push(metric.dist(&points[i], &points[j]));
+            }
+        }
+    }
+    quantile(&dists, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edm_common::metric::Euclidean;
+    use edm_common::point::DenseVector;
+
+    fn grid_points() -> Vec<DenseVector> {
+        (0..10).map(|i| DenseVector::from([i as f64])).collect()
+    }
+
+    #[test]
+    fn exact_when_pairs_fit() {
+        let pts = grid_points();
+        // All 45 distances enumerated: min 1, max 9.
+        let lo = distance_quantile(&pts, &Euclidean, 0.0, 1000, 0);
+        let hi = distance_quantile(&pts, &Euclidean, 1.0, 1000, 0);
+        assert_eq!(lo, 1.0);
+        assert_eq!(hi, 9.0);
+    }
+
+    #[test]
+    fn sampled_estimate_is_close_to_exact() {
+        let pts: Vec<DenseVector> = (0..200).map(|i| DenseVector::from([(i % 40) as f64])).collect();
+        let exact = distance_quantile(&pts, &Euclidean, 0.5, usize::MAX, 0);
+        let sampled = distance_quantile(&pts, &Euclidean, 0.5, 2_000, 0);
+        assert!((exact - sampled).abs() <= 2.0, "exact {exact} sampled {sampled}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let pts: Vec<DenseVector> = (0..100).map(|i| DenseVector::from([i as f64 * 0.37])).collect();
+        let a = distance_quantile(&pts, &Euclidean, 0.02, 500, 9);
+        let b = distance_quantile(&pts, &Euclidean, 0.02, 500, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_point() {
+        distance_quantile(&[DenseVector::from([0.0])], &Euclidean, 0.5, 10, 0);
+    }
+}

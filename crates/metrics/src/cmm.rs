@@ -1,0 +1,343 @@
+//! The Cluster Mapping Measure — CMM (Kremer, Kranen, Jansen, Seidl,
+//! Bifet, Holmes, Pfahringer: "An effective evaluation measure for
+//! clustering on evolving data streams", KDD 2011).
+//!
+//! CMM compares a clustering against ground truth *in a streaming
+//! setting*: every object carries a freshness weight, and only *fault*
+//! objects are penalized:
+//!
+//! * **missed** — a class object the clustering left as noise;
+//! * **misplaced** — a class object put in a cluster mapped to a
+//!   different class;
+//! * **noise inclusion** — a ground-truth-noise object put in a cluster.
+//!
+//! Each penalty is scaled by *connectivity* `con(o, S) ∈ [0,1]` — how
+//! tightly `o` sits inside object set `S`, measured by the ratio of the
+//! set's average k-NN distance to the object's own k-NN distance within
+//! the set. A missed object loosely connected to its own class costs
+//! little; a noise object tightly connected to the cluster it joined also
+//! costs little. `CMM = 1 − Σ_F w(o)·pen(o) / Σ_O w(o)·con(o, Cl(o))`,
+//! and 1.0 when the fault set is empty.
+//!
+//! Normalization note: the penalty sum runs over the fault set F, the
+//! normalizer over *all* objects O (with `con ≡ 1` for ground-truth noise).
+//! Normalizing over F alone would make CMM insensitive to how much of the
+//! window is actually clustered correctly — a window whose only faults are
+//! missed objects would score exactly 0 whether one object or every object
+//! was missed, which contradicts the smooth curves of the paper's Fig 13.
+
+use edm_common::metric::Metric;
+
+/// Configuration for CMM.
+#[derive(Debug, Clone, Copy)]
+pub struct CmmConfig {
+    /// Neighborhood size for connectivity (original paper uses small k).
+    pub k: usize,
+}
+
+impl Default for CmmConfig {
+    fn default() -> Self {
+        CmmConfig { k: 5 }
+    }
+}
+
+/// One evaluation object: payload reference, freshness weight, ground
+/// truth class (`None` = noise) and predicted cluster (`None` = noise).
+#[derive(Debug, Clone, Copy)]
+pub struct EvalObject<'a, P> {
+    /// The data payload.
+    pub payload: &'a P,
+    /// Freshness weight `w(o) ∈ (0, 1]`.
+    pub weight: f64,
+    /// Ground-truth class; `None` marks a true noise object.
+    pub class: Option<u32>,
+    /// Predicted cluster; `None` marks predicted noise/outlier.
+    pub cluster: Option<usize>,
+}
+
+/// Average distance from `o` (index into `objs`) to its `k` nearest
+/// members of `set` (excluding itself). Returns 0.0 when the set has no
+/// other member — by convention such an object is perfectly connected.
+fn knn_dist<P, M: Metric<P>>(
+    objs: &[EvalObject<'_, P>],
+    metric: &M,
+    o: usize,
+    set: &[usize],
+    k: usize,
+) -> f64 {
+    let mut dists: Vec<f64> = set
+        .iter()
+        .filter(|&&i| i != o)
+        .map(|&i| metric.dist(objs[o].payload, objs[i].payload))
+        .collect();
+    if dists.is_empty() {
+        return 0.0;
+    }
+    dists.sort_by(|a, b| a.partial_cmp(b).expect("distance NaN"));
+    let k = k.min(dists.len());
+    dists[..k].iter().sum::<f64>() / k as f64
+}
+
+/// Average k-NN distance over all members of `set` ("knhDist" in the
+/// original paper).
+fn knh_dist<P, M: Metric<P>>(
+    objs: &[EvalObject<'_, P>],
+    metric: &M,
+    set: &[usize],
+    k: usize,
+) -> f64 {
+    if set.is_empty() {
+        return 0.0;
+    }
+    set.iter().map(|&o| knn_dist(objs, metric, o, set, k)).sum::<f64>() / set.len() as f64
+}
+
+/// Connectivity of object `o` to the member set `set`:
+/// `min(1, knhDist(set)/knnDist(o, set))`, with the conventions that an
+/// empty set gives 0 (no connection possible) and a zero own-distance
+/// gives 1.
+fn connectivity<P, M: Metric<P>>(
+    objs: &[EvalObject<'_, P>],
+    metric: &M,
+    o: usize,
+    set: &[usize],
+    set_knh: f64,
+    k: usize,
+) -> f64 {
+    if set.is_empty() {
+        return 0.0;
+    }
+    let own = knn_dist(objs, metric, o, set, k);
+    if own <= set_knh || own == 0.0 {
+        1.0
+    } else {
+        set_knh / own
+    }
+}
+
+/// Computes CMM over an evaluation window. Returns 1.0 for an empty
+/// window or an empty fault set.
+pub fn cmm<P, M: Metric<P>>(objs: &[EvalObject<'_, P>], metric: &M, cfg: &CmmConfig) -> f64 {
+    if objs.is_empty() {
+        return 1.0;
+    }
+    // Member lists per ground-truth class and per predicted cluster.
+    let mut class_members: std::collections::BTreeMap<u32, Vec<usize>> = Default::default();
+    let mut cluster_members: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for (i, o) in objs.iter().enumerate() {
+        if let Some(c) = o.class {
+            class_members.entry(c).or_default().push(i);
+        }
+        if let Some(c) = o.cluster {
+            cluster_members.entry(c).or_default().push(i);
+        }
+    }
+    // Cluster → class mapping by maximum freshness-weighted class mass.
+    let mut map: std::collections::BTreeMap<usize, Option<u32>> = Default::default();
+    for (&cl, members) in &cluster_members {
+        let mut mass: std::collections::BTreeMap<u32, f64> = Default::default();
+        for &i in members {
+            if let Some(c) = objs[i].class {
+                *mass.entry(c).or_insert(0.0) += objs[i].weight;
+            }
+        }
+        let best = mass
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("weight NaN"))
+            .map(|(&c, _)| c);
+        map.insert(cl, best);
+    }
+    // Cache knhDist per class (the only sets connectivity needs).
+    let knh: std::collections::BTreeMap<u32, f64> = class_members
+        .iter()
+        .map(|(&c, m)| (c, knh_dist(objs, metric, m, cfg.k)))
+        .collect();
+    let con_to_class = |o: usize, class: u32| -> f64 {
+        let members = match class_members.get(&class) {
+            Some(m) => m,
+            None => return 0.0,
+        };
+        connectivity(objs, metric, o, members, knh[&class], cfg.k)
+    };
+
+    let mut penalty_sum = 0.0;
+    let mut norm_sum = 0.0;
+    let mut any_fault = false;
+    for (i, o) in objs.iter().enumerate() {
+        let mapped: Option<u32> = o.cluster.and_then(|cl| map[&cl]);
+        let (is_fault, pen, con_own) = match (o.class, o.cluster) {
+            // Missed: class object predicted as noise.
+            (Some(cl), None) => {
+                let con = con_to_class(i, cl);
+                (true, con, con)
+            }
+            // Potentially misplaced: class object in a cluster.
+            (Some(cl), Some(_)) => {
+                let con = con_to_class(i, cl);
+                if mapped == Some(cl) {
+                    (false, 0.0, con)
+                } else {
+                    let con_map = mapped.map_or(0.0, |m| con_to_class(i, m));
+                    (true, con * (1.0 - con_map), con)
+                }
+            }
+            // Noise inclusion: noise object in a cluster.
+            (None, Some(_)) => {
+                let con_map = mapped.map_or(0.0, |m| con_to_class(i, m));
+                (true, 1.0 - con_map, 1.0)
+            }
+            // True negative: noise predicted as noise.
+            (None, None) => (false, 0.0, 1.0),
+        };
+        any_fault |= is_fault;
+        penalty_sum += o.weight * pen;
+        norm_sum += o.weight * con_own;
+    }
+    if !any_fault || norm_sum <= 0.0 {
+        1.0
+    } else {
+        (1.0 - penalty_sum / norm_sum).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edm_common::metric::Euclidean;
+    use edm_common::point::DenseVector;
+
+    /// Two tight blobs of 5 points each.
+    fn blobs() -> Vec<DenseVector> {
+        let mut v = Vec::new();
+        for i in 0..5 {
+            v.push(DenseVector::from([i as f64 * 0.1, 0.0]));
+        }
+        for i in 0..5 {
+            v.push(DenseVector::from([10.0 + i as f64 * 0.1, 0.0]));
+        }
+        v
+    }
+
+    fn objects<'a>(
+        pts: &'a [DenseVector],
+        classes: &[Option<u32>],
+        clusters: &[Option<usize>],
+    ) -> Vec<EvalObject<'a, DenseVector>> {
+        pts.iter()
+            .zip(classes.iter().zip(clusters))
+            .map(|(p, (&class, &cluster))| EvalObject { payload: p, weight: 1.0, class, cluster })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let pts = blobs();
+        let classes: Vec<Option<u32>> =
+            (0..10).map(|i| Some((i >= 5) as u32)).collect();
+        let clusters: Vec<Option<usize>> = (0..10).map(|i| Some((i >= 5) as usize)).collect();
+        let objs = objects(&pts, &classes, &clusters);
+        assert_eq!(cmm(&objs, &Euclidean, &CmmConfig::default()), 1.0);
+    }
+
+    #[test]
+    fn merged_clusters_score_below_one() {
+        let pts = blobs();
+        let classes: Vec<Option<u32>> =
+            (0..10).map(|i| Some((i >= 5) as u32)).collect();
+        // Everything in one cluster: the smaller class is misplaced.
+        let clusters: Vec<Option<usize>> = (0..10).map(|_| Some(0)).collect();
+        let objs = objects(&pts, &classes, &clusters);
+        let v = cmm(&objs, &Euclidean, &CmmConfig::default());
+        assert!(v < 1.0, "cmm {v}");
+        assert!(v >= 0.0);
+    }
+
+    #[test]
+    fn missed_objects_are_penalized() {
+        let pts = blobs();
+        let classes: Vec<Option<u32>> =
+            (0..10).map(|i| Some((i >= 5) as u32)).collect();
+        // Second blob entirely missed (predicted noise).
+        let clusters: Vec<Option<usize>> =
+            (0..10).map(|i| if i < 5 { Some(0) } else { None }).collect();
+        let objs = objects(&pts, &classes, &clusters);
+        let v = cmm(&objs, &Euclidean, &CmmConfig::default());
+        // Missed objects are tightly connected to their class: near-full
+        // penalty for half the mass.
+        assert!(v < 0.6, "cmm {v}");
+    }
+
+    #[test]
+    fn tight_noise_inclusion_is_cheap_far_noise_is_not() {
+        let mut pts = blobs();
+        pts.push(DenseVector::from([0.2, 0.05])); // noise inside blob 0
+        pts.push(DenseVector::from([500.0, 0.0])); // noise far away
+        let mut classes: Vec<Option<u32>> =
+            (0..10).map(|i| Some((i >= 5) as u32)).collect();
+        classes.push(None);
+        classes.push(None);
+        // Include only the near-noise object.
+        let mut clusters: Vec<Option<usize>> =
+            (0..10).map(|i| Some((i >= 5) as usize)).collect();
+        clusters.push(Some(0));
+        clusters.push(None);
+        let objs = objects(&pts, &classes, &clusters);
+        let near_noise = cmm(&objs, &Euclidean, &CmmConfig::default());
+        // Now include the far one instead.
+        let mut clusters2 = clusters.clone();
+        clusters2[10] = None;
+        clusters2[11] = Some(0);
+        let objs2 = objects(&pts, &classes, &clusters2);
+        let far_noise = cmm(&objs2, &Euclidean, &CmmConfig::default());
+        assert!(near_noise > far_noise, "near {near_noise} far {far_noise}");
+        assert!(near_noise > 0.9, "including an indistinguishable point is nearly free");
+    }
+
+    #[test]
+    fn weights_emphasize_fresh_faults() {
+        let pts = blobs();
+        let classes: Vec<Option<u32>> =
+            (0..10).map(|i| Some((i >= 5) as u32)).collect();
+        let clusters: Vec<Option<usize>> =
+            (0..10).map(|i| if i == 9 { None } else { Some((i >= 5) as usize) }).collect();
+        // Same fault, different freshness of the faulty object.
+        let mut fresh = objects(&pts, &classes, &clusters);
+        fresh[9].weight = 1.0;
+        let with_fresh_fault = cmm(&fresh, &Euclidean, &CmmConfig::default());
+        let mut stale = objects(&pts, &classes, &clusters);
+        stale[9].weight = 0.01;
+        let with_stale_fault = cmm(&stale, &Euclidean, &CmmConfig::default());
+        // CMM normalizes by the fault mass itself, so the *ratio* is what
+        // matters; both must be penalized and be valid values.
+        assert!(with_fresh_fault < 1.0 && with_stale_fault < 1.0);
+        assert!((0.0..=1.0).contains(&with_fresh_fault));
+        assert!((0.0..=1.0).contains(&with_stale_fault));
+    }
+
+    #[test]
+    fn empty_window_scores_one() {
+        let objs: Vec<EvalObject<'_, DenseVector>> = vec![];
+        assert_eq!(cmm(&objs, &Euclidean, &CmmConfig::default()), 1.0);
+    }
+
+    #[test]
+    fn all_noise_correctly_rejected_scores_one() {
+        let pts = blobs();
+        let classes: Vec<Option<u32>> = (0..10).map(|_| None).collect();
+        let clusters: Vec<Option<usize>> = (0..10).map(|_| None).collect();
+        let objs = objects(&pts, &classes, &clusters);
+        assert_eq!(cmm(&objs, &Euclidean, &CmmConfig::default()), 1.0);
+    }
+
+    #[test]
+    fn cmm_is_bounded() {
+        // Adversarial: clusters orthogonal to classes.
+        let pts = blobs();
+        let classes: Vec<Option<u32>> =
+            (0..10).map(|i| Some((i >= 5) as u32)).collect();
+        let clusters: Vec<Option<usize>> = (0..10).map(|i| Some(i % 2)).collect();
+        let objs = objects(&pts, &classes, &clusters);
+        let v = cmm(&objs, &Euclidean, &CmmConfig::default());
+        assert!((0.0..=1.0).contains(&v), "cmm {v}");
+    }
+}

@@ -1,0 +1,235 @@
+//! Classic external clustering criteria: purity, pairwise F-measure, NMI,
+//! ARI. Used as cross-checks next to CMM (the paper's §6.4 notes these
+//! ignore freshness and mis-score cluster evolution, which is exactly what
+//! the comparison demonstrates).
+//!
+//! Convention: only objects with *both* a ground-truth class and a
+//! predicted cluster enter the contingency table; the `coverage` field
+//! reports the included fraction so callers can spot degenerate cases.
+
+use serde::{Deserialize, Serialize};
+
+/// Contingency table between predicted clusters and ground-truth classes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Contingency {
+    /// `counts[cluster][class]` over the dense re-indexed ids.
+    pub counts: Vec<Vec<u64>>,
+    /// Objects included (both labels present).
+    pub n: u64,
+    /// Fraction of input objects included.
+    pub coverage: f64,
+}
+
+impl Contingency {
+    /// Builds the table from parallel prediction/truth slices.
+    ///
+    /// # Panics
+    /// Panics when the slices disagree in length.
+    pub fn new(pred: &[Option<usize>], truth: &[Option<u32>]) -> Self {
+        assert_eq!(pred.len(), truth.len(), "pred/truth must be parallel");
+        let mut cluster_ids: std::collections::BTreeMap<usize, usize> = Default::default();
+        let mut class_ids: std::collections::BTreeMap<u32, usize> = Default::default();
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for (p, t) in pred.iter().zip(truth) {
+            if let (Some(p), Some(t)) = (p, t) {
+                let next_cluster = cluster_ids.len();
+                let ci = *cluster_ids.entry(*p).or_insert(next_cluster);
+                let next_class = class_ids.len();
+                let ki = *class_ids.entry(*t).or_insert(next_class);
+                pairs.push((ci, ki));
+            }
+        }
+        let mut counts = vec![vec![0u64; class_ids.len()]; cluster_ids.len()];
+        for (ci, ki) in &pairs {
+            counts[*ci][*ki] += 1;
+        }
+        let n = pairs.len() as u64;
+        let coverage = if pred.is_empty() { 0.0 } else { n as f64 / pred.len() as f64 };
+        Contingency { counts, n, coverage }
+    }
+
+    fn row_sums(&self) -> Vec<u64> {
+        self.counts.iter().map(|r| r.iter().sum()).collect()
+    }
+
+    fn col_sums(&self) -> Vec<u64> {
+        if self.counts.is_empty() {
+            return vec![];
+        }
+        let cols = self.counts[0].len();
+        (0..cols).map(|j| self.counts.iter().map(|r| r[j]).sum()).collect()
+    }
+}
+
+/// Purity: fraction of objects in their cluster's majority class
+/// (1.0 for empty input by convention).
+pub fn purity(c: &Contingency) -> f64 {
+    if c.n == 0 {
+        return 1.0;
+    }
+    let correct: u64 = c.counts.iter().map(|r| r.iter().max().copied().unwrap_or(0)).sum();
+    correct as f64 / c.n as f64
+}
+
+fn choose2(x: u64) -> f64 {
+    if x < 2 {
+        0.0
+    } else {
+        (x as f64) * (x as f64 - 1.0) / 2.0
+    }
+}
+
+/// Pairwise precision, recall and F1 over co-membership pairs.
+pub fn pairwise_f1(c: &Contingency) -> (f64, f64, f64) {
+    let tp: f64 = c.counts.iter().flatten().map(|&x| choose2(x)).sum();
+    let pred_pairs: f64 = c.row_sums().iter().map(|&x| choose2(x)).sum();
+    let true_pairs: f64 = c.col_sums().iter().map(|&x| choose2(x)).sum();
+    let precision = if pred_pairs == 0.0 { 1.0 } else { tp / pred_pairs };
+    let recall = if true_pairs == 0.0 { 1.0 } else { tp / true_pairs };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    (precision, recall, f1)
+}
+
+/// Normalized mutual information (arithmetic-mean normalization).
+pub fn nmi(c: &Contingency) -> f64 {
+    if c.n == 0 {
+        return 1.0;
+    }
+    let n = c.n as f64;
+    let rows = c.row_sums();
+    let cols = c.col_sums();
+    let mut mi = 0.0;
+    for (i, row) in c.counts.iter().enumerate() {
+        for (j, &nij) in row.iter().enumerate() {
+            if nij > 0 {
+                let pij = nij as f64 / n;
+                mi += pij * (pij * n * n / (rows[i] as f64 * cols[j] as f64)).ln();
+            }
+        }
+    }
+    let h = |sums: &[u64]| -> f64 {
+        sums.iter()
+            .filter(|&&s| s > 0)
+            .map(|&s| {
+                let p = s as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let (hr, hc) = (h(&rows), h(&cols));
+    if hr == 0.0 && hc == 0.0 {
+        1.0
+    } else if hr == 0.0 || hc == 0.0 {
+        0.0
+    } else {
+        mi / (0.5 * (hr + hc))
+    }
+}
+
+/// Adjusted Rand index.
+pub fn ari(c: &Contingency) -> f64 {
+    if c.n == 0 {
+        return 1.0;
+    }
+    let sum_ij: f64 = c.counts.iter().flatten().map(|&x| choose2(x)).sum();
+    let sum_i: f64 = c.row_sums().iter().map(|&x| choose2(x)).sum();
+    let sum_j: f64 = c.col_sums().iter().map(|&x| choose2(x)).sum();
+    let total = choose2(c.n);
+    if total == 0.0 {
+        return 1.0;
+    }
+    let expected = sum_i * sum_j / total;
+    let max = 0.5 * (sum_i + sum_j);
+    if (max - expected).abs() < 1e-12 {
+        1.0
+    } else {
+        (sum_ij - expected) / (max - expected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perfect() -> Contingency {
+        Contingency::new(
+            &[Some(0), Some(0), Some(1), Some(1)],
+            &[Some(10), Some(10), Some(20), Some(20)],
+        )
+    }
+
+    fn merged() -> Contingency {
+        Contingency::new(
+            &[Some(0), Some(0), Some(0), Some(0)],
+            &[Some(10), Some(10), Some(20), Some(20)],
+        )
+    }
+
+    #[test]
+    fn perfect_scores_are_maximal() {
+        let c = perfect();
+        assert_eq!(purity(&c), 1.0);
+        let (p, r, f1) = pairwise_f1(&c);
+        assert_eq!((p, r, f1), (1.0, 1.0, 1.0));
+        assert!((nmi(&c) - 1.0).abs() < 1e-12);
+        assert!((ari(&c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_clustering_hurts_precision_not_recall() {
+        let c = merged();
+        let (p, r, _) = pairwise_f1(&c);
+        assert!(p < 1.0, "precision {p}");
+        assert_eq!(r, 1.0);
+        assert_eq!(purity(&c), 0.5);
+        assert!(nmi(&c) < 0.5);
+    }
+
+    #[test]
+    fn ari_is_zero_for_random_like_assignment() {
+        // Clusters orthogonal to classes, perfectly balanced.
+        let pred: Vec<Option<usize>> = (0..8).map(|i| Some(i % 2)).collect();
+        let truth: Vec<Option<u32>> = (0..8).map(|i| Some((i / 4) as u32)).collect();
+        let c = Contingency::new(&pred, &truth);
+        assert!(ari(&c).abs() < 0.2, "ari {}", ari(&c));
+    }
+
+    #[test]
+    fn coverage_counts_double_labeled_objects() {
+        let c = Contingency::new(
+            &[Some(0), None, Some(1), Some(0)],
+            &[Some(1), Some(1), None, Some(2)],
+        );
+        assert_eq!(c.n, 2);
+        assert_eq!(c.coverage, 0.5);
+    }
+
+    #[test]
+    fn empty_input_conventions() {
+        let c = Contingency::new(&[], &[]);
+        assert_eq!(purity(&c), 1.0);
+        assert_eq!(nmi(&c), 1.0);
+        assert_eq!(ari(&c), 1.0);
+        let (p, r, f1) = pairwise_f1(&c);
+        assert_eq!((p, r), (1.0, 1.0));
+        assert_eq!(f1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn rejects_mismatched_lengths() {
+        Contingency::new(&[Some(0)], &[]);
+    }
+
+    #[test]
+    fn nmi_single_cluster_vs_many_classes_is_zero() {
+        let pred: Vec<Option<usize>> = (0..6).map(|_| Some(0)).collect();
+        let truth: Vec<Option<u32>> = (0..6).map(|i| Some(i as u32 % 3)).collect();
+        let c = Contingency::new(&pred, &truth);
+        assert_eq!(nmi(&c), 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the quality metrics: boundedness, perfect-score
+//! conditions, and permutation invariance.
+
+use edm_common::metric::Euclidean;
+use edm_common::point::DenseVector;
+use edm_metrics::cmm::{cmm, CmmConfig, EvalObject};
+use edm_metrics::external::{ari, nmi, pairwise_f1, purity, Contingency};
+use proptest::prelude::*;
+
+fn labels(n: usize) -> impl Strategy<Value = (Vec<Option<usize>>, Vec<Option<u32>>)> {
+    (
+        prop::collection::vec(prop::option::weighted(0.8, 0usize..5), n),
+        prop::collection::vec(prop::option::weighted(0.8, 0u32..5), n),
+    )
+}
+
+proptest! {
+    /// All external metrics are bounded and defined for arbitrary inputs.
+    #[test]
+    fn external_metrics_are_bounded((pred, truth) in labels(40)) {
+        let c = Contingency::new(&pred, &truth);
+        let p = purity(&c);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let (pr, rc, f1) = pairwise_f1(&c);
+        prop_assert!((0.0..=1.0).contains(&pr));
+        prop_assert!((0.0..=1.0).contains(&rc));
+        prop_assert!((0.0..=1.0).contains(&f1));
+        let n = nmi(&c);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&n), "nmi {n}");
+        let a = ari(&c);
+        prop_assert!((-1.0..=1.0 + 1e-9).contains(&a), "ari {a}");
+    }
+
+    /// Relabeling predicted cluster ids never changes any metric
+    /// (co-membership is all that matters).
+    #[test]
+    fn metrics_invariant_under_cluster_relabeling((pred, truth) in labels(30)) {
+        let c1 = Contingency::new(&pred, &truth);
+        // Bijective relabel: id -> id*7+3.
+        let relabeled: Vec<Option<usize>> = pred.iter().map(|p| p.map(|x| x * 7 + 3)).collect();
+        let c2 = Contingency::new(&relabeled, &truth);
+        prop_assert_eq!(purity(&c1), purity(&c2));
+        prop_assert_eq!(pairwise_f1(&c1), pairwise_f1(&c2));
+        prop_assert!((nmi(&c1) - nmi(&c2)).abs() < 1e-12);
+        prop_assert!((ari(&c1) - ari(&c2)).abs() < 1e-12);
+    }
+
+    /// CMM is bounded in [0,1] on random geometry and labelings, and 1.0
+    /// when prediction equals ground truth.
+    #[test]
+    fn cmm_bounded_and_perfect_on_identity(
+        coords in prop::collection::vec((0.0f64..10.0, 0.0f64..10.0), 8..40),
+        classes in prop::collection::vec(0u32..3, 8..40),
+        clusters in prop::collection::vec(prop::option::weighted(0.8, 0usize..3), 8..40),
+    ) {
+        let n = coords.len().min(classes.len()).min(clusters.len());
+        let pts: Vec<DenseVector> =
+            coords[..n].iter().map(|&(x, y)| DenseVector::from([x, y])).collect();
+        let objs: Vec<EvalObject<'_, _>> = (0..n)
+            .map(|i| EvalObject {
+                payload: &pts[i],
+                weight: 1.0,
+                class: Some(classes[i]),
+                cluster: clusters[i],
+            })
+            .collect();
+        let v = cmm(&objs, &Euclidean, &CmmConfig::default());
+        prop_assert!((0.0..=1.0).contains(&v), "cmm {v}");
+
+        // Identity clustering scores exactly 1.
+        let perfect: Vec<EvalObject<'_, _>> = (0..n)
+            .map(|i| EvalObject {
+                payload: &pts[i],
+                weight: 1.0,
+                class: Some(classes[i]),
+                cluster: Some(classes[i] as usize),
+            })
+            .collect();
+        prop_assert_eq!(cmm(&perfect, &Euclidean, &CmmConfig::default()), 1.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Adaptive vs static τ (the paper's §5 / Table 4): as two clusters drift
+//! toward each other, a static τ merges them prematurely while the
+//! adaptive τ tracks the shrinking dependent-distance distribution and
+//! keeps them apart longer.
+//!
+//! ```text
+//! cargo run --release --example adaptive_tau
+//! ```
+
+use edmstream::data::gen::sds::{self, SdsConfig};
+use edmstream::{DecayModel, EdmConfig, EdmStream, Euclidean, TauMode};
+
+fn run(mode: TauMode, tau_label: &str) -> Vec<(usize, f64)> {
+    let stream = sds::generate(&SdsConfig::default());
+    let mut cfg = EdmConfig::new(0.3);
+    cfg.decay = DecayModel::new(0.998, 200.0);
+    cfg.beta = 3e-3;
+    cfg.rate = 1_000.0;
+    cfg.recycle_horizon = Some(5.0);
+    cfg.tau_every = 128;
+    cfg.tau_mode = mode;
+    let mut engine = EdmStream::new(cfg, Euclidean);
+    let mut samples = Vec::new();
+    let mut next = 1.0;
+    for p in stream.iter().take_while(|p| p.ts <= 10.0) {
+        engine.insert(&p.payload, p.ts);
+        if p.ts >= next {
+            samples.push((engine.n_clusters(), engine.tau()));
+            next += 1.0;
+        }
+    }
+    println!("  ({tau_label}: learned alpha = {:.2})", engine.alpha());
+    samples
+}
+
+fn main() {
+    println!("pass 1: adaptive tau (alpha learned from the initial decision graph)");
+    let dynamic = run(TauMode::Adaptive { alpha: None }, "adaptive");
+    // The adaptive run's τ at t=1s doubles as the "user pick" τ0.
+    let tau0 = dynamic.first().map(|&(_, tau)| tau).unwrap_or(5.0);
+    println!("pass 2: static tau fixed at the initial pick tau0 = {tau0:.2}");
+    let fixed = run(TauMode::Static(tau0), "static");
+
+    println!("\n t(s)  dynamic-tau clusters  (tau)    static-tau clusters");
+    println!(" --------------------------------------------------------");
+    for (i, ((dc, dt), (sc, _))) in dynamic.iter().zip(&fixed).enumerate() {
+        let marker = if dc != sc { "  <-- policies disagree" } else { "" };
+        println!("  {:>2}   {:>6}            ({:>5.2})   {:>6}{marker}", i + 1, dc, dt, sc);
+    }
+    println!("\nthe dynamic policy shrinks tau as the clusters approach, separating");
+    println!("the true density peaks for longer than the frozen initial pick.");
+}

@@ -1,0 +1,63 @@
+//! Replay of the paper's Fig 6/7 story: the scripted SDS stream, with a
+//! per-second cluster-count timeline and the full evolution narrative
+//! (approach → merge → emerge → disappear → split).
+//!
+//! ```text
+//! cargo run --release --example evolution_timeline
+//! ```
+
+use edmstream::data::gen::sds::{self, SdsConfig};
+use edmstream::{DecayModel, DenseVector, EdmConfig, EdmStream, Euclidean, EventKind};
+
+fn main() {
+    let stream = sds::generate(&SdsConfig::default());
+    println!("SDS: {} points over {:.0} seconds\n", stream.len(), stream.duration());
+
+    // SDS plays out in 20 s, so it needs a fast-forgetting decay model
+    // (half-life ≈ 1.7 s); see DESIGN.md §5.
+    let mut cfg = EdmConfig::new(0.3);
+    cfg.decay = DecayModel::new(0.998, 200.0);
+    cfg.beta = 3e-3;
+    cfg.rate = 1_000.0;
+    cfg.recycle_horizon = Some(5.0);
+    cfg.tau_every = 128;
+    let mut engine: EdmStream<DenseVector, Euclidean> = EdmStream::new(cfg, Euclidean);
+
+    let mut next = 1.0;
+    let mut seen = 0usize;
+    for p in stream.iter() {
+        engine.insert(&p.payload, p.ts);
+        while seen < engine.events().len() {
+            let ev = engine.events()[seen].clone();
+            seen += 1;
+            match &ev.kind {
+                EventKind::Emerge { cluster } => {
+                    println!("  {:>5.2}s  + cluster {cluster} emerged", ev.t)
+                }
+                EventKind::Disappear { cluster } => {
+                    println!("  {:>5.2}s  - cluster {cluster} disappeared", ev.t)
+                }
+                EventKind::Split { from, into } => {
+                    println!("  {:>5.2}s  cluster {from} split off {into:?}", ev.t)
+                }
+                EventKind::Merge { from, into } => {
+                    println!("  {:>5.2}s  clusters {from:?} merged into {into}", ev.t)
+                }
+                EventKind::Adjust { .. } => {}
+            }
+        }
+        if p.ts >= next {
+            let bar = "#".repeat(engine.n_clusters());
+            println!(
+                "t={:>2.0}s  clusters {:<3} {bar}  (tau {:.2}, {} active cells)",
+                next,
+                engine.n_clusters(),
+                engine.tau(),
+                engine.active_len()
+            );
+            next += 1.0;
+        }
+    }
+    println!("\n(the script: two clusters approach and merge ~8-9s; a new one");
+    println!(" emerges ~12-13s; the old one dies ~14-17s; the survivor splits)");
+}

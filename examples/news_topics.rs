@@ -1,0 +1,71 @@
+//! News-topic monitoring over a token-set stream (the paper's §6.2.2 use
+//! case): cluster headlines under Jaccard distance and report topic
+//! births, deaths, splits and merges as they happen.
+//!
+//! ```text
+//! cargo run --release --example news_topics
+//! ```
+
+use edmstream::data::gen::nads::{self, NadsConfig};
+use edmstream::{EdmConfig, EdmStream, EventKind, Jaccard, TauMode};
+
+fn main() {
+    let ncfg = NadsConfig { n: 60_000, ..Default::default() };
+    let stream = nads::generate(&ncfg);
+    println!(
+        "streaming {} headlines over {} calendar days ({} topics in ground truth)\n",
+        stream.len(),
+        nads::DAYS,
+        stream.n_classes
+    );
+
+    // Engine over token sets: see DESIGN.md for the NADS parameterization.
+    let rate = stream.len() as f64 / (nads::DAYS * ncfg.seconds_per_day);
+    let decay = edmstream::DecayModel::new(0.998, 60.0);
+    let mut cfg = EdmConfig::new(0.4);
+    cfg.decay = decay;
+    cfg.rate = rate;
+    cfg.beta = 3.0 * (1.0 - decay.retention()) / rate;
+    cfg.init_points = 500;
+    cfg.recycle_horizon = Some(5.0 * ncfg.seconds_per_day);
+    cfg.tau_mode = TauMode::Static(0.75);
+    let mut engine = EdmStream::new(cfg, Jaccard);
+
+    let mut seen = 0usize;
+    let mut last_day_report = 0i64;
+    for p in stream.iter() {
+        engine.insert(&p.payload, p.ts);
+        // Print structural events as the stream plays.
+        while seen < engine.events().len() {
+            let ev = &engine.events()[seen];
+            seen += 1;
+            let day = nads::day_of(ev.t, &ncfg);
+            match &ev.kind {
+                EventKind::Split { from, into } => {
+                    println!("[{}] topic split: cluster {from} -> new {into:?}", nads::format_day(day));
+                }
+                EventKind::Merge { from, into } => {
+                    println!("[{}] topics merged: {from:?} -> {into}", nads::format_day(day));
+                }
+                _ => {}
+            }
+        }
+        // A compact daily status line (every 10 days).
+        let day = nads::day_of(p.ts, &ncfg) as i64;
+        if day >= last_day_report + 10 {
+            last_day_report = day;
+            println!(
+                "[{}] tracking {} live topics over {} active story-cells",
+                nads::format_day(day as f64),
+                engine.n_clusters(),
+                engine.active_len()
+            );
+        }
+    }
+    println!(
+        "\ndone: {} headlines, {} evolution events, final topic count {}",
+        engine.stats().points,
+        engine.events().len(),
+        engine.n_clusters()
+    );
+}

@@ -1,0 +1,95 @@
+//! Quickstart: cluster a simple evolving 2-D stream and watch the result
+//! update in real time — a new cluster emerges, an old one fades away.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use edmstream::{DecayModel, DenseVector, EdmConfig, EdmStream, Euclidean, TauMode};
+
+fn main() {
+    // An engine for 2-D points: cells of radius 0.5, a 100 pt/s stream,
+    // a decay half-life of ~6 s (yesterday's points barely matter), and
+    // an activation threshold of roughly three sustained points/sec.
+    let mut cfg = EdmConfig::new(0.5);
+    cfg.rate = 100.0;
+    cfg.decay = DecayModel::new(0.998, 60.0);
+    cfg.beta = 3.4e-3;
+    cfg.init_points = 100;
+    cfg.recycle_horizon = Some(30.0);
+    // Play the paper's interactive user: peaks at dependent distance ≥ 2
+    // are separate clusters. The adaptive policy has its own example
+    // (`adaptive_tau`).
+    cfg.tau_mode = TauMode::Static(2.0);
+    let mut engine = EdmStream::new(cfg, Euclidean);
+
+    // Phase 1: two stationary clusters.
+    let mut t = 0.0;
+    for i in 0..1_500 {
+        let x = if i % 2 == 0 { 0.0 } else { 10.0 };
+        let jitter = (i % 7) as f64 * 0.1;
+        engine.insert(&DenseVector::from([x + jitter, jitter * 0.5]), t);
+        t += 0.01;
+    }
+    println!("after two blobs:                 {} clusters (tau = {:.2})", engine.n_clusters(), engine.tau());
+
+    // Phase 2: a third cluster emerges somewhere new.
+    for i in 0..1_000 {
+        let jitter = (i % 7) as f64 * 0.1;
+        engine.insert(&DenseVector::from([5.0 + jitter, 8.0 + jitter * 0.3]), t);
+        t += 0.01;
+    }
+    println!("after a new region:              {} clusters", engine.n_clusters());
+
+    // Phase 3: the right blob's source dries up; only the left blob and
+    // the new region keep producing. The right cluster decays through the
+    // density threshold, moves to the outlier reservoir, and disappears.
+    for i in 0..5_000 {
+        let jitter = (i % 7) as f64 * 0.1;
+        let p = if i % 2 == 0 {
+            DenseVector::from([jitter, jitter * 0.5])
+        } else {
+            DenseVector::from([5.0 + jitter, 8.0 + jitter * 0.3])
+        };
+        engine.insert(&p, t);
+        t += 0.01;
+    }
+    println!("after the right source dries up: {} clusters", engine.n_clusters());
+
+    // Where does a fresh point belong?
+    for probe in [
+        DenseVector::from([5.2, 8.1]),   // inside the new region
+        DenseVector::from([10.2, 0.1]),  // the faded region
+        DenseVector::from([42.0, 42.0]), // nowhere
+    ] {
+        match engine.cluster_of(&probe, t) {
+            Some(id) => println!("probe {probe:?} -> cluster {id}"),
+            None => println!("probe {probe:?} -> outlier"),
+        }
+    }
+
+    // The evolution log recorded the whole story.
+    let (em, di, sp, me, ad) = {
+        let mut c = (0, 0, 0, 0, 0);
+        for ev in engine.events() {
+            use edmstream::EventKind::*;
+            match ev.kind {
+                Emerge { .. } => c.0 += 1,
+                Disappear { .. } => c.1 += 1,
+                Split { .. } => c.2 += 1,
+                Merge { .. } => c.3 += 1,
+                Adjust { .. } => c.4 += 1,
+            }
+        }
+        c
+    };
+    println!("evolution events: {em} emerge, {di} disappear, {sp} split, {me} merge, {ad} adjust");
+    println!(
+        "engine state: {} cells ({} active, {} in reservoir), {} points in {:.1} stream-seconds",
+        engine.n_cells(),
+        engine.active_len(),
+        engine.reservoir_len(),
+        engine.stats().points,
+        t
+    );
+}

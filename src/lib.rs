@@ -1,0 +1,52 @@
+//! # edmstream
+//!
+//! A Rust reproduction of **"Clustering Stream Data by Exploring the
+//! Evolution of Density Mountain"** (Gong, Zhang & Yu, VLDB 2017) — the
+//! EDMStream algorithm, its substrates, its density-based competitors, and
+//! the paper's full experimental harness.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`core`] — the EDMStream engine ([`EdmStream`], [`EdmConfig`]):
+//!   cluster-cells, the DP-Tree, outlier reservoir, the two dependency
+//!   filters, adaptive τ, and evolution tracking.
+//! * [`common`] — payload types ([`DenseVector`], [`TokenSet`]), metrics
+//!   ([`Euclidean`], [`Jaccard`]), and the decay model ([`DecayModel`]).
+//! * [`data`] — stream model, the [`StreamClusterer`] trait, and the six
+//!   dataset generators of the paper's Table 2.
+//! * [`dp`] — batch Density Peaks clustering, decision graphs, DBSCAN,
+//!   k-means.
+//! * [`baselines`] — D-Stream, DenStream, DBSTREAM, MR-Stream.
+//! * [`metrics`] — CMM and classic external quality criteria.
+//!
+//! ```
+//! use edmstream::{EdmConfig, EdmStream, Euclidean, DenseVector};
+//!
+//! let mut cfg = EdmConfig::new(0.5);
+//! cfg.rate = 100.0;
+//! cfg.beta = 6e-5;
+//! cfg.init_points = 16;
+//! let mut engine = EdmStream::new(cfg, Euclidean);
+//! for i in 0..64 {
+//!     let x = if i % 2 == 0 { 0.0 } else { 8.0 };
+//!     engine.insert(&DenseVector::from([x, 0.1 * (i % 4) as f64]), i as f64 / 100.0);
+//! }
+//! assert_eq!(engine.n_clusters(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use edm_baselines as baselines;
+pub use edm_common as common;
+pub use edm_core as core;
+pub use edm_data as data;
+pub use edm_dp as dp;
+pub use edm_metrics as metrics;
+
+pub use edm_common::decay::DecayModel;
+pub use edm_common::metric::{Euclidean, Jaccard, Metric};
+pub use edm_common::point::{DenseVector, TokenSet};
+pub use edm_core::{
+    AdjustKind, ClusterId, EdmConfig, EdmStream, Event, EventKind, FilterConfig, TauMode,
+};
+pub use edm_data::clusterer::StreamClusterer;

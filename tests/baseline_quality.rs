@@ -1,0 +1,103 @@
+//! Cross-crate sanity: every algorithm behind `StreamClusterer` produces a
+//! usable clustering on an easy, well-separated stream, and the quality
+//! metrics rank an oracle above a merger.
+
+use edmstream::baselines::{
+    DbStream, DbStreamConfig, DenStream, DenStreamConfig, DStream, DStreamConfig, MrStream,
+    MrStreamConfig,
+};
+use edmstream::data::gen::blobs::{sample_mixture, Blob};
+use edmstream::metrics::{EvalWindow, WindowConfig};
+use edmstream::{DenseVector, EdmConfig, EdmStream, Euclidean, StreamClusterer, TauMode};
+
+fn easy_stream() -> edmstream::data::LabeledStream<DenseVector> {
+    let blobs = vec![
+        Blob::new(vec![0.0, 0.0], 0.3, 1.0, 0),
+        Blob::new(vec![20.0, 0.0], 0.3, 1.0, 1),
+        Blob::new(vec![10.0, 18.0], 0.3, 1.0, 2),
+    ];
+    sample_mixture("easy", &blobs, 6_000, 1_000.0, 1.0, 4242)
+}
+
+fn engines() -> Vec<Box<dyn StreamClusterer<DenseVector>>> {
+    let r = 1.0;
+    let mut edm = EdmConfig::new(r);
+    edm.rate = 1_000.0;
+    edm.beta = 1e-4;
+    edm.tau_mode = TauMode::Static(5.0);
+    vec![
+        Box::new(EdmStream::new(edm, Euclidean)),
+        Box::new(DStream::new(DStreamConfig { offline_every: 500, ..DStreamConfig::new(r) })),
+        Box::new(DenStream::new(DenStreamConfig {
+            offline_every: 500,
+            prune_every: 500,
+            ..DenStreamConfig::new(r)
+        })),
+        Box::new(DbStream::new(DbStreamConfig {
+            offline_every: 500,
+            gap: 500,
+            ..DbStreamConfig::new(r)
+        })),
+        Box::new(MrStream::new(MrStreamConfig {
+            offline_every: 500,
+            prune_every: 500,
+            ..MrStreamConfig::new(r)
+        })),
+    ]
+}
+
+#[test]
+fn every_algorithm_solves_well_separated_blobs() {
+    let stream = easy_stream();
+    let t = stream.duration();
+    for mut algo in engines() {
+        for p in stream.iter() {
+            algo.insert(&p.payload, p.ts);
+        }
+        // Probes at the three blob centers map to three distinct clusters.
+        let probes = [
+            DenseVector::from([0.0, 0.0]),
+            DenseVector::from([20.0, 0.0]),
+            DenseVector::from([10.0, 18.0]),
+        ];
+        let ids: Vec<Option<usize>> =
+            probes.iter().map(|p| algo.cluster_of(p, t)).collect();
+        assert!(
+            ids.iter().all(|i| i.is_some()),
+            "{}: a blob center is unclustered: {ids:?}",
+            algo.name()
+        );
+        let mut distinct: Vec<usize> = ids.iter().flatten().copied().collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 3, "{}: blobs not separated: {ids:?}", algo.name());
+        // Far-away probe is an outlier everywhere.
+        assert_eq!(
+            algo.cluster_of(&DenseVector::from([500.0, 500.0]), t),
+            None,
+            "{}: outlier assigned",
+            algo.name()
+        );
+        assert!(algo.n_summaries() > 0);
+    }
+}
+
+#[test]
+fn cmm_ranks_all_algorithms_high_on_easy_data() {
+    let stream = easy_stream();
+    let t = stream.duration();
+    let window = EvalWindow::new(WindowConfig::default());
+    for mut algo in engines() {
+        for p in stream.iter() {
+            algo.insert(&p.payload, p.ts);
+        }
+        let scores = window.evaluate(algo.as_mut(), &Euclidean, &stream.points, t);
+        assert!(
+            scores.cmm > 0.9,
+            "{} scored CMM {} on trivially separable data",
+            algo.name(),
+            scores.cmm
+        );
+        assert!(scores.purity > 0.95, "{} purity {}", algo.name(), scores.purity);
+    }
+}

@@ -1,0 +1,113 @@
+//! End-to-end test: EDMStream over the scripted SDS stream must recover
+//! the paper's Fig 6/7 evolution narrative — approach, merge, emergence,
+//! disappearance, split — from raw points alone.
+
+use edmstream::data::gen::sds::{self, SdsConfig};
+use edmstream::{DecayModel, EdmConfig, EdmStream, Euclidean, EventKind};
+
+fn sds_engine() -> EdmStream<edmstream::DenseVector, Euclidean> {
+    let mut cfg = EdmConfig::new(0.3);
+    cfg.decay = DecayModel::new(0.998, 200.0);
+    cfg.beta = 3e-3;
+    cfg.rate = 1_000.0;
+    cfg.recycle_horizon = Some(5.0);
+    cfg.tau_every = 128;
+    EdmStream::new(cfg, Euclidean)
+}
+
+#[test]
+fn sds_evolution_narrative_is_recovered() {
+    let stream = sds::generate(&SdsConfig::default());
+    let mut engine = sds_engine();
+    let mut counts_per_second = Vec::new();
+    let mut next = 1.0;
+    for p in stream.iter() {
+        engine.insert(&p.payload, p.ts);
+        if p.ts >= next {
+            counts_per_second.push(engine.n_clusters());
+            next += 1.0;
+        }
+    }
+    // Early phase: exactly two clusters while A and B are far apart.
+    assert_eq!(counts_per_second[1], 2, "t=2s: {counts_per_second:?}");
+    assert_eq!(counts_per_second[3], 2, "t=4s: {counts_per_second:?}");
+    // Merged phase: one cluster somewhere in 9..=12 s.
+    assert!(
+        (8..12).any(|i| counts_per_second[i] == 1),
+        "no merged phase: {counts_per_second:?}"
+    );
+    // The event log contains a merge before 12 s and an emergence after 11 s.
+    let events = engine.events();
+    assert!(
+        events.iter().any(|e| matches!(e.kind, EventKind::Merge { .. }) && e.t < 12.0),
+        "no merge event before 12s"
+    );
+    assert!(
+        events.iter().any(|e| matches!(e.kind, EventKind::Emerge { .. }) && e.t > 11.0),
+        "no emergence after 11s"
+    );
+    // The old (merged) cluster disappears in the second half of the stream.
+    assert!(
+        events.iter().any(|e| matches!(e.kind, EventKind::Disappear { .. }) && e.t > 12.0),
+        "old cluster never disappeared"
+    );
+    // A split occurs after the C cluster starts separating (t > 13 s).
+    assert!(
+        events.iter().any(|e| matches!(e.kind, EventKind::Split { .. }) && e.t > 13.0),
+        "no split after 13s"
+    );
+}
+
+#[test]
+fn sds_invariants_hold_at_sampled_instants() {
+    let stream = sds::generate(&SdsConfig { n: 8_000, ..Default::default() });
+    let mut engine = sds_engine();
+    for (i, p) in stream.iter().enumerate() {
+        engine.insert(&p.payload, p.ts);
+        if i % 1_000 == 999 {
+            engine.check_invariants(p.ts).expect("DP-Tree invariant violated");
+        }
+    }
+}
+
+#[test]
+fn dynamic_tau_separates_longer_than_static() {
+    // The Table 4 property, as a regression test: count the seconds (of
+    // the first 8) with two clusters under each policy.
+    let run = |static_tau: Option<f64>| -> (usize, f64) {
+        let stream = sds::generate(&SdsConfig::default());
+        let mut cfg = EdmConfig::new(0.3);
+        cfg.decay = DecayModel::new(0.998, 200.0);
+        cfg.beta = 3e-3;
+        cfg.rate = 1_000.0;
+        cfg.recycle_horizon = Some(5.0);
+        cfg.tau_every = 128;
+        if let Some(tau) = static_tau {
+            cfg.tau_mode = edmstream::TauMode::Static(tau);
+        }
+        let mut engine = EdmStream::new(cfg, Euclidean);
+        let mut two = 0;
+        let mut next = 1.0;
+        let mut tau0 = 0.0;
+        for p in stream.iter().take_while(|p| p.ts <= 8.5) {
+            engine.insert(&p.payload, p.ts);
+            if p.ts >= next {
+                if next == 1.0 {
+                    tau0 = engine.tau();
+                }
+                if engine.n_clusters() == 2 {
+                    two += 1;
+                }
+                next += 1.0;
+            }
+        }
+        (two, tau0)
+    };
+    let (dynamic_two, tau0) = run(None);
+    let (static_two, _) = run(Some(tau0));
+    assert!(
+        dynamic_two >= static_two,
+        "dynamic kept 2 clusters {dynamic_two}s, static {static_two}s"
+    );
+    assert!(dynamic_two >= 6, "dynamic should separate for most of the approach");
+}

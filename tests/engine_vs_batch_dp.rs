@@ -1,0 +1,97 @@
+//! Cross-crate consistency: on a frozen (non-evolving) stream, EDMStream's
+//! clustering must agree with batch Density Peaks clustering run over the
+//! cell seeds — the stream engine is, by construction, an incremental
+//! maintenance of exactly that computation.
+
+use edmstream::data::gen::blobs::{sample_mixture, Blob};
+use edmstream::dp::dp::{self, DpConfig};
+use edmstream::{DenseVector, EdmConfig, EdmStream, Euclidean, TauMode};
+
+fn blobs() -> Vec<Blob> {
+    vec![
+        Blob::new(vec![0.0, 0.0], 0.4, 1.0, 0),
+        Blob::new(vec![8.0, 0.0], 0.4, 1.0, 1),
+        Blob::new(vec![4.0, 7.0], 0.4, 1.0, 2),
+    ]
+}
+
+#[test]
+fn stream_engine_matches_batch_dp_on_static_data() {
+    let stream = sample_mixture("frozen", &blobs(), 4_000, 1_000.0, 0.5, 99);
+    let tau = 2.0;
+    let mut cfg = EdmConfig::new(0.5);
+    cfg.rate = 1_000.0;
+    cfg.beta = 1e-4; // threshold ≈ 50 decayed points
+    cfg.tau_mode = TauMode::Static(tau);
+    let mut engine = EdmStream::new(cfg, Euclidean);
+    for p in stream.iter() {
+        engine.insert(&p.payload, p.ts);
+    }
+    let t = stream.duration();
+    assert_eq!(engine.n_clusters(), 3, "engine should find the three blobs");
+
+    // Batch DP over the engine's active cell seeds, weighted by their
+    // decayed densities, with the same τ: identical cluster count.
+    let decay = engine.config().decay;
+    let (seeds, weights): (Vec<DenseVector>, Vec<f64>) = engine
+        .slab()
+        .iter()
+        .filter(|(_, c)| c.active)
+        .map(|(_, c)| (c.seed.clone(), c.rho_at(t, &decay)))
+        .unzip();
+    // Each seed carries its own decayed cell mass as density: this is the
+    // batch view of the engine's state.
+    let res = dp::cluster_with_density(&seeds, &weights, &Euclidean, &DpConfig::new(0.45, 0.0, tau));
+    assert_eq!(res.n_clusters(), 3, "batch DP over seeds disagrees");
+
+    // Membership agreement: engine and batch DP put the same seeds together.
+    let engine_label: Vec<usize> = engine
+        .slab()
+        .iter()
+        .filter(|(_, c)| c.active)
+        .map(|(id, _)| {
+            engine
+                .cluster_of(&engine.slab().get(id).seed, t)
+                .expect("active seed must be clustered") as usize
+        })
+        .collect();
+    for i in 0..seeds.len() {
+        for j in (i + 1)..seeds.len() {
+            let same_engine = engine_label[i] == engine_label[j];
+            let same_batch = res.assignment[i] == res.assignment[j];
+            assert_eq!(
+                same_engine, same_batch,
+                "seed pair ({i},{j}) co-membership disagrees"
+            );
+        }
+    }
+}
+
+#[test]
+fn cluster_of_recovers_generator_labels() {
+    let stream = sample_mixture("frozen2", &blobs(), 4_000, 1_000.0, 0.5, 7);
+    let mut cfg = EdmConfig::new(0.5);
+    cfg.rate = 1_000.0;
+    cfg.beta = 1e-4;
+    cfg.tau_mode = TauMode::Static(2.0);
+    let mut engine = EdmStream::new(cfg, Euclidean);
+    for p in stream.iter() {
+        engine.insert(&p.payload, p.ts);
+    }
+    let t = stream.duration();
+    // Points with the same generator label must map to the same cluster.
+    let mut label_to_cluster: std::collections::HashMap<u32, u64> = Default::default();
+    let mut checked = 0;
+    for p in stream.iter().skip(2_000) {
+        if let Some(cid) = engine.cluster_of(&p.payload, t) {
+            let label = p.label.unwrap();
+            let prev = label_to_cluster.insert(label, cid);
+            if let Some(prev) = prev {
+                assert_eq!(prev, cid, "label {label} mapped to two clusters");
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked > 1_500, "too few points were clusterable: {checked}");
+    assert_eq!(label_to_cluster.len(), 3);
+}

@@ -1,0 +1,80 @@
+//! Property test (cross-crate): the paper's two filtering theorems are
+//! *exact* — on arbitrary random streams, running the engine with no
+//! filters, the density filter, or both must produce identical DP-Trees
+//! and identical clusterings. This is the reproduction's most important
+//! correctness property: if a filter ever skipped a necessary update, the
+//! trees would diverge.
+
+use edmstream::{DenseVector, EdmConfig, EdmStream, Euclidean, FilterConfig, TauMode};
+use proptest::prelude::*;
+
+/// Final `(slot, dep, delta, active, cluster)` state per cell.
+fn final_state(
+    points: &[(f64, f64)],
+    filters: FilterConfig,
+) -> Vec<(u32, Option<u32>, f64, bool)> {
+    let mut cfg = EdmConfig::new(0.8);
+    cfg.rate = 100.0;
+    cfg.beta = 3.0 * (1.0 - cfg.decay.retention()) / cfg.rate;
+    cfg.init_points = 20;
+    cfg.tau_mode = TauMode::Static(3.0);
+    cfg.filters = filters;
+    cfg.track_evolution = false;
+    let mut engine = EdmStream::new(cfg, Euclidean);
+    for (i, &(x, y)) in points.iter().enumerate() {
+        engine.insert(&DenseVector::from([x, y]), i as f64 / 100.0);
+    }
+    let t = points.len() as f64 / 100.0;
+    engine.check_invariants(t).expect("invariants violated");
+    let mut v: Vec<(u32, Option<u32>, f64, bool)> = engine
+        .slab()
+        .iter()
+        .map(|(id, c)| (id.0, c.dep.map(|d| d.0), c.delta, c.active))
+        .collect();
+    v.sort_by_key(|s| s.0);
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn filters_are_exact_on_random_streams(
+        points in prop::collection::vec(
+            ((-3.0f64..13.0), (-3.0f64..3.0)),
+            120..400,
+        )
+    ) {
+        let wf = final_state(&points, FilterConfig::none());
+        let df = final_state(&points, FilterConfig::density_only());
+        let all = final_state(&points, FilterConfig::all());
+        prop_assert_eq!(&wf, &df, "density filter changed the tree");
+        prop_assert_eq!(&df, &all, "triangle filter changed the tree");
+    }
+
+    #[test]
+    fn clustered_blob_streams_keep_invariants(
+        centers in prop::collection::vec((-40.0f64..40.0, -40.0f64..40.0), 2..5),
+        n in 150usize..400,
+    ) {
+        let mut cfg = EdmConfig::new(1.0);
+        cfg.rate = 100.0;
+        cfg.beta = 3.0 * (1.0 - cfg.decay.retention()) / cfg.rate;
+        cfg.init_points = 30;
+        let mut engine = EdmStream::new(cfg, Euclidean);
+        for i in 0..n {
+            let c = &centers[i % centers.len()];
+            let jitter = (i % 9) as f64 * 0.15;
+            engine.insert(
+                &DenseVector::from([c.0 + jitter, c.1 - jitter * 0.5]),
+                i as f64 / 100.0,
+            );
+        }
+        let t = n as f64 / 100.0;
+        engine.check_invariants(t).expect("invariants violated");
+        // Every active cell belongs to exactly one cluster (the
+        // MSDSubTrees partition the active set).
+        let total: usize = engine.clusters(t).iter().map(|c| c.cells.len()).sum();
+        prop_assert_eq!(total, engine.active_len());
+    }
+}

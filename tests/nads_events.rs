@@ -1,0 +1,87 @@
+//! End-to-end NADS test: the token-set engine must detect the scripted
+//! topic split and merge events of the paper's Table 3 near their dates.
+
+use edmstream::data::gen::nads::{self, NadsConfig};
+use edmstream::{DecayModel, EdmConfig, EdmStream, EventKind, Jaccard, TauMode};
+
+fn nads_engine(ncfg: &NadsConfig) -> EdmStream<edmstream::TokenSet, Jaccard> {
+    let rate = ncfg.n as f64 / (nads::DAYS * ncfg.seconds_per_day);
+    let decay = DecayModel::new(0.998, 60.0);
+    let mut cfg = EdmConfig::new(0.4);
+    cfg.decay = decay;
+    cfg.rate = rate;
+    cfg.beta = 3.0 * (1.0 - decay.retention()) / rate;
+    cfg.init_points = 500;
+    cfg.recycle_horizon = Some(5.0 * ncfg.seconds_per_day);
+    cfg.tau_mode = TauMode::Static(0.75);
+    EdmStream::new(cfg, Jaccard)
+}
+
+#[test]
+fn scripted_topic_events_are_detected_near_their_dates() {
+    let ncfg = NadsConfig { n: 80_000, ..Default::default() };
+    let stream = nads::generate(&ncfg);
+    let mut engine = nads_engine(&ncfg);
+    for p in stream.iter() {
+        engine.insert(&p.payload, p.ts);
+    }
+    let day_of = |t: f64| nads::day_of(t, &ncfg);
+    let splits: Vec<f64> = engine
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Split { .. }))
+        .map(|e| day_of(e.t))
+        .collect();
+    let merges: Vec<f64> = engine
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Merge { .. }))
+        .map(|e| day_of(e.t))
+        .collect();
+    // Expected calendar (±4 days tolerance): splits near day 16 and 30,
+    // merges near day 10 and 51.
+    for expected in [16.0, 30.0] {
+        assert!(
+            splits.iter().any(|d| (d - expected).abs() <= 4.0),
+            "no split near day {expected}; splits at {splits:?}"
+        );
+    }
+    for expected in [10.0, 51.0] {
+        assert!(
+            merges.iter().any(|d| (d - expected).abs() <= 4.0),
+            "no merge near day {expected}; merges at {merges:?}"
+        );
+    }
+}
+
+#[test]
+fn topics_are_jaccard_clusters() {
+    // Mid-stream, headlines of distinct long-running topics must map to
+    // distinct clusters.
+    let ncfg = NadsConfig { n: 20_000, ..Default::default() };
+    let stream = nads::generate(&ncfg);
+    let mut engine = nads_engine(&ncfg);
+    let mut wear_cluster = None;
+    let mut a5c_cluster = None;
+    for p in stream.iter() {
+        engine.insert(&p.payload, p.ts);
+        let day = nads::day_of(p.ts, &ncfg);
+        if (20.0..21.0).contains(&day) {
+            match p.label {
+                Some(l) if l == nads::topic::G_WEAR => {
+                    if let Some(c) = engine.cluster_of(&p.payload, p.ts) {
+                        wear_cluster = Some(c);
+                    }
+                }
+                Some(l) if l == nads::topic::A_5C => {
+                    if let Some(c) = engine.cluster_of(&p.payload, p.ts) {
+                        a5c_cluster = Some(c);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let (w, a) = (wear_cluster.expect("wearable unclustered"), a5c_cluster.expect("5c unclustered"));
+    assert_ne!(w, a, "distinct topics share a cluster");
+}
