@@ -130,7 +130,7 @@ impl DbStream {
         let decay = self.cfg.decay;
         let n = self.mcs.len();
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        fn find(parent: &mut [usize], x: usize) -> usize {
             let mut root = x;
             while parent[root] != root {
                 root = parent[root];
@@ -167,8 +167,8 @@ impl DbStream {
         // Densify component ids over strong MCs.
         let mut ids: FxHashMap<usize, usize> = fx_map();
         let mut n_clusters = 0;
-        for i in 0..n {
-            if strong[i] {
+        for (i, &is_strong) in strong.iter().enumerate() {
+            if is_strong {
                 let root = find(&mut parent, i);
                 let id = *ids.entry(root).or_insert_with(|| {
                     let id = n_clusters;
@@ -249,25 +249,28 @@ impl StreamClusterer<DenseVector> for DbStream {
             }
         }
         self.offline_done = false;
-        if self.points % self.cfg.gap == 0 {
+        if self.points.is_multiple_of(self.cfg.gap) {
             self.cleanup(t);
         }
-        if self.points % self.cfg.offline_every == 0 {
+        if self.points.is_multiple_of(self.cfg.offline_every) {
             self.offline(t);
         }
     }
 
-    fn cluster_of(&mut self, p: &DenseVector, t: Timestamp) -> Option<usize> {
+    fn prepare(&mut self, t: Timestamp) {
         if !self.offline_done {
             self.offline(t);
         }
+    }
+
+    fn cluster_of(&self, p: &DenseVector, _t: Timestamp) -> Option<usize> {
         let mut best: Option<(usize, f64)> = None;
         for i in 0..self.mcs.len() {
             if !self.live[i] {
                 continue;
             }
             let d = self.mcs[i].center.dist(p);
-            if best.map_or(true, |(_, bd)| d < bd) {
+            if best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((i, d));
             }
         }
@@ -277,10 +280,7 @@ impl StreamClusterer<DenseVector> for DbStream {
         }
     }
 
-    fn n_clusters(&mut self, t: Timestamp) -> usize {
-        if !self.offline_done {
-            self.offline(t);
-        }
+    fn n_clusters(&self, _t: Timestamp) -> usize {
         self.n_clusters
     }
 
@@ -306,11 +306,8 @@ mod tests {
         for i in 0..n {
             let t = i as f64 / 100.0;
             let x = (i % 5) as f64 * 0.3;
-            let p = if i % 2 == 0 {
-                DenseVector::from([x, 0.0])
-            } else {
-                DenseVector::from([x, 50.0])
-            };
+            let p =
+                if i % 2 == 0 { DenseVector::from([x, 0.0]) } else { DenseVector::from([x, 50.0]) };
             db.insert(&p, t);
         }
     }
@@ -363,9 +360,8 @@ mod tests {
             db.insert(&DenseVector::from([(i % 7) as f64 * 0.4, 0.0]), t);
         }
         // The stale MC at (99,99) decayed below the removal bound.
-        let stale_alive = (0..db.mcs.len())
-            .filter(|&i| db.alive(i))
-            .any(|i| db.mcs[i].center.coords()[0] > 90.0);
+        let stale_alive =
+            (0..db.mcs.len()).filter(|&i| db.alive(i)).any(|i| db.mcs[i].center.coords()[0] > 90.0);
         assert!(!stale_alive, "stale MC should be recycled");
     }
 

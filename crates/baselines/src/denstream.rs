@@ -69,13 +69,16 @@ struct MicroCluster {
     last: Timestamp,
     /// Creation time (drives the o-MC ξ pruning bound).
     born: Timestamp,
+    /// Cluster id from the last offline pass. Stored on the MC itself so
+    /// pruning/promotion churn can never misalign a positional mapping.
+    cluster: Option<usize>,
 }
 
 impl MicroCluster {
     fn new(p: &DenseVector, t: Timestamp) -> Self {
         let ls = p.coords().to_vec();
         let ss = p.coords().iter().map(|x| x * x).sum();
-        MicroCluster { w: 1.0, ls, ss, last: t, born: t }
+        MicroCluster { w: 1.0, ls, ss, last: t, born: t, cluster: None }
     }
 
     fn fade(&mut self, t: Timestamp, decay: &DecayModel) {
@@ -89,9 +92,7 @@ impl MicroCluster {
     }
 
     fn center(&self) -> DenseVector {
-        DenseVector::from(
-            self.ls.iter().map(|x| x / self.w).collect::<Vec<f64>>(),
-        )
+        DenseVector::from(self.ls.iter().map(|x| x / self.w).collect::<Vec<f64>>())
     }
 
     /// Root-mean-square deviation from the center.
@@ -134,8 +135,6 @@ pub struct DenStream {
     potential: Vec<MicroCluster>,
     outlier: Vec<MicroCluster>,
     points: u64,
-    /// Offline result: cluster id per p-MC index (parallel to `potential`).
-    offline_assign: Vec<Option<usize>>,
     n_clusters: usize,
     offline_done: bool,
     last_prune: Timestamp,
@@ -150,7 +149,6 @@ impl DenStream {
             potential: Vec::new(),
             outlier: Vec::new(),
             points: 0,
-            offline_assign: Vec::new(),
             n_clusters: 0,
             offline_done: false,
             last_prune: 0.0,
@@ -161,7 +159,7 @@ impl DenStream {
         let mut best: Option<(usize, f64)> = None;
         for (i, mc) in mcs.iter().enumerate() {
             let d = mc.dist_to(p);
-            if best.map_or(true, |(_, bd)| d < bd) {
+            if best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((i, d));
             }
         }
@@ -204,7 +202,9 @@ impl DenStream {
             &Euclidean,
             &DbscanConfig { eps: self.cfg.offline_eps, min_weight: self.cfg.mu },
         );
-        self.offline_assign = res.assignment;
+        for (mc, assign) in self.potential.iter_mut().zip(&res.assignment) {
+            mc.cluster = *assign;
+        }
         self.n_clusters = res.n_clusters;
         self.offline_done = true;
     }
@@ -233,10 +233,10 @@ impl StreamClusterer<DenseVector> for DenStream {
             if self.potential[i].radius_with(p, t, &decay) <= self.cfg.eps {
                 self.potential[i].absorb(p, t, &decay);
                 self.offline_done = false;
-                if self.points % self.cfg.prune_every == 0 {
+                if self.points.is_multiple_of(self.cfg.prune_every) {
                     self.prune(t);
                 }
-                if self.points % self.cfg.offline_every == 0 {
+                if self.points.is_multiple_of(self.cfg.offline_every) {
                     self.offline(t);
                 }
                 return;
@@ -257,28 +257,28 @@ impl StreamClusterer<DenseVector> for DenStream {
             self.outlier.push(MicroCluster::new(p, t));
         }
         self.offline_done = false;
-        if self.points % self.cfg.prune_every == 0 {
+        if self.points.is_multiple_of(self.cfg.prune_every) {
             self.prune(t);
         }
-        if self.points % self.cfg.offline_every == 0 {
+        if self.points.is_multiple_of(self.cfg.offline_every) {
             self.offline(t);
         }
     }
 
-    fn cluster_of(&mut self, p: &DenseVector, t: Timestamp) -> Option<usize> {
+    fn prepare(&mut self, t: Timestamp) {
         if !self.offline_done {
             self.offline(t);
         }
+    }
+
+    fn cluster_of(&self, p: &DenseVector, _t: Timestamp) -> Option<usize> {
         match Self::nearest(&self.potential, p) {
-            Some((i, d)) if d <= self.cfg.offline_eps => self.offline_assign[i],
+            Some((i, d)) if d <= self.cfg.offline_eps => self.potential[i].cluster,
             _ => None,
         }
     }
 
-    fn n_clusters(&mut self, t: Timestamp) -> usize {
-        if !self.offline_done {
-            self.offline(t);
-        }
+    fn n_clusters(&self, _t: Timestamp) -> usize {
         self.n_clusters
     }
 
@@ -381,10 +381,7 @@ mod tests {
             let t = 1.0 + i as f64;
             ds.insert(&DenseVector::from([50.0, 50.0]), t);
         }
-        let still_there = ds
-            .potential
-            .iter()
-            .any(|mc| mc.center().coords()[0] < 1.0);
+        let still_there = ds.potential.iter().any(|mc| mc.center().coords()[0] < 1.0);
         assert!(!still_there, "starved p-MC should be pruned");
     }
 }

@@ -73,13 +73,23 @@ pub struct DStream {
     n_clusters: usize,
     last_offline: Timestamp,
     start: Option<Timestamp>,
+    /// Points arrived since the last offline phase.
+    dirty: bool,
 }
 
 impl DStream {
     /// Creates a D-Stream instance.
     pub fn new(cfg: DStreamConfig) -> Self {
         assert!(cfg.grid_width > 0.0, "grid width must be positive");
-        DStream { cfg, grids: fx_map(), points: 0, n_clusters: 0, last_offline: 0.0, start: None }
+        DStream {
+            cfg,
+            grids: fx_map(),
+            points: 0,
+            n_clusters: 0,
+            last_offline: 0.0,
+            start: None,
+            dirty: false,
+        }
     }
 
     fn key_of(&self, p: &DenseVector) -> GridKey {
@@ -110,9 +120,8 @@ impl DStream {
         let (dm, dl) = self.thresholds(t);
         // Remove sporadic grids (below the sparse threshold's fraction).
         let sporadic_cut = dl * 0.1;
-        self.grids.retain(|_, g| {
-            g.density * self.cfg.decay.factor(t - g.last_update) > sporadic_cut
-        });
+        self.grids
+            .retain(|_, g| g.density * self.cfg.decay.factor(t - g.last_update) > sporadic_cut);
         // Classify.
         let mut dense: Vec<GridKey> = Vec::new();
         let mut transitional: Vec<GridKey> = Vec::new();
@@ -172,6 +181,7 @@ impl DStream {
         }
         self.n_clusters = n_clusters;
         self.last_offline = t;
+        self.dirty = false;
     }
 }
 
@@ -185,29 +195,28 @@ impl StreamClusterer<DenseVector> for DStream {
         self.points += 1;
         let key = self.key_of(p);
         let decay = self.cfg.decay;
-        let grid = self
-            .grids
-            .entry(key)
-            .or_insert(Grid { density: 0.0, last_update: t, cluster: None });
+        let grid =
+            self.grids.entry(key).or_insert(Grid { density: 0.0, last_update: t, cluster: None });
         grid.density = grid.density * decay.factor(t - grid.last_update) + 1.0;
         grid.last_update = t;
-        if self.points % self.cfg.offline_every == 0 {
+        self.dirty = true;
+        if self.points.is_multiple_of(self.cfg.offline_every) {
             self.offline(t);
         }
     }
 
-    fn cluster_of(&mut self, p: &DenseVector, t: Timestamp) -> Option<usize> {
-        if self.last_offline == 0.0 {
+    fn prepare(&mut self, t: Timestamp) {
+        if self.dirty || self.last_offline == 0.0 {
             self.offline(t);
         }
+    }
+
+    fn cluster_of(&self, p: &DenseVector, _t: Timestamp) -> Option<usize> {
         let key = self.key_of(p);
         self.grids.get(&key).and_then(|g| g.cluster)
     }
 
-    fn n_clusters(&mut self, t: Timestamp) -> usize {
-        if self.last_offline == 0.0 {
-            self.offline(t);
-        }
+    fn n_clusters(&self, _t: Timestamp) -> usize {
         self.n_clusters
     }
 

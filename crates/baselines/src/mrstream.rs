@@ -86,11 +86,7 @@ impl MrStream {
 
     fn key_at(&self, p: &DenseVector, level: usize) -> CellKey {
         let w = self.cfg.top_width / (1u64 << level) as f64;
-        p.coords()
-            .iter()
-            .map(|&x| (x / w).floor() as i32)
-            .collect::<Vec<i32>>()
-            .into_boxed_slice()
+        p.coords().iter().map(|&x| (x / w).floor() as i32).collect::<Vec<i32>>().into_boxed_slice()
     }
 
     fn dense_threshold(&self, t: Timestamp) -> f64 {
@@ -170,32 +166,35 @@ impl StreamClusterer<DenseVector> for MrStream {
         // Update the full root-to-leaf path: one cell per level.
         for level in 0..=self.cfg.height {
             let key = self.key_at(p, level);
-            let node = self.levels[level]
-                .entry(key)
-                .or_insert(Node { density: 0.0, last: t, cluster: None });
+            let node = self.levels[level].entry(key).or_insert(Node {
+                density: 0.0,
+                last: t,
+                cluster: None,
+            });
             node.density = node.density * decay.factor(t - node.last) + 1.0;
             node.last = t;
         }
-        if self.points % self.cfg.prune_every == 0 {
+        self.offline_done = false;
+        if self.points.is_multiple_of(self.cfg.prune_every) {
             self.prune(t);
         }
-        if self.points % self.cfg.offline_every == 0 {
+        if self.points.is_multiple_of(self.cfg.offline_every) {
             self.offline(t);
         }
     }
 
-    fn cluster_of(&mut self, p: &DenseVector, t: Timestamp) -> Option<usize> {
+    fn prepare(&mut self, t: Timestamp) {
         if !self.offline_done {
             self.offline(t);
         }
+    }
+
+    fn cluster_of(&self, p: &DenseVector, _t: Timestamp) -> Option<usize> {
         let key = self.key_at(p, self.cfg.cluster_level);
         self.levels[self.cfg.cluster_level].get(&key).and_then(|n| n.cluster)
     }
 
-    fn n_clusters(&mut self, t: Timestamp) -> usize {
-        if !self.offline_done {
-            self.offline(t);
-        }
+    fn n_clusters(&self, _t: Timestamp) -> usize {
         self.n_clusters
     }
 
@@ -242,6 +241,24 @@ mod tests {
     }
 
     #[test]
+    fn prepare_sees_points_inserted_between_offline_cadences() {
+        let mut mr = MrStream::new(cfg());
+        feed_blobs(&mut mr, 400); // offline ran at point 200 and 400
+                                  // A new dense region arrives without hitting the 200-point cadence.
+        for i in 0..150 {
+            let t = 4.0 + i as f64 / 100.0;
+            mr.insert(&DenseVector::from([80.0 + (i % 4) as f64 * 0.1, 80.0]), t);
+        }
+        let t = 5.5;
+        mr.prepare(t);
+        assert_eq!(mr.n_clusters(t), 3, "stale offline result after prepare");
+        assert!(
+            mr.cluster_of(&DenseVector::from([80.1, 80.0]), t).is_some(),
+            "new region invisible to queries"
+        );
+    }
+
+    #[test]
     fn every_level_is_updated_per_point() {
         let mut mr = MrStream::new(cfg());
         mr.insert(&DenseVector::from([0.1, 0.1]), 0.0);
@@ -270,8 +287,7 @@ mod tests {
             mr.insert(&DenseVector::from([(i % 4) as f64 * 0.2, 0.0]), t);
         }
         let lvl = mr.cfg.cluster_level;
-        let stale: Vec<&CellKey> =
-            mr.levels[lvl].keys().filter(|k| k[0] > 5).collect();
+        let stale: Vec<&CellKey> = mr.levels[lvl].keys().filter(|k| k[0] > 5).collect();
         assert!(stale.is_empty(), "stale cells remain: {stale:?}");
     }
 

@@ -25,8 +25,7 @@ fn bench_ablations(c: &mut Criterion) {
     for (label, mode) in
         [("adaptive", TauMode::Adaptive { alpha: None }), ("static", TauMode::Static(5.0))]
     {
-        let mut cfg = ds.edm.clone();
-        cfg.tau_mode = mode;
+        let cfg = ds.edm.to_builder().tau_mode(mode).build().unwrap();
         group.bench_function(label, |b| {
             b.iter_batched(|| cfg.clone(), |cfg| run_stream(cfg, &ds), BatchSize::SmallInput)
         });
@@ -36,8 +35,7 @@ fn bench_ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_evolution_tracking");
     group.sample_size(10);
     for (label, track) in [("on", true), ("off", false)] {
-        let mut cfg = ds.edm.clone();
-        cfg.track_evolution = track;
+        let cfg = ds.edm.to_builder().track_evolution(track).build().unwrap();
         group.bench_function(label, |b| {
             b.iter_batched(|| cfg.clone(), |cfg| run_stream(cfg, &ds), BatchSize::SmallInput)
         });
@@ -47,8 +45,7 @@ fn bench_ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_radius");
     group.sample_size(10);
     for r in [2.5f64, 5.0, 10.0] {
-        let mut cfg = ds.edm.clone();
-        cfg.r = r;
+        let cfg = ds.edm.to_builder().r(r).build().unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(r), &cfg, |b, cfg| {
             b.iter_batched(|| cfg.clone(), |cfg| run_stream(cfg, &ds), BatchSize::SmallInput)
         });

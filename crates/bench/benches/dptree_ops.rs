@@ -45,8 +45,8 @@ fn bench_tree(c: &mut Criterion) {
         b.iter(|| {
             // Re-point the tail cell across parents repeatedly.
             let tail = ids[511];
-            for i in 1..64 {
-                tree::set_dep(&mut slab, tail, ids[i], 0.5);
+            for &parent in ids.iter().skip(1).take(63) {
+                tree::set_dep(&mut slab, tail, parent, 0.5);
             }
             slab.get(tail).dep
         })

@@ -7,10 +7,8 @@ use edm_data::gen::blobs::{sample_mixture, Blob};
 use edm_metrics::cmm::{cmm, CmmConfig, EvalObject};
 
 fn bench_cmm(c: &mut Criterion) {
-    let blobs = vec![
-        Blob::new(vec![0.0, 0.0], 0.5, 1.0, 0),
-        Blob::new(vec![10.0, 0.0], 0.5, 1.0, 1),
-    ];
+    let blobs =
+        vec![Blob::new(vec![0.0, 0.0], 0.5, 1.0, 0), Blob::new(vec![10.0, 0.0], 0.5, 1.0, 1)];
     let mut group = c.benchmark_group("cmm_window");
     group.sample_size(10);
     for n in [100usize, 300, 600] {

@@ -5,7 +5,10 @@
 //! builds ready-to-run engines so each experiment uses identical
 //! configurations.
 
-use edm_baselines::{DbStream, DbStreamConfig, DenStream, DenStreamConfig, DStream, DStreamConfig, MrStream, MrStreamConfig};
+use edm_baselines::{
+    DStream, DStreamConfig, DbStream, DbStreamConfig, DenStream, DenStreamConfig, MrStream,
+    MrStreamConfig,
+};
 use edm_common::decay::DecayModel;
 use edm_common::metric::Euclidean;
 use edm_common::point::DenseVector;
@@ -77,11 +80,9 @@ pub fn load(id: DatasetId, scale: f64, rate: f64) -> Dataset {
             hds::generate(&cfg)
         }
         DatasetId::Kdd => kdd::generate(&kdd::KddConfig { n, rate, ..Default::default() }),
-        DatasetId::CoverType => covertype::generate(&covertype::CoverTypeConfig {
-            n,
-            rate,
-            ..Default::default()
-        }),
+        DatasetId::CoverType => {
+            covertype::generate(&covertype::CoverTypeConfig { n, rate, ..Default::default() })
+        }
         DatasetId::Pamap2 => {
             pamap2::generate(&pamap2::Pamap2Config { n, rate, ..Default::default() })
         }
@@ -101,19 +102,16 @@ pub fn load(id: DatasetId, scale: f64, rate: f64) -> Dataset {
 /// recycling horizon (the Theorem 3 formula degenerates for large λ — see
 /// `EdmConfig::recycle_horizon`).
 pub fn edm_config(id: DatasetId, r: f64, rate: f64) -> EdmConfig {
-    let mut cfg = EdmConfig::new(r);
-    cfg.rate = rate;
-    match id {
-        DatasetId::Sds => {
-            cfg.decay = DecayModel::new(0.998, 200.0);
-            cfg.beta = 3e-3;
-            cfg.recycle_horizon = Some(5.0);
-            cfg.tau_every = 128;
-        }
-        _ => cfg.beta = 0.0021,
-    }
-    cfg.init_points = 1_000;
-    cfg
+    let builder = EdmConfig::builder(r).rate(rate).init_points(1_000);
+    let builder = match id {
+        DatasetId::Sds => builder
+            .decay(DecayModel::new(0.998, 200.0))
+            .beta(3e-3)
+            .recycle_horizon(5.0)
+            .tau_every(128),
+        _ => builder.beta(0.0021),
+    };
+    builder.build().expect("catalog config is valid")
 }
 
 /// EDMStream configuration for the NADS news stream: Jaccard space, news
@@ -124,21 +122,22 @@ pub fn edm_config(id: DatasetId, r: f64, rate: f64) -> EdmConfig {
 pub fn nads_edm_config(cfg: &nads::NadsConfig) -> EdmConfig {
     let rate = cfg.n as f64 / (nads::DAYS * cfg.seconds_per_day);
     let decay = DecayModel::new(0.998, 60.0);
-    let mut e = EdmConfig::new(0.4);
-    e.decay = decay;
-    e.rate = rate;
-    // Threshold ≈ 3 headlines of steady mass.
-    e.beta = 3.0 * (1.0 - decay.retention()) / rate;
-    e.init_points = 500;
-    // Stories absorb headlines roughly once a second; the Theorem 3
-    // formula would recycle them faster than that (see EdmConfig docs).
-    e.recycle_horizon = Some(5.0 * cfg.seconds_per_day);
-    // Jaccard distances are bimodal (same-topic story links ≈ 0.6,
-    // cross-topic links ≥ 0.9) and the modes drift as stories rotate, so
-    // the user-picked τ between the modes is kept static — the paper's
-    // adaptive-τ demonstration lives on SDS (Table 4), not on NADS.
-    e.tau_mode = TauMode::Static(0.75);
-    e
+    EdmConfig::builder(0.4)
+        .decay(decay)
+        .rate(rate)
+        // Threshold ≈ 3 headlines of steady mass.
+        .beta(3.0 * (1.0 - decay.retention()) / rate)
+        .init_points(500)
+        // Stories absorb headlines roughly once a second; the Theorem 3
+        // formula would recycle them faster than that (see EdmConfig docs).
+        .recycle_horizon(5.0 * cfg.seconds_per_day)
+        // Jaccard distances are bimodal (same-topic story links ≈ 0.6,
+        // cross-topic links ≥ 0.9) and the modes drift as stories rotate, so
+        // the user-picked τ between the modes is kept static — the paper's
+        // adaptive-τ demonstration lives on SDS (Table 4), not on NADS.
+        .tau_mode(TauMode::Static(0.75))
+        .build()
+        .expect("NADS config is valid")
 }
 
 /// All five engines for a vector dataset, boxed behind the common trait.
@@ -189,7 +188,7 @@ mod tests {
         let ds = load(DatasetId::Sds, 0.2, 1_000.0);
         assert_eq!(ds.stream.len(), 4_000);
         assert_eq!(ds.stream.default_r, 0.3);
-        ds.edm.validate();
+        assert_eq!(ds.edm.r(), 0.3);
     }
 
     #[test]
@@ -211,7 +210,6 @@ mod tests {
     fn nads_config_is_valid() {
         let cfg = nads::NadsConfig { n: 10_000, ..Default::default() };
         let e = nads_edm_config(&cfg);
-        e.validate();
         assert!(e.active_threshold() > 1.0);
     }
 }

@@ -6,10 +6,10 @@
 //! suggested τ line separates them.
 
 use edm_common::metric::Euclidean;
+use edm_data::gen::blobs::{sample_mixture, Blob};
 use edm_dp::decision::DecisionGraph;
 use edm_dp::dp::{self, DpConfig};
 use edm_dp::util::distance_quantile;
-use edm_data::gen::blobs::{sample_mixture, Blob};
 
 use super::Ctx;
 use crate::report::{ascii_scatter, f, Report};

@@ -8,6 +8,7 @@
 
 use edm_common::metric::Euclidean;
 use edm_core::{EdmStream, EventKind};
+
 use edm_data::gen::sds::{self, SdsConfig};
 
 use super::Ctx;
@@ -29,23 +30,23 @@ pub fn run(ctx: &Ctx) -> std::io::Result<()> {
     for p in stream.iter() {
         engine.insert(&p.payload, p.ts);
         if p.ts >= next_sample {
+            // A frozen snapshot per sampling instant: all the row's
+            // quantities come from one consistent view.
+            let snap = engine.snapshot(p.ts);
             rep.row(vec![
                 format!("{next_sample:.0}"),
-                engine.n_clusters().to_string(),
-                engine.active_len().to_string(),
-                format!("{:.3}", engine.tau()),
+                snap.n_clusters().to_string(),
+                snap.active_cells().to_string(),
+                format!("{:.3}", snap.tau()),
             ]);
             next_sample += 1.0;
         }
     }
     rep.finish()?;
 
-    let mut events = Report::new(
-        "fig7_events_sds",
-        &["t_s", "event", "detail"],
-        ctx.out_dir(),
-    );
-    for ev in engine.events() {
+    let mut events = Report::new("fig7_events_sds", &["t_s", "event", "detail"], ctx.out_dir());
+    let log = engine.take_events();
+    for ev in &log {
         let (kind, detail) = match &ev.kind {
             EventKind::Emerge { cluster } => ("emerge", format!("cluster {cluster}")),
             EventKind::Disappear { cluster } => ("disappear", format!("cluster {cluster}")),
@@ -58,7 +59,7 @@ pub fn run(ctx: &Ctx) -> std::io::Result<()> {
     events.finish()?;
     let (em, di, sp, me, ad) = {
         let mut c = (0, 0, 0, 0, 0);
-        for ev in engine.events() {
+        for ev in &log {
             match ev.kind {
                 EventKind::Emerge { .. } => c.0 += 1,
                 EventKind::Disappear { .. } => c.1 += 1,
@@ -69,8 +70,6 @@ pub fn run(ctx: &Ctx) -> std::io::Result<()> {
         }
         c
     };
-    println!(
-        "(event totals: {em} emerge, {di} disappear, {sp} split, {me} merge, {ad} adjust)"
-    );
+    println!("(event totals: {em} emerge, {di} disappear, {sp} split, {me} merge, {ad} adjust)");
     Ok(())
 }

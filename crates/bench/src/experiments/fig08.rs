@@ -15,7 +15,7 @@
 
 use edm_common::hash::{fx_map, FxHashMap};
 use edm_common::metric::Jaccard;
-use edm_core::{ClusterId, EdmStream, EventKind};
+use edm_core::{ClusterId, EdmStream, EventCursor, EventKind};
 use edm_data::gen::nads::{self, NadsConfig};
 
 use super::Ctx;
@@ -29,10 +29,8 @@ const VOTE_WINDOW: usize = 4_000;
 pub fn run(ctx: &Ctx) -> std::io::Result<()> {
     // The scripted events need enough per-story headline density to be
     // statistically detectable; 40k headlines (scale ≈ 0.1) is the floor.
-    let ncfg = NadsConfig {
-        n: ((422_937f64 * ctx.scale) as usize).max(40_000),
-        ..Default::default()
-    };
+    let ncfg =
+        NadsConfig { n: ((422_937f64 * ctx.scale) as usize).max(40_000), ..Default::default() };
     let stream = nads::generate(&ncfg);
     let edm = catalog::nads_edm_config(&ncfg);
     let mut engine = EdmStream::new(edm, Jaccard);
@@ -53,12 +51,9 @@ pub fn run(ctx: &Ctx) -> std::io::Result<()> {
             .unwrap_or_else(|| format!("cluster-{c}"))
     };
 
-    let mut rep = Report::new(
-        "fig8_nads_events",
-        &["date", "day", "event", "clusters"],
-        ctx.out_dir(),
-    );
-    let mut seen_events = 0usize;
+    let mut rep =
+        Report::new("fig8_nads_events", &["date", "day", "event", "clusters"], ctx.out_dir());
+    let mut cursor = EventCursor::START;
     let mut headline_rows: Vec<(f64, String, String)> = Vec::new();
     for p in stream.iter() {
         engine.insert(&p.payload, p.ts);
@@ -68,15 +63,15 @@ pub fn run(ctx: &Ctx) -> std::io::Result<()> {
                 ring.pop_front();
             }
         }
-        // Label any new split/merge events with current topic votes.
-        while seen_events < engine.events().len() {
-            let ev = engine.events()[seen_events].clone();
-            seen_events += 1;
+        // Label any new split/merge events with current topic votes: read
+        // incrementally from the cursor so events are seen exactly once.
+        let fresh = engine.events_since(cursor);
+        cursor = engine.event_cursor();
+        for ev in fresh {
             let day = nads::day_of(ev.t, &ncfg);
             match &ev.kind {
                 EventKind::Merge { from, into } => {
-                    let froms: Vec<String> =
-                        from.iter().map(|c| label_of(&ring, *c)).collect();
+                    let froms: Vec<String> = from.iter().map(|c| label_of(&ring, *c)).collect();
                     headline_rows.push((
                         day,
                         "merge".into(),
@@ -84,8 +79,7 @@ pub fn run(ctx: &Ctx) -> std::io::Result<()> {
                     ));
                 }
                 EventKind::Split { from, into } => {
-                    let intos: Vec<String> =
-                        into.iter().map(|c| label_of(&ring, *c)).collect();
+                    let intos: Vec<String> = into.iter().map(|c| label_of(&ring, *c)).collect();
                     headline_rows.push((
                         day,
                         "split".into(),
@@ -134,9 +128,7 @@ pub fn run(ctx: &Ctx) -> std::io::Result<()> {
                 detail.contains(key)
             }
         });
-        let near_any = headline_rows
-            .iter()
-            .any(|(d, k, _)| k == kind && (d - day).abs() <= 4.0);
+        let near_any = headline_rows.iter().any(|(d, k, _)| k == kind && (d - day).abs() <= 4.0);
         tab3.row(vec![
             nads::format_day(day),
             desc.to_string(),
@@ -150,12 +142,13 @@ pub fn run(ctx: &Ctx) -> std::io::Result<()> {
         ]);
     }
     tab3.finish()?;
+    let snap = engine.snapshot(stream.points.last().map_or(0.0, |p| p.ts));
     println!(
         "(engine: {} cells, {} active, {} events total, tau {:.3})",
-        engine.n_cells(),
-        engine.active_len(),
-        engine.events().len(),
-        engine.tau()
+        snap.n_cells(),
+        snap.active_cells(),
+        engine.events_recorded(),
+        snap.tau()
     );
     Ok(())
 }

@@ -30,7 +30,7 @@ pub fn latency_series(
     for p in stream.iter() {
         algo.insert(&p.payload, p.ts);
         processed += 1;
-        if processed % bucket == 0 {
+        if processed.is_multiple_of(bucket) {
             let us = w.lap_secs() * 1e6 / bucket as f64;
             series.push((processed, us));
         }

@@ -12,11 +12,7 @@ use crate::report::{f, Report};
 
 /// Regenerates Fig 12.
 pub fn run(ctx: &Ctx) -> std::io::Result<()> {
-    let mut rep = Report::new(
-        "fig12_dimensions",
-        &["dim", "algorithm", "avg_us"],
-        ctx.out_dir(),
-    );
+    let mut rep = Report::new("fig12_dimensions", &["dim", "algorithm", "avg_us"], ctx.out_dir());
     for dim in [10usize, 30, 100, 300, 1000] {
         // Wide streams get expensive per point; cap the length so the
         // sweep stays laptop-friendly at any scale.

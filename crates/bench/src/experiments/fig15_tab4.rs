@@ -10,8 +10,8 @@
 
 use edm_common::metric::Euclidean;
 use edm_core::{EdmStream, TauMode};
-use edm_dp::decision::DecisionGraph;
 use edm_data::gen::sds::{self, SdsConfig};
+use edm_dp::decision::DecisionGraph;
 
 use super::Ctx;
 use crate::catalog::{self, DatasetId};
@@ -20,14 +20,13 @@ use crate::report::Report;
 /// Runs one SDS pass, sampling cluster counts per second and decision
 /// graphs at the Fig 15 instants. Returns (per-second counts, τ at init,
 /// graphs at {init, 4, 5, 6} with the engine's τ at that time).
-fn run_sds(
-    tau_mode_static: Option<f64>,
-) -> (Vec<usize>, f64, Vec<(String, DecisionGraph, f64)>) {
+fn run_sds(tau_mode_static: Option<f64>) -> (Vec<usize>, f64, Vec<(String, DecisionGraph, f64)>) {
     let stream = sds::generate(&SdsConfig::default());
-    let mut cfg = catalog::edm_config(DatasetId::Sds, stream.default_r, 1_000.0);
+    let mut builder = catalog::edm_config(DatasetId::Sds, stream.default_r, 1_000.0).to_builder();
     if let Some(tau) = tau_mode_static {
-        cfg.tau_mode = TauMode::Static(tau);
+        builder = builder.tau_mode(TauMode::Static(tau));
     }
+    let cfg = builder.build().expect("SDS config is valid");
     let mut engine = EdmStream::new(cfg, Euclidean);
     let mut counts = Vec::new();
     let mut graphs = Vec::new();
@@ -37,16 +36,18 @@ fn run_sds(
         engine.insert(&p.payload, p.ts);
         if p.ts >= next && next <= 10.0 {
             if next == 1.0 {
-                tau0 = engine.tau();
-                let (rho, delta) = engine.decision_graph(p.ts);
-                graphs.push(("init (1s)".to_string(), DecisionGraph::new(&rho, &delta), tau0));
+                let snap = engine.snapshot(p.ts);
+                tau0 = snap.tau();
+                let (rho, delta) = snap.decision_graph();
+                graphs.push(("init (1s)".to_string(), DecisionGraph::new(rho, delta), tau0));
             }
             if [4.0, 5.0, 6.0].contains(&next) {
-                let (rho, delta) = engine.decision_graph(p.ts);
+                let snap = engine.snapshot(p.ts);
+                let (rho, delta) = snap.decision_graph();
                 graphs.push((
                     format!("t = {next:.0}s"),
-                    DecisionGraph::new(&rho, &delta),
-                    engine.tau(),
+                    DecisionGraph::new(rho, delta),
+                    snap.tau(),
                 ));
             }
             counts.push(engine.n_clusters());

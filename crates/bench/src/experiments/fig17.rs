@@ -19,8 +19,13 @@ use crate::report::{f, Report};
 pub fn run(ctx: &Ctx) -> std::io::Result<()> {
     let ds = catalog::load(DatasetId::Pamap2, ctx.scale, 1_000.0);
     // Estimate the distance quantiles from a payload sample.
-    let sample: Vec<_> =
-        ds.stream.points.iter().step_by((ds.stream.len() / 2_000).max(1)).map(|p| p.payload.clone()).collect();
+    let sample: Vec<_> = ds
+        .stream
+        .points
+        .iter()
+        .step_by((ds.stream.len() / 2_000).max(1))
+        .map(|p| p.payload.clone())
+        .collect();
     let window = EvalWindow::new(WindowConfig { horizon: 400, ..Default::default() });
     let mut rep = Report::new(
         "fig17_radius_effect",
@@ -29,12 +34,16 @@ pub fn run(ctx: &Ctx) -> std::io::Result<()> {
     );
     for pct in [0.005, 0.010, 0.015, 0.020] {
         let r = distance_quantile(&sample, &Euclidean, pct, 100_000, 17);
-        let mut cfg = catalog::edm_config(DatasetId::Pamap2, r, 1_000.0);
-        cfg.track_evolution = false;
-        // This is a granularity study: β is lowered so that even the
-        // finest-grained cells stay active and the r tradeoff (quality vs
-        // update cost) is what the sweep measures, not threshold starvation.
-        cfg.beta = 5e-4;
+        let cfg = catalog::edm_config(DatasetId::Pamap2, r, 1_000.0)
+            .to_builder()
+            .track_evolution(false)
+            // This is a granularity study: β is lowered so that even the
+            // finest-grained cells stay active and the r tradeoff (quality
+            // vs update cost) is what the sweep measures, not threshold
+            // starvation.
+            .beta(5e-4)
+            .build()
+            .expect("radius-sweep config is valid");
         let mut engine = EdmStream::new(cfg, Euclidean);
         let n = ds.stream.len();
         let eval_every = (n / 4).max(1_000);

@@ -34,8 +34,8 @@ impl Ctx {
 
 /// All experiment names in run order.
 pub const ALL: &[&str] = &[
-    "tab2", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "fig15", "tab4", "fig16", "fig17",
+    "tab2", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "fig15", "tab4", "fig16", "fig17",
 ];
 
 /// Runs one experiment by name. Returns false for an unknown name.

@@ -182,7 +182,7 @@ mod tests {
 
     #[test]
     fn float_formatter() {
-        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(2.5371, 2), "2.54");
         assert_eq!(f(10.0, 0), "10");
     }
 }

@@ -25,11 +25,13 @@ use edm_common::time::Timestamp;
 
 use crate::cell::{Cell, CellId};
 use crate::config::EdmConfig;
+use crate::error::EdmError;
 use crate::evolution::{
-    AdjustKind, ClusterId, ClusterRegistry, EventKind, EvolutionLog, GroupInput,
+    AdjustKind, ClusterId, ClusterRegistry, Event, EventCursor, EventKind, EvolutionLog, GroupInput,
 };
 use crate::filters::EngineStats;
 use crate::slab::CellSlab;
+use crate::snapshot::{ClusterInfo, ClusterSnapshot};
 use crate::tau::TauController;
 use crate::tree;
 
@@ -37,19 +39,6 @@ use crate::tree;
 enum Phase<P> {
     Caching(Vec<(P, Timestamp)>),
     Running,
-}
-
-/// A summary of one current cluster, as returned by [`EdmStream::clusters`].
-#[derive(Debug, Clone)]
-pub struct ClusterInfo {
-    /// Persistent cluster id.
-    pub id: ClusterId,
-    /// Root cell (the cluster center, paper Def. 2).
-    pub root: CellId,
-    /// Member cells.
-    pub cells: Vec<CellId>,
-    /// Total decayed density of the member cells.
-    pub density: f64,
 }
 
 /// The EDMStream engine, generic over payload type and metric.
@@ -77,8 +66,14 @@ pub struct EdmStream<P, M> {
 impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
     /// Creates an engine; the first `cfg.init_points` inserts are buffered
     /// for the initialization step.
+    ///
+    /// Never fails: an [`EdmConfig`] can only be obtained from
+    /// [`EdmConfig::builder`], whose `build()` already validated it.
+    /// Configs smuggled in from outside the builder (deserialization,
+    /// FFI) are the caller's responsibility — gate them through
+    /// [`EdmConfig::check`]; this constructor only debug-asserts.
     pub fn new(cfg: EdmConfig, metric: M) -> Self {
-        cfg.validate();
+        debug_assert!(cfg.check().is_ok(), "config bypassed builder validation: {:?}", cfg.check());
         let active_thr = cfg.active_threshold();
         let dt_del = cfg.delta_t_del();
         EdmStream {
@@ -87,7 +82,7 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
             metric,
             slab: CellSlab::new(),
             registry: ClusterRegistry::new(),
-            log: EvolutionLog::new(),
+            log: EvolutionLog::with_capacity(cfg.event_capacity),
             stats: EngineStats::default(),
             scratch: Vec::new(),
             active_thr,
@@ -101,7 +96,9 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
         }
     }
 
-    /// Feeds one stream point.
+    /// Feeds one stream point — the infallible hot path. Out-of-order
+    /// timestamps are a debug assertion here; ingest from untrusted
+    /// transports through [`EdmStream::try_insert`] instead.
     pub fn insert(&mut self, p: &P, t: Timestamp) {
         debug_assert!(t >= self.now - 1e-9, "stream time must not go backwards");
         self.start.get_or_insert(t);
@@ -116,6 +113,37 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
             }
             Phase::Running => self.process(p, t),
         }
+    }
+
+    /// Feeds one stream point, rejecting timestamps behind the stream
+    /// clock with [`EdmError::TimeRegression`] instead of asserting.
+    pub fn try_insert(&mut self, p: &P, t: Timestamp) -> Result<(), EdmError> {
+        if t < self.now - 1e-9 {
+            return Err(EdmError::TimeRegression { now: self.now, t });
+        }
+        self.insert(p, t);
+        Ok(())
+    }
+
+    /// Feeds a batch of stream points in order. Observationally equivalent
+    /// to inserting each point individually — batching exists so callers
+    /// (and the [`edm_data::clusterer::StreamClusterer`] harness) drive
+    /// one uniform interface; per-point maintenance cadences still fire at
+    /// the same points.
+    pub fn insert_batch(&mut self, batch: &[(P, Timestamp)]) {
+        for (p, t) in batch {
+            self.insert(p, *t);
+        }
+    }
+
+    /// Batch variant of [`EdmStream::try_insert`]: stops at the first
+    /// out-of-order timestamp, reporting its index alongside the error;
+    /// points before it are already ingested.
+    pub fn try_insert_batch(&mut self, batch: &[(P, Timestamp)]) -> Result<(), (usize, EdmError)> {
+        for (i, (p, t)) in batch.iter().enumerate() {
+            self.try_insert(p, *t).map_err(|e| (i, e))?;
+        }
+        Ok(())
     }
 
     /// Forces initialization with whatever is buffered (no-op when already
@@ -154,11 +182,8 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
         }
         // Activate dense cells and wire the DP-Tree among them, scanning in
         // density order (the O(k²) batch pass the paper performs once).
-        let mut order: Vec<(f64, CellId)> = self
-            .slab
-            .iter()
-            .map(|(id, c)| (c.rho_at(t, self.decay()), id))
-            .collect();
+        let mut order: Vec<(f64, CellId)> =
+            self.slab.iter().map(|(id, c)| (c.rho_at(t, self.decay()), id)).collect();
         order.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("density NaN").then(a.1.cmp(&b.1)));
         let thr = self.threshold_at(t);
         let mut placed: Vec<CellId> = Vec::new();
@@ -171,7 +196,7 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
             let mut best: Option<(f64, CellId)> = None;
             for &prev in &placed {
                 let d = self.metric.dist(&self.slab.get(id).seed, &self.slab.get(prev).seed);
-                if best.map_or(true, |(bd, bid)| d < bd || (d == bd && prev < bid)) {
+                if best.is_none_or(|(bd, bid)| d < bd || (d == bd && prev < bid)) {
                     best = Some((d, prev));
                 }
             }
@@ -183,9 +208,10 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
         // τ initialization: the "user" picks τ₀ from the decision graph
         // (largest-gap heuristic unless configured explicitly).
         let mut deltas = self.active_deltas_sorted();
-        let tau0 = self.cfg.tau0.unwrap_or_else(|| {
-            suggest_tau_from_deltas(&deltas).unwrap_or(4.0 * self.cfg.r)
-        });
+        let tau0 = self
+            .cfg
+            .tau0
+            .unwrap_or_else(|| suggest_tau_from_deltas(&deltas).unwrap_or(4.0 * self.cfg.r));
         self.tau_ctl.initialize(&deltas, tau0);
         deltas.clear();
         self.structure_dirty = true;
@@ -220,10 +246,10 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
                 self.slab.insert(Cell::new(p.clone(), t));
             }
         }
-        if self.stats.points % self.cfg.maintenance_every == 0 {
+        if self.stats.points.is_multiple_of(self.cfg.maintenance_every) {
             self.maintenance(t);
         }
-        if self.stats.points % self.cfg.tau_every == 0 {
+        if self.stats.points.is_multiple_of(self.cfg.tau_every) {
             let deltas = self.active_deltas_sorted();
             if self.tau_ctl.update(&deltas) {
                 self.structure_dirty = true;
@@ -353,7 +379,7 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
             let rho_o = other.rho_at(t, self.decay());
             if denser_scalar(rho_o, id, rho_cell, cell) {
                 let d = self.metric.dist(&other.seed, &self.slab.get(cell).seed);
-                if best.map_or(true, |(bd, bid)| d < bd || (d == bd && id < bid)) {
+                if best.is_none_or(|(bd, bid)| d < bd || (d == bd && id < bid)) {
                     best = Some((d, id));
                 }
             }
@@ -407,11 +433,7 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
                     if let Some(cluster) = cluster {
                         self.log.push(
                             t,
-                            EventKind::Adjust {
-                                kind: AdjustKind::BecameOutliers,
-                                cluster,
-                                cells,
-                            },
+                            EventKind::Adjust { kind: AdjustKind::BecameOutliers, cluster, cells },
                         );
                         self.stats.events += 1;
                     }
@@ -455,9 +477,9 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
         }
         let mut group_vec: Vec<GroupInput> = groups.into_values().collect();
         group_vec.sort_by_key(|g| g.root);
-        let before = self.log.len();
+        let before = self.log.total();
         let assignments = self.registry.diff(t, &group_vec, &mut self.log);
-        self.stats.events += (self.log.len() - before) as u64;
+        self.stats.events += self.log.total() - before;
         for (cell, cid) in assignments {
             self.slab.get_mut(cell).cluster = Some(cid);
         }
@@ -511,9 +533,35 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
         &self.stats
     }
 
-    /// Evolution event log.
-    pub fn events(&self) -> &[crate::evolution::Event] {
-        self.log.events()
+    /// Drains the buffered evolution events, oldest first. Subsequent
+    /// calls return only events recorded in between — the "consume the
+    /// narrative as it happens" pattern of the paper's Figs 7–8.
+    pub fn take_events(&mut self) -> Vec<Event> {
+        self.log.drain()
+    }
+
+    /// Returns the buffered events at or after `cursor`, oldest first,
+    /// without consuming them. Pair with [`EdmStream::event_cursor`] for
+    /// incremental, non-destructive consumption by multiple readers.
+    pub fn events_since(&self, cursor: EventCursor) -> Vec<Event> {
+        self.log.events_since(cursor).cloned().collect()
+    }
+
+    /// Cursor after the newest recorded event.
+    pub fn event_cursor(&self) -> EventCursor {
+        self.log.cursor()
+    }
+
+    /// Total evolution events ever recorded (monotonic).
+    pub fn events_recorded(&self) -> u64 {
+        self.log.total()
+    }
+
+    /// Events lost to the bounded buffer (evicted or drained) — if a
+    /// cursor reader observes this exceeding its cursor, it fell behind
+    /// the `event_capacity` it configured.
+    pub fn events_evicted(&self) -> u64 {
+        self.log.evicted()
     }
 
     /// Number of active cells (DP-Tree nodes).
@@ -539,10 +587,29 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
     /// Current number of clusters (MSDSubTrees).
     pub fn n_clusters(&self) -> usize {
         let tau = self.tau_ctl.tau();
-        self.slab
-            .iter()
-            .filter(|(_, c)| c.active && (c.dep.is_none() || c.delta > tau))
-            .count()
+        self.slab.iter().filter(|(_, c)| c.active && (c.dep.is_none() || c.delta > tau)).count()
+    }
+
+    /// Freezes the full clustering state at time `t` into an owned,
+    /// read-only [`ClusterSnapshot`]: cluster infos, τ, the decision
+    /// graph, population counters, and an event cursor aligned with the
+    /// snapshot instant. Reporting and metrics code works off the frozen
+    /// view instead of re-entering the engine.
+    pub fn snapshot(&self, t: Timestamp) -> ClusterSnapshot {
+        let (rho, delta) = self.decision_graph(t);
+        ClusterSnapshot {
+            t,
+            tau: self.tau_ctl.tau(),
+            alpha: self.tau_ctl.alpha(),
+            clusters: self.clusters(t),
+            rho,
+            delta,
+            active_cells: self.active_count,
+            reservoir_cells: self.reservoir_len(),
+            reservoir_peak: self.reservoir_peak,
+            points: self.stats.points,
+            event_cursor: self.log.cursor(),
+        }
     }
 
     /// Snapshot of the current clusters.
@@ -663,13 +730,21 @@ impl<P: Clone, M: Metric<P>> edm_data::clusterer::StreamClusterer<P> for EdmStre
         EdmStream::insert(self, payload, t);
     }
 
-    fn cluster_of(&mut self, payload: &P, t: Timestamp) -> Option<usize> {
+    fn insert_batch(&mut self, batch: &[(P, Timestamp)]) {
+        EdmStream::insert_batch(self, batch);
+    }
+
+    fn prepare(&mut self, _t: Timestamp) {
+        // EDMStream maintains clusters online; the only deferred work is
+        // the initialization of a stream shorter than the init buffer.
         self.force_init();
+    }
+
+    fn cluster_of(&self, payload: &P, t: Timestamp) -> Option<usize> {
         EdmStream::cluster_of(self, payload, t).map(|c| c as usize)
     }
 
-    fn n_clusters(&mut self, _t: Timestamp) -> usize {
-        self.force_init();
+    fn n_clusters(&self, _t: Timestamp) -> usize {
         EdmStream::n_clusters(self)
     }
 
@@ -688,13 +763,14 @@ mod tests {
 
     /// A small-scale config: rate 100 pt/s, activation threshold ≈ 3.
     fn mini_cfg(r: f64) -> EdmConfig {
-        let mut cfg = EdmConfig::new(r);
-        cfg.rate = 100.0;
-        cfg.beta = 3.0 * (1.0 - cfg.decay.retention()) / cfg.rate; // thr ≈ 3
-        cfg.init_points = 40;
-        cfg.tau_every = 16;
-        cfg.maintenance_every = 8;
-        cfg
+        EdmConfig::builder(r)
+            .rate(100.0)
+            .beta_for_threshold(3.0)
+            .init_points(40)
+            .tau_every(16)
+            .maintenance_every(8)
+            .build()
+            .expect("mini config is valid")
     }
 
     /// Two tight blobs far apart; points alternate between them.
@@ -757,8 +833,7 @@ mod tests {
         // The theorems claim the filters are exact: the final tree must be
         // identical with and without them.
         let run = |filters: FilterConfig| {
-            let mut cfg = mini_cfg(0.6);
-            cfg.filters = filters;
+            let cfg = mini_cfg(0.6).to_builder().filters(filters).build().unwrap();
             let mut e = EdmStream::new(cfg, Euclidean);
             let mut x = 7u64;
             for i in 0..500 {
@@ -768,11 +843,8 @@ mod tests {
                 e.insert(&DenseVector::from([c + u, u * 0.3]), i as f64 / 100.0);
             }
             // Capture (dep, delta) per live cell id.
-            let mut state: Vec<(u32, Option<CellId>, f64)> = e
-                .slab()
-                .iter()
-                .map(|(id, c)| (id.0, c.dep, c.delta))
-                .collect();
+            let mut state: Vec<(u32, Option<CellId>, f64)> =
+                e.slab().iter().map(|(id, c)| (id.0, c.dep, c.delta)).collect();
             state.sort_by_key(|s| s.0);
             state
         };
@@ -794,17 +866,16 @@ mod tests {
             for i in 0..600usize {
                 let t = i as f64 / 100.0;
                 let which = match i % 20 {
-                    0 => 2usize,           // 5% to blob 2
-                    x if x < 6 => 1,       // 25% to blob 1
-                    _ => 0,                // 70% to blob 0
+                    0 => 2usize,     // 5% to blob 2
+                    x if x < 6 => 1, // 25% to blob 1
+                    _ => 0,          // 70% to blob 0
                 };
                 let jitter = (i % 5) as f64 * 0.05;
                 e.insert(&DenseVector::from([which as f64 * 10.0 + jitter, 0.0]), t);
             }
         };
         let run = |filters: FilterConfig| {
-            let mut cfg = mini_cfg(0.6);
-            cfg.filters = filters;
+            let cfg = mini_cfg(0.6).to_builder().filters(filters).build().unwrap();
             let mut e = EdmStream::new(cfg, Euclidean);
             feed(&mut e);
             (e.stats().filtered_density, e.stats().filtered_triangle)
@@ -845,7 +916,7 @@ mod tests {
         assert_eq!(e.n_clusters(), 1, "right blob should have decayed");
         assert!(e.stats().deactivations > 0);
         assert!(e
-            .events()
+            .events_since(EventCursor::START)
             .iter()
             .any(|ev| matches!(ev.kind, EventKind::Disappear { .. })));
     }
@@ -890,9 +961,11 @@ mod tests {
         }
         assert_eq!(e.n_clusters(), 1, "bridge should merge the blobs (tau {})", e.tau());
         assert!(
-            e.events().iter().any(|ev| matches!(ev.kind, EventKind::Merge { .. })),
+            e.events_since(EventCursor::START)
+                .iter()
+                .any(|ev| matches!(ev.kind, EventKind::Merge { .. })),
             "no merge event recorded; events: {:?}",
-            e.events().len()
+            e.events_recorded()
         );
     }
 
@@ -902,12 +975,75 @@ mod tests {
         let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
         let p = DenseVector::from([0.0, 0.0]);
         StreamClusterer::insert(&mut e, &p, 0.0);
-        // Query before the init buffer fills: forces initialization. With
-        // the age-adjusted threshold a lone fresh point bootstraps one
-        // cluster (the threshold floor is exactly one fresh point).
-        assert_eq!(StreamClusterer::n_clusters(&mut e, 0.0), 1);
+        // Queries answer from prepared state only: before `prepare`, a
+        // stream still inside the init buffer reports nothing.
+        assert_eq!(StreamClusterer::n_clusters(&e, 0.0), 0);
+        // `prepare` forces initialization. With the age-adjusted threshold
+        // a lone fresh point bootstraps one cluster (the threshold floor
+        // is exactly one fresh point).
+        StreamClusterer::prepare(&mut e, 0.0);
+        assert_eq!(StreamClusterer::n_clusters(&e, 0.0), 1);
         assert!(e.is_initialized());
         assert_eq!(StreamClusterer::name(&e), "EDMStream");
+    }
+
+    #[test]
+    fn try_insert_rejects_time_regression_and_batch_reports_index() {
+        let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+        assert!(e.try_insert(&DenseVector::from([0.0, 0.0]), 1.0).is_ok());
+        let err = e.try_insert(&DenseVector::from([1.0, 0.0]), 0.5).unwrap_err();
+        assert_eq!(err, crate::error::EdmError::TimeRegression { now: 1.0, t: 0.5 });
+        // Batch: index 1 regresses; point 0 is already ingested.
+        let points = e.stats().points;
+        let batch = vec![
+            (DenseVector::from([0.1, 0.0]), 1.5),
+            (DenseVector::from([0.2, 0.0]), 0.2),
+            (DenseVector::from([0.3, 0.0]), 2.0),
+        ];
+        let (i, err) = e.try_insert_batch(&batch).unwrap_err();
+        assert_eq!(i, 1);
+        assert!(matches!(err, crate::error::EdmError::TimeRegression { .. }));
+        assert_eq!(e.stats().points, points + 1);
+    }
+
+    #[test]
+    fn snapshot_freezes_state_and_aligns_event_cursor() {
+        let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+        feed_two_blobs(&mut e, 300);
+        let snap = e.snapshot(3.0);
+        assert_eq!(snap.n_clusters(), 2);
+        assert_eq!(snap.n_clusters(), e.n_clusters());
+        assert_eq!(snap.active_cells(), e.active_len());
+        assert_eq!(snap.n_cells(), e.n_cells());
+        assert_eq!(snap.points(), 300);
+        assert!((snap.tau() - e.tau()).abs() < 1e-12);
+        let (rho, delta) = snap.decision_graph();
+        assert_eq!(rho.len(), e.active_len());
+        assert!(delta.iter().all(|d| d.is_finite()));
+        // Nothing new happened since the snapshot: its cursor sees no events.
+        assert!(e.events_since(snap.event_cursor()).is_empty());
+        // The snapshot stays valid after the engine moves on.
+        for i in 0..400 {
+            e.insert(&DenseVector::from([50.0, 50.0]), 3.0 + i as f64 / 100.0);
+        }
+        assert_eq!(snap.n_clusters(), 2);
+    }
+
+    #[test]
+    fn take_events_drains_incrementally() {
+        let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+        feed_two_blobs(&mut e, 200);
+        let first = e.take_events();
+        assert!(!first.is_empty(), "initialization must emerge clusters");
+        assert!(e.take_events().is_empty(), "drained log must be empty");
+        let recorded = e.events_recorded();
+        // A new dense region triggers fresh events only.
+        for i in 0..60 {
+            e.insert(&DenseVector::from([50.0, 50.0]), 2.0 + i as f64 / 100.0);
+        }
+        let fresh = e.take_events();
+        assert!(!fresh.is_empty(), "emergence must be recorded");
+        assert_eq!(e.events_recorded(), recorded + fresh.len() as u64);
     }
 
     #[test]
@@ -925,8 +1061,7 @@ mod tests {
 
     #[test]
     fn static_tau_is_respected() {
-        let mut cfg = mini_cfg(0.5);
-        cfg.tau_mode = TauMode::Static(2.5);
+        let cfg = mini_cfg(0.5).to_builder().tau_mode(TauMode::Static(2.5)).build().unwrap();
         let mut e = EdmStream::new(cfg, Euclidean);
         feed_two_blobs(&mut e, 300);
         assert_eq!(e.tau(), 2.5);

@@ -84,39 +84,116 @@ pub struct Event {
     pub kind: EventKind,
 }
 
-/// Append-only log of evolution events.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// Position in the evolution-event sequence, for incremental consumption
+/// via `events_since`-style queries. Cursors are cheap, copyable, and
+/// remain valid across drains: events recorded before the cursor are never
+/// re-delivered, whether they were taken, read, or evicted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EventCursor(pub(crate) u64);
+
+impl EventCursor {
+    /// The cursor before the first event (reads everything still buffered).
+    pub const START: EventCursor = EventCursor(0);
+
+    /// Sequence number of the next event this cursor would observe.
+    pub fn seq(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Bounded log of evolution events.
+///
+/// Events carry monotonically increasing sequence numbers. The log keeps at
+/// most `capacity` buffered events; recording past the bound evicts the
+/// oldest (tracked by [`EvolutionLog::evicted`]). Consumers either drain
+/// destructively ([`EvolutionLog::drain`]) or read incrementally from an
+/// [`EventCursor`] ([`EvolutionLog::events_since`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EvolutionLog {
-    events: Vec<Event>,
+    events: std::collections::VecDeque<Event>,
+    capacity: usize,
+    /// Sequence number the next pushed event will receive.
+    next_seq: u64,
+}
+
+impl Default for EvolutionLog {
+    fn default() -> Self {
+        EvolutionLog::with_capacity(crate::config::DEFAULT_EVENT_CAPACITY)
+    }
 }
 
 impl EvolutionLog {
-    /// Creates an empty log.
+    /// Creates an empty log with the default capacity.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Records an event.
+    /// Creates an empty log bounded at `capacity` buffered events.
+    ///
+    /// `capacity` 0 is clamped to 1 (the config builder rejects it before
+    /// it can reach here).
+    pub fn with_capacity(capacity: usize) -> Self {
+        EvolutionLog {
+            events: std::collections::VecDeque::new(),
+            capacity: capacity.max(1),
+            next_seq: 0,
+        }
+    }
+
+    /// Records an event, evicting the oldest if the buffer is full.
     pub fn push(&mut self, t: Timestamp, kind: EventKind) {
-        self.events.push(Event { t, kind });
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(Event { t, kind });
+        self.next_seq += 1;
     }
 
-    /// All events in arrival order.
-    pub fn events(&self) -> &[Event] {
-        &self.events
-    }
-
-    /// Number of events recorded.
+    /// Number of events currently buffered.
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
-    /// True when nothing has been recorded.
+    /// True when nothing is buffered.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
 
-    /// Counts of (emerge, disappear, split, merge, adjust) events.
+    /// Configured buffer bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever recorded (monotonic; survives drains/evictions).
+    pub fn total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Events no longer buffered (evicted past capacity or drained).
+    pub fn evicted(&self) -> u64 {
+        self.next_seq - self.events.len() as u64
+    }
+
+    /// Cursor after the newest recorded event.
+    pub fn cursor(&self) -> EventCursor {
+        EventCursor(self.next_seq)
+    }
+
+    /// Removes and returns every buffered event, oldest first.
+    pub fn drain(&mut self) -> Vec<Event> {
+        self.events.drain(..).collect()
+    }
+
+    /// Iterates over the buffered events at or after `cursor`, oldest
+    /// first. Events already evicted are silently skipped — compare the
+    /// cursor against [`EvolutionLog::evicted`] to detect loss.
+    pub fn events_since(&self, cursor: EventCursor) -> impl Iterator<Item = &Event> + '_ {
+        let first_buffered = self.next_seq - self.events.len() as u64;
+        let skip = cursor.0.saturating_sub(first_buffered) as usize;
+        self.events.iter().skip(skip)
+    }
+
+    /// Counts of buffered (emerge, disappear, split, merge, adjust) events.
     pub fn counts(&self) -> (usize, usize, usize, usize, usize) {
         let mut c = (0, 0, 0, 0, 0);
         for e in &self.events {
@@ -265,7 +342,7 @@ impl ClusterRegistry {
             let mut best: Option<(usize, usize)> = None; // (votes, group)
             for (gi, v) in votes.iter().enumerate() {
                 if let Some(&n) = v.get(&old) {
-                    if best.map_or(true, |(bn, bg)| n > bn || (n == bn && gi < bg)) {
+                    if best.is_none_or(|(bn, bg)| n > bn || (n == bn && gi < bg)) {
                         best = Some((n, gi));
                     }
                 }
@@ -293,12 +370,15 @@ impl ClusterRegistry {
                 if old != id && claimed.contains(&old) {
                     log.push(
                         t,
-                        EventKind::Adjust { kind: AdjustKind::Moved { from: old }, cluster: id, cells: n as u32 },
+                        EventKind::Adjust {
+                            kind: AdjustKind::Moved { from: old },
+                            cluster: id,
+                            cells: n as u32,
+                        },
                     );
                 }
             }
-            if continuing && fresh[gi] > 0 && !g.members.is_empty() && fresh[gi] < g.members.len()
-            {
+            if continuing && fresh[gi] > 0 && !g.members.is_empty() && fresh[gi] < g.members.len() {
                 log.push(
                     t,
                     EventKind::Adjust {
@@ -373,12 +453,7 @@ mod tests {
         let mut log = EvolutionLog::new();
         let a = diff(&mut reg, 0.0, vec![group(0, &[(0, None), (1, None)])], &mut log);
         let id = a[&cid(0)];
-        let b = diff(
-            &mut reg,
-            1.0,
-            vec![group(0, &[(0, Some(id)), (1, Some(id))])],
-            &mut log,
-        );
+        let b = diff(&mut reg, 1.0, vec![group(0, &[(0, Some(id)), (1, Some(id))])], &mut log);
         assert_eq!(b[&cid(0)], id, "identity persists");
         assert_eq!(log.counts(), (1, 0, 0, 0, 0), "only the initial emerge");
     }
@@ -387,28 +462,19 @@ mod tests {
     fn split_keeps_id_on_largest_fragment() {
         let mut reg = ClusterRegistry::new();
         let mut log = EvolutionLog::new();
-        let a = diff(
-            &mut reg,
-            0.0,
-            vec![group(0, &[(0, None), (1, None), (2, None)])],
-            &mut log,
-        );
+        let a = diff(&mut reg, 0.0, vec![group(0, &[(0, None), (1, None), (2, None)])], &mut log);
         let id = a[&cid(0)];
         // Split: {0,1} stays, {2} leaves.
         let b = diff(
             &mut reg,
             1.0,
-            vec![
-                group(0, &[(0, Some(id)), (1, Some(id))]),
-                group(2, &[(2, Some(id))]),
-            ],
+            vec![group(0, &[(0, Some(id)), (1, Some(id))]), group(2, &[(2, Some(id))])],
             &mut log,
         );
         assert_eq!(b[&cid(0)], id, "largest fragment keeps id");
         assert_ne!(b[&cid(2)], id);
         let split_events: Vec<&Event> = log
-            .events()
-            .iter()
+            .events_since(EventCursor::START)
             .filter(|e| matches!(e.kind, EventKind::Split { .. }))
             .collect();
         assert_eq!(split_events.len(), 1);
@@ -425,10 +491,7 @@ mod tests {
         let a = diff(
             &mut reg,
             0.0,
-            vec![
-                group(0, &[(0, None), (1, None)]),
-                group(2, &[(2, None)]),
-            ],
+            vec![group(0, &[(0, None), (1, None)]), group(2, &[(2, None)])],
             &mut log,
         );
         let (big, small) = (a[&cid(0)], a[&cid(2)]);
@@ -440,8 +503,10 @@ mod tests {
         );
         assert_eq!(b[&cid(2)], big, "absorbed members adopt surviving id");
         assert_eq!(reg.n_clusters(), 1);
-        let merge: Vec<&Event> =
-            log.events().iter().filter(|e| matches!(e.kind, EventKind::Merge { .. })).collect();
+        let merge: Vec<&Event> = log
+            .events_since(EventCursor::START)
+            .filter(|e| matches!(e.kind, EventKind::Merge { .. }))
+            .collect();
         assert_eq!(merge.len(), 1);
         if let EventKind::Merge { from, into } = &merge[0].kind {
             assert_eq!(from, &vec![small]);
@@ -453,19 +518,13 @@ mod tests {
     fn disappear_when_members_vanish() {
         let mut reg = ClusterRegistry::new();
         let mut log = EvolutionLog::new();
-        let a = diff(
-            &mut reg,
-            0.0,
-            vec![group(0, &[(0, None)]), group(1, &[(1, None)])],
-            &mut log,
-        );
+        let a = diff(&mut reg, 0.0, vec![group(0, &[(0, None)]), group(1, &[(1, None)])], &mut log);
         let dead = a[&cid(1)];
         // Next diff: cluster at root 1 is simply gone (cells deactivated).
         diff(&mut reg, 1.0, vec![group(0, &[(0, Some(a[&cid(0)]))])], &mut log);
         assert_eq!(reg.n_clusters(), 1);
         assert!(log
-            .events()
-            .iter()
+            .events_since(EventCursor::START)
             .any(|e| e.kind == EventKind::Disappear { cluster: dead }));
     }
 
@@ -475,13 +534,8 @@ mod tests {
         let mut log = EvolutionLog::new();
         let a = diff(&mut reg, 0.0, vec![group(0, &[(0, None), (1, None)])], &mut log);
         let id = a[&cid(0)];
-        diff(
-            &mut reg,
-            1.0,
-            vec![group(0, &[(0, Some(id)), (1, Some(id)), (7, None)])],
-            &mut log,
-        );
-        assert!(log.events().iter().any(|e| matches!(
+        diff(&mut reg, 1.0, vec![group(0, &[(0, Some(id)), (1, Some(id)), (7, None)])], &mut log);
+        assert!(log.events_since(EventCursor::START).any(|e| matches!(
             e.kind,
             EventKind::Adjust { kind: AdjustKind::OutliersJoined, cells: 1, .. }
         )));
@@ -494,10 +548,7 @@ mod tests {
         let a = diff(
             &mut reg,
             0.0,
-            vec![
-                group(0, &[(0, None), (1, None), (2, None)]),
-                group(5, &[(5, None), (6, None)]),
-            ],
+            vec![group(0, &[(0, None), (1, None), (2, None)]), group(5, &[(5, None), (6, None)])],
             &mut log,
         );
         let (x, y) = (a[&cid(0)], a[&cid(5)]);
@@ -510,7 +561,7 @@ mod tests {
             ],
             &mut log,
         );
-        assert!(log.events().iter().any(|e| matches!(
+        assert!(log.events_since(EventCursor::START).any(|e| matches!(
             e.kind,
             EventKind::Adjust { kind: AdjustKind::Moved { from }, cluster, cells: 1 }
                 if from == x && cluster == y
@@ -518,6 +569,45 @@ mod tests {
         // Both clusters persist: no split/merge/disappear recorded.
         let (_, d, s, m, _) = log.counts();
         assert_eq!((d, s, m), (0, 0, 0));
+    }
+
+    #[test]
+    fn bounded_log_evicts_oldest() {
+        let mut log = EvolutionLog::with_capacity(4);
+        for i in 0..10u64 {
+            log.push(i as f64, EventKind::Emerge { cluster: i });
+        }
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.total(), 10);
+        assert_eq!(log.evicted(), 6);
+        let buffered: Vec<u64> = log
+            .events_since(EventCursor::START)
+            .map(|e| match e.kind {
+                EventKind::Emerge { cluster } => cluster,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(buffered, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn cursor_reads_are_incremental_and_drain_is_destructive() {
+        let mut log = EvolutionLog::with_capacity(16);
+        log.push(0.0, EventKind::Emerge { cluster: 0 });
+        let cursor = log.cursor();
+        assert_eq!(cursor.seq(), 1);
+        log.push(1.0, EventKind::Emerge { cluster: 1 });
+        let fresh: Vec<&Event> = log.events_since(cursor).collect();
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].kind, EventKind::Emerge { cluster: 1 });
+        // Draining empties the buffer but keeps the sequence monotonic.
+        let drained = log.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(log.is_empty());
+        assert_eq!(log.total(), 2);
+        assert_eq!(log.events_since(EventCursor::START).count(), 0);
+        log.push(2.0, EventKind::Emerge { cluster: 2 });
+        assert_eq!(log.events_since(cursor).count(), 1);
     }
 
     #[test]

@@ -14,22 +14,40 @@
 //! **cluster registry** turns tree updates into emerge / disappear /
 //! split / merge / adjust events (§3.3).
 //!
+//! The public API follows a **builder → session → snapshot** shape:
+//! configure through [`EdmConfig::builder`] (typed [`ConfigError`]s, no
+//! panicking path), feed the [`EdmStream`] session through `insert` /
+//! [`EdmStream::insert_batch`] (or the fallible
+//! [`EdmStream::try_insert`]), then query frozen state through
+//! [`EdmStream::snapshot`] and drain evolution events with
+//! [`EdmStream::take_events`] / [`EdmStream::events_since`].
+//!
 //! ```
 //! use edm_core::{EdmConfig, EdmStream};
 //! use edm_common::metric::Euclidean;
 //! use edm_common::point::DenseVector;
 //!
-//! let mut cfg = EdmConfig::new(0.5); // cell radius r
-//! cfg.rate = 100.0;                  // expected points/sec
-//! cfg.beta = 6e-5;                   // activation threshold ≈ 3 points
-//! cfg.init_points = 16;
+//! let cfg = EdmConfig::builder(0.5) // cell radius r
+//!     .rate(100.0)                  // expected points/sec
+//!     .beta(6e-5)                   // activation threshold ≈ 3 points
+//!     .init_points(16)
+//!     .build()?;
 //! let mut engine = EdmStream::new(cfg, Euclidean);
-//! for i in 0..64 {
-//!     let x = if i % 2 == 0 { 0.0 } else { 8.0 };
-//!     engine.insert(&DenseVector::from([x, 0.1 * (i % 4) as f64]), i as f64 / 100.0);
-//! }
+//! let batch: Vec<(DenseVector, f64)> = (0..64)
+//!     .map(|i| {
+//!         let x = if i % 2 == 0 { 0.0 } else { 8.0 };
+//!         (DenseVector::from([x, 0.1 * (i % 4) as f64]), i as f64 / 100.0)
+//!     })
+//!     .collect();
+//! engine.insert_batch(&batch);
 //! assert!(engine.is_initialized());
-//! assert_eq!(engine.n_clusters(), 2);
+//!
+//! let snap = engine.snapshot(0.64);
+//! assert_eq!(snap.n_clusters(), 2);
+//! for event in engine.take_events() {
+//!     println!("{:.2}s {:?}", event.t, event.kind);
+//! }
+//! # Ok::<(), edm_core::ConfigError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -38,15 +56,19 @@
 pub mod cell;
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod evolution;
 pub mod filters;
 pub mod slab;
+pub mod snapshot;
 pub mod tau;
 pub mod tree;
 
 pub use cell::{Cell, CellId};
-pub use config::EdmConfig;
-pub use engine::{ClusterInfo, EdmStream};
-pub use evolution::{AdjustKind, ClusterId, Event, EventKind, EvolutionLog};
+pub use config::{ConfigError, EdmConfig, EdmConfigBuilder};
+pub use engine::EdmStream;
+pub use error::EdmError;
+pub use evolution::{AdjustKind, ClusterId, Event, EventCursor, EventKind, EvolutionLog};
 pub use filters::{EngineStats, FilterConfig};
+pub use snapshot::{ClusterInfo, ClusterSnapshot};
 pub use tau::TauMode;

@@ -85,18 +85,12 @@ impl<P> CellSlab<P> {
 
     /// Iterates over `(id, cell)` pairs of live cells.
     pub fn iter(&self) -> impl Iterator<Item = (CellId, &Cell<P>)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|c| (CellId(i as u32), c)))
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|c| (CellId(i as u32), c)))
     }
 
     /// Iterates over ids of live cells.
     pub fn ids(&self) -> impl Iterator<Item = CellId> + '_ {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|_| CellId(i as u32)))
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|_| CellId(i as u32)))
     }
 
     /// Mutable pairwise access to two distinct cells (tree edge updates

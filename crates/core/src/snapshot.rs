@@ -1,0 +1,171 @@
+//! Owned, read-only views of the engine's clustering state.
+//!
+//! [`crate::EdmStream::snapshot`] freezes the MSDSubTree partition, τ, the
+//! decision graph and the population counters into a [`ClusterSnapshot`]
+//! that metrics and reporting code can hold, ship across threads, or diff
+//! against later snapshots — without re-entering (or borrowing) the
+//! engine. This is the §6.3.1 story at the API level: cluster queries are
+//! answered online from maintained state, so freezing them is cheap.
+
+use edm_common::time::Timestamp;
+
+use crate::cell::CellId;
+use crate::evolution::{ClusterId, EventCursor};
+
+/// A summary of one current cluster (one MSDSubTree, paper Def. 2).
+#[derive(Debug, Clone)]
+pub struct ClusterInfo {
+    /// Persistent cluster id.
+    pub id: ClusterId,
+    /// Root cell (the cluster center, paper Def. 2).
+    pub root: CellId,
+    /// Member cells.
+    pub cells: Vec<CellId>,
+    /// Total decayed density of the member cells.
+    pub density: f64,
+}
+
+/// A frozen view of the clustering at one instant.
+///
+/// Owned data, no borrow of the engine; `Send` whenever the payload type
+/// is irrelevant (the snapshot stores none of it).
+#[derive(Debug, Clone)]
+pub struct ClusterSnapshot {
+    pub(crate) t: Timestamp,
+    pub(crate) tau: f64,
+    pub(crate) alpha: f64,
+    pub(crate) clusters: Vec<ClusterInfo>,
+    /// Decision-graph densities of the active cells (Fig 2b/15).
+    pub(crate) rho: Vec<f64>,
+    /// Decision-graph dependent distances, with the root's infinite δ
+    /// remapped to 1.05× the largest finite δ for plotting.
+    pub(crate) delta: Vec<f64>,
+    pub(crate) active_cells: usize,
+    pub(crate) reservoir_cells: usize,
+    pub(crate) reservoir_peak: usize,
+    pub(crate) points: u64,
+    pub(crate) event_cursor: EventCursor,
+}
+
+impl ClusterSnapshot {
+    /// Stream time the snapshot was taken at.
+    pub fn t(&self) -> Timestamp {
+        self.t
+    }
+
+    /// The separation threshold τ in force.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// The adaptive-τ balance parameter α (learned or configured).
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of clusters (MSDSubTrees).
+    pub fn n_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// The clusters, ordered by root cell id.
+    pub fn clusters(&self) -> &[ClusterInfo] {
+        &self.clusters
+    }
+
+    /// Looks up a cluster by its persistent id.
+    pub fn cluster(&self, id: ClusterId) -> Option<&ClusterInfo> {
+        self.clusters.iter().find(|c| c.id == id)
+    }
+
+    /// Persistent cluster id of the cluster containing `cell`, if any.
+    pub fn cluster_of_cell(&self, cell: CellId) -> Option<ClusterId> {
+        self.clusters.iter().find(|c| c.cells.contains(&cell)).map(|c| c.id)
+    }
+
+    /// The (ρ, δ) decision graph of the active cells (Fig 2b/15); the
+    /// root's infinite δ is remapped to 1.05× the largest finite δ.
+    pub fn decision_graph(&self) -> (&[f64], &[f64]) {
+        (&self.rho, &self.delta)
+    }
+
+    /// Number of active cells (DP-Tree nodes).
+    pub fn active_cells(&self) -> usize {
+        self.active_cells
+    }
+
+    /// Number of inactive cells (outlier reservoir population).
+    pub fn reservoir_cells(&self) -> usize {
+        self.reservoir_cells
+    }
+
+    /// Largest reservoir population observed so far (Fig 16).
+    pub fn reservoir_peak(&self) -> usize {
+        self.reservoir_peak
+    }
+
+    /// Total live cells.
+    pub fn n_cells(&self) -> usize {
+        self.active_cells + self.reservoir_cells
+    }
+
+    /// Stream points processed up to the snapshot.
+    pub fn points(&self) -> u64 {
+        self.points
+    }
+
+    /// Cursor after the newest evolution event at snapshot time — feed to
+    /// `EdmStream::events_since` to read exactly the events after this
+    /// frozen view.
+    pub fn event_cursor(&self) -> EventCursor {
+        self.event_cursor
+    }
+
+    /// Summed decayed density over all clusters.
+    pub fn total_density(&self) -> f64 {
+        self.clusters.iter().map(|c| c.density).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap() -> ClusterSnapshot {
+        ClusterSnapshot {
+            t: 2.0,
+            tau: 1.5,
+            alpha: 0.6,
+            clusters: vec![
+                ClusterInfo {
+                    id: 7,
+                    root: CellId(0),
+                    cells: vec![CellId(0), CellId(2)],
+                    density: 10.0,
+                },
+                ClusterInfo { id: 9, root: CellId(5), cells: vec![CellId(5)], density: 4.0 },
+            ],
+            rho: vec![8.0, 2.0, 4.0],
+            delta: vec![3.0, 0.4, 2.0],
+            active_cells: 3,
+            reservoir_cells: 2,
+            reservoir_peak: 4,
+            points: 100,
+            event_cursor: EventCursor::START,
+        }
+    }
+
+    #[test]
+    fn accessors_reflect_frozen_state() {
+        let s = snap();
+        assert_eq!(s.n_clusters(), 2);
+        assert_eq!(s.n_cells(), 5);
+        assert_eq!(s.cluster(9).unwrap().root, CellId(5));
+        assert!(s.cluster(1).is_none());
+        assert_eq!(s.cluster_of_cell(CellId(2)), Some(7));
+        assert_eq!(s.cluster_of_cell(CellId(3)), None);
+        assert!((s.total_density() - 14.0).abs() < 1e-12);
+        let (rho, delta) = s.decision_graph();
+        assert_eq!(rho.len(), delta.len());
+    }
+}

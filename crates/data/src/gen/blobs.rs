@@ -30,8 +30,7 @@ impl Blob {
 
     /// Draws one sample.
     pub fn sample(&self, r: &mut GenRng) -> DenseVector {
-        let coords: Vec<f64> =
-            self.center.iter().map(|&c| c + self.sigma * randn(r)).collect();
+        let coords: Vec<f64> = self.center.iter().map(|&c| c + self.sigma * randn(r)).collect();
         DenseVector::from(coords)
     }
 }
@@ -102,10 +101,8 @@ mod tests {
 
     #[test]
     fn mixture_emits_requested_count_and_labels() {
-        let blobs = vec![
-            Blob::new(vec![0.0, 0.0], 0.5, 1.0, 0),
-            Blob::new(vec![10.0, 10.0], 0.5, 1.0, 1),
-        ];
+        let blobs =
+            vec![Blob::new(vec![0.0, 0.0], 0.5, 1.0, 0), Blob::new(vec![10.0, 10.0], 0.5, 1.0, 1)];
         let s = sample_mixture("two-blobs", &blobs, 500, 1000.0, 0.3, 42);
         assert_eq!(s.len(), 500);
         assert_eq!(s.n_classes, 2);

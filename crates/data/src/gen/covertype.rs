@@ -16,8 +16,7 @@ use super::blobs::scatter_centers;
 use super::{randn, rng, sample_weighted};
 
 /// Real class counts of CoverType (sums to 581,012).
-pub const CLASS_COUNTS: [u64; 7] =
-    [211_840, 283_301, 35_754, 2_747, 9_493, 17_367, 20_510];
+pub const CLASS_COUNTS: [u64; 7] = [211_840, 283_301, 35_754, 2_747, 9_493, 17_367, 20_510];
 
 /// Dimensionality (Table 2: 54).
 pub const DIM: usize = 54;
@@ -56,17 +55,14 @@ pub fn generate(cfg: &CoverTypeConfig) -> LabeledStream<DenseVector> {
         .map(|c| {
             (0..submodes)
                 .map(|_| {
-                    c.iter()
-                        .map(|&x| x + (rand::Rng::gen::<f64>(&mut r) - 0.5) * 110.0)
-                        .collect()
+                    c.iter().map(|&x| x + (rand::Rng::gen::<f64>(&mut r) - 0.5) * 110.0).collect()
                 })
                 .collect()
         })
         .collect();
     let base: Vec<f64> = CLASS_COUNTS.iter().map(|&c| c as f64).collect();
-    let phases: Vec<f64> = (0..CLASS_COUNTS.len())
-        .map(|i| i as f64 / CLASS_COUNTS.len() as f64)
-        .collect();
+    let phases: Vec<f64> =
+        (0..CLASS_COUNTS.len()).map(|i| i as f64 / CLASS_COUNTS.len() as f64).collect();
     let clock = StreamClock::new(cfg.rate);
     let total = cfg.n.max(1) as f64 / cfg.rate;
     // σ keeps sub-mode pairwise distance (σ·√(2·54) ≈ 125) inside
@@ -81,21 +77,14 @@ pub fn generate(cfg: &CoverTypeConfig) -> LabeledStream<DenseVector> {
         if i % 256 == 0 {
             let u = t / total;
             for (w, (b, ph)) in weights.iter_mut().zip(base.iter().zip(phases.iter())) {
-                let m = 1.0
-                    + cfg.drift_amplitude
-                        * (2.0 * std::f64::consts::PI * (u + ph)).sin();
+                let m = 1.0 + cfg.drift_amplitude * (2.0 * std::f64::consts::PI * (u + ph)).sin();
                 *w = b * m.max(0.0);
             }
         }
         let k = sample_weighted(&mut r, &weights);
         let m = rand::Rng::gen_range(&mut r, 0..submodes);
-        let coords: Vec<f64> =
-            modes[k][m].iter().map(|&c| c + sigma * randn(&mut r)).collect();
-        points.push(StreamPoint::new(
-            DenseVector::from(coords),
-            t,
-            Some(k as u32),
-        ));
+        let coords: Vec<f64> = modes[k][m].iter().map(|&c| c + sigma * randn(&mut r)).collect();
+        points.push(StreamPoint::new(DenseVector::from(coords), t, Some(k as u32)));
     }
     LabeledStream::new("CoverType", points, DIM, 250.0)
 }
@@ -120,7 +109,7 @@ mod tests {
     #[test]
     fn two_dominant_classes() {
         let s = generate(&CoverTypeConfig { n: 40_000, ..Default::default() });
-        let mut counts = vec![0usize; 7];
+        let mut counts = [0usize; 7];
         for p in s.iter() {
             counts[p.label.unwrap() as usize] += 1;
         }
@@ -130,7 +119,8 @@ mod tests {
 
     #[test]
     fn prevalence_drifts_over_time() {
-        let s = generate(&CoverTypeConfig { n: 60_000, drift_amplitude: 0.8, ..Default::default() });
+        let s =
+            generate(&CoverTypeConfig { n: 60_000, drift_amplitude: 0.8, ..Default::default() });
         let share = |lo: usize, hi: usize, class: u32| {
             let sel = &s.points[lo..hi];
             sel.iter().filter(|p| p.label == Some(class)).count() as f64 / sel.len() as f64
@@ -138,10 +128,7 @@ mod tests {
         // Class 2's prevalence early vs late should differ noticeably.
         let early = share(0, 15_000, 2);
         let late = share(45_000, 60_000, 2);
-        assert!(
-            (early - late).abs() > 0.01,
-            "class-2 share early {early:.4} late {late:.4}"
-        );
+        assert!((early - late).abs() > 0.01, "class-2 share early {early:.4} late {late:.4}");
     }
 
     #[test]

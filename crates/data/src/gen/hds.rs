@@ -149,16 +149,13 @@ mod tests {
             let sel: Vec<&StreamPoint<DenseVector>> =
                 pts.iter().filter(|p| p.label == Some(0)).collect();
             let n = sel.len().max(1) as f64;
-            (0..10)
-                .map(|j| sel.iter().map(|p| p.payload.coords()[j]).sum::<f64>() / n)
-                .collect()
+            (0..10).map(|j| sel.iter().map(|p| p.payload.coords()[j]).sum::<f64>() / n).collect()
         };
         let early = mean_of(&s.points[..5_000]);
         let late = mean_of(&s.points[35_000..]);
         // The center drifts 1 unit/sec along a unit vector; after ~35 s the
         // displacement norm must be well above the sampling noise.
-        let disp: f64 =
-            early.iter().zip(&late).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        let disp: f64 = early.iter().zip(&late).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
         assert!(disp > 5.0, "displacement {disp}");
     }
 }

@@ -95,13 +95,11 @@ fn class_submodes(r: &mut GenRng, submodes: usize) -> Vec<Vec<Vec<f64>>> {
     (0..CLASS_COUNTS.len())
         .map(|_| {
             let mut c: Vec<f64> = (0..DIM).map(|_| r.gen::<f64>() * 600.0).collect();
-            for j in 0..3 {
-                c[j] = r.gen::<f64>() * 2000.0;
+            for cj in c.iter_mut().take(3) {
+                *cj = r.gen::<f64>() * 2000.0;
             }
             (0..submodes.max(1))
-                .map(|_| {
-                    c.iter().map(|&x| x + (r.gen::<f64>() - 0.5) * 60.0).collect()
-                })
+                .map(|_| c.iter().map(|&x| x + (r.gen::<f64>() - 0.5) * 60.0).collect())
                 .collect()
         })
         .collect()
@@ -130,8 +128,7 @@ pub fn generate(cfg: &KddConfig) -> LabeledStream<DenseVector> {
             sample_weighted(&mut r, &weights)
         };
         let m = rand::Rng::gen_range(&mut r, 0..modes[k].len());
-        let coords: Vec<f64> =
-            modes[k][m].iter().map(|&c| c + sigma * randn(&mut r)).collect();
+        let coords: Vec<f64> = modes[k][m].iter().map(|&c| c + sigma * randn(&mut r)).collect();
         points.push(StreamPoint::new(
             DenseVector::from(coords),
             clock.at(i as u64),
@@ -163,7 +160,7 @@ mod tests {
     fn skew_is_preserved_at_scale() {
         let cfg = KddConfig { n: 60_000, segments: 60, ..Default::default() };
         let s = generate(&cfg);
-        let mut counts = vec![0usize; 23];
+        let mut counts = [0usize; 23];
         for p in s.iter() {
             counts[p.label.unwrap() as usize] += 1;
         }

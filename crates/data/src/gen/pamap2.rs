@@ -40,7 +40,13 @@ pub struct Pamap2Config {
 
 impl Default for Pamap2Config {
     fn default() -> Self {
-        Pamap2Config { n: 447_000, rate: 1_000.0, segment_len: 4_000, glitch_rate: 0.01, seed: 0xBA1 }
+        Pamap2Config {
+            n: 447_000,
+            rate: 1_000.0,
+            segment_len: 4_000,
+            glitch_rate: 0.01,
+            seed: 0xBA1,
+        }
     }
 }
 
@@ -59,9 +65,7 @@ pub fn generate(cfg: &Pamap2Config) -> LabeledStream<DenseVector> {
         .map(|c| {
             (0..submodes)
                 .map(|_| {
-                    c.iter()
-                        .map(|&x| x + (rand::Rng::gen::<f64>(&mut r) - 0.5) * 2.2)
-                        .collect()
+                    c.iter().map(|&x| x + (rand::Rng::gen::<f64>(&mut r) - 0.5) * 2.2).collect()
                 })
                 .collect()
         })
@@ -81,18 +85,15 @@ pub fn generate(cfg: &Pamap2Config) -> LabeledStream<DenseVector> {
         let t = clock.at(i as u64);
         if rand::Rng::gen::<f64>(&mut r) < cfg.glitch_rate {
             // Sensor glitch: uniform noise anywhere in the data space.
-            let coords: Vec<f64> =
-                (0..DIM).map(|_| rand::Rng::gen::<f64>(&mut r) * extent * 1.5 - extent * 0.25).collect();
+            let coords: Vec<f64> = (0..DIM)
+                .map(|_| rand::Rng::gen::<f64>(&mut r) * extent * 1.5 - extent * 0.25)
+                .collect();
             points.push(StreamPoint::new(DenseVector::from(coords), t, None));
         } else {
             let m = rand::Rng::gen_range(&mut r, 0..submodes);
             let coords: Vec<f64> =
                 modes[activity][m].iter().map(|&c| c + sigma * randn(&mut r)).collect();
-            points.push(StreamPoint::new(
-                DenseVector::from(coords),
-                t,
-                Some(activity as u32),
-            ));
+            points.push(StreamPoint::new(DenseVector::from(coords), t, Some(activity as u32)));
         }
     }
     LabeledStream::new("PAMAP2", points, DIM, 5.0)
@@ -111,7 +112,8 @@ mod tests {
 
     #[test]
     fn stream_is_piecewise_stationary() {
-        let cfg = Pamap2Config { n: 20_000, segment_len: 2_000, glitch_rate: 0.0, ..Default::default() };
+        let cfg =
+            Pamap2Config { n: 20_000, segment_len: 2_000, glitch_rate: 0.0, ..Default::default() };
         let s = generate(&cfg);
         // Within a session, one label dominates completely.
         for w in s.points.chunks(2_000) {
@@ -134,7 +136,8 @@ mod tests {
 
     #[test]
     fn consecutive_sessions_differ() {
-        let cfg = Pamap2Config { n: 30_000, segment_len: 3_000, glitch_rate: 0.0, ..Default::default() };
+        let cfg =
+            Pamap2Config { n: 30_000, segment_len: 3_000, glitch_rate: 0.0, ..Default::default() };
         let s = generate(&cfg);
         let labels: Vec<Option<u32>> = s.points.chunks(3_000).map(|w| w[0].label).collect();
         for w in labels.windows(2) {

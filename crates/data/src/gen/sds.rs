@@ -66,21 +66,10 @@ pub fn component_state(u: f64) -> [ComponentState; 4] {
     // A and B approach each other during [0, 0.45], then sit merged near
     // the origin, then fade out during [0.6, 0.7].
     let approach = (u / 0.45).clamp(0.0, 1.0);
-    let ab_weight = if u < 0.6 {
-        1.0
-    } else {
-        lerp(1.0, 0.0, (u - 0.6) / 0.1)
-    };
-    let a = ComponentState {
-        center: [lerp(-6.0, -0.8, approach), 0.0],
-        weight: ab_weight,
-        label: 0,
-    };
-    let b = ComponentState {
-        center: [lerp(6.0, 0.8, approach), 0.0],
-        weight: ab_weight,
-        label: 1,
-    };
+    let ab_weight = if u < 0.6 { 1.0 } else { lerp(1.0, 0.0, (u - 0.6) / 0.1) };
+    let a =
+        ComponentState { center: [lerp(-6.0, -0.8, approach), 0.0], weight: ab_weight, label: 0 };
+    let b = ComponentState { center: [lerp(6.0, 0.8, approach), 0.0], weight: ab_weight, label: 1 };
     // C emerges at u = 0.6 at (10, 0); its two halves separate after u = 0.7.
     let c_weight = if u < 0.6 { 0.0 } else { lerp(0.0, 1.0, (u - 0.6) / 0.05) };
     let spread = ((u - 0.7) / 0.3).clamp(0.0, 1.0);

@@ -106,12 +106,46 @@ impl<P> LabeledStream<P> {
     }
 }
 
+impl<P: Clone> LabeledStream<P> {
+    /// Clones the stream into the `(payload, timestamp)` batch form
+    /// consumed by [`crate::clusterer::StreamClusterer::insert_batch`].
+    pub fn to_batch(&self) -> Vec<(P, Timestamp)> {
+        self.points.iter().map(|p| (p.payload.clone(), p.ts)).collect()
+    }
+
+    /// Drives `clusterer` through the whole stream in `chunk`-sized
+    /// batches (the uniform ingestion path of the bench harness), then
+    /// prepares it for queries at the final timestamp.
+    ///
+    /// Clones each payload once to match `insert_batch`'s owned batch
+    /// shape; latency-measurement loops should drive `insert` directly
+    /// and keep the clone out of the timed path.
+    pub fn replay_into<C>(&self, clusterer: &mut C, chunk: usize)
+    where
+        C: crate::clusterer::StreamClusterer<P> + ?Sized,
+    {
+        let chunk = chunk.max(1);
+        let mut batch = Vec::with_capacity(chunk);
+        for window in self.points.chunks(chunk) {
+            batch.clear();
+            batch.extend(window.iter().map(|p| (p.payload.clone(), p.ts)));
+            clusterer.insert_batch(&batch);
+        }
+        if let Some(last) = self.points.last() {
+            clusterer.prepare(last.ts);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn pts(ts: &[f64]) -> Vec<StreamPoint<u32>> {
-        ts.iter().enumerate().map(|(i, &t)| StreamPoint::new(i as u32, t, Some(i as u32 % 2))).collect()
+        ts.iter()
+            .enumerate()
+            .map(|(i, &t)| StreamPoint::new(i as u32, t, Some(i as u32 % 2)))
+            .collect()
     }
 
     #[test]
@@ -141,6 +175,53 @@ mod tests {
         let s = LabeledStream::new("t", pts(&[0.0, 1.0, 2.0]), 0, 1.0).truncated(2);
         assert_eq!(s.len(), 2);
         assert_eq!(s.points[1].ts, 1.0);
+    }
+
+    #[test]
+    fn replay_into_feeds_ordered_batches_then_prepares() {
+        use crate::clusterer::StreamClusterer;
+
+        #[derive(Default)]
+        struct Collect {
+            got: Vec<(u32, f64)>,
+            batches: usize,
+            prepared: Option<f64>,
+        }
+        impl StreamClusterer<u32> for Collect {
+            fn name(&self) -> &'static str {
+                "collect"
+            }
+            fn insert(&mut self, p: &u32, t: Timestamp) {
+                self.got.push((*p, t));
+            }
+            fn insert_batch(&mut self, batch: &[(u32, Timestamp)]) {
+                self.batches += 1;
+                for (p, t) in batch {
+                    self.insert(p, *t);
+                }
+            }
+            fn prepare(&mut self, t: Timestamp) {
+                self.prepared = Some(t);
+            }
+            fn cluster_of(&self, _p: &u32, _t: Timestamp) -> Option<usize> {
+                None
+            }
+            fn n_clusters(&self, _t: Timestamp) -> usize {
+                0
+            }
+            fn n_summaries(&self) -> usize {
+                self.got.len()
+            }
+        }
+
+        let s = LabeledStream::new("t", pts(&[0.0, 0.5, 1.0, 1.5, 2.0]), 0, 1.0);
+        let mut c = Collect::default();
+        s.replay_into(&mut c, 2);
+        assert_eq!(c.batches, 3, "5 points in chunks of 2");
+        assert_eq!(c.got.len(), 5);
+        assert!(c.got.windows(2).all(|w| w[0].1 <= w[1].1), "order preserved");
+        assert_eq!(c.prepared, Some(2.0));
+        assert_eq!(s.to_batch().len(), 5);
     }
 
     #[test]

@@ -40,9 +40,8 @@ proptest! {
     fn pamap2_glitches_unlabeled(n in 500usize..4000, seed in any::<u64>()) {
         let s = pamap2::generate(&pamap2::Pamap2Config { n, seed, ..Default::default() });
         for p in s.iter() {
-            match p.label {
-                Some(l) => prop_assert!(l < 13),
-                None => {} // glitch
+            if let Some(l) = p.label {
+                prop_assert!(l < 13); // None = glitch
             }
             prop_assert_eq!(p.payload.dim(), 51);
         }

@@ -138,8 +138,7 @@ mod tests {
         // Two points far apart; with weight 10 each, both become core
         // singletons → two clusters instead of all-noise.
         let pts = line(&[0.0, 10.0]);
-        let noise =
-            cluster(&pts, &Euclidean, &DbscanConfig { eps: 1.0, min_weight: 5.0 });
+        let noise = cluster(&pts, &Euclidean, &DbscanConfig { eps: 1.0, min_weight: 5.0 });
         assert_eq!(noise.n_clusters, 0);
         let weighted = cluster_weighted(
             &pts,
@@ -152,7 +151,8 @@ mod tests {
 
     #[test]
     fn empty_input() {
-        let res = cluster::<DenseVector, _>(&[], &Euclidean, &DbscanConfig { eps: 1.0, min_weight: 1.0 });
+        let res =
+            cluster::<DenseVector, _>(&[], &Euclidean, &DbscanConfig { eps: 1.0, min_weight: 1.0 });
         assert_eq!(res.n_clusters, 0);
         assert!(res.assignment.is_empty());
     }

@@ -56,12 +56,8 @@ impl DecisionGraph {
     /// The *largest gap* is exactly what makes centers "anomalously large
     /// in δ" (paper §2.1); cutting inside it separates peak δs from bulk δs.
     pub fn suggest_tau(&self, xi: f64) -> Option<f64> {
-        let mut ds: Vec<f64> = self
-            .pairs
-            .iter()
-            .filter(|(r, d)| *r > xi && d.is_finite())
-            .map(|(_, d)| *d)
-            .collect();
+        let mut ds: Vec<f64> =
+            self.pairs.iter().filter(|(r, d)| *r > xi && d.is_finite()).map(|(_, d)| *d).collect();
         if ds.len() < 2 {
             return None;
         }
@@ -115,7 +111,7 @@ impl DecisionGraph {
             out.push('\n');
         }
         out.push('+');
-        out.extend(std::iter::repeat('-').take(cols));
+        out.extend(std::iter::repeat_n('-', cols));
         out.push('\n');
         out.push_str(&format!("rho: 0..{max_r:.3}  delta: 0..{max_d:.3}\n"));
         out

@@ -235,8 +235,7 @@ mod tests {
         for (i, dep) in res.dependency.iter().enumerate() {
             if let Some(j) = dep {
                 assert!(
-                    res.rho[*j] > res.rho[i]
-                        || (res.rho[*j] == res.rho[i] && *j < i),
+                    res.rho[*j] > res.rho[i] || (res.rho[*j] == res.rho[i] && *j < i),
                     "dependency must have higher density (or earlier tie index)"
                 );
             }

@@ -109,8 +109,7 @@ pub fn cluster(points: &[DenseVector], cfg: &KmeansConfig) -> KmeansResult {
             break;
         }
     }
-    let inertia =
-        points.iter().zip(&assignment).map(|(p, &a)| p.sq_dist(&centroids[a])).sum();
+    let inertia = points.iter().zip(&assignment).map(|(p, &a)| p.sq_dist(&centroids[a])).sum();
     KmeansResult { centroids, assignment, inertia, iterations }
 }
 

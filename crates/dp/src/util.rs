@@ -72,7 +72,8 @@ mod tests {
 
     #[test]
     fn sampled_estimate_is_close_to_exact() {
-        let pts: Vec<DenseVector> = (0..200).map(|i| DenseVector::from([(i % 40) as f64])).collect();
+        let pts: Vec<DenseVector> =
+            (0..200).map(|i| DenseVector::from([(i % 40) as f64])).collect();
         let exact = distance_quantile(&pts, &Euclidean, 0.5, usize::MAX, 0);
         let sampled = distance_quantile(&pts, &Euclidean, 0.5, 2_000, 0);
         assert!((exact - sampled).abs() <= 2.0, "exact {exact} sampled {sampled}");
@@ -80,7 +81,8 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let pts: Vec<DenseVector> = (0..100).map(|i| DenseVector::from([i as f64 * 0.37])).collect();
+        let pts: Vec<DenseVector> =
+            (0..100).map(|i| DenseVector::from([i as f64 * 0.37])).collect();
         let a = distance_quantile(&pts, &Euclidean, 0.02, 500, 9);
         let b = distance_quantile(&pts, &Euclidean, 0.02, 500, 9);
         assert_eq!(a, b);

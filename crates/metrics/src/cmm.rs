@@ -141,17 +141,13 @@ pub fn cmm<P, M: Metric<P>>(objs: &[EvalObject<'_, P>], metric: &M, cfg: &CmmCon
                 *mass.entry(c).or_insert(0.0) += objs[i].weight;
             }
         }
-        let best = mass
-            .iter()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("weight NaN"))
-            .map(|(&c, _)| c);
+        let best =
+            mass.iter().max_by(|a, b| a.1.partial_cmp(b.1).expect("weight NaN")).map(|(&c, _)| c);
         map.insert(cl, best);
     }
     // Cache knhDist per class (the only sets connectivity needs).
-    let knh: std::collections::BTreeMap<u32, f64> = class_members
-        .iter()
-        .map(|(&c, m)| (c, knh_dist(objs, metric, m, cfg.k)))
-        .collect();
+    let knh: std::collections::BTreeMap<u32, f64> =
+        class_members.iter().map(|(&c, m)| (c, knh_dist(objs, metric, m, cfg.k))).collect();
     let con_to_class = |o: usize, class: u32| -> f64 {
         let members = match class_members.get(&class) {
             Some(m) => m,
@@ -232,8 +228,7 @@ mod tests {
     #[test]
     fn perfect_clustering_scores_one() {
         let pts = blobs();
-        let classes: Vec<Option<u32>> =
-            (0..10).map(|i| Some((i >= 5) as u32)).collect();
+        let classes: Vec<Option<u32>> = (0..10).map(|i| Some((i >= 5) as u32)).collect();
         let clusters: Vec<Option<usize>> = (0..10).map(|i| Some((i >= 5) as usize)).collect();
         let objs = objects(&pts, &classes, &clusters);
         assert_eq!(cmm(&objs, &Euclidean, &CmmConfig::default()), 1.0);
@@ -242,8 +237,7 @@ mod tests {
     #[test]
     fn merged_clusters_score_below_one() {
         let pts = blobs();
-        let classes: Vec<Option<u32>> =
-            (0..10).map(|i| Some((i >= 5) as u32)).collect();
+        let classes: Vec<Option<u32>> = (0..10).map(|i| Some((i >= 5) as u32)).collect();
         // Everything in one cluster: the smaller class is misplaced.
         let clusters: Vec<Option<usize>> = (0..10).map(|_| Some(0)).collect();
         let objs = objects(&pts, &classes, &clusters);
@@ -255,8 +249,7 @@ mod tests {
     #[test]
     fn missed_objects_are_penalized() {
         let pts = blobs();
-        let classes: Vec<Option<u32>> =
-            (0..10).map(|i| Some((i >= 5) as u32)).collect();
+        let classes: Vec<Option<u32>> = (0..10).map(|i| Some((i >= 5) as u32)).collect();
         // Second blob entirely missed (predicted noise).
         let clusters: Vec<Option<usize>> =
             (0..10).map(|i| if i < 5 { Some(0) } else { None }).collect();
@@ -272,13 +265,11 @@ mod tests {
         let mut pts = blobs();
         pts.push(DenseVector::from([0.2, 0.05])); // noise inside blob 0
         pts.push(DenseVector::from([500.0, 0.0])); // noise far away
-        let mut classes: Vec<Option<u32>> =
-            (0..10).map(|i| Some((i >= 5) as u32)).collect();
+        let mut classes: Vec<Option<u32>> = (0..10).map(|i| Some((i >= 5) as u32)).collect();
         classes.push(None);
         classes.push(None);
         // Include only the near-noise object.
-        let mut clusters: Vec<Option<usize>> =
-            (0..10).map(|i| Some((i >= 5) as usize)).collect();
+        let mut clusters: Vec<Option<usize>> = (0..10).map(|i| Some((i >= 5) as usize)).collect();
         clusters.push(Some(0));
         clusters.push(None);
         let objs = objects(&pts, &classes, &clusters);
@@ -296,8 +287,7 @@ mod tests {
     #[test]
     fn weights_emphasize_fresh_faults() {
         let pts = blobs();
-        let classes: Vec<Option<u32>> =
-            (0..10).map(|i| Some((i >= 5) as u32)).collect();
+        let classes: Vec<Option<u32>> = (0..10).map(|i| Some((i >= 5) as u32)).collect();
         let clusters: Vec<Option<usize>> =
             (0..10).map(|i| if i == 9 { None } else { Some((i >= 5) as usize) }).collect();
         // Same fault, different freshness of the faulty object.
@@ -333,8 +323,7 @@ mod tests {
     fn cmm_is_bounded() {
         // Adversarial: clusters orthogonal to classes.
         let pts = blobs();
-        let classes: Vec<Option<u32>> =
-            (0..10).map(|i| Some((i >= 5) as u32)).collect();
+        let classes: Vec<Option<u32>> = (0..10).map(|i| Some((i >= 5) as u32)).collect();
         let clusters: Vec<Option<usize>> = (0..10).map(|i| Some(i % 2)).collect();
         let objs = objects(&pts, &classes, &clusters);
         let v = cmm(&objs, &Euclidean, &CmmConfig::default());

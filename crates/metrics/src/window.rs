@@ -66,6 +66,11 @@ impl EvalWindow {
 
     /// Scores `clusterer` on the last `horizon` points of `seen` at time
     /// `t`. `seen` must be in arrival order.
+    ///
+    /// Runs the clusterer's deferred work once
+    /// ([`StreamClusterer::prepare`]), then issues only read-only queries —
+    /// two-phase baselines pay their offline step exactly once per
+    /// evaluation instead of once per query.
     pub fn evaluate<P, M: Metric<P>>(
         &self,
         clusterer: &mut dyn StreamClusterer<P>,
@@ -73,6 +78,7 @@ impl EvalWindow {
         seen: &[StreamPoint<P>],
         t: Timestamp,
     ) -> WindowScores {
+        clusterer.prepare(t);
         let lo = seen.len().saturating_sub(self.cfg.horizon);
         let window = &seen[lo..];
         let mut clusters: Vec<Option<usize>> = Vec::with_capacity(window.len());
@@ -118,10 +124,10 @@ mod tests {
             "oracle"
         }
         fn insert(&mut self, _p: &DenseVector, _t: Timestamp) {}
-        fn cluster_of(&mut self, p: &DenseVector, _t: Timestamp) -> Option<usize> {
+        fn cluster_of(&self, p: &DenseVector, _t: Timestamp) -> Option<usize> {
             Some((p.coords()[0] >= 5.0) as usize)
         }
-        fn n_clusters(&mut self, _t: Timestamp) -> usize {
+        fn n_clusters(&self, _t: Timestamp) -> usize {
             2
         }
         fn n_summaries(&self) -> usize {
@@ -151,31 +157,29 @@ mod tests {
 
     #[test]
     fn window_restricts_to_horizon() {
-        let mut cfg = WindowConfig::default();
-        cfg.horizon = 10;
-        let w = EvalWindow::new(cfg);
+        let w = EvalWindow::new(WindowConfig { horizon: 10, ..Default::default() });
         // A clusterer that counts queries: ensures only `horizon` are made.
-        struct Counting(usize);
+        struct Counting(std::cell::Cell<usize>);
         impl StreamClusterer<DenseVector> for Counting {
             fn name(&self) -> &'static str {
                 "counting"
             }
             fn insert(&mut self, _p: &DenseVector, _t: Timestamp) {}
-            fn cluster_of(&mut self, _p: &DenseVector, _t: Timestamp) -> Option<usize> {
-                self.0 += 1;
+            fn cluster_of(&self, _p: &DenseVector, _t: Timestamp) -> Option<usize> {
+                self.0.set(self.0.get() + 1);
                 Some(0)
             }
-            fn n_clusters(&mut self, _t: Timestamp) -> usize {
+            fn n_clusters(&self, _t: Timestamp) -> usize {
                 1
             }
             fn n_summaries(&self) -> usize {
                 0
             }
         }
-        let mut c = Counting(0);
+        let mut c = Counting(std::cell::Cell::new(0));
         let pts = stream();
         let _ = w.evaluate(&mut c, &Euclidean, &pts, 1.0);
-        assert_eq!(c.0, 10);
+        assert_eq!(c.0.get(), 10);
     }
 
     #[test]
@@ -189,7 +193,7 @@ mod tests {
                 "adversary"
             }
             fn insert(&mut self, _p: &DenseVector, _t: Timestamp) {}
-            fn cluster_of(&mut self, p: &DenseVector, _t: Timestamp) -> Option<usize> {
+            fn cluster_of(&self, p: &DenseVector, _t: Timestamp) -> Option<usize> {
                 let x = p.coords()[0];
                 if (x - 10.35).abs() < 1e-9 {
                     Some(0) // the sabotage
@@ -197,7 +201,7 @@ mod tests {
                     Some((x >= 5.0) as usize)
                 }
             }
-            fn n_clusters(&mut self, _t: Timestamp) -> usize {
+            fn n_clusters(&self, _t: Timestamp) -> usize {
                 2
             }
             fn n_summaries(&self) -> usize {

@@ -12,20 +12,23 @@ use edmstream::{DecayModel, EdmConfig, EdmStream, Euclidean, TauMode};
 
 fn run(mode: TauMode, tau_label: &str) -> Vec<(usize, f64)> {
     let stream = sds::generate(&SdsConfig::default());
-    let mut cfg = EdmConfig::new(0.3);
-    cfg.decay = DecayModel::new(0.998, 200.0);
-    cfg.beta = 3e-3;
-    cfg.rate = 1_000.0;
-    cfg.recycle_horizon = Some(5.0);
-    cfg.tau_every = 128;
-    cfg.tau_mode = mode;
+    let cfg = EdmConfig::builder(0.3)
+        .decay(DecayModel::new(0.998, 200.0))
+        .beta(3e-3)
+        .rate(1_000.0)
+        .recycle_horizon(5.0)
+        .tau_every(128)
+        .tau_mode(mode)
+        .build()
+        .expect("valid SDS configuration");
     let mut engine = EdmStream::new(cfg, Euclidean);
     let mut samples = Vec::new();
     let mut next = 1.0;
     for p in stream.iter().take_while(|p| p.ts <= 10.0) {
         engine.insert(&p.payload, p.ts);
         if p.ts >= next {
-            samples.push((engine.n_clusters(), engine.tau()));
+            let snap = engine.snapshot(p.ts);
+            samples.push((snap.n_clusters(), snap.tau()));
             next += 1.0;
         }
     }

@@ -15,21 +15,21 @@ fn main() {
 
     // SDS plays out in 20 s, so it needs a fast-forgetting decay model
     // (half-life ≈ 1.7 s); see DESIGN.md §5.
-    let mut cfg = EdmConfig::new(0.3);
-    cfg.decay = DecayModel::new(0.998, 200.0);
-    cfg.beta = 3e-3;
-    cfg.rate = 1_000.0;
-    cfg.recycle_horizon = Some(5.0);
-    cfg.tau_every = 128;
+    let cfg = EdmConfig::builder(0.3)
+        .decay(DecayModel::new(0.998, 200.0))
+        .beta(3e-3)
+        .rate(1_000.0)
+        .recycle_horizon(5.0)
+        .tau_every(128)
+        .build()
+        .expect("valid SDS configuration");
     let mut engine: EdmStream<DenseVector, Euclidean> = EdmStream::new(cfg, Euclidean);
 
     let mut next = 1.0;
-    let mut seen = 0usize;
     for p in stream.iter() {
         engine.insert(&p.payload, p.ts);
-        while seen < engine.events().len() {
-            let ev = engine.events()[seen].clone();
-            seen += 1;
+        // Drain events as they happen: each is delivered exactly once.
+        for ev in engine.take_events() {
             match &ev.kind {
                 EventKind::Emerge { cluster } => {
                     println!("  {:>5.2}s  + cluster {cluster} emerged", ev.t)
@@ -47,13 +47,14 @@ fn main() {
             }
         }
         if p.ts >= next {
-            let bar = "#".repeat(engine.n_clusters());
+            let snap = engine.snapshot(p.ts);
+            let bar = "#".repeat(snap.n_clusters());
             println!(
                 "t={:>2.0}s  clusters {:<3} {bar}  (tau {:.2}, {} active cells)",
                 next,
-                engine.n_clusters(),
-                engine.tau(),
-                engine.active_len()
+                snap.n_clusters(),
+                snap.tau(),
+                snap.active_cells()
             );
             next += 1.0;
         }

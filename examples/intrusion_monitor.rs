@@ -17,17 +17,20 @@ fn main() {
         stream.n_classes
     );
 
-    let mut cfg = EdmConfig::new(100.0); // Table 2's r for KDDCUP99
-    cfg.rate = 1_000.0;
+    let cfg = EdmConfig::builder(100.0) // Table 2's r for KDDCUP99
+        .rate(1_000.0)
+        .build()
+        .expect("valid KDD configuration");
     let mut engine = EdmStream::new(cfg, Euclidean);
 
-    let mut seen = 0usize;
+    // The monitor consumes the event stream destructively: every alert is
+    // raised exactly once, however often the loop polls.
     let mut alerts = 0usize;
+    let mut last_t = 0.0;
     for p in stream.iter() {
         engine.insert(&p.payload, p.ts);
-        while seen < engine.events().len() {
-            let ev = &engine.events()[seen];
-            seen += 1;
+        last_t = p.ts;
+        for ev in engine.take_events() {
             match &ev.kind {
                 EventKind::Emerge { cluster } => {
                     alerts += 1;
@@ -45,14 +48,15 @@ fn main() {
         }
     }
 
+    let snap = engine.snapshot(last_t);
     println!("\nsummary:");
     println!("  emerge alerts raised: {alerts}");
-    println!("  final live clusters:  {}", engine.n_clusters());
+    println!("  final live clusters:  {}", snap.n_clusters());
     println!(
         "  cells: {} active / {} reservoir (peak reservoir {})",
-        engine.active_len(),
-        engine.reservoir_len(),
-        engine.reservoir_peak()
+        snap.active_cells(),
+        snap.reservoir_cells(),
+        snap.reservoir_peak()
     );
     let s = engine.stats();
     println!(

@@ -22,27 +22,34 @@ fn main() {
     // Engine over token sets: see DESIGN.md for the NADS parameterization.
     let rate = stream.len() as f64 / (nads::DAYS * ncfg.seconds_per_day);
     let decay = edmstream::DecayModel::new(0.998, 60.0);
-    let mut cfg = EdmConfig::new(0.4);
-    cfg.decay = decay;
-    cfg.rate = rate;
-    cfg.beta = 3.0 * (1.0 - decay.retention()) / rate;
-    cfg.init_points = 500;
-    cfg.recycle_horizon = Some(5.0 * ncfg.seconds_per_day);
-    cfg.tau_mode = TauMode::Static(0.75);
+    let cfg = EdmConfig::builder(0.4)
+        .decay(decay)
+        .rate(rate)
+        .beta(3.0 * (1.0 - decay.retention()) / rate)
+        .init_points(500)
+        .recycle_horizon(5.0 * ncfg.seconds_per_day)
+        .tau_mode(TauMode::Static(0.75))
+        .build()
+        .expect("valid NADS configuration");
     let mut engine = EdmStream::new(cfg, Jaccard);
 
-    let mut seen = 0usize;
+    // Non-destructive incremental reads: a cursor remembers where this
+    // consumer got to, so other readers could drain independently.
+    let mut cursor = edmstream::EventCursor::START;
     let mut last_day_report = 0i64;
     for p in stream.iter() {
         engine.insert(&p.payload, p.ts);
         // Print structural events as the stream plays.
-        while seen < engine.events().len() {
-            let ev = &engine.events()[seen];
-            seen += 1;
+        let fresh = engine.events_since(cursor);
+        cursor = engine.event_cursor();
+        for ev in &fresh {
             let day = nads::day_of(ev.t, &ncfg);
             match &ev.kind {
                 EventKind::Split { from, into } => {
-                    println!("[{}] topic split: cluster {from} -> new {into:?}", nads::format_day(day));
+                    println!(
+                        "[{}] topic split: cluster {from} -> new {into:?}",
+                        nads::format_day(day)
+                    );
                 }
                 EventKind::Merge { from, into } => {
                     println!("[{}] topics merged: {from:?} -> {into}", nads::format_day(day));
@@ -65,7 +72,7 @@ fn main() {
     println!(
         "\ndone: {} headlines, {} evolution events, final topic count {}",
         engine.stats().points,
-        engine.events().len(),
+        engine.events_recorded(),
         engine.n_clusters()
     );
 }

@@ -1,45 +1,63 @@
 //! Quickstart: cluster a simple evolving 2-D stream and watch the result
 //! update in real time — a new cluster emerges, an old one fades away.
 //!
+//! Walks the whole builder → session → snapshot API: typed configuration
+//! errors, batch ingestion, frozen read-only snapshots, and draining the
+//! evolution-event log.
+//!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use edmstream::{DecayModel, DenseVector, EdmConfig, EdmStream, Euclidean, TauMode};
+use edmstream::{DecayModel, DenseVector, EdmConfig, EdmStream, Euclidean, EventKind, TauMode};
 
 fn main() {
     // An engine for 2-D points: cells of radius 0.5, a 100 pt/s stream,
     // a decay half-life of ~6 s (yesterday's points barely matter), and
     // an activation threshold of roughly three sustained points/sec.
-    let mut cfg = EdmConfig::new(0.5);
-    cfg.rate = 100.0;
-    cfg.decay = DecayModel::new(0.998, 60.0);
-    cfg.beta = 3.4e-3;
-    cfg.init_points = 100;
-    cfg.recycle_horizon = Some(30.0);
-    // Play the paper's interactive user: peaks at dependent distance ≥ 2
-    // are separate clusters. The adaptive policy has its own example
-    // (`adaptive_tau`).
-    cfg.tau_mode = TauMode::Static(2.0);
+    // `build()` returns a typed `ConfigError` instead of panicking —
+    // `beta(0.0)` here would give `Err(ConfigError::BetaOutOfRange { .. })`.
+    let cfg = EdmConfig::builder(0.5)
+        .rate(100.0)
+        .decay(DecayModel::new(0.998, 60.0))
+        .beta(3.4e-3)
+        .init_points(100)
+        .recycle_horizon(30.0)
+        // Play the paper's interactive user: peaks at dependent distance
+        // ≥ 2 are separate clusters. The adaptive policy has its own
+        // example (`adaptive_tau`).
+        .tau_mode(TauMode::Static(2.0))
+        .build()
+        .expect("valid quickstart configuration");
     let mut engine = EdmStream::new(cfg, Euclidean);
 
-    // Phase 1: two stationary clusters.
+    // Phase 1: two stationary clusters, ingested as one batch.
     let mut t = 0.0;
-    for i in 0..1_500 {
-        let x = if i % 2 == 0 { 0.0 } else { 10.0 };
-        let jitter = (i % 7) as f64 * 0.1;
-        engine.insert(&DenseVector::from([x + jitter, jitter * 0.5]), t);
-        t += 0.01;
-    }
-    println!("after two blobs:                 {} clusters (tau = {:.2})", engine.n_clusters(), engine.tau());
+    let tick = |t: &mut f64| {
+        *t += 0.01;
+        *t
+    };
+    let batch: Vec<(DenseVector, f64)> = (0..1_500)
+        .map(|i| {
+            let x = if i % 2 == 0 { 0.0 } else { 10.0 };
+            let jitter = (i % 7) as f64 * 0.1;
+            (DenseVector::from([x + jitter, jitter * 0.5]), tick(&mut t))
+        })
+        .collect();
+    engine.insert_batch(&batch);
+    let snap = engine.snapshot(t);
+    println!(
+        "after two blobs:                 {} clusters (tau = {:.2})",
+        snap.n_clusters(),
+        snap.tau()
+    );
 
     // Phase 2: a third cluster emerges somewhere new.
     for i in 0..1_000 {
         let jitter = (i % 7) as f64 * 0.1;
-        engine.insert(&DenseVector::from([5.0 + jitter, 8.0 + jitter * 0.3]), t);
-        t += 0.01;
+        engine.insert(&DenseVector::from([5.0 + jitter, 8.0 + jitter * 0.3]), tick(&mut t));
     }
-    println!("after a new region:              {} clusters", engine.n_clusters());
+    println!("after a new region:              {} clusters", engine.snapshot(t).n_clusters());
 
     // Phase 3: the right blob's source dries up; only the left blob and
     // the new region keep producing. The right cluster decays through the
@@ -51,10 +69,12 @@ fn main() {
         } else {
             DenseVector::from([5.0 + jitter, 8.0 + jitter * 0.3])
         };
-        engine.insert(&p, t);
-        t += 0.01;
+        engine.insert(&p, tick(&mut t));
     }
-    println!("after the right source dries up: {} clusters", engine.n_clusters());
+    // A snapshot is an owned, frozen view: queries keep answering from it
+    // even while the engine moves on.
+    let snap = engine.snapshot(t);
+    println!("after the right source dries up: {} clusters", snap.n_clusters());
 
     // Where does a fresh point belong?
     for probe in [
@@ -68,28 +88,31 @@ fn main() {
         }
     }
 
-    // The evolution log recorded the whole story.
-    let (em, di, sp, me, ad) = {
-        let mut c = (0, 0, 0, 0, 0);
-        for ev in engine.events() {
-            use edmstream::EventKind::*;
-            match ev.kind {
-                Emerge { .. } => c.0 += 1,
-                Disappear { .. } => c.1 += 1,
-                Split { .. } => c.2 += 1,
-                Merge { .. } => c.3 += 1,
-                Adjust { .. } => c.4 += 1,
-            }
+    // A late, out-of-order packet is rejected with a typed error instead
+    // of corrupting the stream clock.
+    let stale = engine.try_insert(&DenseVector::from([0.0, 0.0]), t - 5.0);
+    println!("stale packet: {}", stale.unwrap_err());
+
+    // Draining the evolution log consumes the whole story so far.
+    let events = engine.take_events();
+    let (mut em, mut di, mut sp, mut me, mut ad) = (0, 0, 0, 0, 0);
+    for ev in &events {
+        match ev.kind {
+            EventKind::Emerge { .. } => em += 1,
+            EventKind::Disappear { .. } => di += 1,
+            EventKind::Split { .. } => sp += 1,
+            EventKind::Merge { .. } => me += 1,
+            EventKind::Adjust { .. } => ad += 1,
         }
-        c
-    };
+    }
     println!("evolution events: {em} emerge, {di} disappear, {sp} split, {me} merge, {ad} adjust");
+    assert!(engine.take_events().is_empty(), "second drain is empty");
     println!(
         "engine state: {} cells ({} active, {} in reservoir), {} points in {:.1} stream-seconds",
-        engine.n_cells(),
-        engine.active_len(),
-        engine.reservoir_len(),
-        engine.stats().points,
+        snap.n_cells(),
+        snap.active_cells(),
+        snap.reservoir_cells(),
+        snap.points(),
         t
     );
 }

@@ -19,19 +19,33 @@
 //! * [`baselines`] — D-Stream, DenStream, DBSTREAM, MR-Stream.
 //! * [`metrics`] — CMM and classic external quality criteria.
 //!
+//! The API follows a **builder → session → snapshot** shape: configure
+//! with [`EdmConfig::builder`] (typed [`ConfigError`]s instead of panics),
+//! feed the [`EdmStream`] session one point or one batch at a time, then
+//! read frozen [`ClusterSnapshot`]s and drain evolution events.
+//!
 //! ```
 //! use edmstream::{EdmConfig, EdmStream, Euclidean, DenseVector};
 //!
-//! let mut cfg = EdmConfig::new(0.5);
-//! cfg.rate = 100.0;
-//! cfg.beta = 6e-5;
-//! cfg.init_points = 16;
+//! let cfg = EdmConfig::builder(0.5)
+//!     .rate(100.0)
+//!     .beta(6e-5)
+//!     .init_points(16)
+//!     .build()?;
 //! let mut engine = EdmStream::new(cfg, Euclidean);
-//! for i in 0..64 {
-//!     let x = if i % 2 == 0 { 0.0 } else { 8.0 };
-//!     engine.insert(&DenseVector::from([x, 0.1 * (i % 4) as f64]), i as f64 / 100.0);
-//! }
-//! assert_eq!(engine.n_clusters(), 2);
+//! let batch: Vec<(DenseVector, f64)> = (0..64)
+//!     .map(|i| {
+//!         let x = if i % 2 == 0 { 0.0 } else { 8.0 };
+//!         (DenseVector::from([x, 0.1 * (i % 4) as f64]), i as f64 / 100.0)
+//!     })
+//!     .collect();
+//! engine.insert_batch(&batch);
+//!
+//! let snapshot = engine.snapshot(0.64);
+//! assert_eq!(snapshot.n_clusters(), 2);
+//! let events = engine.take_events();
+//! assert!(!events.is_empty());
+//! # Ok::<(), edmstream::ConfigError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -47,6 +61,7 @@ pub use edm_common::decay::DecayModel;
 pub use edm_common::metric::{Euclidean, Jaccard, Metric};
 pub use edm_common::point::{DenseVector, TokenSet};
 pub use edm_core::{
-    AdjustKind, ClusterId, EdmConfig, EdmStream, Event, EventKind, FilterConfig, TauMode,
+    AdjustKind, ClusterId, ClusterInfo, ClusterSnapshot, ConfigError, EdmConfig, EdmConfigBuilder,
+    EdmError, EdmStream, Event, EventCursor, EventKind, FilterConfig, TauMode,
 };
 pub use edm_data::clusterer::StreamClusterer;

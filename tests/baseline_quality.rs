@@ -3,7 +3,7 @@
 //! metrics rank an oracle above a merger.
 
 use edmstream::baselines::{
-    DbStream, DbStreamConfig, DenStream, DenStreamConfig, DStream, DStreamConfig, MrStream,
+    DStream, DStreamConfig, DbStream, DbStreamConfig, DenStream, DenStreamConfig, MrStream,
     MrStreamConfig,
 };
 use edmstream::data::gen::blobs::{sample_mixture, Blob};
@@ -21,10 +21,12 @@ fn easy_stream() -> edmstream::data::LabeledStream<DenseVector> {
 
 fn engines() -> Vec<Box<dyn StreamClusterer<DenseVector>>> {
     let r = 1.0;
-    let mut edm = EdmConfig::new(r);
-    edm.rate = 1_000.0;
-    edm.beta = 1e-4;
-    edm.tau_mode = TauMode::Static(5.0);
+    let edm = EdmConfig::builder(r)
+        .rate(1_000.0)
+        .beta(1e-4)
+        .tau_mode(TauMode::Static(5.0))
+        .build()
+        .expect("valid test configuration");
     vec![
         Box::new(EdmStream::new(edm, Euclidean)),
         Box::new(DStream::new(DStreamConfig { offline_every: 500, ..DStreamConfig::new(r) })),
@@ -51,17 +53,16 @@ fn every_algorithm_solves_well_separated_blobs() {
     let stream = easy_stream();
     let t = stream.duration();
     for mut algo in engines() {
-        for p in stream.iter() {
-            algo.insert(&p.payload, p.ts);
-        }
+        // The batch path is the uniform ingestion interface; `replay_into`
+        // chunks the stream and prepares queries at the final timestamp.
+        stream.replay_into(algo.as_mut(), 512);
         // Probes at the three blob centers map to three distinct clusters.
         let probes = [
             DenseVector::from([0.0, 0.0]),
             DenseVector::from([20.0, 0.0]),
             DenseVector::from([10.0, 18.0]),
         ];
-        let ids: Vec<Option<usize>> =
-            probes.iter().map(|p| algo.cluster_of(p, t)).collect();
+        let ids: Vec<Option<usize>> = probes.iter().map(|p| algo.cluster_of(p, t)).collect();
         assert!(
             ids.iter().all(|i| i.is_some()),
             "{}: a blob center is unclustered: {ids:?}",
@@ -88,9 +89,7 @@ fn cmm_ranks_all_algorithms_high_on_easy_data() {
     let t = stream.duration();
     let window = EvalWindow::new(WindowConfig::default());
     for mut algo in engines() {
-        for p in stream.iter() {
-            algo.insert(&p.payload, p.ts);
-        }
+        stream.replay_into(algo.as_mut(), 512);
         let scores = window.evaluate(algo.as_mut(), &Euclidean, &stream.points, t);
         assert!(
             scores.cmm > 0.9,

@@ -1,0 +1,150 @@
+//! Batch ingestion must be *observationally equivalent* to per-point
+//! ingestion: same cells, same dependency tree, same clusters, same
+//! evolution events — whatever the chunking. This is the contract that
+//! lets the harness drive every algorithm through `insert_batch` without
+//! changing any measured result.
+
+use edmstream::data::gen::blobs::{sample_mixture, Blob};
+use edmstream::{DenseVector, EdmConfig, EdmStream, Euclidean, Event, StreamClusterer, TauMode};
+use proptest::prelude::*;
+
+fn mini_engine() -> EdmStream<DenseVector, Euclidean> {
+    let cfg = EdmConfig::builder(0.8)
+        .rate(100.0)
+        .beta_for_threshold(3.0)
+        .init_points(25)
+        .tau_every(16)
+        .maintenance_every(8)
+        .build()
+        .expect("valid test configuration");
+    EdmStream::new(cfg, Euclidean)
+}
+
+/// Per-cell `(slot, dep, delta, active)` tree state.
+type CellState = Vec<(u32, Option<u32>, f64, bool)>;
+
+/// Full observable state: per-cell tree data, cluster partition, events.
+fn observe(
+    engine: &mut EdmStream<DenseVector, Euclidean>,
+    t: f64,
+) -> (CellState, Vec<Vec<u32>>, f64, Vec<Event>) {
+    let mut cells: Vec<(u32, Option<u32>, f64, bool)> =
+        engine.slab().iter().map(|(id, c)| (id.0, c.dep.map(|d| d.0), c.delta, c.active)).collect();
+    cells.sort_by_key(|c| c.0);
+    let snap = engine.snapshot(t);
+    let clusters: Vec<Vec<u32>> =
+        snap.clusters().iter().map(|c| c.cells.iter().map(|id| id.0).collect()).collect();
+    (cells, clusters, snap.tau(), engine.take_events())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn insert_batch_is_observationally_equivalent_to_insert_loop(
+        points in prop::collection::vec(((-5.0f64..15.0), (-3.0f64..3.0)), 60..300),
+        chunk in 1usize..64,
+    ) {
+        let batch: Vec<(DenseVector, f64)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (DenseVector::from([x, y]), i as f64 / 100.0))
+            .collect();
+        let t = batch.len() as f64 / 100.0;
+
+        // Engine A: one insert per point.
+        let mut a = mini_engine();
+        for (p, ts) in &batch {
+            a.insert(p, *ts);
+        }
+        // Engine B: insert_batch in arbitrary chunk sizes.
+        let mut b = mini_engine();
+        for window in batch.chunks(chunk) {
+            b.insert_batch(window);
+        }
+
+        let (cells_a, clusters_a, tau_a, events_a) = observe(&mut a, t);
+        let (cells_b, clusters_b, tau_b, events_b) = observe(&mut b, t);
+        prop_assert_eq!(cells_a, cells_b, "cell state diverged");
+        prop_assert_eq!(clusters_a, clusters_b, "cluster partition diverged");
+        prop_assert_eq!(tau_a, tau_b, "tau diverged");
+        prop_assert_eq!(events_a, events_b, "event streams diverged");
+    }
+}
+
+#[test]
+fn trait_level_batches_match_loops_for_all_five_algorithms() {
+    let blobs = vec![
+        Blob::new(vec![0.0, 0.0], 0.3, 1.0, 0),
+        Blob::new(vec![20.0, 0.0], 0.3, 1.0, 1),
+        Blob::new(vec![10.0, 18.0], 0.3, 1.0, 2),
+    ];
+    let stream = sample_mixture("batch-eq", &blobs, 4_000, 1_000.0, 1.0, 777);
+    let t = stream.duration();
+    let batch = stream.to_batch();
+    let probes = [
+        DenseVector::from([0.0, 0.0]),
+        DenseVector::from([20.0, 0.0]),
+        DenseVector::from([10.0, 18.0]),
+        DenseVector::from([500.0, 500.0]),
+    ];
+
+    let make: fn() -> Vec<Box<dyn StreamClusterer<DenseVector>>> = || {
+        use edmstream::baselines::{
+            DStream, DStreamConfig, DbStream, DbStreamConfig, DenStream, DenStreamConfig, MrStream,
+            MrStreamConfig,
+        };
+        let r = 1.0;
+        let edm = EdmConfig::builder(r)
+            .rate(1_000.0)
+            .beta(1e-4)
+            .tau_mode(TauMode::Static(5.0))
+            .build()
+            .unwrap();
+        vec![
+            Box::new(EdmStream::new(edm, Euclidean)),
+            Box::new(DStream::new(DStreamConfig { offline_every: 500, ..DStreamConfig::new(r) })),
+            Box::new(DenStream::new(DenStreamConfig {
+                offline_every: 500,
+                prune_every: 500,
+                ..DenStreamConfig::new(r)
+            })),
+            Box::new(DbStream::new(DbStreamConfig {
+                offline_every: 500,
+                gap: 500,
+                ..DbStreamConfig::new(r)
+            })),
+            Box::new(MrStream::new(MrStreamConfig {
+                offline_every: 500,
+                prune_every: 500,
+                ..MrStreamConfig::new(r)
+            })),
+        ]
+    };
+
+    for (mut looped, mut batched) in make().into_iter().zip(make()) {
+        for p in stream.iter() {
+            looped.insert(&p.payload, p.ts);
+        }
+        for window in batch.chunks(97) {
+            batched.insert_batch(window);
+        }
+        looped.prepare(t);
+        batched.prepare(t);
+        assert_eq!(
+            looped.n_clusters(t),
+            batched.n_clusters(t),
+            "{}: cluster count diverged",
+            looped.name()
+        );
+        for probe in &probes {
+            assert_eq!(
+                looped.cluster_of(probe, t),
+                batched.cluster_of(probe, t),
+                "{}: probe {probe:?} diverged",
+                looped.name()
+            );
+        }
+        assert_eq!(looped.n_summaries(), batched.n_summaries(), "{}", looped.name());
+    }
+}

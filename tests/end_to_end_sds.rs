@@ -6,12 +6,14 @@ use edmstream::data::gen::sds::{self, SdsConfig};
 use edmstream::{DecayModel, EdmConfig, EdmStream, Euclidean, EventKind};
 
 fn sds_engine() -> EdmStream<edmstream::DenseVector, Euclidean> {
-    let mut cfg = EdmConfig::new(0.3);
-    cfg.decay = DecayModel::new(0.998, 200.0);
-    cfg.beta = 3e-3;
-    cfg.rate = 1_000.0;
-    cfg.recycle_horizon = Some(5.0);
-    cfg.tau_every = 128;
+    let cfg = EdmConfig::builder(0.3)
+        .decay(DecayModel::new(0.998, 200.0))
+        .beta(3e-3)
+        .rate(1_000.0)
+        .recycle_horizon(5.0)
+        .tau_every(128)
+        .build()
+        .expect("valid SDS configuration");
     EdmStream::new(cfg, Euclidean)
 }
 
@@ -32,12 +34,10 @@ fn sds_evolution_narrative_is_recovered() {
     assert_eq!(counts_per_second[1], 2, "t=2s: {counts_per_second:?}");
     assert_eq!(counts_per_second[3], 2, "t=4s: {counts_per_second:?}");
     // Merged phase: one cluster somewhere in 9..=12 s.
-    assert!(
-        (8..12).any(|i| counts_per_second[i] == 1),
-        "no merged phase: {counts_per_second:?}"
-    );
+    assert!((8..12).any(|i| counts_per_second[i] == 1), "no merged phase: {counts_per_second:?}");
     // The event log contains a merge before 12 s and an emergence after 11 s.
-    let events = engine.events();
+    assert_eq!(engine.events_evicted(), 0, "event log overflowed; raise event_capacity");
+    let events = engine.take_events();
     assert!(
         events.iter().any(|e| matches!(e.kind, EventKind::Merge { .. }) && e.t < 12.0),
         "no merge event before 12s"
@@ -76,15 +76,16 @@ fn dynamic_tau_separates_longer_than_static() {
     // the first 8) with two clusters under each policy.
     let run = |static_tau: Option<f64>| -> (usize, f64) {
         let stream = sds::generate(&SdsConfig::default());
-        let mut cfg = EdmConfig::new(0.3);
-        cfg.decay = DecayModel::new(0.998, 200.0);
-        cfg.beta = 3e-3;
-        cfg.rate = 1_000.0;
-        cfg.recycle_horizon = Some(5.0);
-        cfg.tau_every = 128;
+        let mut builder = EdmConfig::builder(0.3)
+            .decay(DecayModel::new(0.998, 200.0))
+            .beta(3e-3)
+            .rate(1_000.0)
+            .recycle_horizon(5.0)
+            .tau_every(128);
         if let Some(tau) = static_tau {
-            cfg.tau_mode = edmstream::TauMode::Static(tau);
+            builder = builder.tau_mode(edmstream::TauMode::Static(tau));
         }
+        let cfg = builder.build().expect("valid SDS configuration");
         let mut engine = EdmStream::new(cfg, Euclidean);
         let mut two = 0;
         let mut next = 1.0;

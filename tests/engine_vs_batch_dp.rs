@@ -19,10 +19,12 @@ fn blobs() -> Vec<Blob> {
 fn stream_engine_matches_batch_dp_on_static_data() {
     let stream = sample_mixture("frozen", &blobs(), 4_000, 1_000.0, 0.5, 99);
     let tau = 2.0;
-    let mut cfg = EdmConfig::new(0.5);
-    cfg.rate = 1_000.0;
-    cfg.beta = 1e-4; // threshold ≈ 50 decayed points
-    cfg.tau_mode = TauMode::Static(tau);
+    let cfg = EdmConfig::builder(0.5)
+        .rate(1_000.0)
+        .beta(1e-4) // threshold ≈ 50 decayed points
+        .tau_mode(TauMode::Static(tau))
+        .build()
+        .expect("valid test configuration");
     let mut engine = EdmStream::new(cfg, Euclidean);
     for p in stream.iter() {
         engine.insert(&p.payload, p.ts);
@@ -32,7 +34,7 @@ fn stream_engine_matches_batch_dp_on_static_data() {
 
     // Batch DP over the engine's active cell seeds, weighted by their
     // decayed densities, with the same τ: identical cluster count.
-    let decay = engine.config().decay;
+    let decay = engine.config().decay();
     let (seeds, weights): (Vec<DenseVector>, Vec<f64>) = engine
         .slab()
         .iter()
@@ -41,7 +43,8 @@ fn stream_engine_matches_batch_dp_on_static_data() {
         .unzip();
     // Each seed carries its own decayed cell mass as density: this is the
     // batch view of the engine's state.
-    let res = dp::cluster_with_density(&seeds, &weights, &Euclidean, &DpConfig::new(0.45, 0.0, tau));
+    let res =
+        dp::cluster_with_density(&seeds, &weights, &Euclidean, &DpConfig::new(0.45, 0.0, tau));
     assert_eq!(res.n_clusters(), 3, "batch DP over seeds disagrees");
 
     // Membership agreement: engine and batch DP put the same seeds together.
@@ -59,10 +62,7 @@ fn stream_engine_matches_batch_dp_on_static_data() {
         for j in (i + 1)..seeds.len() {
             let same_engine = engine_label[i] == engine_label[j];
             let same_batch = res.assignment[i] == res.assignment[j];
-            assert_eq!(
-                same_engine, same_batch,
-                "seed pair ({i},{j}) co-membership disagrees"
-            );
+            assert_eq!(same_engine, same_batch, "seed pair ({i},{j}) co-membership disagrees");
         }
     }
 }
@@ -70,10 +70,12 @@ fn stream_engine_matches_batch_dp_on_static_data() {
 #[test]
 fn cluster_of_recovers_generator_labels() {
     let stream = sample_mixture("frozen2", &blobs(), 4_000, 1_000.0, 0.5, 7);
-    let mut cfg = EdmConfig::new(0.5);
-    cfg.rate = 1_000.0;
-    cfg.beta = 1e-4;
-    cfg.tau_mode = TauMode::Static(2.0);
+    let cfg = EdmConfig::builder(0.5)
+        .rate(1_000.0)
+        .beta(1e-4)
+        .tau_mode(TauMode::Static(2.0))
+        .build()
+        .expect("valid test configuration");
     let mut engine = EdmStream::new(cfg, Euclidean);
     for p in stream.iter() {
         engine.insert(&p.payload, p.ts);

@@ -9,28 +9,24 @@ use edmstream::{DenseVector, EdmConfig, EdmStream, Euclidean, FilterConfig, TauM
 use proptest::prelude::*;
 
 /// Final `(slot, dep, delta, active, cluster)` state per cell.
-fn final_state(
-    points: &[(f64, f64)],
-    filters: FilterConfig,
-) -> Vec<(u32, Option<u32>, f64, bool)> {
-    let mut cfg = EdmConfig::new(0.8);
-    cfg.rate = 100.0;
-    cfg.beta = 3.0 * (1.0 - cfg.decay.retention()) / cfg.rate;
-    cfg.init_points = 20;
-    cfg.tau_mode = TauMode::Static(3.0);
-    cfg.filters = filters;
-    cfg.track_evolution = false;
+fn final_state(points: &[(f64, f64)], filters: FilterConfig) -> Vec<(u32, Option<u32>, f64, bool)> {
+    let cfg = EdmConfig::builder(0.8)
+        .rate(100.0)
+        .beta_for_threshold(3.0)
+        .init_points(20)
+        .tau_mode(TauMode::Static(3.0))
+        .filters(filters)
+        .track_evolution(false)
+        .build()
+        .expect("valid test configuration");
     let mut engine = EdmStream::new(cfg, Euclidean);
     for (i, &(x, y)) in points.iter().enumerate() {
         engine.insert(&DenseVector::from([x, y]), i as f64 / 100.0);
     }
     let t = points.len() as f64 / 100.0;
     engine.check_invariants(t).expect("invariants violated");
-    let mut v: Vec<(u32, Option<u32>, f64, bool)> = engine
-        .slab()
-        .iter()
-        .map(|(id, c)| (id.0, c.dep.map(|d| d.0), c.delta, c.active))
-        .collect();
+    let mut v: Vec<(u32, Option<u32>, f64, bool)> =
+        engine.slab().iter().map(|(id, c)| (id.0, c.dep.map(|d| d.0), c.delta, c.active)).collect();
     v.sort_by_key(|s| s.0);
     v
 }
@@ -57,10 +53,12 @@ proptest! {
         centers in prop::collection::vec((-40.0f64..40.0, -40.0f64..40.0), 2..5),
         n in 150usize..400,
     ) {
-        let mut cfg = EdmConfig::new(1.0);
-        cfg.rate = 100.0;
-        cfg.beta = 3.0 * (1.0 - cfg.decay.retention()) / cfg.rate;
-        cfg.init_points = 30;
+        let cfg = EdmConfig::builder(1.0)
+            .rate(100.0)
+            .beta_for_threshold(3.0)
+            .init_points(30)
+            .build()
+            .expect("valid test configuration");
         let mut engine = EdmStream::new(cfg, Euclidean);
         for i in 0..n {
             let c = &centers[i % centers.len()];

@@ -7,13 +7,18 @@ use edmstream::{DecayModel, EdmConfig, EdmStream, EventKind, Jaccard, TauMode};
 fn nads_engine(ncfg: &NadsConfig) -> EdmStream<edmstream::TokenSet, Jaccard> {
     let rate = ncfg.n as f64 / (nads::DAYS * ncfg.seconds_per_day);
     let decay = DecayModel::new(0.998, 60.0);
-    let mut cfg = EdmConfig::new(0.4);
-    cfg.decay = decay;
-    cfg.rate = rate;
-    cfg.beta = 3.0 * (1.0 - decay.retention()) / rate;
-    cfg.init_points = 500;
-    cfg.recycle_horizon = Some(5.0 * ncfg.seconds_per_day);
-    cfg.tau_mode = TauMode::Static(0.75);
+    let cfg = EdmConfig::builder(0.4)
+        .decay(decay)
+        .rate(rate)
+        .beta(3.0 * (1.0 - decay.retention()) / rate)
+        .init_points(500)
+        .recycle_horizon(5.0 * ncfg.seconds_per_day)
+        .tau_mode(TauMode::Static(0.75))
+        // This test drains the log once at the end, so the whole run's
+        // events must stay buffered.
+        .event_capacity(1 << 22)
+        .build()
+        .expect("valid NADS configuration");
     EdmStream::new(cfg, Jaccard)
 }
 
@@ -26,14 +31,14 @@ fn scripted_topic_events_are_detected_near_their_dates() {
         engine.insert(&p.payload, p.ts);
     }
     let day_of = |t: f64| nads::day_of(t, &ncfg);
-    let splits: Vec<f64> = engine
-        .events()
+    assert_eq!(engine.events_evicted(), 0, "event log overflowed; raise event_capacity");
+    let events = engine.take_events();
+    let splits: Vec<f64> = events
         .iter()
         .filter(|e| matches!(e.kind, EventKind::Split { .. }))
         .map(|e| day_of(e.t))
         .collect();
-    let merges: Vec<f64> = engine
-        .events()
+    let merges: Vec<f64> = events
         .iter()
         .filter(|e| matches!(e.kind, EventKind::Merge { .. }))
         .map(|e| day_of(e.t))
@@ -82,6 +87,7 @@ fn topics_are_jaccard_clusters() {
             }
         }
     }
-    let (w, a) = (wear_cluster.expect("wearable unclustered"), a5c_cluster.expect("5c unclustered"));
+    let (w, a) =
+        (wear_cluster.expect("wearable unclustered"), a5c_cluster.expect("5c unclustered"));
     assert_ne!(w, a, "distinct topics share a cluster");
 }

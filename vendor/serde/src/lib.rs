@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` names the workspace imports —
+//! as marker traits in the type namespace and as no-op derives in the
+//! macro namespace, the same dual-name trick the real crate uses. Nothing
+//! in the workspace serializes today; swap in the real crate when a data
+//! format lands.
+
+#![warn(missing_docs)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
