@@ -10,7 +10,7 @@
 //! types here are deliberately small, `Clone`-cheap where possible, and
 //! free of any clustering policy.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod decay;
@@ -22,5 +22,5 @@ pub mod time;
 
 pub use decay::DecayModel;
 pub use metric::{Euclidean, Jaccard, Metric};
-pub use point::{DenseVector, TokenSet};
+pub use point::{DenseVector, GridCoords, TokenSet};
 pub use time::{StreamClock, Timestamp};

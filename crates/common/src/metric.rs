@@ -19,6 +19,22 @@ pub trait Metric<P>: Send + Sync {
 
     /// Human-readable metric name (for experiment output).
     fn name(&self) -> &'static str;
+
+    /// Whether this metric **dominates per-axis coordinate differences**:
+    /// `dist(a, b) >= |a[k] − b[k]|` for every axis `k` of the payload's
+    /// [`crate::point::GridCoords`] embedding. All Minkowski metrics
+    /// (Euclidean included) qualify; scaled or cosine-style distances do
+    /// not.
+    ///
+    /// This is the soundness precondition of uniform-grid neighbor
+    /// indexing, so it is a deliberate **opt-in**: the default `false`
+    /// makes an engine downgrade grid indexing to an exact linear scan
+    /// for any metric that has not explicitly vouched for the bound —
+    /// custom metrics stay correct by default and only gain grid pruning
+    /// once their author asserts the property.
+    fn dominates_coordinate_axes(&self) -> bool {
+        false
+    }
 }
 
 /// Euclidean (L2) distance over dense vectors.
@@ -33,6 +49,11 @@ impl Metric<DenseVector> for Euclidean {
 
     fn name(&self) -> &'static str {
         "euclidean"
+    }
+
+    /// L2 ≥ L∞ ≥ every per-axis difference, so grid pruning is sound.
+    fn dominates_coordinate_axes(&self) -> bool {
+        true
     }
 }
 

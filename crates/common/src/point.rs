@@ -10,6 +10,37 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Payloads that can expose a fixed-dimensional coordinate embedding for
+/// uniform-grid neighbor indexing.
+///
+/// The EDMStream engine answers every "which cell is near this point?"
+/// question through a neighbor index; the grid-backed index needs raw
+/// coordinates to quantize a payload into a bucket. Payloads without a
+/// geometric embedding (e.g. [`TokenSet`] under Jaccard distance) keep the
+/// default `None`, which makes any grid index degrade to an exact linear
+/// scan — arbitrary metrics keep working, they just do not get pruning.
+///
+/// # Contract
+///
+/// When `grid_coords` returns `Some(c)`:
+///
+/// * every payload of the stream must report the **same dimensionality**;
+/// * every [`crate::metric::Metric`] paired with the payload for grid
+///   indexing must **dominate the per-axis coordinate difference**:
+///   `dist(a, b) >= |a[k] - b[k]|` for every axis `k`. All Minkowski
+///   metrics (Euclidean included) satisfy this; it is what makes bucket
+///   geometry a sound lower bound on metric distance. Metrics declare
+///   the property via
+///   [`crate::metric::Metric::dominates_coordinate_axes`]; engines
+///   refuse to grid-index metrics that do not.
+pub trait GridCoords {
+    /// Coordinate view of the payload, or `None` when it has no geometric
+    /// embedding (the grid index then falls back to scanning).
+    fn grid_coords(&self) -> Option<&[f64]> {
+        None
+    }
+}
+
 /// A dense `d`-dimensional attribute vector.
 ///
 /// Stored as a boxed slice: two words on the stack, no spare capacity, and
@@ -86,6 +117,13 @@ impl DenseVector {
     /// L2 norm of the vector.
     pub fn norm(&self) -> f64 {
         self.0.iter().map(|a| a * a).sum::<f64>().sqrt()
+    }
+}
+
+impl GridCoords for DenseVector {
+    #[inline]
+    fn grid_coords(&self) -> Option<&[f64]> {
+        Some(&self.0)
     }
 }
 
@@ -187,9 +225,20 @@ impl TokenSet {
     }
 }
 
+/// Token sets live in Jaccard space, which has no coordinate embedding;
+/// grid indexes degrade to a linear scan for them.
+impl GridCoords for TokenSet {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn grid_coords_exposes_vectors_and_hides_token_sets() {
+        let v = DenseVector::from([1.0, 2.0]);
+        assert_eq!(v.grid_coords(), Some(&[1.0, 2.0][..]));
+        assert_eq!(TokenSet::new(vec![1, 2]).grid_coords(), None);
+    }
 
     #[test]
     fn dense_vector_dist_matches_hand_computation() {

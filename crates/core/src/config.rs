@@ -15,6 +15,7 @@ use edm_common::decay::DecayModel;
 use serde::{Deserialize, Serialize};
 
 use crate::filters::FilterConfig;
+use crate::index::NeighborIndexKind;
 use crate::tau::TauMode;
 
 /// Default bound on the buffered evolution-event backlog.
@@ -57,6 +58,11 @@ pub enum ConfigError {
     },
     /// The evolution-event buffer needs room for at least one event.
     ZeroEventCapacity,
+    /// An explicit grid-index bucket side must be positive and finite.
+    NonPositiveGridSide {
+        /// The offending side length.
+        side: f64,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -80,6 +86,9 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "static tau must be positive (got {tau})")
             }
             ConfigError::ZeroEventCapacity => write!(f, "event_capacity must be positive"),
+            ConfigError::NonPositiveGridSide { side } => {
+                write!(f, "grid-index bucket side must be positive and finite (got {side})")
+            }
         }
     }
 }
@@ -134,6 +143,11 @@ pub struct EdmConfig {
     /// Bound on the buffered evolution-event backlog; oldest events are
     /// evicted past it (see `EdmStream::take_events` / `events_since`).
     pub(crate) event_capacity: usize,
+    /// Neighbor-index backing for cell assignment and dependency search.
+    /// Defaulted on deserialization so configs persisted before the field
+    /// existed still load (as `Grid { side: None }`).
+    #[serde(default)]
+    pub(crate) neighbor_index: NeighborIndexKind,
 }
 
 impl EdmConfig {
@@ -156,6 +170,7 @@ impl EdmConfig {
                 age_adjusted_threshold: true,
                 track_evolution: true,
                 event_capacity: DEFAULT_EVENT_CAPACITY,
+                neighbor_index: NeighborIndexKind::default(),
             },
         }
     }
@@ -200,6 +215,13 @@ impl EdmConfig {
         }
         if self.event_capacity == 0 {
             return Err(ConfigError::ZeroEventCapacity);
+        }
+        if let NeighborIndexKind::Grid { side: Some(side) } = self.neighbor_index {
+            // NaN fails is_finite, so everything not strictly positive and
+            // finite is rejected.
+            if !side.is_finite() || side <= 0.0 {
+                return Err(ConfigError::NonPositiveGridSide { side });
+            }
         }
         Ok(())
     }
@@ -274,6 +296,11 @@ impl EdmConfig {
     /// Bound on the buffered evolution-event backlog.
     pub fn event_capacity(&self) -> usize {
         self.event_capacity
+    }
+
+    /// Neighbor-index backing for cell assignment and dependency search.
+    pub fn neighbor_index(&self) -> NeighborIndexKind {
+        self.neighbor_index
     }
 
     // ----- derived quantities -----
@@ -407,6 +434,21 @@ impl EdmConfigBuilder {
         self
     }
 
+    /// Picks the neighbor index backing cell assignment and dependency
+    /// search. The default `Grid { side: None }` probes only the 3^d
+    /// bucket shell around each point (sub-linear in cell count) and
+    /// degrades to an exact scan for payloads without coordinates. The
+    /// engine additionally downgrades `Grid` to
+    /// [`NeighborIndexKind::LinearScan`] unless the metric asserts the
+    /// grid's soundness bound through
+    /// [`edm_common::metric::Metric::dominates_coordinate_axes`] (see
+    /// [`edm_common::point::GridCoords`]), so custom metrics stay exact
+    /// without touching this knob.
+    pub fn neighbor_index(mut self, kind: NeighborIndexKind) -> Self {
+        self.cfg.neighbor_index = kind;
+        self
+    }
+
     /// Validates the parameters and produces the configuration.
     pub fn build(self) -> Result<EdmConfig, ConfigError> {
         self.cfg.check()?;
@@ -501,6 +543,30 @@ mod tests {
         assert_eq!(cleared.tau0(), None);
         assert_eq!(cleared.recycle_horizon(), None);
         assert!(cleared.check().is_ok());
+    }
+
+    #[test]
+    fn default_neighbor_index_is_the_grid() {
+        let cfg = EdmConfig::builder(0.5).build().unwrap();
+        assert_eq!(cfg.neighbor_index(), NeighborIndexKind::Grid { side: None });
+        let linear =
+            cfg.to_builder().neighbor_index(NeighborIndexKind::LinearScan).build().unwrap();
+        assert_eq!(linear.neighbor_index(), NeighborIndexKind::LinearScan);
+    }
+
+    #[test]
+    fn rejects_degenerate_grid_side() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = EdmConfig::builder(0.5)
+                .neighbor_index(NeighborIndexKind::Grid { side: Some(bad) })
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, ConfigError::NonPositiveGridSide { .. }), "{bad}: {err:?}");
+        }
+        assert!(EdmConfig::builder(0.5)
+            .neighbor_index(NeighborIndexKind::Grid { side: Some(0.25) })
+            .build()
+            .is_ok());
     }
 
     #[test]

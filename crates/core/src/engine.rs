@@ -3,7 +3,9 @@
 //! Processing pipeline per stream point (Fig 5):
 //!
 //! 1. **assign** — nearest cell seed within `r` absorbs the point, else a
-//!    new inactive cell is born into the outlier reservoir;
+//!    new inactive cell is born into the outlier reservoir; the seed
+//!    lookup goes through the configured [`crate::index::NeighborIndex`],
+//!    which keeps it sub-linear in cell count for coordinate payloads;
 //! 2. **dependency update** — the absorbing cell rose in the density
 //!    order; only cells it *overtook* can change dependency (Theorem 1),
 //!    and of those the triangle inequality prunes most (Theorem 2);
@@ -21,6 +23,7 @@
 use edm_common::decay::DecayModel;
 use edm_common::hash::fx_map;
 use edm_common::metric::Metric;
+use edm_common::point::GridCoords;
 use edm_common::time::Timestamp;
 
 use crate::cell::{Cell, CellId};
@@ -30,10 +33,48 @@ use crate::evolution::{
     AdjustKind, ClusterId, ClusterRegistry, Event, EventCursor, EventKind, EvolutionLog, GroupInput,
 };
 use crate::filters::EngineStats;
+use crate::index::{CellIndex, NeighborIndex};
 use crate::slab::CellSlab;
 use crate::snapshot::{ClusterInfo, ClusterSnapshot};
 use crate::tau::TauController;
 use crate::tree;
+
+/// Per-point distance cache over slab slots with O(1) reset.
+///
+/// The assignment scan records every |p, s_c| it actually computes; the
+/// Theorem 2 triangle filter then reads them back for free. Entries are
+/// validated by an epoch stamp instead of clearing the table each point —
+/// a grid-indexed scan probes only a handful of cells, and wiping the
+/// whole table would itself be the linear cost the index removes.
+#[derive(Debug, Clone, Default)]
+struct ScratchDistances {
+    dist: Vec<f64>,
+    stamp: Vec<u64>,
+    epoch: u64,
+}
+
+impl ScratchDistances {
+    /// Starts a new point's scan: grows to `slots` and invalidates every
+    /// previous entry by bumping the epoch.
+    fn begin(&mut self, slots: usize) {
+        self.dist.resize(slots, f64::INFINITY);
+        self.stamp.resize(slots, 0);
+        self.epoch += 1;
+    }
+
+    /// Records the exact distance for a slot.
+    #[inline]
+    fn set(&mut self, slot: usize, d: f64) {
+        self.dist[slot] = d;
+        self.stamp[slot] = self.epoch;
+    }
+
+    /// The exact distance for a slot, if this point's scan computed it.
+    #[inline]
+    fn get(&self, slot: usize) -> Option<f64> {
+        (self.stamp.get(slot) == Some(&self.epoch)).then(|| self.dist[slot])
+    }
+}
 
 /// Engine phase: caching the initialization buffer, or running.
 enum Phase<P> {
@@ -51,19 +92,33 @@ pub struct EdmStream<P, M> {
     registry: ClusterRegistry,
     log: EvolutionLog,
     stats: EngineStats,
+    /// Neighbor index over cell seeds; answers assignment and
+    /// nearest-denser queries without scanning the whole slab.
+    index: CellIndex,
     /// |p, s_c| per slab slot, filled by the assignment scan of the current
     /// point (feeds the triangle filter for free, paper §4.2).
-    scratch: Vec<f64>,
+    scratch: ScratchDistances,
     active_thr: f64,
     dt_del: f64,
     start: Option<Timestamp>,
     now: Timestamp,
-    active_count: usize,
+    /// The DP-Tree population: ids of all currently active cells. Kept so
+    /// the per-absorb dependency candidate pass walks only the tree, not
+    /// the (much larger) reservoir-dominated slab.
+    active_ids: Vec<CellId>,
+    /// The densest active cell (the DP-Tree root, by the single-root
+    /// invariant). Densities decay uniformly, so only an absorbing or
+    /// freshly activated cell can displace it — an O(1) comparison per
+    /// absorb. Lets `recompute_dep` skip the nearest-denser search
+    /// outright when the rising cell *is* the new maximum, the one case
+    /// where that search would otherwise exhaust the whole index proving
+    /// a negative.
+    apex: Option<CellId>,
     reservoir_peak: usize,
     structure_dirty: bool,
 }
 
-impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
+impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
     /// Creates an engine; the first `cfg.init_points` inserts are buffered
     /// for the initialization step.
     ///
@@ -76,6 +131,15 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
         debug_assert!(cfg.check().is_ok(), "config bypassed builder validation: {:?}", cfg.check());
         let active_thr = cfg.active_threshold();
         let dt_del = cfg.delta_t_del();
+        // Grid pruning is only sound for metrics that vouch for the
+        // axis-domination bound ([`Metric::dominates_coordinate_axes`]);
+        // anything else gets the exact linear scan, so a custom metric
+        // can never make the index silently drop a true neighbor.
+        let index_kind = if metric.dominates_coordinate_axes() {
+            cfg.neighbor_index
+        } else {
+            crate::index::NeighborIndexKind::LinearScan
+        };
         EdmStream {
             tau_ctl: TauController::new(cfg.tau_mode),
             phase: Phase::Caching(Vec::with_capacity(cfg.init_points)),
@@ -84,12 +148,14 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
             registry: ClusterRegistry::new(),
             log: EvolutionLog::with_capacity(cfg.event_capacity),
             stats: EngineStats::default(),
-            scratch: Vec::new(),
+            index: CellIndex::from_config(index_kind, cfg.r),
+            scratch: ScratchDistances::default(),
             active_thr,
             dt_del,
             start: None,
             now: 0.0,
-            active_count: 0,
+            active_ids: Vec::new(),
+            apex: None,
             reservoir_peak: 0,
             structure_dirty: false,
             cfg,
@@ -171,12 +237,13 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
         // Build cells by sequential nearest-seed assignment.
         for (p, tp) in buf {
             match self.nearest_cell(&p) {
-                Some((cid, d)) if d <= self.cfg.r => {
+                Some((cid, _)) => {
                     let decay = self.cfg.decay;
                     self.slab.get_mut(cid).absorb(tp, &decay);
                 }
-                _ => {
-                    self.slab.insert(Cell::new(p, tp));
+                None => {
+                    let id = self.slab.insert(Cell::new(p, tp));
+                    self.index.on_insert(id, &self.slab.get(id).seed);
                 }
             }
         }
@@ -192,7 +259,7 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
                 break; // sorted: everything after is inactive too
             }
             self.slab.get_mut(id).active = true;
-            self.active_count += 1;
+            self.active_ids.push(id);
             let mut best: Option<(f64, CellId)> = None;
             for &prev in &placed {
                 let d = self.metric.dist(&self.slab.get(id).seed, &self.slab.get(prev).seed);
@@ -205,6 +272,8 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
             }
             placed.push(id);
         }
+        // The density-ordered pass placed the densest cell first.
+        self.apex = placed.first().copied();
         // τ initialization: the "user" picks τ₀ from the decision graph
         // (largest-gap heuristic unless configured explicitly).
         let mut deltas = self.active_deltas_sorted();
@@ -224,26 +293,27 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
     fn process(&mut self, p: &P, t: Timestamp) {
         let nearest = self.scan_distances(p);
         match nearest {
-            Some((cid, d)) if d <= self.cfg.r => {
+            Some((cid, _)) => {
                 self.stats.absorbed += 1;
                 let decay = self.cfg.decay;
                 let (before, after) = self.slab.get_mut(cid).absorb(t, &decay);
                 let was_active = self.slab.get(cid).active;
                 if was_active {
-                    self.dependency_maintenance(cid, before, after, t, false);
+                    self.dependency_maintenance(p, cid, before, after, t, false);
                 } else if after >= self.threshold_at(t) {
                     // Cluster-cell emergence (DP-Tree insertion, §4.3).
                     self.slab.get_mut(cid).active = true;
-                    self.active_count += 1;
+                    self.active_ids.push(cid);
                     self.stats.activations += 1;
-                    self.dependency_maintenance(cid, before, after, t, true);
+                    self.dependency_maintenance(p, cid, before, after, t, true);
                     self.structure_dirty = true;
                 }
             }
-            _ => {
+            None => {
                 // New cluster-cell, cached in the reservoir (low density).
                 self.stats.new_cells += 1;
-                self.slab.insert(Cell::new(p.clone(), t));
+                let id = self.slab.insert(Cell::new(p.clone(), t));
+                self.index.on_insert(id, &self.slab.get(id).seed);
             }
         }
         if self.stats.points.is_multiple_of(self.cfg.maintenance_every) {
@@ -261,41 +331,39 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
         self.update_reservoir_peak();
     }
 
-    /// Fills the scratch distance table and returns the nearest cell.
+    /// Resolves the assignment query through the neighbor index: the
+    /// nearest cell within `r`, stamping every distance the index actually
+    /// computed into the scratch table (the triangle filter's free input)
+    /// and accounting probed vs. pruned cells.
     fn scan_distances(&mut self, p: &P) -> Option<(CellId, f64)> {
-        self.scratch.resize(self.slab.capacity_slots(), f64::INFINITY);
-        let mut best: Option<(CellId, f64)> = None;
-        for (id, cell) in self.slab.iter() {
-            let d = self.metric.dist(p, &cell.seed);
-            self.scratch[id.0 as usize] = d;
-            match best {
-                Some((bid, bd)) if d > bd || (d == bd && id > bid) => {}
-                _ => best = Some((id, d)),
-            }
-        }
+        self.scratch.begin(self.slab.capacity_slots());
+        let scratch = &mut self.scratch;
+        let mut probed = 0u64;
+        let best =
+            self.index.nearest_within(p, self.cfg.r, &self.slab, &self.metric, &mut |id, d| {
+                probed += 1;
+                scratch.set(id.0 as usize, d);
+            });
+        self.stats.index_probed += probed;
+        self.stats.index_pruned += self.slab.len() as u64 - probed;
         best
     }
 
-    /// Nearest cell without touching scratch (initialization path).
+    /// Nearest cell within `r` without touching scratch (initialization
+    /// and query paths).
     fn nearest_cell(&self, p: &P) -> Option<(CellId, f64)> {
-        let mut best: Option<(CellId, f64)> = None;
-        for (id, cell) in self.slab.iter() {
-            let d = self.metric.dist(p, &cell.seed);
-            match best {
-                Some((bid, bd)) if d > bd || (d == bd && id > bid) => {}
-                _ => best = Some((id, d)),
-            }
-        }
-        best
+        self.index.nearest_within(p, self.cfg.r, &self.slab, &self.metric, &mut |_, _| {})
     }
 
     // ----- dependency maintenance (paper §4.2) -----
 
-    /// Handles the density rise of `cprime` from `before` to `after` at
-    /// time `t`. When `freshly_activated`, `cprime` just entered the tree
-    /// and needs its own dependency computed unconditionally.
+    /// Handles the density rise of `cprime` (which just absorbed `p`) from
+    /// `before` to `after` at time `t`. When `freshly_activated`, `cprime`
+    /// just entered the tree and needs its own dependency computed
+    /// unconditionally.
     fn dependency_maintenance(
         &mut self,
+        p: &P,
         cprime: CellId,
         before: f64,
         after: f64,
@@ -304,21 +372,47 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
     ) {
         let started = std::time::Instant::now();
         let filters = self.cfg.filters;
-        let p_dist_cprime = self.scratch.get(cprime.0 as usize).copied().unwrap_or(0.0);
+        let p_dist_cprime = self.scratch.get(cprime.0 as usize).unwrap_or(0.0);
+
+        // Apex maintenance: only the rising cell can displace the current
+        // maximum (uniform decay keeps every other pair's order fixed).
+        let displaced = match self.apex {
+            Some(apex) if apex != cprime => {
+                let rho_apex = self.slab.get(apex).rho_at(t, self.decay());
+                denser_scalar(after, cprime, rho_apex, apex)
+            }
+            Some(_) => false, // cprime already is the apex
+            None => true,
+        };
+        if displaced {
+            self.apex = Some(cprime);
+        }
 
         // Candidate pass: cells whose dependency may now be `cprime`.
+        // Only tree members can depend on anything, so this walks the
+        // active registry, not the reservoir-dominated slab.
         let mut candidates: Vec<CellId> = Vec::new();
-        for (id, cell) in self.slab.iter() {
-            if !cell.active || id == cprime {
+        for &id in &self.active_ids {
+            let cell = self.slab.get(id);
+            if id == cprime {
                 continue;
             }
             self.stats.dep_candidates += 1;
-            // Theorem 2 first: |p,s_c| and |p,s_c'| are already in scratch,
-            // so this check costs two reads — cheaper than the density
-            // comparison, which needs a decay evaluation per cell.
+            // Theorem 2 first: |p,s_c| and |p,s_c'| are already in scratch
+            // when the assignment probe reached `c`, so the common case
+            // costs two reads — cheaper than the density comparison, which
+            // needs a decay evaluation per cell. Cells the index pruned
+            // fall back to its distance lower bound, which can only prune
+            // a subset of what the exact check would (still Theorem 2,
+            // one-sided), so filtering stays exact either way.
             if filters.triangle {
-                let p_dist_c = self.scratch.get(id.0 as usize).copied().unwrap_or(f64::INFINITY);
-                if (p_dist_c - p_dist_cprime).abs() > cell.delta {
+                let pruned = match self.scratch.get(id.0 as usize) {
+                    Some(p_dist_c) => (p_dist_c - p_dist_cprime).abs() > cell.delta,
+                    None => {
+                        self.index.distance_lower_bound(p, &cell.seed) - p_dist_cprime > cell.delta
+                    }
+                };
+                if pruned {
                     self.stats.filtered_triangle += 1;
                     continue;
                 }
@@ -369,23 +463,28 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
         self.stats.dep_update_nanos += started.elapsed().as_nanos() as u64;
     }
 
-    /// Recomputes `cell`'s dependency by scanning all denser active cells.
+    /// Recomputes `cell`'s dependency: the nearest denser active cell,
+    /// found through the neighbor index (expanding-shell search under the
+    /// grid, full scan under the linear fallback). When `cell` is the
+    /// apex there is nothing denser to find — it becomes the root without
+    /// any search, which is exactly the case where a search could only
+    /// terminate by exhausting the index.
     fn recompute_dep(&mut self, cell: CellId, rho_cell: f64, t: Timestamp) {
-        let mut best: Option<(f64, CellId)> = None;
-        for (id, other) in self.slab.iter() {
-            if !other.active || id == cell {
-                continue;
-            }
-            let rho_o = other.rho_at(t, self.decay());
-            if denser_scalar(rho_o, id, rho_cell, cell) {
-                let d = self.metric.dist(&other.seed, &self.slab.get(cell).seed);
-                if best.is_none_or(|(bd, bid)| d < bd || (d == bd && id < bid)) {
-                    best = Some((d, id));
-                }
-            }
+        if self.apex == Some(cell) {
+            tree::detach(&mut self.slab, cell);
+            return;
         }
+        let decay = self.cfg.decay;
+        let best = {
+            let q = &self.slab.get(cell).seed;
+            self.index.nearest_matching(q, &self.slab, &self.metric, &mut |id, other| {
+                id != cell
+                    && other.active
+                    && denser_scalar(other.rho_at(t, &decay), id, rho_cell, cell)
+            })
+        };
         tree::detach(&mut self.slab, cell);
-        if let Some((d, dep)) = best {
+        if let Some((dep, d)) = best {
             tree::attach(&mut self.slab, cell, dep, d);
         }
     }
@@ -397,8 +496,9 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
         // threshold; their subtrees (all sparser) decay with them.
         let thr = self.threshold_at(t);
         let mut decayed_tops: Vec<CellId> = Vec::new();
-        for (id, cell) in self.slab.iter() {
-            if !cell.active || cell.rho_at(t, self.decay()) >= thr {
+        for &id in &self.active_ids {
+            let cell = self.slab.get(id);
+            if cell.rho_at(t, self.decay()) >= thr {
                 continue;
             }
             let parent_above = match cell.dep {
@@ -424,9 +524,15 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
                     cell.delta = f64::INFINITY;
                     cell.children.clear();
                     *by_cluster.entry(cell.cluster.take()).or_insert(0) += 1;
-                    self.active_count -= 1;
                     self.stats.deactivations += 1;
                 }
+            }
+            // Compact the registry once per sweep (deactivations are
+            // batched and rare relative to inserts).
+            let slab = &self.slab;
+            self.active_ids.retain(|&id| slab.get(id).active);
+            if self.apex.is_some_and(|a| !self.slab.get(a).active) {
+                self.apex = self.densest_active(t);
             }
             if self.cfg.track_evolution {
                 for (cluster, cells) in by_cluster {
@@ -450,7 +556,8 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
             .map(|(id, _)| id)
             .collect();
         for id in outdated {
-            self.slab.remove(id);
+            let cell = self.slab.remove(id);
+            self.index.on_remove(id, &cell.seed);
             self.stats.recycled += 1;
         }
     }
@@ -464,10 +571,8 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
         }
         let tau = self.tau_ctl.tau();
         let mut groups: edm_common::hash::FxHashMap<CellId, GroupInput> = fx_map();
-        for (id, cell) in self.slab.iter() {
-            if !cell.active {
-                continue;
-            }
+        for id in self.sorted_active_ids() {
+            let cell = self.slab.get(id);
             let root = tree::strong_root(&self.slab, id, tau);
             groups
                 .entry(root)
@@ -498,6 +603,29 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
     #[inline]
     fn decay(&self) -> &DecayModel {
         &self.cfg.decay
+    }
+
+    /// Active ids in ascending order — the iteration order every
+    /// *observable* output (groups, clusters, decision graph) is built
+    /// in, so results never depend on activation history. O(a log a) in
+    /// the active count only; the reservoir is never touched.
+    fn sorted_active_ids(&self) -> Vec<CellId> {
+        let mut ids = self.active_ids.clone();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The densest active cell at `t` by full scan of the registry
+    /// (apex re-election after the incumbent decays; rare).
+    fn densest_active(&self, t: Timestamp) -> Option<CellId> {
+        let mut best: Option<(f64, CellId)> = None;
+        for &id in &self.active_ids {
+            let rho = self.slab.get(id).rho_at(t, self.decay());
+            if best.is_none_or(|(brho, bid)| denser_scalar(rho, id, brho, bid)) {
+                best = Some((rho, id));
+            }
+        }
+        best.map(|(_, id)| id)
     }
 
     /// The activation threshold at time `t` (age-adjusted unless disabled;
@@ -566,12 +694,12 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
 
     /// Number of active cells (DP-Tree nodes).
     pub fn active_len(&self) -> usize {
-        self.active_count
+        self.active_ids.len()
     }
 
     /// Number of inactive cells (outlier reservoir population).
     pub fn reservoir_len(&self) -> usize {
-        self.slab.len() - self.active_count
+        self.slab.len() - self.active_ids.len()
     }
 
     /// Largest reservoir population observed (Fig 16).
@@ -587,14 +715,40 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
     /// Current number of clusters (MSDSubTrees).
     pub fn n_clusters(&self) -> usize {
         let tau = self.tau_ctl.tau();
-        self.slab.iter().filter(|(_, c)| c.active && (c.dep.is_none() || c.delta > tau)).count()
+        self.active_ids
+            .iter()
+            .filter(|&&id| {
+                let c = self.slab.get(id);
+                c.dep.is_none() || c.delta > tau
+            })
+            .count()
     }
 
     /// Freezes the full clustering state at time `t` into an owned,
     /// read-only [`ClusterSnapshot`]: cluster infos, τ, the decision
-    /// graph, population counters, and an event cursor aligned with the
-    /// snapshot instant. Reporting and metrics code works off the frozen
-    /// view instead of re-entering the engine.
+    /// graph, population and runtime counters, and an event cursor
+    /// aligned with the snapshot instant. Reporting and metrics code
+    /// works off the frozen view instead of re-entering the engine.
+    ///
+    /// ```
+    /// use edm_core::{EdmConfig, EdmStream};
+    /// use edm_common::metric::Euclidean;
+    /// use edm_common::point::DenseVector;
+    ///
+    /// let cfg = EdmConfig::builder(0.5).rate(100.0).beta(6e-5).init_points(8).build()?;
+    /// let mut engine = EdmStream::new(cfg, Euclidean);
+    /// for i in 0..32 {
+    ///     let x = if i % 2 == 0 { 0.0 } else { 9.0 };
+    ///     engine.insert(&DenseVector::from([x, 0.0]), i as f64 / 100.0);
+    /// }
+    /// let snap = engine.snapshot(0.32);
+    /// assert_eq!(snap.n_clusters(), 2);
+    /// assert_eq!(snap.points(), 32);
+    /// // The snapshot is detached: it stays valid while the engine moves on.
+    /// engine.insert(&DenseVector::from([50.0, 50.0]), 0.4);
+    /// assert_eq!(snap.n_clusters(), 2);
+    /// # Ok::<(), edm_core::ConfigError>(())
+    /// ```
     pub fn snapshot(&self, t: Timestamp) -> ClusterSnapshot {
         let (rho, delta) = self.decision_graph(t);
         ClusterSnapshot {
@@ -604,11 +758,12 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
             clusters: self.clusters(t),
             rho,
             delta,
-            active_cells: self.active_count,
+            active_cells: self.active_ids.len(),
             reservoir_cells: self.reservoir_len(),
             reservoir_peak: self.reservoir_peak,
             points: self.stats.points,
             event_cursor: self.log.cursor(),
+            stats: self.stats,
         }
     }
 
@@ -616,10 +771,8 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
     pub fn clusters(&self, t: Timestamp) -> Vec<ClusterInfo> {
         let tau = self.tau_ctl.tau();
         let mut by_root: std::collections::HashMap<CellId, ClusterInfo> = Default::default();
-        for (id, cell) in self.slab.iter() {
-            if !cell.active {
-                continue;
-            }
+        for id in self.sorted_active_ids() {
+            let cell = self.slab.get(id);
             let root = tree::strong_root(&self.slab, id, tau);
             let info = by_root.entry(root).or_insert_with(|| ClusterInfo {
                 id: self.registry.cluster_at_root(root).unwrap_or(u64::MAX),
@@ -636,18 +789,12 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
     }
 
     /// Cluster id of the nearest cell within `r`, or `None` when the point
-    /// falls into no cell or an inactive (outlier) cell.
+    /// falls into no cell or an inactive (outlier) cell. Resolved through
+    /// the neighbor index, so the query cost matches an insert's
+    /// assignment step rather than a full slab scan.
     pub fn cluster_of(&self, p: &P, _t: Timestamp) -> Option<ClusterId> {
-        let mut best: Option<(CellId, f64)> = None;
-        for (id, cell) in self.slab.iter() {
-            let d = self.metric.dist(p, &cell.seed);
-            match best {
-                Some((bid, bd)) if d > bd || (d == bd && id > bid) => {}
-                _ => best = Some((id, d)),
-            }
-        }
-        match best {
-            Some((id, d)) if d <= self.cfg.r && self.slab.get(id).active => {
+        match self.nearest_cell(p) {
+            Some((id, _)) if self.slab.get(id).active => {
                 let root = tree::strong_root(&self.slab, id, self.tau_ctl.tau());
                 self.registry.cluster_at_root(root).or(Some(root.0 as u64))
             }
@@ -657,20 +804,24 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
 
     /// The (ρ, δ) pairs of all active cells at time `t` — the decision
     /// graph of Fig 2b/15. The root's infinite δ is reported as 1.05× the
-    /// largest finite δ so it plots at the top of the graph.
+    /// largest finite δ so it plots at the top of the graph; when **no**
+    /// finite δ exists (single-cell and all-root streams) the root is
+    /// anchored at `4r` — the same scale the τ₀ fallback of the
+    /// initialization step uses — instead of an arbitrary constant, so
+    /// the displayed graph and the engine's τ stay on one scale.
     pub fn decision_graph(&self, t: Timestamp) -> (Vec<f64>, Vec<f64>) {
         let mut rho = Vec::new();
         let mut delta = Vec::new();
-        for (_, cell) in self.slab.iter() {
-            if cell.active {
-                rho.push(cell.rho_at(t, self.decay()));
-                delta.push(cell.delta);
-            }
+        for id in self.sorted_active_ids() {
+            let cell = self.slab.get(id);
+            rho.push(cell.rho_at(t, self.decay()));
+            delta.push(cell.delta);
         }
         let max_finite = delta.iter().copied().filter(|d| d.is_finite()).fold(0.0, f64::max);
+        let root_display = if max_finite > 0.0 { max_finite * 1.05 } else { 4.0 * self.cfg.r };
         for d in delta.iter_mut() {
             if !d.is_finite() {
-                *d = if max_finite > 0.0 { max_finite * 1.05 } else { 1.0 };
+                *d = root_display;
             }
         }
         (rho, delta)
@@ -679,10 +830,10 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
     /// Sorted finite δ values of active cells (adaptive-τ input).
     fn active_deltas_sorted(&self) -> Vec<f64> {
         let mut ds: Vec<f64> = self
-            .slab
+            .active_ids
             .iter()
-            .filter(|(_, c)| c.active && c.delta.is_finite())
-            .map(|(_, c)| c.delta)
+            .map(|&id| self.slab.get(id).delta)
+            .filter(|d| d.is_finite())
             .collect();
         ds.sort_by(|a, b| a.partial_cmp(b).expect("delta NaN"));
         ds
@@ -693,9 +844,37 @@ impl<P: Clone, M: Metric<P>> EdmStream<P, M> {
         &self.slab
     }
 
-    /// Verifies all DP-Tree invariants at time `t` (test support).
+    /// Verifies all DP-Tree invariants at time `t`, plus the active-cell
+    /// registry the dependency candidate pass walks (test support).
     pub fn check_invariants(&self, t: Timestamp) -> Result<(), String> {
-        tree::check_invariants(&self.slab, t, self.decay())
+        tree::check_invariants(&self.slab, t, self.decay())?;
+        let truly_active = self.slab.iter().filter(|(_, c)| c.active).count();
+        if truly_active != self.active_ids.len() {
+            return Err(format!(
+                "active registry holds {} ids, slab has {truly_active} active cells",
+                self.active_ids.len()
+            ));
+        }
+        let mut seen = edm_common::hash::fx_set();
+        for &id in &self.active_ids {
+            if !self.slab.contains(id) || !self.slab.get(id).active {
+                return Err(format!("active registry lists non-active {id}"));
+            }
+            if !seen.insert(id) {
+                return Err(format!("active registry lists {id} twice"));
+            }
+        }
+        match (self.apex, self.densest_active(t)) {
+            (a, b) if a == b => Ok(()),
+            (a, b) => Err(format!("apex is {a:?}, densest active cell is {b:?}")),
+        }
+    }
+
+    /// Verifies the neighbor index mirrors the live slab exactly — every
+    /// live cell filed once where its seed says, nothing stale (test
+    /// support; the index proptests call this after every operation).
+    pub fn check_index(&self) -> Result<(), String> {
+        self.index.check_coherence(&self.slab)
     }
 }
 
@@ -707,12 +886,24 @@ fn denser_scalar(rho_a: f64, id_a: CellId, rho_b: f64, id_b: CellId) -> bool {
 
 /// Largest-gap τ heuristic over sorted δ values (the simulated user of the
 /// initialization step; mirrors `edm_dp::DecisionGraph::suggest_tau`).
+///
+/// Root cells carry δ = ∞, which is an *absence* of a dependent distance,
+/// not a gap: any infinite tail is dropped before the scan (the engine
+/// already passes finite-only slices, but raw decision-graph deltas reach
+/// here through tests and external callers). With fewer than two finite
+/// values — single-cell and all-root streams — there is no gap to read
+/// and the caller falls back to the `4r` scale, the same anchor
+/// [`EdmStream::decision_graph`] displays the root at.
 fn suggest_tau_from_deltas(sorted: &[f64]) -> Option<f64> {
-    if sorted.len() < 2 {
+    let finite = match sorted.iter().position(|d| !d.is_finite()) {
+        Some(i) => &sorted[..i],
+        None => sorted,
+    };
+    if finite.len() < 2 {
         return None;
     }
     let mut best = (0.0f64, None);
-    for w in sorted.windows(2) {
+    for w in finite.windows(2) {
         let gap = w[1] / w[0].max(1e-12);
         if gap > best.0 {
             best = (gap, Some(0.5 * (w[0] + w[1])));
@@ -721,7 +912,9 @@ fn suggest_tau_from_deltas(sorted: &[f64]) -> Option<f64> {
     best.1
 }
 
-impl<P: Clone, M: Metric<P>> edm_data::clusterer::StreamClusterer<P> for EdmStream<P, M> {
+impl<P: Clone + GridCoords, M: Metric<P>> edm_data::clusterer::StreamClusterer<P>
+    for EdmStream<P, M>
+{
     fn name(&self) -> &'static str {
         "EDMStream"
     }
@@ -1065,6 +1258,119 @@ mod tests {
         let mut e = EdmStream::new(cfg, Euclidean);
         feed_two_blobs(&mut e, 300);
         assert_eq!(e.tau(), 2.5);
+    }
+
+    #[test]
+    fn single_cell_stream_anchors_root_delta_at_the_tau_fallback() {
+        // One point → one active root with δ = ∞ and no finite δ anywhere.
+        // Regression: the decision graph used to display that root at a
+        // hardcoded 1.0 while the τ initializer fell back to 4r, so the
+        // "user" saw a graph on a different scale than the τ in force.
+        let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+        e.insert(&DenseVector::from([3.0, 3.0]), 0.0);
+        e.force_init();
+        assert_eq!(e.active_len(), 1);
+        let (rho, delta) = e.decision_graph(0.0);
+        assert_eq!(rho.len(), 1);
+        assert_eq!(delta, vec![4.0 * 0.5], "root must display at the 4r fallback scale");
+        assert_eq!(e.tau(), 4.0 * 0.5, "adaptive τ₀ falls back to 4r with no finite δ");
+        assert_eq!(e.n_clusters(), 1);
+    }
+
+    #[test]
+    fn all_root_stream_keeps_graph_and_tau_consistent() {
+        // Every active cell its own cluster (tiny static τ): the single
+        // tree root still carries δ = ∞ and must display at 1.05× the
+        // largest *finite* δ — never at a value below it, and never at a
+        // constant detached from the data scale.
+        let cfg = mini_cfg(0.5).to_builder().tau_mode(TauMode::Static(0.01)).build().unwrap();
+        let mut e = EdmStream::new(cfg, Euclidean);
+        feed_two_blobs(&mut e, 300);
+        assert_eq!(e.n_clusters(), e.active_len(), "tiny τ: every active cell is a root");
+        let (_, delta) = e.decision_graph(3.0);
+        let max_finite = e
+            .slab()
+            .iter()
+            .filter(|(_, c)| c.active && c.delta.is_finite())
+            .map(|(_, c)| c.delta)
+            .fold(0.0, f64::max);
+        assert!(max_finite > 0.0);
+        let display_max = delta.iter().cloned().fold(0.0, f64::max);
+        assert!((display_max - 1.05 * max_finite).abs() < 1e-9, "{display_max} vs {max_finite}");
+    }
+
+    #[test]
+    fn suggest_tau_ignores_infinite_root_deltas() {
+        // Raw decision-graph slices include the root's ∞; the gap scan
+        // must not treat it as the largest gap.
+        assert_eq!(suggest_tau_from_deltas(&[1.0, 1.1, f64::INFINITY]), Some(1.05));
+        assert_eq!(suggest_tau_from_deltas(&[1.0, f64::INFINITY]), None);
+        assert_eq!(suggest_tau_from_deltas(&[f64::INFINITY, f64::INFINITY]), None);
+        assert_eq!(suggest_tau_from_deltas(&[2.0]), None);
+    }
+
+    #[test]
+    fn grid_index_prunes_assignment_work_and_stays_coherent() {
+        let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+        // Many well-separated cells, then traffic to one of them.
+        for i in 0..40 {
+            e.insert(
+                &DenseVector::from([(i % 8) as f64 * 5.0, (i / 8) as f64 * 5.0]),
+                i as f64 / 100.0,
+            );
+        }
+        e.force_init();
+        for i in 0..200 {
+            e.insert(&DenseVector::from([0.1, 0.1]), 1.0 + i as f64 / 100.0);
+        }
+        assert!(e.stats().index_pruned > 0, "grid should skip far cells");
+        assert!(e.stats().index_prune_rate() > 0.5, "rate {}", e.stats().index_prune_rate());
+        e.check_index().unwrap();
+        let snap = e.snapshot(3.0);
+        assert_eq!(snap.stats().index_pruned, e.stats().index_pruned);
+    }
+
+    #[test]
+    fn grid_downgrades_for_metrics_without_the_axis_bound() {
+        // A scaled Euclidean violates dist >= |a[k]-b[k]|: coordinate
+        // distance 3 is metric distance 0.3 < r, so a grid probing only
+        // nearby buckets would silently miss the absorbing cell and
+        // spawn a spurious one. The engine must downgrade to the exact
+        // scan because the metric never vouched for the bound.
+        struct ScaledEuclidean;
+        impl Metric<DenseVector> for ScaledEuclidean {
+            fn dist(&self, a: &DenseVector, b: &DenseVector) -> f64 {
+                0.1 * a.dist(b)
+            }
+            fn name(&self) -> &'static str {
+                "scaled-euclidean"
+            }
+            // dominates_coordinate_axes: default false.
+        }
+        let mut e = EdmStream::new(mini_cfg(0.5), ScaledEuclidean);
+        e.insert(&DenseVector::from([0.0, 0.0]), 0.0);
+        e.force_init();
+        // Coordinate distance 3.0 >> r, metric distance 0.3 < r: absorbed.
+        for i in 1..40 {
+            e.insert(&DenseVector::from([3.0, 0.0]), i as f64 / 100.0);
+        }
+        assert_eq!(e.n_cells(), 1, "the far-in-coordinates point must still absorb");
+        assert_eq!(e.stats().index_pruned, 0, "engine must run the exact scan");
+        e.check_index().unwrap();
+    }
+
+    #[test]
+    fn linear_scan_index_probes_everything() {
+        let cfg = mini_cfg(0.5)
+            .to_builder()
+            .neighbor_index(crate::index::NeighborIndexKind::LinearScan)
+            .build()
+            .unwrap();
+        let mut e = EdmStream::new(cfg, Euclidean);
+        feed_two_blobs(&mut e, 200);
+        assert_eq!(e.stats().index_pruned, 0);
+        assert!(e.stats().index_probed > 0);
+        e.check_index().unwrap();
     }
 
     #[test]

@@ -92,6 +92,13 @@ pub struct EngineStats {
     pub recycled: u64,
     /// Evolution events recorded.
     pub events: u64,
+    /// Cells whose distance the neighbor index actually computed during
+    /// assignment scans.
+    pub index_probed: u64,
+    /// Cells the neighbor index skipped during assignment scans (live
+    /// cells minus probes) — zero under
+    /// [`crate::index::NeighborIndexKind::LinearScan`].
+    pub index_pruned: u64,
 }
 
 impl EngineStats {
@@ -107,6 +114,17 @@ impl EngineStats {
             0.0
         } else {
             (self.filtered_density + self.filtered_triangle) as f64 / self.dep_candidates as f64
+        }
+    }
+
+    /// Fraction of live cells the neighbor index skipped during assignment
+    /// scans — how much the grid index is actually buying.
+    pub fn index_prune_rate(&self) -> f64 {
+        let total = self.index_probed + self.index_pruned;
+        if total == 0 {
+            0.0
+        } else {
+            self.index_pruned as f64 / total as f64
         }
     }
 }
@@ -146,5 +164,12 @@ mod tests {
         let s = EngineStats::default();
         assert_eq!(s.filter_rate(), 0.0);
         assert_eq!(s.dep_update_millis(), 0.0);
+        assert_eq!(s.index_prune_rate(), 0.0);
+    }
+
+    #[test]
+    fn index_prune_rate_is_pruned_over_scanned() {
+        let s = EngineStats { index_probed: 25, index_pruned: 75, ..Default::default() };
+        assert!((s.index_prune_rate() - 0.75).abs() < 1e-12);
     }
 }

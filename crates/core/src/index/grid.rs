@@ -1,0 +1,479 @@
+//! Uniform-grid neighbor index over cell seeds.
+//!
+//! Seeds are quantized into buckets of side `s` (by default the
+//! cluster-cell radius `r`). Two facts make the bucket geometry a sound
+//! pruning device for any metric dominating per-axis coordinate
+//! differences (see [`edm_common::point::GridCoords`]):
+//!
+//! 1. a seed whose bucket key differs from the query's by `k` on some axis
+//!    lies **strictly farther** than `(k − 1)·s` from the query, so
+//! 2. an assignment query of radius `r` only needs the buckets within
+//!    Chebyshev distance `⌈r/s⌉` of the query's bucket (for `s = r`: the
+//!    3^d neighborhood shell), and a nearest-matching search can stop as
+//!    soon as the next shell's lower bound exceeds the best hit so far.
+//!
+//! This is the same grid-partitioning idea D-Stream builds its whole
+//! synopsis on, applied here purely as an *access path*: the grid stores
+//! cell ids, never densities, so it cannot drift from the slab. Payloads
+//! without coordinates (and streams whose dimensionality disagrees with
+//! the first seed seen) land in an unbucketed side list that every query
+//! scans — the degradation path that keeps arbitrary metrics exact.
+//!
+//! When a query would enumerate more candidate buckets than the grid has
+//! occupied ones (high dimensions, huge radii), it flips to iterating the
+//! occupied buckets instead, so no query is ever asymptotically worse than
+//! the linear scan it replaces.
+
+use edm_common::hash::{fx_map, FxHashMap};
+use edm_common::metric::Metric;
+use edm_common::point::GridCoords;
+
+use crate::cell::{Cell, CellId};
+use crate::slab::CellSlab;
+
+use super::{closer, NeighborIndex};
+
+/// Uniform grid over cell seeds with bucket side `side`.
+#[derive(Debug, Clone)]
+pub struct UniformGrid {
+    /// Bucket side length (defaults to the cluster-cell radius `r`).
+    side: f64,
+    /// Dimensionality of the bucketed seeds, fixed by the first one seen.
+    dim: Option<usize>,
+    /// Occupied buckets only; values are the ids of the seeds inside.
+    buckets: FxHashMap<Box<[i64]>, Vec<CellId>>,
+    /// Cells whose payload exposes no coordinates (or the wrong
+    /// dimensionality) — scanned by every query.
+    unbucketed: Vec<CellId>,
+    /// Bounding box of occupied bucket keys, grown on insert. Never
+    /// shrunk on remove (only a search-termination bound, so a stale,
+    /// too-large box is harmless); reset when the grid empties.
+    lo: Vec<i64>,
+    hi: Vec<i64>,
+}
+
+impl UniformGrid {
+    /// Creates an empty grid with the given bucket side.
+    ///
+    /// # Panics
+    /// Panics unless `side` is positive and finite — enforced earlier by
+    /// config validation ([`crate::ConfigError::NonPositiveGridSide`]).
+    pub fn new(side: f64) -> Self {
+        assert!(side > 0.0 && side.is_finite(), "grid side must be positive and finite");
+        UniformGrid {
+            side,
+            dim: None,
+            buckets: fx_map(),
+            unbucketed: Vec::new(),
+            lo: Vec::new(),
+            hi: Vec::new(),
+        }
+    }
+
+    /// Bucket side length.
+    pub fn side(&self) -> f64 {
+        self.side
+    }
+
+    /// Number of occupied buckets (diagnostics).
+    pub fn occupied_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Quantizes coordinates into a bucket key.
+    fn key(&self, coords: &[f64]) -> Box<[i64]> {
+        coords.iter().map(|&x| (x / self.side).floor() as i64).collect()
+    }
+
+    /// The bucket key of a seed, or `None` when it must stay unbucketed.
+    fn key_of(&self, coords: Option<&[f64]>) -> Option<Box<[i64]>> {
+        let c = coords?;
+        match self.dim {
+            Some(d) if d != c.len() => None,
+            _ => Some(self.key(c)),
+        }
+    }
+
+    /// Cost of enumerating the full cube of reach `k` around a key —
+    /// compared against the occupied-bucket count to decide between
+    /// shell enumeration and an occupied-bucket sweep.
+    fn cube_cost(&self, reach: i64) -> f64 {
+        let d = self.dim.map_or(0, |d| d as i32);
+        ((2 * reach + 1) as f64).powi(d)
+    }
+
+    /// Chebyshev distance between two bucket keys.
+    fn key_chebyshev(a: &[i64], b: &[i64]) -> i64 {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| x.saturating_sub(*y).saturating_abs())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Largest Chebyshev distance from `center` to any occupied bucket
+    /// (via the bounding box) — the search horizon for expanding shells.
+    fn max_reach(&self, center: &[i64]) -> i64 {
+        center
+            .iter()
+            .zip(self.lo.iter().zip(self.hi.iter()))
+            .map(|(&c, (&lo, &hi))| (c.saturating_sub(lo)).max(hi.saturating_sub(c)).max(0))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Calls `f` with every bucket key in the cube of Chebyshev reach `k`
+    /// around `center` whose Chebyshev distance is **exactly** `k` when
+    /// `shell_only`, or at most `k` otherwise.
+    fn for_each_key(center: &[i64], k: i64, shell_only: bool, f: &mut dyn FnMut(&[i64])) {
+        let d = center.len();
+        let mut off = vec![-k; d];
+        let mut key = vec![0i64; d];
+        loop {
+            if !shell_only || off.iter().any(|&o| o.abs() == k) {
+                for i in 0..d {
+                    key[i] = center[i].saturating_add(off[i]);
+                }
+                f(&key);
+            }
+            let mut axis = 0;
+            loop {
+                if axis == d {
+                    return;
+                }
+                off[axis] += 1;
+                if off[axis] > k {
+                    off[axis] = -k;
+                    axis += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl<P: GridCoords> NeighborIndex<P> for UniformGrid {
+    fn on_insert(&mut self, id: CellId, seed: &P) {
+        let coords = seed.grid_coords();
+        if self.dim.is_none() {
+            self.dim = coords.map(|c| c.len());
+        }
+        match self.key_of(coords) {
+            Some(key) => {
+                if self.buckets.is_empty() {
+                    self.lo = key.to_vec();
+                    self.hi = key.to_vec();
+                } else {
+                    for ((l, h), &k) in self.lo.iter_mut().zip(self.hi.iter_mut()).zip(key.iter()) {
+                        *l = (*l).min(k);
+                        *h = (*h).max(k);
+                    }
+                }
+                self.buckets.entry(key).or_default().push(id);
+            }
+            None => self.unbucketed.push(id),
+        }
+    }
+
+    fn on_remove(&mut self, id: CellId, seed: &P) {
+        if let Some(key) = self.key_of(seed.grid_coords()) {
+            let bucket = self.buckets.get_mut(&key).expect("removing cell from unknown bucket");
+            let pos = bucket.iter().position(|&c| c == id).expect("cell missing from its bucket");
+            bucket.swap_remove(pos);
+            if bucket.is_empty() {
+                self.buckets.remove(&key);
+            }
+        } else {
+            let pos = self
+                .unbucketed
+                .iter()
+                .position(|&c| c == id)
+                .expect("cell missing from unbucketed list");
+            self.unbucketed.swap_remove(pos);
+        }
+    }
+
+    fn nearest_within<M: Metric<P>>(
+        &self,
+        q: &P,
+        radius: f64,
+        slab: &CellSlab<P>,
+        metric: &M,
+        on_probe: &mut dyn FnMut(CellId, f64),
+    ) -> Option<(CellId, f64)> {
+        let mut best: Option<(CellId, f64)> = None;
+        {
+            let mut consider = |id: CellId| {
+                let d = metric.dist(q, &slab.get(id).seed);
+                on_probe(id, d);
+                if closer(d, id, best) {
+                    best = Some((id, d));
+                }
+            };
+            for &id in &self.unbucketed {
+                consider(id);
+            }
+            match self.key_of(q.grid_coords()) {
+                Some(center) if !self.buckets.is_empty() => {
+                    // Shells k with (k − 1)·side >= radius cannot hold a
+                    // seed within radius, so reach = ceil(radius / side).
+                    let reach = (radius / self.side).ceil().min(i64::MAX as f64) as i64;
+                    if self.cube_cost(reach) > self.buckets.len() as f64 {
+                        // Enumerating 3^d candidate keys would cost more
+                        // than sweeping the occupied buckets (high d);
+                        // sweep them, but keep the geometric pruning: a
+                        // bucket at key-Chebyshev distance > reach cannot
+                        // hold a seed within the radius, so only its
+                        // in-reach peers get their distances computed.
+                        for (key, ids) in &self.buckets {
+                            if Self::key_chebyshev(key, &center) <= reach {
+                                ids.iter().for_each(|&id| consider(id));
+                            }
+                        }
+                    } else {
+                        Self::for_each_key(&center, reach, false, &mut |key| {
+                            if let Some(ids) = self.buckets.get(key) {
+                                ids.iter().for_each(|&id| consider(id));
+                            }
+                        });
+                    }
+                }
+                Some(_) => {}
+                None => {
+                    // Coordinate-less query: no geometry to prune with.
+                    for ids in self.buckets.values() {
+                        ids.iter().for_each(|&id| consider(id));
+                    }
+                }
+            }
+        }
+        best.filter(|&(_, d)| d <= radius)
+    }
+
+    fn nearest_matching<M: Metric<P>>(
+        &self,
+        q: &P,
+        slab: &CellSlab<P>,
+        metric: &M,
+        pred: &mut dyn FnMut(CellId, &Cell<P>) -> bool,
+    ) -> Option<(CellId, f64)> {
+        let mut best: Option<(CellId, f64)> = None;
+        let mut consider = |id: CellId, best: &mut Option<(CellId, f64)>| {
+            let cell = slab.get(id);
+            if !pred(id, cell) {
+                return;
+            }
+            let d = metric.dist(q, &cell.seed);
+            if closer(d, id, *best) {
+                *best = Some((id, d));
+            }
+        };
+        for &id in &self.unbucketed {
+            consider(id, &mut best);
+        }
+        let center = match self.key_of(q.grid_coords()) {
+            Some(c) if !self.buckets.is_empty() => c,
+            _ => {
+                for ids in self.buckets.values() {
+                    ids.iter().for_each(|&id| consider(id, &mut best));
+                }
+                return best;
+            }
+        };
+        let max_reach = self.max_reach(&center);
+        let mut k: i64 = 0;
+        while k <= max_reach {
+            if self.cube_cost(k) > self.buckets.len() as f64 {
+                // Enumerating shells is now costlier than sweeping every
+                // occupied bucket not yet visited (Chebyshev >= k). A
+                // bucket's seeds all lie strictly farther than
+                // (cheb − 1)·side, so buckets whose bound already meets
+                // the best distance cannot win or tie and are skipped.
+                for (key, ids) in &self.buckets {
+                    let cheb = Self::key_chebyshev(key, &center);
+                    let beatable =
+                        best.is_none_or(|(_, bd)| ((cheb - 1).max(0) as f64) * self.side < bd);
+                    if cheb >= k && beatable {
+                        ids.iter().for_each(|&id| consider(id, &mut best));
+                    }
+                }
+                return best;
+            }
+            Self::for_each_key(&center, k, true, &mut |key| {
+                if let Some(ids) = self.buckets.get(key) {
+                    ids.iter().for_each(|&id| consider(id, &mut best));
+                }
+            });
+            // Every seed in shells > k lies strictly farther than k·side,
+            // so a best at or under that bound can no longer be beaten
+            // (nor tied — strictness protects the id tie-break).
+            if let Some((_, bd)) = best {
+                if k as f64 * self.side >= bd {
+                    break;
+                }
+            }
+            k += 1;
+        }
+        best
+    }
+
+    fn distance_lower_bound(&self, q: &P, seed: &P) -> f64 {
+        // Chebyshev distance: sound for any metric dominating per-axis
+        // coordinate differences (the GridCoords contract), and tighter
+        // than what bucket keys alone could prove.
+        match (q.grid_coords(), seed.grid_coords()) {
+            (Some(a), Some(b)) if a.len() == b.len() => {
+                a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+            }
+            _ => 0.0,
+        }
+    }
+
+    fn check_coherence(&self, slab: &CellSlab<P>) -> Result<(), String> {
+        let indexed = self.buckets.values().map(Vec::len).sum::<usize>() + self.unbucketed.len();
+        if indexed != slab.len() {
+            return Err(format!("index holds {indexed} cells, slab holds {}", slab.len()));
+        }
+        for (id, cell) in slab.iter() {
+            match self.key_of(cell.seed.grid_coords()) {
+                Some(key) => {
+                    let bucket = self.buckets.get(&key).ok_or(format!("{id}: bucket missing"))?;
+                    if bucket.iter().filter(|&&c| c == id).count() != 1 {
+                        return Err(format!("{id} not filed exactly once in its bucket"));
+                    }
+                }
+                None => {
+                    if self.unbucketed.iter().filter(|&&c| c == id).count() != 1 {
+                        return Err(format!("{id} not filed exactly once in the unbucketed list"));
+                    }
+                }
+            }
+        }
+        // Counts match and every live cell is filed once where it belongs,
+        // so no dead id can be hiding anywhere.
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edm_common::metric::Euclidean;
+    use edm_common::point::DenseVector;
+
+    fn v(x: f64, y: f64) -> DenseVector {
+        DenseVector::from([x, y])
+    }
+
+    fn populated() -> (UniformGrid, CellSlab<DenseVector>, Vec<CellId>) {
+        let mut grid = UniformGrid::new(1.0);
+        let mut slab = CellSlab::new();
+        let seeds = [v(0.1, 0.1), v(0.9, 0.2), v(5.5, 5.5), v(-3.2, 4.0)];
+        let mut ids = Vec::new();
+        for s in seeds {
+            let id = slab.insert(Cell::new(s, 0.0));
+            grid.on_insert(id, &slab.get(id).seed);
+            ids.push(id);
+        }
+        (grid, slab, ids)
+    }
+
+    #[test]
+    fn nearest_within_finds_only_close_cells() {
+        let (grid, slab, ids) = populated();
+        let hit = grid.nearest_within(&v(0.2, 0.2), 1.0, &slab, &Euclidean, &mut |_, _| {});
+        assert_eq!(hit.map(|(id, _)| id), Some(ids[0]));
+        assert_eq!(
+            grid.nearest_within(&v(50.0, 50.0), 1.0, &slab, &Euclidean, &mut |_, _| {}),
+            None
+        );
+    }
+
+    #[test]
+    fn nearest_within_prunes_far_buckets() {
+        // Enough occupied buckets that probing the 3x3 shell beats the
+        // full sweep (the cost heuristic needs > 9 buckets to engage).
+        let mut grid = UniformGrid::new(1.0);
+        let mut slab = CellSlab::new();
+        for i in 0..25 {
+            let id = slab.insert(Cell::new(v((i % 5) as f64 * 3.0, (i / 5) as f64 * 3.0), 0.0));
+            grid.on_insert(id, &slab.get(id).seed);
+        }
+        let mut probed = 0;
+        let hit =
+            grid.nearest_within(&v(0.2, 0.2), 1.0, &slab, &Euclidean, &mut |_, _| probed += 1);
+        assert!(hit.is_some());
+        assert!(probed < slab.len(), "probed {probed} of {}", slab.len());
+    }
+
+    #[test]
+    fn nearest_matching_expands_until_it_proves_optimality() {
+        let (grid, slab, ids) = populated();
+        // Nearest to the far corner, excluding the corner cell itself.
+        let skip = ids[2];
+        let hit = grid.nearest_matching(&v(5.6, 5.6), &slab, &Euclidean, &mut |id, _| id != skip);
+        let brute = slab
+            .iter()
+            .filter(|&(id, _)| id != skip)
+            .map(|(id, c)| (id, c.seed.dist(&v(5.6, 5.6))))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|(id, _)| id);
+        assert_eq!(hit.map(|(id, _)| id), brute);
+    }
+
+    #[test]
+    fn remove_keeps_the_grid_coherent() {
+        let (mut grid, mut slab, ids) = populated();
+        assert!(grid.check_coherence(&slab).is_ok());
+        let cell = slab.remove(ids[1]);
+        grid.on_remove(ids[1], &cell.seed);
+        assert!(grid.check_coherence(&slab).is_ok());
+        let hit = grid.nearest_within(&v(0.9, 0.2), 0.5, &slab, &Euclidean, &mut |_, _| {});
+        assert_ne!(hit.map(|(id, _)| id), Some(ids[1]));
+    }
+
+    #[test]
+    fn lower_bound_is_chebyshev() {
+        let grid = UniformGrid::new(1.0);
+        let lb =
+            NeighborIndex::<DenseVector>::distance_lower_bound(&grid, &v(0.0, 0.0), &v(3.0, -1.5));
+        assert_eq!(lb, 3.0);
+        assert!(lb <= v(0.0, 0.0).dist(&v(3.0, -1.5)));
+    }
+
+    #[test]
+    fn coordinate_less_payloads_fall_back_to_scanning() {
+        use edm_common::metric::Jaccard;
+        use edm_common::point::TokenSet;
+        let mut grid = UniformGrid::new(1.0);
+        let mut slab = CellSlab::new();
+        let a = slab.insert(Cell::new(TokenSet::new(vec![1, 2, 3]), 0.0));
+        let b = slab.insert(Cell::new(TokenSet::new(vec![7, 8]), 0.0));
+        grid.on_insert(a, &slab.get(a).seed);
+        grid.on_insert(b, &slab.get(b).seed);
+        assert!(grid.check_coherence(&slab).is_ok());
+        let q = TokenSet::new(vec![1, 2, 4]);
+        let hit = grid.nearest_within(&q, 0.9, &slab, &Jaccard, &mut |_, _| {});
+        assert_eq!(hit.map(|(id, _)| id), Some(a));
+        let cell = slab.remove(b);
+        grid.on_remove(b, &cell.seed);
+        assert!(grid.check_coherence(&slab).is_ok());
+    }
+
+    #[test]
+    fn ties_break_toward_the_lower_id_across_buckets() {
+        let mut grid = UniformGrid::new(1.0);
+        let mut slab = CellSlab::new();
+        // Equidistant seeds in different buckets around the query.
+        let a = slab.insert(Cell::new(v(-1.0, 0.0), 0.0));
+        let b = slab.insert(Cell::new(v(1.0, 0.0), 0.0));
+        grid.on_insert(a, &slab.get(a).seed);
+        grid.on_insert(b, &slab.get(b).seed);
+        let hit = grid.nearest_within(&v(0.0, 0.0), 2.0, &slab, &Euclidean, &mut |_, _| {});
+        assert_eq!(hit.map(|(id, _)| id), Some(a));
+        let m = grid.nearest_matching(&v(0.0, 0.0), &slab, &Euclidean, &mut |_, _| true);
+        assert_eq!(m.map(|(id, _)| id), Some(a));
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,270 @@
+//! Neighbor indexes over the cell slab (paper §4.1, assignment step).
+//!
+//! Every per-point operation of the engine starts with a neighbor
+//! question — *which cell seed is within `r` of this point?* (assignment,
+//! `cluster_of`) or *which is the nearest cell satisfying a predicate?*
+//! (dependency recomputation). Answering by scanning the whole slab makes
+//! insert cost grow linearly with cell count, which defeats the paper's
+//! cheap-maintenance claim as soon as the outlier reservoir grows. This
+//! module abstracts the question behind [`NeighborIndex`] and provides two
+//! implementations:
+//!
+//! * [`UniformGrid`] — seeds quantized into a uniform grid of bucket side
+//!   `r` (the cluster-cell radius), so an assignment query probes only the
+//!   3^d neighborhood shell of the query's bucket, and nearest-matching
+//!   queries expand Chebyshev shells outward until the bucket geometry
+//!   proves no closer cell can exist. Sound for payloads exposing
+//!   coordinates ([`edm_common::point::GridCoords`]) under any metric that
+//!   dominates per-axis coordinate differences (all Minkowski metrics).
+//!   Payloads without coordinates transparently fall back to scanning.
+//! * [`LinearScan`] — the exact full scan, as a fallback for arbitrary
+//!   metric spaces and as the reference implementation the property suite
+//!   compares the grid against.
+//!
+//! Both are *exact*: they return the same nearest cell (identical
+//! distance-then-id tie-breaking) the brute-force scan would, so switching
+//! index kinds never changes clustering output — only the number of
+//! distance computations, which the engine counts in
+//! [`crate::EngineStats::index_probed`] / [`crate::EngineStats::index_pruned`].
+
+mod grid;
+mod linear;
+
+pub use grid::UniformGrid;
+pub use linear::LinearScan;
+
+use edm_common::metric::Metric;
+use edm_common::point::GridCoords;
+use serde::{Deserialize, Serialize};
+
+use crate::cell::{Cell, CellId};
+use crate::slab::CellSlab;
+
+/// Which neighbor index the engine builds — the
+/// [`crate::EdmConfigBuilder::neighbor_index`] knob.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NeighborIndexKind {
+    /// Brute-force full scan over the slab. Exact for every metric space;
+    /// insert cost grows linearly with cell count.
+    LinearScan,
+    /// Uniform grid over cell seeds. Exact whenever the payload exposes
+    /// coordinates and the metric dominates per-axis coordinate
+    /// differences (see [`edm_common::point::GridCoords`]); payloads
+    /// without coordinates degrade to a linear scan inside the grid, and
+    /// the engine downgrades the whole index to [`LinearScan`] for
+    /// metrics that do not assert the bound via
+    /// [`edm_common::metric::Metric::dominates_coordinate_axes`] — a
+    /// custom metric can never be silently mis-pruned.
+    Grid {
+        /// Bucket side length; `None` uses the cluster-cell radius `r`,
+        /// which makes the 3^d neighborhood shell cover every assignment
+        /// query. Must be positive and finite when given.
+        side: Option<f64>,
+    },
+}
+
+impl Default for NeighborIndexKind {
+    fn default() -> Self {
+        NeighborIndexKind::Grid { side: None }
+    }
+}
+
+/// A spatial index over the live cells of a [`CellSlab`].
+///
+/// The engine keeps the index coherent with the slab: [`on_insert`] on
+/// every cell birth, [`on_remove`] on every reservoir recycling. Cells
+/// moving between the DP-Tree and the reservoir stay indexed — both can
+/// absorb points — and queries that only concern active cells filter
+/// through their predicate instead.
+///
+/// All query methods are **exact**: given the same slab they must return
+/// the cell the brute-force scan would, breaking distance ties toward the
+/// lower [`CellId`].
+///
+/// [`on_insert`]: NeighborIndex::on_insert
+/// [`on_remove`]: NeighborIndex::on_remove
+pub trait NeighborIndex<P> {
+    /// Registers a freshly inserted cell.
+    fn on_insert(&mut self, id: CellId, seed: &P);
+
+    /// Unregisters a cell removed from the slab (reservoir recycling).
+    fn on_remove(&mut self, id: CellId, seed: &P);
+
+    /// The nearest cell whose seed lies within `radius` of `q`, with its
+    /// distance; `None` when no cell is that close. Calls `on_probe` once
+    /// per distance actually computed, so callers can account probes and
+    /// cache the exact distances (the engine stamps its scratch table,
+    /// which feeds the Theorem 2 triangle filter for free).
+    fn nearest_within<M: Metric<P>>(
+        &self,
+        q: &P,
+        radius: f64,
+        slab: &CellSlab<P>,
+        metric: &M,
+        on_probe: &mut dyn FnMut(CellId, f64),
+    ) -> Option<(CellId, f64)>;
+
+    /// The nearest cell satisfying `pred`, searched without a radius cap
+    /// (dependency recomputation: nearest *denser active* cell). The
+    /// predicate sees the candidate id and cell before any distance is
+    /// computed.
+    fn nearest_matching<M: Metric<P>>(
+        &self,
+        q: &P,
+        slab: &CellSlab<P>,
+        metric: &M,
+        pred: &mut dyn FnMut(CellId, &Cell<P>) -> bool,
+    ) -> Option<(CellId, f64)>;
+
+    /// A sound lower bound on `metric.dist(q, seed)` that costs no metric
+    /// evaluation; `0.0` when the index can prove nothing. Used by the
+    /// engine to run the triangle filter on cells whose exact distance the
+    /// assignment probe skipped.
+    fn distance_lower_bound(&self, q: &P, seed: &P) -> f64;
+
+    /// Verifies that the index holds exactly the live slab cells, each
+    /// filed where its seed says it belongs (test support).
+    fn check_coherence(&self, slab: &CellSlab<P>) -> Result<(), String>;
+}
+
+/// Strict "closer" order used by every index: nearer wins, equal distances
+/// break toward the lower cell id. Total, so visitation order never
+/// changes the winner — the property that keeps all index kinds
+/// observationally identical.
+#[inline]
+pub(crate) fn closer(d: f64, id: CellId, best: Option<(CellId, f64)>) -> bool {
+    match best {
+        Some((bid, bd)) => d < bd || (d == bd && id < bid),
+        None => true,
+    }
+}
+
+/// The engine's concrete index: static dispatch over the two
+/// implementations (no boxing on the hot path).
+#[derive(Debug, Clone)]
+pub enum CellIndex {
+    /// Brute-force fallback.
+    Linear(LinearScan),
+    /// Uniform grid over seeds.
+    Grid(UniformGrid),
+}
+
+impl CellIndex {
+    /// Builds the index a configuration asks for; `r` is the cluster-cell
+    /// radius (the grid's default bucket side).
+    ///
+    /// A degenerate side (zero, negative, non-finite) degrades to the
+    /// linear scan instead of panicking: the builder rejects such configs
+    /// with [`crate::ConfigError::NonPositiveGridSide`], so this only
+    /// triggers for configs smuggled past validation (deserialization,
+    /// FFI), where the engine's contract is debug-assert-only.
+    pub fn from_config(kind: NeighborIndexKind, r: f64) -> Self {
+        match kind {
+            NeighborIndexKind::LinearScan => CellIndex::Linear(LinearScan),
+            NeighborIndexKind::Grid { side } => {
+                let side = side.unwrap_or(r);
+                if side.is_finite() && side > 0.0 {
+                    CellIndex::Grid(UniformGrid::new(side))
+                } else {
+                    CellIndex::Linear(LinearScan)
+                }
+            }
+        }
+    }
+
+    /// Fig-style label of the active implementation.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CellIndex::Linear(_) => "linear",
+            CellIndex::Grid(_) => "grid",
+        }
+    }
+}
+
+impl<P: GridCoords> NeighborIndex<P> for CellIndex {
+    fn on_insert(&mut self, id: CellId, seed: &P) {
+        match self {
+            CellIndex::Linear(ix) => ix.on_insert(id, seed),
+            CellIndex::Grid(ix) => ix.on_insert(id, seed),
+        }
+    }
+
+    fn on_remove(&mut self, id: CellId, seed: &P) {
+        match self {
+            CellIndex::Linear(ix) => ix.on_remove(id, seed),
+            CellIndex::Grid(ix) => ix.on_remove(id, seed),
+        }
+    }
+
+    fn nearest_within<M: Metric<P>>(
+        &self,
+        q: &P,
+        radius: f64,
+        slab: &CellSlab<P>,
+        metric: &M,
+        on_probe: &mut dyn FnMut(CellId, f64),
+    ) -> Option<(CellId, f64)> {
+        match self {
+            CellIndex::Linear(ix) => ix.nearest_within(q, radius, slab, metric, on_probe),
+            CellIndex::Grid(ix) => ix.nearest_within(q, radius, slab, metric, on_probe),
+        }
+    }
+
+    fn nearest_matching<M: Metric<P>>(
+        &self,
+        q: &P,
+        slab: &CellSlab<P>,
+        metric: &M,
+        pred: &mut dyn FnMut(CellId, &Cell<P>) -> bool,
+    ) -> Option<(CellId, f64)> {
+        match self {
+            CellIndex::Linear(ix) => ix.nearest_matching(q, slab, metric, pred),
+            CellIndex::Grid(ix) => ix.nearest_matching(q, slab, metric, pred),
+        }
+    }
+
+    fn distance_lower_bound(&self, q: &P, seed: &P) -> f64 {
+        match self {
+            CellIndex::Linear(ix) => NeighborIndex::<P>::distance_lower_bound(ix, q, seed),
+            CellIndex::Grid(ix) => NeighborIndex::<P>::distance_lower_bound(ix, q, seed),
+        }
+    }
+
+    fn check_coherence(&self, slab: &CellSlab<P>) -> Result<(), String> {
+        match self {
+            CellIndex::Linear(ix) => ix.check_coherence(slab),
+            CellIndex::Grid(ix) => ix.check_coherence(slab),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_config_builds_what_was_asked() {
+        assert_eq!(CellIndex::from_config(NeighborIndexKind::LinearScan, 0.5).label(), "linear");
+        assert_eq!(
+            CellIndex::from_config(NeighborIndexKind::Grid { side: None }, 0.5).label(),
+            "grid"
+        );
+        assert_eq!(
+            CellIndex::from_config(NeighborIndexKind::Grid { side: Some(2.0) }, 0.5).label(),
+            "grid"
+        );
+    }
+
+    #[test]
+    fn degenerate_sides_degrade_to_the_linear_scan_without_panicking() {
+        // Smuggled configs (deserialization/FFI) bypass builder validation;
+        // the engine must not panic in release builds.
+        for bad in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+            let ix = CellIndex::from_config(NeighborIndexKind::Grid { side: Some(bad) }, 0.5);
+            assert_eq!(ix.label(), "linear", "side {bad} must degrade");
+        }
+        // A degenerate radius poisons the default side the same way.
+        let ix = CellIndex::from_config(NeighborIndexKind::Grid { side: None }, f64::NAN);
+        assert_eq!(ix.label(), "linear");
+    }
+}

@@ -49,8 +49,27 @@
 //! }
 //! # Ok::<(), edm_core::ConfigError>(())
 //! ```
+//!
+//! # Paper map
+//!
+//! Every module implements a named piece of the paper; read them side by
+//! side:
+//!
+//! | Module | Paper anchor | Implements |
+//! |---|---|---|
+//! | [`cell`] | §3.2 Def. 4, Eq. 6–8 | cluster-cells, lazily decayed density, the strict density order |
+//! | [`slab`] | §4.3–4.4 | stable-id cell storage with slot recycling |
+//! | [`tree`] | §2.2, Def. 1–3 | DP-Tree edges, strong links, MSDSubTree traversals, invariants |
+//! | [`index`] | §4.1 "New point assignment" | sub-linear neighbor lookup over cell seeds (grid + linear scan) |
+//! | [`engine`] | §4, Fig 5 | assignment, dependency maintenance, emergence, decay, recycling |
+//! | [`filters`] | §4.2 Thm 1–2, Fig 11 | density & triangle-inequality update filters, runtime counters |
+//! | [`tau`] | §5, Table 4 | the F(τ) objective, α learning, the adaptive τ controller |
+//! | [`evolution`] | §3.1 Table 1, §3.3 | emerge / disappear / split / merge / adjust detection, bounded event log |
+//! | [`snapshot`] | §6.3.1 | owned, frozen views of the clustering for queries off the hot path |
+//! | [`config`] | §6.1, Table 2 | validated parameters, the builder, derived thresholds |
+//! | [`error`] | — | typed errors of the fallible entry points |
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod cell;
@@ -59,6 +78,7 @@ pub mod engine;
 pub mod error;
 pub mod evolution;
 pub mod filters;
+pub mod index;
 pub mod slab;
 pub mod snapshot;
 pub mod tau;
@@ -70,5 +90,6 @@ pub use engine::EdmStream;
 pub use error::EdmError;
 pub use evolution::{AdjustKind, ClusterId, Event, EventCursor, EventKind, EvolutionLog};
 pub use filters::{EngineStats, FilterConfig};
+pub use index::{LinearScan, NeighborIndex, NeighborIndexKind, UniformGrid};
 pub use snapshot::{ClusterInfo, ClusterSnapshot};
 pub use tau::TauMode;

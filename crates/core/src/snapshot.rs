@@ -11,6 +11,7 @@ use edm_common::time::Timestamp;
 
 use crate::cell::CellId;
 use crate::evolution::{ClusterId, EventCursor};
+use crate::filters::EngineStats;
 
 /// A summary of one current cluster (one MSDSubTree, paper Def. 2).
 #[derive(Debug, Clone)]
@@ -45,6 +46,7 @@ pub struct ClusterSnapshot {
     pub(crate) reservoir_peak: usize,
     pub(crate) points: u64,
     pub(crate) event_cursor: EventCursor,
+    pub(crate) stats: EngineStats,
 }
 
 impl ClusterSnapshot {
@@ -125,6 +127,13 @@ impl ClusterSnapshot {
     pub fn total_density(&self) -> f64 {
         self.clusters.iter().map(|c| c.density).sum()
     }
+
+    /// The engine's runtime counters frozen at snapshot time — filter and
+    /// neighbor-index effectiveness ([`EngineStats::filter_rate`],
+    /// [`EngineStats::index_prune_rate`]) without re-entering the engine.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +161,12 @@ mod tests {
             reservoir_peak: 4,
             points: 100,
             event_cursor: EventCursor::START,
+            stats: EngineStats {
+                points: 100,
+                index_probed: 40,
+                index_pruned: 60,
+                ..Default::default()
+            },
         }
     }
 
@@ -167,5 +182,7 @@ mod tests {
         assert!((s.total_density() - 14.0).abs() < 1e-12);
         let (rho, delta) = s.decision_graph();
         assert_eq!(rho.len(), delta.len());
+        assert_eq!(s.stats().points, 100);
+        assert!((s.stats().index_prune_rate() - 0.6).abs() < 1e-12);
     }
 }

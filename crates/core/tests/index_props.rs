@@ -1,0 +1,149 @@
+//! Property tests for the neighbor-index subsystem.
+//!
+//! Two contracts guard the grid index:
+//!
+//! 1. **Observational equivalence** — an engine backed by the grid index
+//!    must produce *identical* clustering output to one backed by the
+//!    brute-force linear scan on the same stream: same cells, same
+//!    dependency tree, same τ, same cluster partition, same evolution
+//!    events, same `cluster_of` answers. The grid is an access path, never
+//!    a policy.
+//! 2. **Coherence** — across arbitrary interleavings of inserts, cell
+//!    births, activations, demotions, and reservoir recycling, the index
+//!    must mirror the live slab exactly (no stale entry survives a
+//!    recycled cell, no live cell goes missing).
+
+use edm_common::metric::Euclidean;
+use edm_common::point::DenseVector;
+use edm_core::index::NeighborIndexKind;
+use edm_core::{EdmConfig, EdmStream, Event};
+use proptest::prelude::*;
+
+fn engine_with(kind: NeighborIndexKind) -> EdmStream<DenseVector, Euclidean> {
+    let cfg = EdmConfig::builder(0.8)
+        .rate(100.0)
+        .beta_for_threshold(3.0)
+        .init_points(25)
+        .tau_every(16)
+        .maintenance_every(8)
+        .neighbor_index(kind)
+        .build()
+        .expect("valid test configuration");
+    EdmStream::new(cfg, Euclidean)
+}
+
+/// Full observable state: per-cell tree data, cluster partition, τ, events.
+type Observed = (Vec<(u32, Option<u32>, f64, bool)>, Vec<Vec<u32>>, f64, Vec<Event>);
+
+fn observe(engine: &mut EdmStream<DenseVector, Euclidean>, t: f64) -> Observed {
+    let mut cells: Vec<(u32, Option<u32>, f64, bool)> =
+        engine.slab().iter().map(|(id, c)| (id.0, c.dep.map(|d| d.0), c.delta, c.active)).collect();
+    cells.sort_by_key(|c| c.0);
+    let snap = engine.snapshot(t);
+    let clusters: Vec<Vec<u32>> =
+        snap.clusters().iter().map(|c| c.cells.iter().map(|id| id.0).collect()).collect();
+    (cells, clusters, snap.tau(), engine.take_events())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The grid path is observationally equivalent to the linear scan on
+    /// random streams — the tentpole's exactness claim.
+    #[test]
+    fn grid_and_linear_scan_produce_identical_clustering(
+        points in prop::collection::vec(((-5.0f64..15.0), (-3.0f64..3.0)), 60..300),
+    ) {
+        let mut linear = engine_with(NeighborIndexKind::LinearScan);
+        let mut grid = engine_with(NeighborIndexKind::Grid { side: None });
+        for (i, &(x, y)) in points.iter().enumerate() {
+            let t = i as f64 / 100.0;
+            let p = DenseVector::from([x, y]);
+            linear.insert(&p, t);
+            grid.insert(&p, t);
+        }
+        let t = points.len() as f64 / 100.0;
+        linear.force_init();
+        grid.force_init();
+        prop_assert_eq!(observe(&mut linear, t), observe(&mut grid, t));
+        // Point-membership queries agree on a probe lattice too.
+        for gx in -2..8 {
+            for gy in -2..2 {
+                let probe = DenseVector::from([gx as f64 * 2.0, gy as f64 * 2.0]);
+                prop_assert_eq!(linear.cluster_of(&probe, t), grid.cluster_of(&probe, t));
+            }
+        }
+        // And the grid did not silently fall back to scanning everything:
+        // identical output must have cost fewer distance computations
+        // (the streams always spread cells across many buckets).
+        prop_assert!(
+            grid.stats().index_pruned > 0,
+            "grid pruned nothing over {} cells",
+            grid.n_cells()
+        );
+        prop_assert!(grid.stats().index_probed < linear.stats().index_probed);
+    }
+
+    /// A non-default bucket side (coarser and finer than r) is still exact.
+    #[test]
+    fn custom_grid_sides_stay_exact(
+        points in prop::collection::vec(((-4.0f64..10.0), (-2.0f64..2.0)), 60..200),
+        side in 0.3f64..2.5,
+    ) {
+        let mut linear = engine_with(NeighborIndexKind::LinearScan);
+        let mut grid = engine_with(NeighborIndexKind::Grid { side: Some(side) });
+        for (i, &(x, y)) in points.iter().enumerate() {
+            let t = i as f64 / 100.0;
+            let p = DenseVector::from([x, y]);
+            linear.insert(&p, t);
+            grid.insert(&p, t);
+        }
+        let t = points.len() as f64 / 100.0;
+        linear.force_init();
+        grid.force_init();
+        prop_assert_eq!(observe(&mut linear, t), observe(&mut grid, t));
+    }
+
+    /// Insert order + reservoir recycling never leave a stale entry in the
+    /// index: its contents equal the live slab seeds after arbitrary
+    /// interleavings of dense traffic, far-flung outliers, and time jumps
+    /// large enough to trigger ΔT_del recycling.
+    #[test]
+    fn index_mirrors_slab_across_recycling_interleavings(
+        ops in prop::collection::vec(
+            ((-20.0f64..20.0), (-20.0f64..20.0), any::<bool>()),
+            40..200,
+        ),
+    ) {
+        let cfg = EdmConfig::builder(0.8)
+            .rate(100.0)
+            .beta_for_threshold(3.0)
+            .init_points(10)
+            .tau_every(16)
+            .maintenance_every(4)
+            .recycle_horizon(5.0)
+            .build()
+            .expect("valid test configuration");
+        let mut e = EdmStream::new(cfg, Euclidean);
+        let mut t = 0.0;
+        for (i, &(x, y, jump)) in ops.iter().enumerate() {
+            // Jumps outrun the 5 s recycling horizon; dense points keep a
+            // few cells alive so recycling interleaves with fresh births.
+            t += if jump { 7.0 } else { 0.01 };
+            e.insert(&DenseVector::from([x, y]), t);
+            prop_assert!(e.check_index().is_ok(), "index diverged: {:?}", e.check_index());
+            // Tree + active-registry invariants, on a cadence (pricier).
+            if i % 7 == 0 && e.is_initialized() {
+                prop_assert!(e.check_invariants(t).is_ok(), "{:?}", e.check_invariants(t));
+            }
+        }
+        e.force_init();
+        prop_assert!(e.check_index().is_ok());
+        prop_assert!(e.check_invariants(t).is_ok());
+        // The horizon jumps must actually have exercised recycling for
+        // this property to mean anything.
+        if ops.iter().filter(|(_, _, j)| *j).count() >= 5 {
+            prop_assert!(e.stats().recycled > 0, "recycling never fired");
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! Stream clustering quality metrics for the EDMStream reproduction:
 //!
-//! * [`cmm`] — the **Cluster Mapping Measure** (Kremer et al., KDD'11),
+//! * [`mod@cmm`] — the **Cluster Mapping Measure** (Kremer et al., KDD'11),
 //!   the external criterion the paper uses in §6.4: it weights objects by
 //!   freshness and penalizes exactly the three stream-specific fault types
 //!   (missed objects, misplaced objects, noise inclusion).

@@ -29,6 +29,10 @@ fn main() {
         .init_points(500)
         .recycle_horizon(5.0 * ncfg.seconds_per_day)
         .tau_mode(TauMode::Static(0.75))
+        // Token sets have no coordinate embedding, so the grid index
+        // cannot prune Jaccard space; ask for the exact scan outright
+        // (the default grid would degrade to the same behavior).
+        .neighbor_index(edmstream::NeighborIndexKind::LinearScan)
         .build()
         .expect("valid NADS configuration");
     let mut engine = EdmStream::new(cfg, Jaccard);

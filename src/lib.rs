@@ -59,9 +59,9 @@ pub use edm_metrics as metrics;
 
 pub use edm_common::decay::DecayModel;
 pub use edm_common::metric::{Euclidean, Jaccard, Metric};
-pub use edm_common::point::{DenseVector, TokenSet};
+pub use edm_common::point::{DenseVector, GridCoords, TokenSet};
 pub use edm_core::{
     AdjustKind, ClusterId, ClusterInfo, ClusterSnapshot, ConfigError, EdmConfig, EdmConfigBuilder,
-    EdmError, EdmStream, Event, EventCursor, EventKind, FilterConfig, TauMode,
+    EdmError, EdmStream, Event, EventCursor, EventKind, FilterConfig, NeighborIndexKind, TauMode,
 };
 pub use edm_data::clusterer::StreamClusterer;
