@@ -63,6 +63,10 @@ pub enum ConfigError {
         /// The offending side length.
         side: f64,
     },
+    /// The neighbor index needs at least one shard. Unreachable through
+    /// the builder (whose setter takes a [`std::num::NonZeroUsize`]);
+    /// guards configs smuggled in from deserialization/FFI.
+    ZeroShards,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -89,6 +93,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::NonPositiveGridSide { side } => {
                 write!(f, "grid-index bucket side must be positive and finite (got {side})")
             }
+            ConfigError::ZeroShards => write!(f, "the neighbor index needs at least one shard"),
         }
     }
 }
@@ -148,6 +153,18 @@ pub struct EdmConfig {
     /// existed still load (as `Grid { side: None }`).
     #[serde(default)]
     pub(crate) neighbor_index: NeighborIndexKind,
+    /// Shard count of the grid neighbor index (1 = unsharded). Stored as
+    /// a plain `usize` for serde compatibility; the builder setter takes
+    /// a `NonZeroUsize` so zero is unrepresentable through the API, and
+    /// [`EdmConfig::check`] rejects smuggled zeros.
+    #[serde(default = "default_shards")]
+    pub(crate) shards: usize,
+}
+
+/// Serde default for [`EdmConfig::shards`]: configs persisted before the
+/// field existed load as unsharded.
+fn default_shards() -> usize {
+    1
 }
 
 impl EdmConfig {
@@ -171,6 +188,7 @@ impl EdmConfig {
                 track_evolution: true,
                 event_capacity: DEFAULT_EVENT_CAPACITY,
                 neighbor_index: NeighborIndexKind::default(),
+                shards: default_shards(),
             },
         }
     }
@@ -222,6 +240,9 @@ impl EdmConfig {
             if !side.is_finite() || side <= 0.0 {
                 return Err(ConfigError::NonPositiveGridSide { side });
             }
+        }
+        if self.shards == 0 {
+            return Err(ConfigError::ZeroShards);
         }
         Ok(())
     }
@@ -301,6 +322,11 @@ impl EdmConfig {
     /// Neighbor-index backing for cell assignment and dependency search.
     pub fn neighbor_index(&self) -> NeighborIndexKind {
         self.neighbor_index
+    }
+
+    /// Shard count of the grid neighbor index (1 = unsharded).
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     // ----- derived quantities -----
@@ -449,6 +475,19 @@ impl EdmConfigBuilder {
         self
     }
 
+    /// Shards the grid neighbor index: seeds hash (by coarse grid key) to
+    /// one of `shards` independent per-shard grids. Structural updates
+    /// touch a single shard — the isolation seam for future per-shard
+    /// parallelism — and per-shard occupancy lands in
+    /// [`crate::EngineStats::shard_cells`]. The default of one shard is
+    /// the plain unsharded grid; the knob has no effect under
+    /// [`NeighborIndexKind::LinearScan`]. Taking a `NonZeroUsize` keeps a
+    /// zero shard count unrepresentable through the builder.
+    pub fn shards(mut self, shards: std::num::NonZeroUsize) -> Self {
+        self.cfg.shards = shards.get();
+        self
+    }
+
     /// Validates the parameters and produces the configuration.
     pub fn build(self) -> Result<EdmConfig, ConfigError> {
         self.cfg.check()?;
@@ -567,6 +606,20 @@ mod tests {
             .neighbor_index(NeighborIndexKind::Grid { side: Some(0.25) })
             .build()
             .is_ok());
+    }
+
+    #[test]
+    fn shards_default_to_one_and_reject_smuggled_zero() {
+        let cfg = EdmConfig::builder(0.5).build().unwrap();
+        assert_eq!(cfg.shards(), 1);
+        let sharded =
+            cfg.to_builder().shards(std::num::NonZeroUsize::new(4).unwrap()).build().unwrap();
+        assert_eq!(sharded.shards(), 4);
+        // A zero smuggled past the builder (deserialization/FFI) is caught
+        // by check().
+        let mut smuggled = sharded.clone();
+        smuggled.shards = 0;
+        assert_eq!(smuggled.check().unwrap_err(), ConfigError::ZeroShards);
     }
 
     #[test]

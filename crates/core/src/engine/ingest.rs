@@ -1,0 +1,267 @@
+//! Ingest layer: point assignment and new-cell admission (paper §4.1).
+//!
+//! The only layer that *creates* cells. Every entry point funnels into
+//! [`EdmStream::process`]: resolve the assignment query through the
+//! neighbor index, absorb or admit, then hand density-order consequences
+//! to the maintenance layer and fire the cadenced sweeps. The
+//! initialization batch pass (§4.1 "Initialization") lives here too — it
+//! is admission in bulk.
+
+use edm_common::metric::Metric;
+use edm_common::point::GridCoords;
+use edm_common::time::Timestamp;
+
+use crate::cell::{Cell, CellId};
+use crate::error::EdmError;
+use crate::index::NeighborIndex;
+use crate::tree;
+
+use super::{suggest_tau_from_deltas, EdmStream, Phase};
+
+/// Per-point distance cache over slab slots with O(1) reset.
+///
+/// The assignment scan records every |p, s_c| it actually computes; the
+/// Theorem 2 triangle filter then reads them back for free. Entries are
+/// validated by an epoch stamp instead of clearing the table each point —
+/// a grid-indexed scan probes only a handful of cells, and wiping the
+/// whole table would itself be the linear cost the index removes.
+#[derive(Debug, Clone, Default)]
+pub(super) struct ScratchDistances {
+    dist: Vec<f64>,
+    stamp: Vec<u64>,
+    epoch: u64,
+}
+
+impl ScratchDistances {
+    /// Starts a new point's scan: grows to `slots` and invalidates every
+    /// previous entry by bumping the epoch.
+    fn begin(&mut self, slots: usize) {
+        self.dist.resize(slots, f64::INFINITY);
+        self.stamp.resize(slots, 0);
+        self.epoch += 1;
+    }
+
+    /// Records the exact distance for a slot.
+    #[inline]
+    fn set(&mut self, slot: usize, d: f64) {
+        self.dist[slot] = d;
+        self.stamp[slot] = self.epoch;
+    }
+
+    /// The exact distance for a slot, if this point's scan computed it.
+    #[inline]
+    pub(super) fn get(&self, slot: usize) -> Option<f64> {
+        (self.stamp.get(slot) == Some(&self.epoch)).then(|| self.dist[slot])
+    }
+}
+
+impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
+    /// Feeds one stream point — the infallible hot path. Out-of-order
+    /// timestamps are a debug assertion here; ingest from untrusted
+    /// transports through [`EdmStream::try_insert`] instead.
+    pub fn insert(&mut self, p: &P, t: Timestamp) {
+        debug_assert!(t >= self.now - 1e-9, "stream time must not go backwards");
+        self.start.get_or_insert(t);
+        self.now = self.now.max(t);
+        self.stats.points += 1;
+        match &mut self.phase {
+            Phase::Caching(buf) => {
+                buf.push((p.clone(), t));
+                if buf.len() >= self.cfg.init_points {
+                    self.initialize();
+                }
+            }
+            Phase::Running => self.process(p, t),
+        }
+    }
+
+    /// Feeds one stream point, rejecting timestamps behind the stream
+    /// clock with [`EdmError::TimeRegression`] instead of asserting.
+    pub fn try_insert(&mut self, p: &P, t: Timestamp) -> Result<(), EdmError> {
+        if t < self.now - 1e-9 {
+            return Err(EdmError::TimeRegression { now: self.now, t });
+        }
+        self.insert(p, t);
+        Ok(())
+    }
+
+    /// Feeds a batch of stream points in order. Observationally equivalent
+    /// to inserting each point individually — batching exists so callers
+    /// (and the [`edm_data::clusterer::StreamClusterer`] harness) drive
+    /// one uniform interface; per-point maintenance cadences still fire at
+    /// the same points.
+    pub fn insert_batch(&mut self, batch: &[(P, Timestamp)]) {
+        for (p, t) in batch {
+            self.insert(p, *t);
+        }
+    }
+
+    /// Batch variant of [`EdmStream::try_insert`]: stops at the first
+    /// out-of-order timestamp, reporting its index alongside the error;
+    /// points before it are already ingested.
+    pub fn try_insert_batch(&mut self, batch: &[(P, Timestamp)]) -> Result<(), (usize, EdmError)> {
+        for (i, (p, t)) in batch.iter().enumerate() {
+            self.try_insert(p, *t).map_err(|e| (i, e))?;
+        }
+        Ok(())
+    }
+
+    /// Forces initialization with whatever is buffered (no-op when already
+    /// running). Needed for streams shorter than `init_points` and before
+    /// early queries.
+    pub fn force_init(&mut self) {
+        if matches!(self.phase, Phase::Caching(_)) {
+            self.initialize();
+        }
+    }
+
+    /// True once the initialization step has run.
+    pub fn is_initialized(&self) -> bool {
+        matches!(self.phase, Phase::Running)
+    }
+
+    // ----- initialization (paper §4.1 "Initialization") -----
+
+    fn initialize(&mut self) {
+        let buf = match std::mem::replace(&mut self.phase, Phase::Running) {
+            Phase::Caching(buf) => buf,
+            Phase::Running => return,
+        };
+        let t = self.now;
+        // Build cells by sequential nearest-seed assignment.
+        for (p, tp) in buf {
+            match self.nearest_cell(&p) {
+                Some((cid, _)) => {
+                    let decay = self.cfg.decay;
+                    self.slab.get_mut(cid).absorb(tp, &decay);
+                }
+                None => {
+                    let id = self.slab.insert(Cell::new(p, tp));
+                    self.index.on_insert(id, &self.slab.get(id).seed);
+                }
+            }
+        }
+        // Activate dense cells and wire the DP-Tree among them, scanning in
+        // density order (the O(k²) batch pass the paper performs once).
+        let mut order: Vec<(f64, CellId)> =
+            self.slab.iter().map(|(id, c)| (c.rho_at(t, self.decay()), id)).collect();
+        order.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("density NaN").then(a.1.cmp(&b.1)));
+        let thr = self.threshold_at(t);
+        let mut placed: Vec<CellId> = Vec::new();
+        for &(rho, id) in &order {
+            if rho < thr {
+                break; // sorted: everything after is inactive too
+            }
+            self.slab.get_mut(id).active = true;
+            self.active_ids.push(id);
+            let mut best: Option<(f64, CellId)> = None;
+            for &prev in &placed {
+                let d = self.metric.dist(&self.slab.get(id).seed, &self.slab.get(prev).seed);
+                if best.is_none_or(|(bd, bid)| d < bd || (d == bd && prev < bid)) {
+                    best = Some((d, prev));
+                }
+            }
+            if let Some((d, dep)) = best {
+                tree::attach(&mut self.slab, id, dep, d);
+            }
+            placed.push(id);
+        }
+        // The density-ordered pass placed the densest cell first.
+        self.apex = placed.first().copied();
+        // Cells left in the reservoir enter the idle order with their
+        // final absorption time — from here on the recycling layer never
+        // looks at the slab to find them.
+        for (id, cell) in self.slab.iter() {
+            if !cell.active {
+                self.idle.push(id, cell.last_absorb);
+            }
+        }
+        // τ initialization: the "user" picks τ₀ from the decision graph
+        // (largest-gap heuristic unless configured explicitly).
+        let mut deltas = self.active_deltas_sorted();
+        let tau0 = self
+            .cfg
+            .tau0
+            .unwrap_or_else(|| suggest_tau_from_deltas(&deltas).unwrap_or(4.0 * self.cfg.r));
+        self.tau_ctl.initialize(&deltas, tau0);
+        deltas.clear();
+        self.structure_dirty = true;
+        self.run_diff(t);
+        self.refresh_shard_stats();
+        self.update_reservoir_peak();
+    }
+
+    // ----- per-point processing (paper §4.1 "Key Operations") -----
+
+    fn process(&mut self, p: &P, t: Timestamp) {
+        let nearest = self.scan_distances(p);
+        match nearest {
+            Some((cid, _)) => {
+                self.stats.absorbed += 1;
+                let decay = self.cfg.decay;
+                let (before, after) = self.slab.get_mut(cid).absorb(t, &decay);
+                let was_active = self.slab.get(cid).active;
+                if was_active {
+                    self.dependency_maintenance(p, cid, before, after, t, false);
+                } else if after >= self.threshold_at(t) {
+                    // Cluster-cell emergence (DP-Tree insertion, §4.3).
+                    self.slab.get_mut(cid).active = true;
+                    self.active_ids.push(cid);
+                    self.stats.activations += 1;
+                    self.dependency_maintenance(p, cid, before, after, t, true);
+                    self.structure_dirty = true;
+                } else {
+                    // Still in the reservoir; its idle clock restarts
+                    // (the entry carrying the old absorption time goes
+                    // stale and is dropped lazily on pop).
+                    self.idle.push(cid, t);
+                }
+            }
+            None => {
+                // New cluster-cell, cached in the reservoir (low density).
+                self.stats.new_cells += 1;
+                let id = self.slab.insert(Cell::new(p.clone(), t));
+                self.index.on_insert(id, &self.slab.get(id).seed);
+                self.idle.push(id, t);
+                self.refresh_shard_stats();
+            }
+        }
+        if self.stats.points.is_multiple_of(self.cfg.maintenance_every) {
+            self.maintenance(t);
+        }
+        if self.stats.points.is_multiple_of(self.cfg.tau_every) {
+            let deltas = self.active_deltas_sorted();
+            if self.tau_ctl.update(&deltas) {
+                self.structure_dirty = true;
+            }
+        }
+        if self.structure_dirty {
+            self.run_diff(t);
+        }
+        self.update_reservoir_peak();
+    }
+
+    /// Resolves the assignment query through the neighbor index: the
+    /// nearest cell within `r`, stamping every distance the index actually
+    /// computed into the scratch table (the triangle filter's free input)
+    /// and accounting probed vs. pruned cells.
+    fn scan_distances(&mut self, p: &P) -> Option<(CellId, f64)> {
+        self.scratch.begin(self.slab.capacity_slots());
+        let scratch = &mut self.scratch;
+        let mut probed = 0u64;
+        let best =
+            self.index.nearest_within(p, self.cfg.r, &self.slab, &self.metric, &mut |id, d| {
+                probed += 1;
+                scratch.set(id.0 as usize, d);
+            });
+        self.stats.index_probed += probed;
+        self.stats.index_pruned += self.slab.len() as u64 - probed;
+        best
+    }
+
+    /// Nearest cell within `r` without touching scratch (initialization
+    /// and query paths).
+    pub(super) fn nearest_cell(&self, p: &P) -> Option<(CellId, f64)> {
+        self.index.nearest_within(p, self.cfg.r, &self.slab, &self.metric, &mut |_, _| {})
+    }
+}

@@ -1,0 +1,560 @@
+//! Engine behavior tests, exercising all three pipeline layers through
+//! the public facade.
+
+use super::*;
+use crate::evolution::{EventCursor, EventKind};
+use crate::filters::FilterConfig;
+use crate::tau::TauMode;
+use edm_common::metric::Euclidean;
+use edm_common::point::DenseVector;
+
+/// A small-scale config: rate 100 pt/s, activation threshold ≈ 3.
+fn mini_cfg(r: f64) -> EdmConfig {
+    EdmConfig::builder(r)
+        .rate(100.0)
+        .beta_for_threshold(3.0)
+        .init_points(40)
+        .tau_every(16)
+        .maintenance_every(8)
+        .build()
+        .expect("mini config is valid")
+}
+
+/// Two tight blobs far apart; points alternate between them.
+fn feed_two_blobs(engine: &mut EdmStream<DenseVector, Euclidean>, n: usize) {
+    for i in 0..n {
+        let t = i as f64 / 100.0;
+        let jitter = (i % 5) as f64 * 0.05;
+        let p = if i % 2 == 0 {
+            DenseVector::from([jitter, 0.0])
+        } else {
+            DenseVector::from([10.0 + jitter, 0.0])
+        };
+        engine.insert(&p, t);
+    }
+}
+
+#[test]
+fn initialization_builds_two_clusters() {
+    let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+    feed_two_blobs(&mut e, 200);
+    assert!(e.is_initialized());
+    assert_eq!(e.n_clusters(), 2, "tau = {}", e.tau());
+    assert!(e.check_invariants(2.0).is_ok());
+}
+
+#[test]
+fn cluster_of_distinguishes_blobs_and_outliers() {
+    let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+    feed_two_blobs(&mut e, 300);
+    let t = 3.0;
+    let a = e.cluster_of(&DenseVector::from([0.1, 0.0]), t);
+    let b = e.cluster_of(&DenseVector::from([10.1, 0.0]), t);
+    let far = e.cluster_of(&DenseVector::from([500.0, 0.0]), t);
+    assert!(a.is_some() && b.is_some());
+    assert_ne!(a, b);
+    assert_eq!(far, None);
+}
+
+#[test]
+fn cluster_of_decays_candidates_to_the_query_time() {
+    // The decay sweep only demotes cells on the maintenance cadence; the
+    // query must not leak the stale structure in between. A cell dense at
+    // t=3 but starved long past its decay horizon answers None — the same
+    // verdict the sweep would reach at that instant.
+    let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+    feed_two_blobs(&mut e, 300);
+    let probe = DenseVector::from([0.1, 0.0]);
+    assert!(e.cluster_of(&probe, 3.0).is_some());
+    // Threshold ≈ 3, blob density ≈ 75: below threshold after
+    // ln(3/75)/ln(0.998) ≈ 1600 s. Far past that, the answer flips to
+    // None without a single additional insert or sweep.
+    assert_eq!(e.cluster_of(&probe, 3.0 + 5_000.0), None);
+}
+
+#[test]
+fn invariants_hold_throughout_a_noisy_stream() {
+    let mut e = EdmStream::new(mini_cfg(0.6), Euclidean);
+    // Deterministic pseudo-noise around three moving centers.
+    let mut x = 0u64;
+    for i in 0..600 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let u = ((x >> 33) as f64) / (u32::MAX as f64 / 2.0);
+        let c = (i % 3) as f64 * 6.0 + (i as f64) * 0.002;
+        let p = DenseVector::from([c + u * 0.8, u * 0.5]);
+        let t = i as f64 / 100.0;
+        e.insert(&p, t);
+        if i % 50 == 0 && e.is_initialized() {
+            e.check_invariants(t).unwrap();
+        }
+    }
+    e.check_invariants(6.0).unwrap();
+}
+
+#[test]
+fn filters_do_not_change_the_result() {
+    // The theorems claim the filters are exact: the final tree must be
+    // identical with and without them.
+    let run = |filters: FilterConfig| {
+        let cfg = mini_cfg(0.6).to_builder().filters(filters).build().unwrap();
+        let mut e = EdmStream::new(cfg, Euclidean);
+        let mut x = 7u64;
+        for i in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((x >> 33) as f64) / (u32::MAX as f64 / 2.0);
+            let c = (i % 2) as f64 * 8.0;
+            e.insert(&DenseVector::from([c + u, u * 0.3]), i as f64 / 100.0);
+        }
+        // Capture (dep, delta) per live cell id.
+        let mut state: Vec<(u32, Option<CellId>, f64)> =
+            e.slab().iter().map(|(id, c)| (id.0, c.dep, c.delta)).collect();
+        state.sort_by_key(|s| s.0);
+        state
+    };
+    let wf = run(FilterConfig::none());
+    let df = run(FilterConfig::density_only());
+    let all = run(FilterConfig::all());
+    assert_eq!(wf, df, "density filter changed the outcome");
+    assert_eq!(df, all, "triangle filter changed the outcome");
+}
+
+#[test]
+fn filters_reduce_work() {
+    // Three blobs with very different arrival rates: the cells end up
+    // far apart in the density order, so most absorptions leave the
+    // sparser cells strictly below the window — exactly what Theorem 1
+    // prunes. (With two equally-fed blobs the cells leapfrog each other
+    // every point and nothing can be pruned.)
+    let feed = |e: &mut EdmStream<DenseVector, Euclidean>| {
+        for i in 0..600usize {
+            let t = i as f64 / 100.0;
+            let which = match i % 20 {
+                0 => 2usize,     // 5% to blob 2
+                x if x < 6 => 1, // 25% to blob 1
+                _ => 0,          // 70% to blob 0
+            };
+            let jitter = (i % 5) as f64 * 0.05;
+            e.insert(&DenseVector::from([which as f64 * 10.0 + jitter, 0.0]), t);
+        }
+    };
+    let run = |filters: FilterConfig| {
+        let cfg = mini_cfg(0.6).to_builder().filters(filters).build().unwrap();
+        let mut e = EdmStream::new(cfg, Euclidean);
+        feed(&mut e);
+        (e.stats().filtered_density, e.stats().filtered_triangle)
+    };
+    let (fd, _) = run(FilterConfig::all());
+    assert!(fd > 0, "density filter should prune candidates");
+    let (fd_off, _) = run(FilterConfig::none());
+    assert_eq!(fd_off, 0);
+}
+
+#[test]
+fn reservoir_cells_activate_on_absorption() {
+    let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+    feed_two_blobs(&mut e, 100);
+    let before_active = e.active_len();
+    // Hammer a brand-new location until its cell activates.
+    for i in 0..40 {
+        let t = 1.0 + i as f64 / 100.0;
+        e.insert(&DenseVector::from([50.0, 50.0]), t);
+    }
+    assert!(e.active_len() > before_active, "new region never activated");
+    assert!(e.stats().activations > 0);
+    assert!(e.check_invariants(1.4).is_ok());
+}
+
+#[test]
+fn starved_cluster_decays_to_reservoir() {
+    let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+    feed_two_blobs(&mut e, 200);
+    assert_eq!(e.n_clusters(), 2);
+    // Feed only the left blob; advance time far enough for the right
+    // blob's cells (thr ≈ 3) to decay below threshold.
+    // Density ~50 → below 3 after ln(3/50)/ln(0.998) ≈ 1400 s.
+    for i in 0..2_000 {
+        let t = 2.0 + i as f64;
+        e.insert(&DenseVector::from([(i % 5) as f64 * 0.05, 0.0]), t);
+    }
+    assert_eq!(e.n_clusters(), 1, "right blob should have decayed");
+    assert!(e.stats().deactivations > 0);
+    assert!(e
+        .events_since(EventCursor::START)
+        .iter()
+        .any(|ev| matches!(ev.kind, EventKind::Disappear { .. })));
+}
+
+#[test]
+fn outdated_reservoir_cells_are_recycled() {
+    let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+    feed_two_blobs(&mut e, 100);
+    // A lone outlier cell.
+    e.insert(&DenseVector::from([99.0, 99.0]), 1.0);
+    let with_outlier = e.n_cells();
+    // ΔT_del at rate 100, thr 3 is well under an hour; advance far past.
+    let dt = e.config().delta_t_del();
+    for i in 0..200 {
+        let t = 2.0 + dt + i as f64;
+        e.insert(&DenseVector::from([(i % 5) as f64 * 0.05, 0.0]), t);
+    }
+    assert!(e.stats().recycled > 0, "outlier cell should be recycled");
+    assert!(e.n_cells() < with_outlier + 200);
+}
+
+#[test]
+fn reabsorbed_reservoir_cells_outlive_their_stale_idle_entries() {
+    // A reservoir cell touched again inside the horizon must not be
+    // recycled off its *old* idle entry: the queue's lazy invalidation
+    // has to drop the superseded entry when it expires. Threshold pinned
+    // sky-high so re-touches never activate anything.
+    let cfg = mini_cfg(0.5)
+        .to_builder()
+        .beta_for_threshold(1e4)
+        .age_adjusted_threshold(false)
+        .recycle_horizon(10.0)
+        .maintenance_every(4)
+        .build()
+        .unwrap();
+    let mut e = EdmStream::new(cfg, Euclidean);
+    feed_two_blobs(&mut e, 100);
+    let outlier = DenseVector::from([77.0, 77.0]);
+    e.insert(&outlier, 1.0);
+    // Keep the outlier warm: re-touch every 6 s (inside the 10 s horizon)
+    // while the clock runs far past the first entry's expiry, feeding the
+    // left blob alongside so maintenance cadences keep firing.
+    for i in 1..=10 {
+        let t = 1.0 + 6.0 * i as f64;
+        e.insert(&outlier, t);
+        for j in 0..4 {
+            e.insert(&DenseVector::from([0.05 * j as f64, 0.0]), t + 0.01);
+        }
+    }
+    assert!(
+        e.nearest_cell(&outlier).is_some(),
+        "warm outlier cell must survive its stale idle entries"
+    );
+    assert!(e.cluster_of(&outlier, 61.0).is_none(), "it must still be an outlier, not a cluster");
+    // Stop touching it: the last entry expires and the cell goes.
+    for i in 0..40 {
+        let t = 72.0 + i as f64;
+        e.insert(&DenseVector::from([(i % 5) as f64 * 0.05, 0.0]), t);
+    }
+    assert!(e.nearest_cell(&outlier).is_none(), "idle outlier must be recycled");
+    assert!(e.stats().recycled > 0);
+    e.check_index().unwrap();
+    e.check_invariants(120.0).unwrap();
+}
+
+#[test]
+fn idle_queue_stays_bounded_under_reservoir_churn() {
+    // Every re-absorb of a reservoir cell pushes a fresh queue entry;
+    // compaction must keep the backlog within a small factor of the
+    // reservoir instead of growing with the stream. Threshold pinned
+    // sky-high and recycling pushed past the test horizon, so all churn
+    // stays in the reservoir.
+    let cfg = mini_cfg(0.5)
+        .to_builder()
+        .beta_for_threshold(1e4)
+        .age_adjusted_threshold(false)
+        .recycle_horizon(1e6)
+        .maintenance_every(8)
+        .build()
+        .unwrap();
+    let mut e = EdmStream::new(cfg, Euclidean);
+    // 50 reservoir sites, each touched ~40 times, never activating.
+    for round in 0..40 {
+        for site in 0..50 {
+            let t = (round * 50 + site) as f64;
+            e.insert(&DenseVector::from([site as f64 * 5.0, 40.0]), t);
+        }
+    }
+    let reservoir = e.reservoir_len();
+    assert_eq!(reservoir, e.n_cells(), "nothing may activate in this regime");
+    assert!(reservoir > 0);
+    assert!(
+        e.idle_queue_len() <= (2 * reservoir).max(64) + reservoir,
+        "queue holds {} entries for a {reservoir}-cell reservoir",
+        e.idle_queue_len()
+    );
+    e.check_invariants(2000.0).unwrap();
+}
+
+#[test]
+fn merge_event_fires_when_blobs_bridge() {
+    let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+    // Two blobs at distance 6 (r = 0.5): distinct clusters.
+    for i in 0..300 {
+        let t = i as f64 / 100.0;
+        let jitter = (i % 5) as f64 * 0.05;
+        let p = if i % 2 == 0 {
+            DenseVector::from([jitter, 0.0])
+        } else {
+            DenseVector::from([6.0 + jitter, 0.0])
+        };
+        e.insert(&p, t);
+    }
+    assert_eq!(e.n_clusters(), 2, "tau {}", e.tau());
+    // Fill the valley: a dense bridge between them.
+    for i in 0..1_200 {
+        let t = 3.0 + i as f64 / 100.0;
+        let x = 0.5 + 5.0 * ((i % 11) as f64 / 11.0);
+        e.insert(&DenseVector::from([x, 0.0]), t);
+    }
+    assert_eq!(e.n_clusters(), 1, "bridge should merge the blobs (tau {})", e.tau());
+    assert!(
+        e.events_since(EventCursor::START)
+            .iter()
+            .any(|ev| matches!(ev.kind, EventKind::Merge { .. })),
+        "no merge event recorded; events: {:?}",
+        e.events_recorded()
+    );
+}
+
+#[test]
+fn stream_clusterer_interface_works() {
+    use edm_data::clusterer::StreamClusterer;
+    let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+    let p = DenseVector::from([0.0, 0.0]);
+    StreamClusterer::insert(&mut e, &p, 0.0);
+    // Queries answer from prepared state only: before `prepare`, a
+    // stream still inside the init buffer reports nothing.
+    assert_eq!(StreamClusterer::n_clusters(&e, 0.0), 0);
+    // `prepare` forces initialization. With the age-adjusted threshold
+    // a lone fresh point bootstraps one cluster (the threshold floor
+    // is exactly one fresh point).
+    StreamClusterer::prepare(&mut e, 0.0);
+    assert_eq!(StreamClusterer::n_clusters(&e, 0.0), 1);
+    assert!(e.is_initialized());
+    assert_eq!(StreamClusterer::name(&e), "EDMStream");
+}
+
+#[test]
+fn try_insert_rejects_time_regression_and_batch_reports_index() {
+    let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+    assert!(e.try_insert(&DenseVector::from([0.0, 0.0]), 1.0).is_ok());
+    let err = e.try_insert(&DenseVector::from([1.0, 0.0]), 0.5).unwrap_err();
+    assert_eq!(err, crate::error::EdmError::TimeRegression { now: 1.0, t: 0.5 });
+    // Batch: index 1 regresses; point 0 is already ingested.
+    let points = e.stats().points;
+    let batch = vec![
+        (DenseVector::from([0.1, 0.0]), 1.5),
+        (DenseVector::from([0.2, 0.0]), 0.2),
+        (DenseVector::from([0.3, 0.0]), 2.0),
+    ];
+    let (i, err) = e.try_insert_batch(&batch).unwrap_err();
+    assert_eq!(i, 1);
+    assert!(matches!(err, crate::error::EdmError::TimeRegression { .. }));
+    assert_eq!(e.stats().points, points + 1);
+}
+
+#[test]
+fn snapshot_freezes_state_and_aligns_event_cursor() {
+    let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+    feed_two_blobs(&mut e, 300);
+    let snap = e.snapshot(3.0);
+    assert_eq!(snap.n_clusters(), 2);
+    assert_eq!(snap.n_clusters(), e.n_clusters());
+    assert_eq!(snap.active_cells(), e.active_len());
+    assert_eq!(snap.n_cells(), e.n_cells());
+    assert_eq!(snap.points(), 300);
+    assert!((snap.tau() - e.tau()).abs() < 1e-12);
+    let (rho, delta) = snap.decision_graph();
+    assert_eq!(rho.len(), e.active_len());
+    assert!(delta.iter().all(|d| d.is_finite()));
+    // Nothing new happened since the snapshot: its cursor sees no events.
+    assert!(e.events_since(snap.event_cursor()).is_empty());
+    // The snapshot stays valid after the engine moves on.
+    for i in 0..400 {
+        e.insert(&DenseVector::from([50.0, 50.0]), 3.0 + i as f64 / 100.0);
+    }
+    assert_eq!(snap.n_clusters(), 2);
+}
+
+#[test]
+fn take_events_drains_incrementally() {
+    let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+    feed_two_blobs(&mut e, 200);
+    let first = e.take_events();
+    assert!(!first.is_empty(), "initialization must emerge clusters");
+    assert!(e.take_events().is_empty(), "drained log must be empty");
+    let recorded = e.events_recorded();
+    // A new dense region triggers fresh events only.
+    for i in 0..60 {
+        e.insert(&DenseVector::from([50.0, 50.0]), 2.0 + i as f64 / 100.0);
+    }
+    let fresh = e.take_events();
+    assert!(!fresh.is_empty(), "emergence must be recorded");
+    assert_eq!(e.events_recorded(), recorded + fresh.len() as u64);
+}
+
+#[test]
+fn decision_graph_reports_finite_deltas() {
+    let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+    feed_two_blobs(&mut e, 300);
+    let (rho, delta) = e.decision_graph(3.0);
+    assert_eq!(rho.len(), delta.len());
+    assert!(!rho.is_empty());
+    assert!(delta.iter().all(|d| d.is_finite()));
+    // Exactly one cell (the root) carries the display-max δ.
+    let max = delta.iter().cloned().fold(0.0, f64::max);
+    assert!(delta.iter().filter(|&&d| d == max).count() >= 1);
+}
+
+#[test]
+fn static_tau_is_respected() {
+    let cfg = mini_cfg(0.5).to_builder().tau_mode(TauMode::Static(2.5)).build().unwrap();
+    let mut e = EdmStream::new(cfg, Euclidean);
+    feed_two_blobs(&mut e, 300);
+    assert_eq!(e.tau(), 2.5);
+}
+
+#[test]
+fn single_cell_stream_anchors_root_delta_at_the_tau_fallback() {
+    // One point → one active root with δ = ∞ and no finite δ anywhere.
+    // Regression: the decision graph used to display that root at a
+    // hardcoded 1.0 while the τ initializer fell back to 4r, so the
+    // "user" saw a graph on a different scale than the τ in force.
+    let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+    e.insert(&DenseVector::from([3.0, 3.0]), 0.0);
+    e.force_init();
+    assert_eq!(e.active_len(), 1);
+    let (rho, delta) = e.decision_graph(0.0);
+    assert_eq!(rho.len(), 1);
+    assert_eq!(delta, vec![4.0 * 0.5], "root must display at the 4r fallback scale");
+    assert_eq!(e.tau(), 4.0 * 0.5, "adaptive τ₀ falls back to 4r with no finite δ");
+    assert_eq!(e.n_clusters(), 1);
+}
+
+#[test]
+fn all_root_stream_keeps_graph_and_tau_consistent() {
+    // Every active cell its own cluster (tiny static τ): the single
+    // tree root still carries δ = ∞ and must display at 1.05× the
+    // largest *finite* δ — never at a value below it, and never at a
+    // constant detached from the data scale.
+    let cfg = mini_cfg(0.5).to_builder().tau_mode(TauMode::Static(0.01)).build().unwrap();
+    let mut e = EdmStream::new(cfg, Euclidean);
+    feed_two_blobs(&mut e, 300);
+    assert_eq!(e.n_clusters(), e.active_len(), "tiny τ: every active cell is a root");
+    let (_, delta) = e.decision_graph(3.0);
+    let max_finite = e
+        .slab()
+        .iter()
+        .filter(|(_, c)| c.active && c.delta.is_finite())
+        .map(|(_, c)| c.delta)
+        .fold(0.0, f64::max);
+    assert!(max_finite > 0.0);
+    let display_max = delta.iter().cloned().fold(0.0, f64::max);
+    assert!((display_max - 1.05 * max_finite).abs() < 1e-9, "{display_max} vs {max_finite}");
+}
+
+#[test]
+fn suggest_tau_ignores_infinite_root_deltas() {
+    // Raw decision-graph slices include the root's ∞; the gap scan
+    // must not treat it as the largest gap.
+    assert_eq!(suggest_tau_from_deltas(&[1.0, 1.1, f64::INFINITY]), Some(1.05));
+    assert_eq!(suggest_tau_from_deltas(&[1.0, f64::INFINITY]), None);
+    assert_eq!(suggest_tau_from_deltas(&[f64::INFINITY, f64::INFINITY]), None);
+    assert_eq!(suggest_tau_from_deltas(&[2.0]), None);
+}
+
+#[test]
+fn grid_index_prunes_assignment_work_and_stays_coherent() {
+    let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+    // Many well-separated cells, then traffic to one of them.
+    for i in 0..40 {
+        e.insert(
+            &DenseVector::from([(i % 8) as f64 * 5.0, (i / 8) as f64 * 5.0]),
+            i as f64 / 100.0,
+        );
+    }
+    e.force_init();
+    for i in 0..200 {
+        e.insert(&DenseVector::from([0.1, 0.1]), 1.0 + i as f64 / 100.0);
+    }
+    assert!(e.stats().index_pruned > 0, "grid should skip far cells");
+    assert!(e.stats().index_prune_rate() > 0.5, "rate {}", e.stats().index_prune_rate());
+    e.check_index().unwrap();
+    let snap = e.snapshot(3.0);
+    assert_eq!(snap.stats().index_pruned, e.stats().index_pruned);
+}
+
+#[test]
+fn sharded_engine_matches_the_unsharded_one() {
+    // The facade-level smoke check (the proptest suite does the heavy
+    // lifting): a 4-shard engine must agree with the default on clusters,
+    // stay index-coherent, and meter per-shard occupancy in its stats.
+    let sharded_cfg =
+        mini_cfg(0.5).to_builder().shards(std::num::NonZeroUsize::new(4).unwrap()).build().unwrap();
+    let mut plain = EdmStream::new(mini_cfg(0.5), Euclidean);
+    let mut sharded = EdmStream::new(sharded_cfg, Euclidean);
+    feed_two_blobs(&mut plain, 300);
+    feed_two_blobs(&mut sharded, 300);
+    assert_eq!(plain.n_clusters(), sharded.n_clusters());
+    assert_eq!(plain.n_cells(), sharded.n_cells());
+    assert_eq!(sharded.stats().shard_cells.len(), 4);
+    assert_eq!(
+        sharded.stats().shard_cells.iter().sum::<u64>(),
+        sharded.n_cells() as u64,
+        "per-shard occupancy must cover every live cell"
+    );
+    sharded.check_index().unwrap();
+    sharded.check_invariants(3.0).unwrap();
+    let probe = DenseVector::from([0.1, 0.0]);
+    assert_eq!(plain.cluster_of(&probe, 3.0).is_some(), sharded.cluster_of(&probe, 3.0).is_some());
+}
+
+#[test]
+fn grid_downgrades_for_metrics_without_the_axis_bound() {
+    // A scaled Euclidean violates dist >= |a[k]-b[k]|: coordinate
+    // distance 3 is metric distance 0.3 < r, so a grid probing only
+    // nearby buckets would silently miss the absorbing cell and
+    // spawn a spurious one. The engine must downgrade to the exact
+    // scan because the metric never vouched for the bound.
+    struct ScaledEuclidean;
+    impl Metric<DenseVector> for ScaledEuclidean {
+        fn dist(&self, a: &DenseVector, b: &DenseVector) -> f64 {
+            0.1 * a.dist(b)
+        }
+        fn name(&self) -> &'static str {
+            "scaled-euclidean"
+        }
+        // dominates_coordinate_axes: default false.
+    }
+    let mut e = EdmStream::new(mini_cfg(0.5), ScaledEuclidean);
+    e.insert(&DenseVector::from([0.0, 0.0]), 0.0);
+    e.force_init();
+    // Coordinate distance 3.0 >> r, metric distance 0.3 < r: absorbed.
+    for i in 1..40 {
+        e.insert(&DenseVector::from([3.0, 0.0]), i as f64 / 100.0);
+    }
+    assert_eq!(e.n_cells(), 1, "the far-in-coordinates point must still absorb");
+    assert_eq!(e.stats().index_pruned, 0, "engine must run the exact scan");
+    e.check_index().unwrap();
+}
+
+#[test]
+fn linear_scan_index_probes_everything() {
+    let cfg = mini_cfg(0.5)
+        .to_builder()
+        .neighbor_index(crate::index::NeighborIndexKind::LinearScan)
+        .build()
+        .unwrap();
+    let mut e = EdmStream::new(cfg, Euclidean);
+    feed_two_blobs(&mut e, 200);
+    assert_eq!(e.stats().index_pruned, 0);
+    assert!(e.stats().index_probed > 0);
+    assert!(e.stats().shard_cells.is_empty(), "the linear scan has no shards to meter");
+    e.check_index().unwrap();
+}
+
+#[test]
+fn stats_count_points_and_cells() {
+    let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+    feed_two_blobs(&mut e, 150);
+    assert_eq!(e.stats().points, 150);
+    assert!(e.stats().absorbed > 0);
+    // A far-away point after initialization must seed a fresh cell.
+    e.insert(&DenseVector::from([321.0, 321.0]), 1.51);
+    assert_eq!(e.stats().new_cells, 1);
+    assert!(e.n_cells() >= 3);
+}

@@ -63,7 +63,10 @@ impl Default for FilterConfig {
 }
 
 /// Counters and timings the engine accumulates while running.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+///
+/// Cheap to clone (one small `Vec` for per-shard occupancy); snapshots
+/// freeze a clone so reporting code reads counters off the hot path.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct EngineStats {
     /// Stream points processed (including the initialization buffer).
     pub points: u64,
@@ -99,6 +102,15 @@ pub struct EngineStats {
     /// cells minus probes) — zero under
     /// [`crate::index::NeighborIndexKind::LinearScan`].
     pub index_pruned: u64,
+    /// Live cells per neighbor-index shard, in shard order: one entry per
+    /// shard of the sharded grid, a single entry for the unsharded grid,
+    /// empty under the linear scan (no index structure to meter). Skew
+    /// here is the first thing to check before leaning on shard
+    /// parallelism.
+    pub shard_cells: Vec<u64>,
+    /// Occupancy-band auto-tuning rebuilds of the grid index (summed over
+    /// shards). See [`crate::index::UniformGrid::maintain`].
+    pub grid_rebuilds: u64,
 }
 
 impl EngineStats {

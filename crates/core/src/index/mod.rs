@@ -6,8 +6,8 @@
 //! (dependency recomputation). Answering by scanning the whole slab makes
 //! insert cost grow linearly with cell count, which defeats the paper's
 //! cheap-maintenance claim as soon as the outlier reservoir grows. This
-//! module abstracts the question behind [`NeighborIndex`] and provides two
-//! implementations:
+//! module abstracts the question behind [`NeighborIndex`] and provides
+//! three implementations:
 //!
 //! * [`UniformGrid`] — seeds quantized into a uniform grid of bucket side
 //!   `r` (the cluster-cell radius), so an assignment query probes only the
@@ -17,11 +17,20 @@
 //!   coordinates ([`edm_common::point::GridCoords`]) under any metric that
 //!   dominates per-axis coordinate differences (all Minkowski metrics).
 //!   Payloads without coordinates transparently fall back to scanning.
+//!   When the bucket side is the engine's default (not user-pinned), the
+//!   grid auto-tunes it: mean occupancy leaving a target band triggers an
+//!   O(n) rebuild at a refined/coarsened side (counted in
+//!   [`crate::EngineStats::grid_rebuilds`]).
+//! * [`ShardedGrid`] — `S` independent [`UniformGrid`]s, each owning the
+//!   seeds whose coarse grid key hashes to it. Structural updates touch
+//!   one shard; queries combine per-shard winners. The isolation seam for
+//!   per-shard locking/threading (configured via
+//!   [`crate::EdmConfigBuilder::shards`]).
 //! * [`LinearScan`] — the exact full scan, as a fallback for arbitrary
 //!   metric spaces and as the reference implementation the property suite
-//!   compares the grid against.
+//!   compares the grids against.
 //!
-//! Both are *exact*: they return the same nearest cell (identical
+//! All are *exact*: they return the same nearest cell (identical
 //! distance-then-id tie-breaking) the brute-force scan would, so switching
 //! index kinds never changes clustering output — only the number of
 //! distance computations, which the engine counts in
@@ -29,9 +38,11 @@
 
 mod grid;
 mod linear;
+mod sharded;
 
 pub use grid::UniformGrid;
 pub use linear::LinearScan;
+pub use sharded::ShardedGrid;
 
 use edm_common::metric::Metric;
 use edm_common::point::GridCoords;
@@ -122,6 +133,14 @@ pub trait NeighborIndex<P> {
     /// assignment probe skipped.
     fn distance_lower_bound(&self, q: &P, seed: &P) -> f64;
 
+    /// Periodic self-maintenance hook, called from the engine's
+    /// maintenance cadence: indexes that tune their own layout (grid
+    /// bucket-side auto-tuning) rebuild here and return the number of
+    /// rebuilds performed. Stateless indexes keep the default no-op.
+    fn maintain(&mut self, _slab: &CellSlab<P>) -> u64 {
+        0
+    }
+
     /// Verifies that the index holds exactly the live slab cells, each
     /// filed where its seed says it belongs (test support).
     fn check_coherence(&self, slab: &CellSlab<P>) -> Result<(), String>;
@@ -139,7 +158,7 @@ pub(crate) fn closer(d: f64, id: CellId, best: Option<(CellId, f64)>) -> bool {
     }
 }
 
-/// The engine's concrete index: static dispatch over the two
+/// The engine's concrete index: static dispatch over the three
 /// implementations (no boxing on the hot path).
 #[derive(Debug, Clone)]
 pub enum CellIndex {
@@ -147,26 +166,39 @@ pub enum CellIndex {
     Linear(LinearScan),
     /// Uniform grid over seeds.
     Grid(UniformGrid),
+    /// Hash-sharded uniform grids (`shards > 1`).
+    Sharded(ShardedGrid),
 }
 
 impl CellIndex {
     /// Builds the index a configuration asks for; `r` is the cluster-cell
-    /// radius (the grid's default bucket side).
+    /// radius (the grid's default bucket side) and `shards` the configured
+    /// shard count (1 = a single unsharded grid). A defaulted side
+    /// (`side: None`) enables occupancy auto-tuning — the side is the
+    /// engine's guess, free to refine; an explicit side is pinned.
     ///
-    /// A degenerate side (zero, negative, non-finite) degrades to the
-    /// linear scan instead of panicking: the builder rejects such configs
-    /// with [`crate::ConfigError::NonPositiveGridSide`], so this only
-    /// triggers for configs smuggled past validation (deserialization,
-    /// FFI), where the engine's contract is debug-assert-only.
-    pub fn from_config(kind: NeighborIndexKind, r: f64) -> Self {
+    /// A degenerate side (zero, negative, non-finite) or shard count of
+    /// zero degrades to the linear scan instead of panicking: the builder
+    /// rejects such configs with typed [`crate::ConfigError`]s, so this
+    /// only triggers for configs smuggled past validation
+    /// (deserialization, FFI), where the engine's contract is
+    /// debug-assert-only.
+    pub fn from_config(kind: NeighborIndexKind, r: f64, shards: usize) -> Self {
         match kind {
             NeighborIndexKind::LinearScan => CellIndex::Linear(LinearScan),
             NeighborIndexKind::Grid { side } => {
+                let auto_tune = side.is_none();
                 let side = side.unwrap_or(r);
-                if side.is_finite() && side > 0.0 {
-                    CellIndex::Grid(UniformGrid::new(side))
-                } else {
+                if !side.is_finite() || side <= 0.0 || shards == 0 {
                     CellIndex::Linear(LinearScan)
+                } else if shards == 1 {
+                    if auto_tune {
+                        CellIndex::Grid(UniformGrid::auto_tuned(side))
+                    } else {
+                        CellIndex::Grid(UniformGrid::new(side))
+                    }
+                } else {
+                    CellIndex::Sharded(ShardedGrid::new(side, shards, auto_tune))
                 }
             }
         }
@@ -177,6 +209,20 @@ impl CellIndex {
         match self {
             CellIndex::Linear(_) => "linear",
             CellIndex::Grid(_) => "grid",
+            CellIndex::Sharded(_) => "sharded-grid",
+        }
+    }
+
+    /// Live cells held per shard: one entry per shard of the sharded
+    /// grid, a single entry for the unsharded grid, empty for the linear
+    /// scan (the slab itself is the only structure). Written into
+    /// `out` so the engine's per-insert refresh never reallocates.
+    pub fn shard_occupancy_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        match self {
+            CellIndex::Linear(_) => {}
+            CellIndex::Grid(g) => out.push(g.indexed_len() as u64),
+            CellIndex::Sharded(s) => out.extend(s.occupancy_iter()),
         }
     }
 }
@@ -186,6 +232,7 @@ impl<P: GridCoords> NeighborIndex<P> for CellIndex {
         match self {
             CellIndex::Linear(ix) => ix.on_insert(id, seed),
             CellIndex::Grid(ix) => ix.on_insert(id, seed),
+            CellIndex::Sharded(ix) => ix.on_insert(id, seed),
         }
     }
 
@@ -193,6 +240,7 @@ impl<P: GridCoords> NeighborIndex<P> for CellIndex {
         match self {
             CellIndex::Linear(ix) => ix.on_remove(id, seed),
             CellIndex::Grid(ix) => ix.on_remove(id, seed),
+            CellIndex::Sharded(ix) => ix.on_remove(id, seed),
         }
     }
 
@@ -207,6 +255,7 @@ impl<P: GridCoords> NeighborIndex<P> for CellIndex {
         match self {
             CellIndex::Linear(ix) => ix.nearest_within(q, radius, slab, metric, on_probe),
             CellIndex::Grid(ix) => ix.nearest_within(q, radius, slab, metric, on_probe),
+            CellIndex::Sharded(ix) => ix.nearest_within(q, radius, slab, metric, on_probe),
         }
     }
 
@@ -220,6 +269,7 @@ impl<P: GridCoords> NeighborIndex<P> for CellIndex {
         match self {
             CellIndex::Linear(ix) => ix.nearest_matching(q, slab, metric, pred),
             CellIndex::Grid(ix) => ix.nearest_matching(q, slab, metric, pred),
+            CellIndex::Sharded(ix) => ix.nearest_matching(q, slab, metric, pred),
         }
     }
 
@@ -227,6 +277,15 @@ impl<P: GridCoords> NeighborIndex<P> for CellIndex {
         match self {
             CellIndex::Linear(ix) => NeighborIndex::<P>::distance_lower_bound(ix, q, seed),
             CellIndex::Grid(ix) => NeighborIndex::<P>::distance_lower_bound(ix, q, seed),
+            CellIndex::Sharded(ix) => NeighborIndex::<P>::distance_lower_bound(ix, q, seed),
+        }
+    }
+
+    fn maintain(&mut self, slab: &CellSlab<P>) -> u64 {
+        match self {
+            CellIndex::Linear(_) => 0,
+            CellIndex::Grid(ix) => ix.maintain(slab),
+            CellIndex::Sharded(ix) => ix.maintain(slab),
         }
     }
 
@@ -234,6 +293,7 @@ impl<P: GridCoords> NeighborIndex<P> for CellIndex {
         match self {
             CellIndex::Linear(ix) => ix.check_coherence(slab),
             CellIndex::Grid(ix) => ix.check_coherence(slab),
+            CellIndex::Sharded(ix) => ix.check_coherence(slab),
         }
     }
 }
@@ -244,15 +304,21 @@ mod tests {
 
     #[test]
     fn from_config_builds_what_was_asked() {
-        assert_eq!(CellIndex::from_config(NeighborIndexKind::LinearScan, 0.5).label(), "linear");
+        assert_eq!(CellIndex::from_config(NeighborIndexKind::LinearScan, 0.5, 1).label(), "linear");
         assert_eq!(
-            CellIndex::from_config(NeighborIndexKind::Grid { side: None }, 0.5).label(),
+            CellIndex::from_config(NeighborIndexKind::Grid { side: None }, 0.5, 1).label(),
             "grid"
         );
         assert_eq!(
-            CellIndex::from_config(NeighborIndexKind::Grid { side: Some(2.0) }, 0.5).label(),
+            CellIndex::from_config(NeighborIndexKind::Grid { side: Some(2.0) }, 0.5, 1).label(),
             "grid"
         );
+        assert_eq!(
+            CellIndex::from_config(NeighborIndexKind::Grid { side: None }, 0.5, 4).label(),
+            "sharded-grid"
+        );
+        // Sharding a linear scan is meaningless; the scan wins.
+        assert_eq!(CellIndex::from_config(NeighborIndexKind::LinearScan, 0.5, 4).label(), "linear");
     }
 
     #[test]
@@ -260,11 +326,28 @@ mod tests {
         // Smuggled configs (deserialization/FFI) bypass builder validation;
         // the engine must not panic in release builds.
         for bad in [0.0, -3.0, f64::NAN, f64::INFINITY] {
-            let ix = CellIndex::from_config(NeighborIndexKind::Grid { side: Some(bad) }, 0.5);
+            let ix = CellIndex::from_config(NeighborIndexKind::Grid { side: Some(bad) }, 0.5, 1);
             assert_eq!(ix.label(), "linear", "side {bad} must degrade");
         }
-        // A degenerate radius poisons the default side the same way.
-        let ix = CellIndex::from_config(NeighborIndexKind::Grid { side: None }, f64::NAN);
+        // A degenerate radius poisons the default side the same way, and a
+        // smuggled shard count of zero cannot panic either.
+        let ix = CellIndex::from_config(NeighborIndexKind::Grid { side: None }, f64::NAN, 1);
         assert_eq!(ix.label(), "linear");
+        let ix = CellIndex::from_config(NeighborIndexKind::Grid { side: None }, 0.5, 0);
+        assert_eq!(ix.label(), "linear");
+    }
+
+    #[test]
+    fn shard_occupancy_matches_the_variant() {
+        let mut out = vec![9, 9];
+        CellIndex::from_config(NeighborIndexKind::LinearScan, 0.5, 1)
+            .shard_occupancy_into(&mut out);
+        assert!(out.is_empty());
+        CellIndex::from_config(NeighborIndexKind::Grid { side: None }, 0.5, 1)
+            .shard_occupancy_into(&mut out);
+        assert_eq!(out, vec![0]);
+        CellIndex::from_config(NeighborIndexKind::Grid { side: None }, 0.5, 3)
+            .shard_occupancy_into(&mut out);
+        assert_eq!(out, vec![0, 0, 0]);
     }
 }

@@ -1,0 +1,265 @@
+//! Sharded uniform-grid neighbor index.
+//!
+//! [`ShardedGrid`] hashes each seed's grid coordinates — quantized at the
+//! fixed *shard side* (the configured bucket side, never retuned) — onto
+//! `S` independent [`UniformGrid`] shards. Every structural operation
+//! (`on_insert`, `on_remove`, auto-tuning rebuilds) touches exactly one
+//! shard; queries consult all shards and combine their per-shard winners
+//! under the shared [`closer`] order, so the result is bit-identical to a
+//! single grid over the same cells.
+//!
+//! Why shard at all, when queries still visit every shard? Because the
+//! shards are *independent*: no operation ever holds two shards at once,
+//! which is the load-bearing seam the ROADMAP names for multi-core work —
+//! per-shard locks (or shard-per-thread ownership) drop in without
+//! touching the engine, and per-shard auto-tuning already exploits the
+//! independence today (a crowded region refines its shard's side without
+//! rebuilding the others). Per-shard occupancy is surfaced through
+//! [`crate::EngineStats::shard_cells`] so skew is observable before any
+//! parallelism lands.
+//!
+//! `S = 1` is the identity configuration: one shard, one grid, the exact
+//! behavior of [`UniformGrid`] alone.
+
+use std::hash::Hasher;
+
+use edm_common::hash::FxHasher;
+use edm_common::metric::Metric;
+use edm_common::point::GridCoords;
+
+use crate::cell::{Cell, CellId};
+use crate::slab::CellSlab;
+
+use super::{closer, NeighborIndex, UniformGrid};
+
+/// Uniform grids sharded by a hash of the seed's coarse grid key.
+#[derive(Debug, Clone)]
+pub struct ShardedGrid {
+    /// The per-shard grids; length is the configured shard count.
+    shards: Vec<UniformGrid>,
+    /// Quantization side for shard routing. Fixed at construction: shard
+    /// assignment must outlive per-shard side retuning, or a rebuilt
+    /// shard would strand cells it no longer routes to.
+    shard_side: f64,
+}
+
+impl ShardedGrid {
+    /// Creates `shards` empty grids of bucket side `side`; `auto_tune`
+    /// lets each shard retune its own side independently (see
+    /// [`UniformGrid::maintain`]).
+    ///
+    /// # Panics
+    /// Panics when `shards == 0` or `side` is not positive and finite —
+    /// both enforced earlier by config validation.
+    pub fn new(side: f64, shards: usize, auto_tune: bool) -> Self {
+        assert!(shards > 0, "a sharded grid needs at least one shard");
+        let make = if auto_tune { UniformGrid::auto_tuned } else { UniformGrid::new };
+        ShardedGrid { shards: (0..shards).map(|_| make(side)).collect(), shard_side: side }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Live cells held per shard, in shard order — occupancy skew is the
+    /// first thing to check before leaning on shard parallelism.
+    pub fn shard_occupancy(&self) -> Vec<u64> {
+        self.occupancy_iter().collect()
+    }
+
+    /// Allocation-free view of per-shard occupancy, in shard order.
+    pub fn occupancy_iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.shards.iter().map(|s| s.indexed_len() as u64)
+    }
+
+    /// Auto-tuning rebuilds summed over all shards.
+    pub fn rebuilds(&self) -> u64 {
+        self.shards.iter().map(UniformGrid::rebuilds).sum()
+    }
+
+    /// The shard a seed with these coordinates routes to. Coordinate-less
+    /// payloads all land in shard 0 (its unbucketed list is the shared
+    /// degradation path). The route depends only on the seed — stable for
+    /// a cell's whole lifetime, so insert and remove always agree.
+    fn shard_of(&self, coords: Option<&[f64]>) -> usize {
+        let Some(coords) = coords else { return 0 };
+        let mut h = FxHasher::default();
+        for &x in coords {
+            h.write_i64((x / self.shard_side).floor() as i64);
+        }
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// Runs per-shard occupancy auto-tuning; returns rebuilds performed.
+    pub fn maintain<P: GridCoords>(&mut self, slab: &CellSlab<P>) -> u64 {
+        self.shards.iter_mut().map(|s| s.maintain(slab)).sum()
+    }
+}
+
+impl<P: GridCoords> NeighborIndex<P> for ShardedGrid {
+    fn on_insert(&mut self, id: CellId, seed: &P) {
+        let shard = self.shard_of(seed.grid_coords());
+        self.shards[shard].on_insert(id, seed);
+    }
+
+    fn on_remove(&mut self, id: CellId, seed: &P) {
+        let shard = self.shard_of(seed.grid_coords());
+        self.shards[shard].on_remove(id, seed);
+    }
+
+    fn nearest_within<M: Metric<P>>(
+        &self,
+        q: &P,
+        radius: f64,
+        slab: &CellSlab<P>,
+        metric: &M,
+        on_probe: &mut dyn FnMut(CellId, f64),
+    ) -> Option<(CellId, f64)> {
+        // The hash scatters spatial neighborhoods across shards, so every
+        // shard may hold the winner; fold their exact answers under the
+        // shared order (ties break toward the lower id regardless of
+        // which shard produced them).
+        let mut best: Option<(CellId, f64)> = None;
+        for shard in &self.shards {
+            if let Some((id, d)) = shard.nearest_within(q, radius, slab, metric, on_probe) {
+                if closer(d, id, best) {
+                    best = Some((id, d));
+                }
+            }
+        }
+        best
+    }
+
+    fn nearest_matching<M: Metric<P>>(
+        &self,
+        q: &P,
+        slab: &CellSlab<P>,
+        metric: &M,
+        pred: &mut dyn FnMut(CellId, &Cell<P>) -> bool,
+    ) -> Option<(CellId, f64)> {
+        let mut best: Option<(CellId, f64)> = None;
+        for shard in &self.shards {
+            if let Some((id, d)) = shard.nearest_matching(q, slab, metric, pred) {
+                if closer(d, id, best) {
+                    best = Some((id, d));
+                }
+            }
+        }
+        best
+    }
+
+    fn distance_lower_bound(&self, q: &P, seed: &P) -> f64 {
+        // Chebyshev on raw coordinates — identical for every shard.
+        NeighborIndex::<P>::distance_lower_bound(&self.shards[0], q, seed)
+    }
+
+    fn check_coherence(&self, slab: &CellSlab<P>) -> Result<(), String> {
+        let indexed: usize = self.shards.iter().map(UniformGrid::indexed_len).sum();
+        if indexed != slab.len() {
+            return Err(format!("shards hold {indexed} cells, slab holds {}", slab.len()));
+        }
+        for (id, cell) in slab.iter() {
+            let coords = cell.seed.grid_coords();
+            let shard = self.shard_of(coords);
+            self.shards[shard]
+                .check_filed(id, coords)
+                .map_err(|e| format!("shard {shard}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edm_common::metric::Euclidean;
+    use edm_common::point::DenseVector;
+
+    fn v(x: f64, y: f64) -> DenseVector {
+        DenseVector::from([x, y])
+    }
+
+    fn populated(shards: usize) -> (ShardedGrid, CellSlab<DenseVector>, Vec<CellId>) {
+        let mut grid = ShardedGrid::new(1.0, shards, false);
+        let mut slab = CellSlab::new();
+        let mut ids = Vec::new();
+        for i in 0..40 {
+            let seed = v((i % 8) as f64 * 1.7 - 5.0, (i / 8) as f64 * 1.3 - 2.0);
+            let id = slab.insert(Cell::new(seed, 0.0));
+            grid.on_insert(id, &slab.get(id).seed);
+            ids.push(id);
+        }
+        (grid, slab, ids)
+    }
+
+    #[test]
+    fn sharded_answers_match_brute_force() {
+        for shards in [1, 2, 4, 7] {
+            let (grid, slab, _) = populated(shards);
+            assert!(grid.check_coherence(&slab).is_ok());
+            for probe in [v(0.0, 0.0), v(-4.9, -1.9), v(6.6, 2.0), v(100.0, 0.0)] {
+                let hit = grid.nearest_within(&probe, 2.0, &slab, &Euclidean, &mut |_, _| {});
+                let brute = slab
+                    .iter()
+                    .map(|(id, c)| (id, c.seed.dist(&probe)))
+                    .filter(|&(_, d)| d <= 2.0)
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+                assert_eq!(hit, brute, "shards={shards}, probe={probe:?}");
+                let m = grid.nearest_matching(&probe, &slab, &Euclidean, &mut |_, _| true);
+                let bm = slab
+                    .iter()
+                    .map(|(id, c)| (id, c.seed.dist(&probe)))
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+                assert_eq!(m, bm, "shards={shards}, probe={probe:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn occupancy_sums_to_the_population_and_removal_rebalances() {
+        let (mut grid, mut slab, ids) = populated(4);
+        assert_eq!(grid.shard_occupancy().iter().sum::<u64>(), 40);
+        assert_eq!(grid.shard_count(), 4);
+        for &id in &ids[..20] {
+            let cell = slab.remove(id);
+            grid.on_remove(id, &cell.seed);
+        }
+        assert_eq!(grid.shard_occupancy().iter().sum::<u64>(), 20);
+        assert!(grid.check_coherence(&slab).is_ok());
+    }
+
+    #[test]
+    fn single_shard_behaves_like_the_plain_grid() {
+        let (grid, slab, _) = populated(1);
+        let mut plain = UniformGrid::new(1.0);
+        for (id, cell) in slab.iter() {
+            plain.on_insert(id, &cell.seed);
+        }
+        for probe in [v(0.3, 0.3), v(-5.0, -2.0), v(3.1, 1.2)] {
+            let a = grid.nearest_within(&probe, 1.5, &slab, &Euclidean, &mut |_, _| {});
+            let b = plain.nearest_within(&probe, 1.5, &slab, &Euclidean, &mut |_, _| {});
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn coordinate_less_payloads_route_to_shard_zero() {
+        use edm_common::metric::Jaccard;
+        use edm_common::point::TokenSet;
+        let mut grid = ShardedGrid::new(1.0, 3, false);
+        let mut slab = CellSlab::new();
+        let a = slab.insert(Cell::new(TokenSet::new(vec![1, 2, 3]), 0.0));
+        let b = slab.insert(Cell::new(TokenSet::new(vec![9, 10]), 0.0));
+        grid.on_insert(a, &slab.get(a).seed);
+        grid.on_insert(b, &slab.get(b).seed);
+        assert_eq!(grid.shard_occupancy(), vec![2, 0, 0]);
+        assert!(grid.check_coherence(&slab).is_ok());
+        let q = TokenSet::new(vec![1, 2]);
+        let hit = grid.nearest_within(&q, 0.9, &slab, &Jaccard, &mut |_, _| {});
+        assert_eq!(hit.map(|(id, _)| id), Some(a));
+        let cell = slab.remove(b);
+        grid.on_remove(b, &cell.seed);
+        assert!(grid.check_coherence(&slab).is_ok());
+    }
+}

@@ -60,8 +60,11 @@
 //! | [`cell`] | §3.2 Def. 4, Eq. 6–8 | cluster-cells, lazily decayed density, the strict density order |
 //! | [`slab`] | §4.3–4.4 | stable-id cell storage with slot recycling |
 //! | [`tree`] | §2.2, Def. 1–3 | DP-Tree edges, strong links, MSDSubTree traversals, invariants |
-//! | [`index`] | §4.1 "New point assignment" | sub-linear neighbor lookup over cell seeds (grid + linear scan) |
-//! | [`engine`] | §4, Fig 5 | assignment, dependency maintenance, emergence, decay, recycling |
+//! | [`index`] | §4.1 "New point assignment" | sub-linear neighbor lookup over cell seeds (sharded/plain grid + linear scan, occupancy auto-tuning) |
+//! | [`engine`] | §4, Fig 5 | the pipeline facade over the three layers below |
+//! | `engine/ingest.rs` | §4.1 | assignment, new-cell admission, emergence, the initialization batch pass |
+//! | `engine/maintain.rs` | §4.2–4.4, Thm 1–3 | dependency maintenance, decay sweep, idle-queue ΔT_del recycling |
+//! | `engine/query.rs` | §3.1, §6.3.1 | clusters, decision graph, snapshots, membership queries, invariant checkers |
 //! | [`filters`] | §4.2 Thm 1–2, Fig 11 | density & triangle-inequality update filters, runtime counters |
 //! | [`tau`] | §5, Table 4 | the F(τ) objective, α learning, the adaptive τ controller |
 //! | [`evolution`] | §3.1 Table 1, §3.3 | emerge / disappear / split / merge / adjust detection, bounded event log |
@@ -90,6 +93,6 @@ pub use engine::EdmStream;
 pub use error::EdmError;
 pub use evolution::{AdjustKind, ClusterId, Event, EventCursor, EventKind, EvolutionLog};
 pub use filters::{EngineStats, FilterConfig};
-pub use index::{LinearScan, NeighborIndex, NeighborIndexKind, UniformGrid};
+pub use index::{LinearScan, NeighborIndex, NeighborIndexKind, ShardedGrid, UniformGrid};
 pub use snapshot::{ClusterInfo, ClusterSnapshot};
 pub use tau::TauMode;

@@ -33,7 +33,15 @@ fn main() {
         // through a uniform grid with bucket side r, so an insert probes
         // only the 3x3 bucket shell around the point instead of every
         // cell. `LinearScan` is the exact fallback for exotic metrics.
+        // With `side: None` the grid also auto-tunes its bucket side when
+        // mean occupancy leaves the target band (EngineStats counts the
+        // rebuilds in `grid_rebuilds`).
         .neighbor_index(NeighborIndexKind::Grid { side: None })
+        // Also the default: one index shard. Raising it splits the grid
+        // into hash-independent per-shard grids (occupancy per shard in
+        // `EngineStats::shard_cells`) — the isolation seam for multi-core
+        // work; leave at 1 for best single-threaded latency.
+        .shards(std::num::NonZeroUsize::new(1).expect("1 is nonzero"))
         .build()
         .expect("valid quickstart configuration");
     let mut engine = EdmStream::new(cfg, Euclidean);

@@ -62,6 +62,7 @@ pub use edm_common::metric::{Euclidean, Jaccard, Metric};
 pub use edm_common::point::{DenseVector, GridCoords, TokenSet};
 pub use edm_core::{
     AdjustKind, ClusterId, ClusterInfo, ClusterSnapshot, ConfigError, EdmConfig, EdmConfigBuilder,
-    EdmError, EdmStream, Event, EventCursor, EventKind, FilterConfig, NeighborIndexKind, TauMode,
+    EdmError, EdmStream, EngineStats, Event, EventCursor, EventKind, FilterConfig,
+    NeighborIndexKind, TauMode,
 };
 pub use edm_data::clusterer::StreamClusterer;
