@@ -1,8 +1,17 @@
 //! Criterion micro-bench: EDMStream per-point insert latency on each
 //! dataset surrogate (the microscopic view of paper Fig 9).
+//!
+//! Besides the criterion samples, the run rewrites the `insert_latency`
+//! section of the committed `BENCH_ingest.json` (points/sec per dataset,
+//! measured over one full serial pass) so per-point latency is tracked
+//! machine-readably across PRs alongside the batch-ingest numbers.
+
+use std::path::Path;
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use edm_bench::catalog::{self, DatasetId};
+use edm_bench::report::merge_bench_json;
 use edm_common::metric::Euclidean;
 use edm_core::EdmStream;
 
@@ -34,5 +43,34 @@ fn bench_insert(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_insert);
+/// One timed serial pass per dataset, written into `BENCH_ingest.json`.
+fn emit_json(c: &mut Criterion) {
+    let _ = c; // runs as a criterion group member; needs no bencher
+    let mut entries: Vec<String> = Vec::new();
+    for id in [DatasetId::Kdd, DatasetId::CoverType, DatasetId::Pamap2] {
+        let ds = catalog::load(id, 0.01, 1_000.0);
+        let mut e = EdmStream::new(ds.edm.clone(), Euclidean);
+        for p in ds.stream.iter().take(2_000) {
+            e.insert(&p.payload, p.ts);
+        }
+        let start = Instant::now();
+        let mut n = 0u64;
+        for p in ds.stream.iter().skip(2_000) {
+            e.insert(&p.payload, p.ts);
+            n += 1;
+        }
+        let pps = n as f64 / start.elapsed().as_secs_f64();
+        entries.push(format!(
+            "{{\"dataset\": \"{}\", \"points_per_sec\": {:.0}}}",
+            ds.id.name(),
+            pps
+        ));
+    }
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_ingest.json");
+    merge_bench_json(&path, "insert_latency", &format!("[{}]", entries.join(", ")))
+        .expect("write bench json");
+    println!("[written {}]", path.display());
+}
+
+criterion_group!(benches, bench_insert, emit_json);
 criterion_main!(benches);

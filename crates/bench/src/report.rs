@@ -93,6 +93,83 @@ pub fn f(x: f64, p: usize) -> String {
     format!("{x:.p$}")
 }
 
+/// Merges one section into a bench-artifact JSON file (e.g. the committed
+/// `BENCH_ingest.json`): the file is a top-level JSON object holding one
+/// `"section": value` entry per line, and `value` must itself be a single
+/// line of valid JSON. The line discipline is what lets independent bench
+/// binaries (`parallel_batch_ingest`, `insert_latency`) each refresh their
+/// own section without a JSON parser in the workspace — the existing file
+/// is re-read line-wise, the named section replaced or appended, and the
+/// object rewritten.
+pub fn merge_bench_json(path: &Path, section: &str, value: &str) -> std::io::Result<()> {
+    assert!(!value.contains('\n'), "section values must be single-line JSON");
+    let mut sections: Vec<(String, String)> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        for line in existing.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if line.is_empty() || line == "{" || line == "}" {
+                continue;
+            }
+            // Refuse to merge into a file that broke the line discipline
+            // (hand-edited, pretty-printed, …): skipping unparseable
+            // lines would silently drop the other sections on rewrite. A
+            // pretty-printed object value makes its first line parse like
+            // an entry with a dangling `{`, so the value must also be
+            // balanced to count as complete single-line JSON.
+            let parsed = line
+                .strip_prefix('"')
+                .and_then(|rest| rest.split_once("\": "))
+                .filter(|(_, val)| json_balanced(val));
+            let Some((key, val)) = parsed else {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "{}: line {line:?} is not a single-line \"section\": value entry; \
+                         refusing to rewrite (other sections would be lost) — delete the file \
+                         to regenerate it",
+                        path.display()
+                    ),
+                ));
+            };
+            sections.push((key.to_string(), val.to_string()));
+        }
+    }
+    match sections.iter_mut().find(|(k, _)| k == section) {
+        Some((_, v)) => v.clone_from(&value.to_string()),
+        None => sections.push((section.to_string(), value.to_string())),
+    }
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in sections.iter().enumerate() {
+        let comma = if i + 1 == sections.len() { "" } else { "," };
+        out.push_str(&format!("  \"{k}\": {v}{comma}\n"));
+    }
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+/// Whether `v` closes every brace, bracket and string it opens — the
+/// completeness test [`merge_bench_json`] applies to each section value
+/// (a pretty-printed file leaves openers dangling on the entry line).
+fn json_balanced(v: &str) -> bool {
+    let (mut curly, mut square, mut in_str, mut esc) = (0i32, 0i32, false, false);
+    for ch in v.chars() {
+        if esc {
+            esc = false;
+            continue;
+        }
+        match ch {
+            '\\' if in_str => esc = true,
+            '"' => in_str = !in_str,
+            '{' if !in_str => curly += 1,
+            '}' if !in_str => curly -= 1,
+            '[' if !in_str => square += 1,
+            ']' if !in_str => square -= 1,
+            _ => {}
+        }
+    }
+    curly == 0 && square == 0 && !in_str
+}
+
 /// ASCII scatter of 2-D points in `rows × cols`; `shade` returns a glyph
 /// per point (used to draw freshness in Fig 6).
 pub fn ascii_scatter(
@@ -163,6 +240,60 @@ mod tests {
         let csv = std::fs::read_to_string(dir.join("unit.csv")).unwrap();
         assert_eq!(csv, "x\n7\n");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_json_merges_sections_and_replaces_in_place() {
+        let path = std::env::temp_dir().join("edm-bench-test-merge.json");
+        let _ = std::fs::remove_file(&path);
+        merge_bench_json(&path, "host", r#"{"cpus": 4}"#).unwrap();
+        merge_bench_json(&path, "runs", r#"[{"threads": 1, "pps": 10.0}]"#).unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            s,
+            "{\n  \"host\": {\"cpus\": 4},\n  \"runs\": [{\"threads\": 1, \"pps\": 10.0}]\n}\n"
+        );
+        // Refreshing one section leaves the other untouched.
+        merge_bench_json(&path, "host", r#"{"cpus": 8}"#).unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert!(s.contains(r#""cpus": 8"#), "{s}");
+        assert!(s.contains(r#""pps": 10.0"#), "{s}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-line")]
+    fn bench_json_rejects_multiline_values() {
+        let path = std::env::temp_dir().join("edm-bench-test-multiline.json");
+        let _ = merge_bench_json(&path, "bad", "[\n]");
+    }
+
+    #[test]
+    fn bench_json_refuses_files_off_the_line_discipline() {
+        // A pretty-printed file must error, not be silently rewritten
+        // with every other section dropped — for array values (inner
+        // lines unparseable) and object values (entry line dangling).
+        let pretty = [
+            "{\n  \"runs\": [\n    {\"threads\": 1}\n  ]\n}\n",
+            "{\n  \"host\": {\n    \"cpus\": 1\n  }\n}\n",
+        ];
+        for (i, contents) in pretty.iter().enumerate() {
+            let path = std::env::temp_dir().join(format!("edm-bench-test-pretty-{i}.json"));
+            std::fs::write(&path, contents).unwrap();
+            let err = merge_bench_json(&path, "new", r#"{"x": 1}"#).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+            // The file is left exactly as it was.
+            assert_eq!(&std::fs::read_to_string(&path).unwrap(), contents);
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn json_balance_checker_handles_strings_and_nesting() {
+        assert!(json_balanced(r#"{"a": [1, 2, {"b": "}"}]}"#));
+        assert!(json_balanced(r#""plain string with \" escape""#));
+        assert!(!json_balanced("{"));
+        assert!(!json_balanced(r#"["unclosed"#));
     }
 
     #[test]

@@ -67,6 +67,10 @@ pub enum ConfigError {
     /// the builder (whose setter takes a [`std::num::NonZeroUsize`]);
     /// guards configs smuggled in from deserialization/FFI.
     ZeroShards,
+    /// Batch ingest needs at least one thread. Unreachable through the
+    /// builder (whose setter takes a [`std::num::NonZeroUsize`]); guards
+    /// configs smuggled in from deserialization/FFI.
+    ZeroIngestThreads,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -94,6 +98,9 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "grid-index bucket side must be positive and finite (got {side})")
             }
             ConfigError::ZeroShards => write!(f, "the neighbor index needs at least one shard"),
+            ConfigError::ZeroIngestThreads => {
+                write!(f, "batch ingest needs at least one thread")
+            }
         }
     }
 }
@@ -159,11 +166,24 @@ pub struct EdmConfig {
     /// [`EdmConfig::check`] rejects smuggled zeros.
     #[serde(default = "default_shards")]
     pub(crate) shards: usize,
+    /// Worker threads for the probe phase of batch ingest (1 = the plain
+    /// serial per-point loop). Stored as a plain `usize` for serde
+    /// compatibility; the builder setter takes a `NonZeroUsize` so zero is
+    /// unrepresentable through the API, and [`EdmConfig::check`] rejects
+    /// smuggled zeros.
+    #[serde(default = "default_ingest_threads")]
+    pub(crate) ingest_threads: usize,
 }
 
 /// Serde default for [`EdmConfig::shards`]: configs persisted before the
 /// field existed load as unsharded.
 fn default_shards() -> usize {
+    1
+}
+
+/// Serde default for [`EdmConfig::ingest_threads`]: configs persisted
+/// before the field existed load as serial batch ingest.
+fn default_ingest_threads() -> usize {
     1
 }
 
@@ -189,6 +209,7 @@ impl EdmConfig {
                 event_capacity: DEFAULT_EVENT_CAPACITY,
                 neighbor_index: NeighborIndexKind::default(),
                 shards: default_shards(),
+                ingest_threads: default_ingest_threads(),
             },
         }
     }
@@ -243,6 +264,9 @@ impl EdmConfig {
         }
         if self.shards == 0 {
             return Err(ConfigError::ZeroShards);
+        }
+        if self.ingest_threads == 0 {
+            return Err(ConfigError::ZeroIngestThreads);
         }
         Ok(())
     }
@@ -327,6 +351,11 @@ impl EdmConfig {
     /// Shard count of the grid neighbor index (1 = unsharded).
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Worker threads for the probe phase of batch ingest (1 = serial).
+    pub fn ingest_threads(&self) -> usize {
+        self.ingest_threads
     }
 
     // ----- derived quantities -----
@@ -488,6 +517,21 @@ impl EdmConfigBuilder {
         self
     }
 
+    /// Worker threads for the **probe phase** of [`crate::EdmStream::insert_batch`]
+    /// (and `try_insert_batch`). The default of 1 keeps batch ingest on the
+    /// exact serial per-point loop; any higher count fans the batch's
+    /// read-only assignment probes out across that many scoped worker
+    /// threads, while the commit phase stays serial in timestamp order and
+    /// re-probes any point whose neighborhood an earlier commit touched —
+    /// so clustering output is observationally identical to the serial
+    /// loop at every thread count (see the engine's threading-model docs).
+    /// Taking a `NonZeroUsize` keeps a zero thread count unrepresentable
+    /// through the builder.
+    pub fn ingest_threads(mut self, threads: std::num::NonZeroUsize) -> Self {
+        self.cfg.ingest_threads = threads.get();
+        self
+    }
+
     /// Validates the parameters and produces the configuration.
     pub fn build(self) -> Result<EdmConfig, ConfigError> {
         self.cfg.check()?;
@@ -620,6 +664,23 @@ mod tests {
         let mut smuggled = sharded.clone();
         smuggled.shards = 0;
         assert_eq!(smuggled.check().unwrap_err(), ConfigError::ZeroShards);
+    }
+
+    #[test]
+    fn ingest_threads_default_to_one_and_reject_smuggled_zero() {
+        let cfg = EdmConfig::builder(0.5).build().unwrap();
+        assert_eq!(cfg.ingest_threads(), 1);
+        let parallel = cfg
+            .to_builder()
+            .ingest_threads(std::num::NonZeroUsize::new(4).unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(parallel.ingest_threads(), 4);
+        // A zero smuggled past the builder (deserialization/FFI) is caught
+        // by check().
+        let mut smuggled = parallel.clone();
+        smuggled.ingest_threads = 0;
+        assert_eq!(smuggled.check().unwrap_err(), ConfigError::ZeroIngestThreads);
     }
 
     #[test]

@@ -16,7 +16,20 @@ use crate::error::EdmError;
 use crate::index::NeighborIndex;
 use crate::tree;
 
+use super::parallel::ProbeSlot;
 use super::{suggest_tau_from_deltas, EdmStream, Phase};
+
+/// Points handed to one parallel probe-then-commit round. Bounding the
+/// round keeps phase-1 results fresh: probes run against the state at the
+/// round's start, so the longer the round, the more commits can invalidate
+/// the tail (each invalidation re-probes serially — correct, just wasted
+/// work).
+const PARALLEL_CHUNK: usize = 1024;
+
+/// Cell births tracked per round before the commit loop stops checking
+/// birth-by-birth and just re-probes every remaining point (at that churn,
+/// the conflict checks cost more than the probes they might save).
+const MAX_BIRTH_TRACKING: usize = 32;
 
 /// Per-point distance cache over slab slots with O(1) reset.
 ///
@@ -90,20 +103,147 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
     /// (and the [`edm_data::clusterer::StreamClusterer`] harness) drive
     /// one uniform interface; per-point maintenance cadences still fire at
     /// the same points.
-    pub fn insert_batch(&mut self, batch: &[(P, Timestamp)]) {
-        for (p, t) in batch {
+    ///
+    /// With [`crate::EdmConfigBuilder::ingest_threads`] above 1 the batch
+    /// runs the two-phase probe-then-commit pipeline: assignment probes
+    /// fan out across scoped worker threads against read-only state, then
+    /// commits apply serially in timestamp order, re-probing any point an
+    /// earlier commit's structural change could have affected (see the
+    /// `engine/parallel.rs` module docs and the README's "Threading
+    /// model"). Output is identical either way — the default of 1 thread
+    /// *is* the plain serial loop.
+    pub fn insert_batch(&mut self, batch: &[(P, Timestamp)])
+    where
+        P: Sync,
+    {
+        if self.cfg.ingest_threads <= 1 {
+            for (p, t) in batch {
+                self.insert(p, *t);
+            }
+            return;
+        }
+        let mut rest = batch;
+        // The initialization buffer fills serially: initialization is
+        // already a batch pass of its own, and its cells are born at
+        // unpredictable points — not worth probing ahead of.
+        while let Some(((p, t), tail)) = rest.split_first() {
+            if self.is_initialized() {
+                break;
+            }
             self.insert(p, *t);
+            rest = tail;
+        }
+        while !rest.is_empty() {
+            // A round this small cannot amortize a thread spawn.
+            if rest.len() < 2 {
+                for (p, t) in rest {
+                    self.insert(p, *t);
+                }
+                return;
+            }
+            let take = rest.len().min(PARALLEL_CHUNK);
+            let (round, tail) = rest.split_at(take);
+            self.probe_then_commit(round);
+            rest = tail;
         }
     }
 
     /// Batch variant of [`EdmStream::try_insert`]: stops at the first
     /// out-of-order timestamp, reporting its index alongside the error;
     /// points before it are already ingested.
-    pub fn try_insert_batch(&mut self, batch: &[(P, Timestamp)]) -> Result<(), (usize, EdmError)> {
-        for (i, (p, t)) in batch.iter().enumerate() {
-            self.try_insert(p, *t).map_err(|e| (i, e))?;
+    pub fn try_insert_batch(&mut self, batch: &[(P, Timestamp)]) -> Result<(), (usize, EdmError)>
+    where
+        P: Sync,
+    {
+        if self.cfg.ingest_threads <= 1 {
+            for (i, (p, t)) in batch.iter().enumerate() {
+                self.try_insert(p, *t).map_err(|e| (i, e))?;
+            }
+            return Ok(());
         }
+        // Find the first regression upfront so the parallel path only ever
+        // sees a clean prefix; like the serial loop, everything before the
+        // offender is ingested.
+        let mut now = self.now;
+        for (i, (_, t)) in batch.iter().enumerate() {
+            if *t < now - 1e-9 {
+                self.insert_batch(&batch[..i]);
+                return Err((i, EdmError::TimeRegression { now, t: *t }));
+            }
+            now = now.max(*t);
+        }
+        self.insert_batch(batch);
         Ok(())
+    }
+
+    // ----- parallel probe-then-commit (see `parallel.rs`) -----
+
+    /// One bounded round of the two-phase pipeline: fan the round's
+    /// assignment probes out across the worker pool (phase 1, read-only),
+    /// then commit serially in timestamp order (phase 2), revalidating any
+    /// probe whose answer an earlier commit could have changed.
+    fn probe_then_commit(&mut self, round: &[(P, Timestamp)])
+    where
+        P: Sync,
+    {
+        let radius = self.cfg.r;
+        let mut pool = std::mem::take(&mut self.probe_pool);
+        let slots =
+            pool.run(self.cfg.ingest_threads, round, &self.index, &self.slab, &self.metric, radius);
+        self.stats.probe_tasks += round.len() as u64;
+        self.stats.parallel_batches += 1;
+
+        // Commit phase. A cached probe stays valid while the structures it
+        // read are untouched *near the point*: cell births are tracked
+        // seed-by-seed and checked through the index's conflict geometry;
+        // recycling and grid rebuilds (both only possible inside the
+        // maintenance cadence) invalidate every remaining probe — they
+        // remove or re-file cells, which birth tracking cannot describe.
+        let mut births: Vec<P> = Vec::new();
+        let mut invalidate_all = false;
+        let recycled_before = self.stats.recycled;
+        let rebuilds_before = self.stats.grid_rebuilds;
+        for ((p, t), slot) in round.iter().zip(slots.iter_mut()) {
+            debug_assert!(*t >= self.now - 1e-9, "stream time must not go backwards");
+            self.start.get_or_insert(*t);
+            self.now = self.now.max(*t);
+            self.stats.points += 1;
+            let stale =
+                invalidate_all || births.iter().any(|b| self.index.probe_conflicts(p, b, radius));
+            let nearest = if stale {
+                self.stats.probe_revalidations += 1;
+                self.scan_distances(p)
+            } else {
+                self.replay_probe(slot)
+            };
+            if let Some(born) = self.process_resolved(p, *t, nearest) {
+                if births.len() < MAX_BIRTH_TRACKING {
+                    births.push(self.slab.get(born).seed.clone());
+                } else {
+                    invalidate_all = true;
+                }
+            }
+            if self.stats.recycled != recycled_before || self.stats.grid_rebuilds != rebuilds_before
+            {
+                invalidate_all = true;
+            }
+        }
+        self.probe_pool = pool;
+    }
+
+    /// Replays a still-valid cached probe: stamps its recorded distances
+    /// into the scratch table and accounts the counters exactly as the
+    /// serial scan at this instant would have (the probed set is identical
+    /// by the validity argument; the pruned count uses the *current* slab
+    /// population, which is what the serial scan would see).
+    fn replay_probe(&mut self, slot: &ProbeSlot) -> Option<(CellId, f64)> {
+        self.scratch.begin(self.slab.capacity_slots());
+        for &(id, d) in &slot.probes {
+            self.scratch.set(id.0 as usize, d);
+        }
+        self.stats.index_probed += slot.probes.len() as u64;
+        self.stats.index_pruned += self.slab.len() as u64 - slot.probes.len() as u64;
+        slot.best
     }
 
     /// Forces initialization with whatever is buffered (no-op when already
@@ -195,6 +335,22 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
 
     fn process(&mut self, p: &P, t: Timestamp) {
         let nearest = self.scan_distances(p);
+        self.process_resolved(p, t, nearest);
+    }
+
+    /// Everything `process` does after the assignment probe. Shared by the
+    /// serial path (which just probed) and the parallel commit loop (which
+    /// replayed a phase-1 probe); both must already have filled the
+    /// scratch table for this point. Returns the id of the cell the point
+    /// seeded, if it seeded one — the commit loop's conflict-tracking
+    /// input.
+    fn process_resolved(
+        &mut self,
+        p: &P,
+        t: Timestamp,
+        nearest: Option<(CellId, f64)>,
+    ) -> Option<CellId> {
+        let mut born = None;
         match nearest {
             Some((cid, _)) => {
                 self.stats.absorbed += 1;
@@ -224,6 +380,7 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
                 self.index.on_insert(id, &self.slab.get(id).seed);
                 self.idle.push(id, t);
                 self.refresh_shard_stats();
+                born = Some(id);
             }
         }
         if self.stats.points.is_multiple_of(self.cfg.maintenance_every) {
@@ -239,6 +396,7 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
             self.run_diff(t);
         }
         self.update_reservoir_peak();
+        born
     }
 
     /// Resolves the assignment query through the neighbor index: the

@@ -36,6 +36,7 @@
 
 mod ingest;
 mod maintain;
+mod parallel;
 mod query;
 #[cfg(test)]
 mod tests;
@@ -55,6 +56,7 @@ use crate::tau::TauController;
 
 use ingest::ScratchDistances;
 use maintain::IdleQueue;
+use parallel::ProbePool;
 
 /// Engine phase: caching the initialization buffer, or running.
 enum Phase<P> {
@@ -87,6 +89,9 @@ pub struct EdmStream<P, M> {
     /// expired cells from here instead of sweeping the slab (ΔT_del
     /// recycling in O(recycled), not O(total cells)).
     idle: IdleQueue,
+    /// Reusable result buffers for the parallel probe phase of
+    /// `insert_batch` (idle while `ingest_threads` is 1).
+    probe_pool: ProbePool,
     active_thr: f64,
     dt_del: f64,
     start: Option<Timestamp>,
@@ -118,6 +123,29 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
     /// [`EdmConfig::check`]; this constructor only debug-asserts.
     pub fn new(cfg: EdmConfig, metric: M) -> Self {
         debug_assert!(cfg.check().is_ok(), "config bypassed builder validation: {:?}", cfg.check());
+        // Test-harness knob: `EDM_FORCE_INGEST_THREADS=<n>` forces the
+        // parallel batch-ingest path onto engines that left the knob at
+        // its default, so an entire test suite can run a second time with
+        // phase-1 probing live (CI does exactly that; `cargo test` builds
+        // with debug assertions, so the knob is live there). Deliberately
+        // ignored when the caller chose a thread count — and compiled out
+        // of release builds entirely, where a stray environment variable
+        // must never change library behavior (the release default really
+        // is the serial loop, byte for byte).
+        #[cfg(debug_assertions)]
+        let cfg = {
+            let mut cfg = cfg;
+            if cfg.ingest_threads() == 1 {
+                if let Some(forced) = std::env::var("EDM_FORCE_INGEST_THREADS")
+                    .ok()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 1)
+                {
+                    cfg.ingest_threads = forced;
+                }
+            }
+            cfg
+        };
         let active_thr = cfg.active_threshold();
         let dt_del = cfg.delta_t_del();
         // Grid pruning is only sound for metrics that vouch for the
@@ -140,6 +168,7 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
             index: CellIndex::from_config(index_kind, cfg.r(), cfg.shards()),
             scratch: ScratchDistances::default(),
             idle: IdleQueue::default(),
+            probe_pool: ProbePool::default(),
             active_thr,
             dt_del,
             start: None,
@@ -206,7 +235,23 @@ fn suggest_tau_from_deltas(sorted: &[f64]) -> Option<f64> {
     best.1
 }
 
-impl<P: Clone + GridCoords, M: Metric<P>> edm_data::clusterer::StreamClusterer<P>
+/// Compile-time `Send + Sync` audit of the engine and its parallel-ingest
+/// machinery: the probe phase shares `&self` across scoped threads, and
+/// [`crate::ClusterSnapshot`]'s docs promise it ships across threads —
+/// neither claim may silently rot. All of it holds without a single
+/// `unsafe` block in this crate (scoped threads borrow safely).
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<ProbePool>();
+    assert_send_sync::<crate::index::CellIndex>();
+    assert_send_sync::<crate::index::UniformGrid>();
+    assert_send_sync::<crate::index::ShardedGrid>();
+    assert_send_sync::<crate::slab::CellSlab<edm_common::point::DenseVector>>();
+    assert_send_sync::<EdmStream<edm_common::point::DenseVector, edm_common::metric::Euclidean>>();
+    assert_send_sync::<EdmStream<edm_common::point::TokenSet, edm_common::metric::Jaccard>>();
+};
+
+impl<P: Clone + GridCoords + Sync, M: Metric<P>> edm_data::clusterer::StreamClusterer<P>
     for EdmStream<P, M>
 {
     fn name(&self) -> &'static str {

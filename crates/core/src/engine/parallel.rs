@@ -1,0 +1,187 @@
+//! Parallel probe phase of batch ingest (probe-then-commit).
+//!
+//! [`EdmStream::insert_batch`] with `ingest_threads > 1` splits each batch
+//! into two phases:
+//!
+//! 1. **Probe** (parallel, here): every point's assignment query — the
+//!    nearest cell seed within `r`, resolved through the neighbor index —
+//!    runs against `&self` engine state, fanned out across scoped worker
+//!    threads. This is safe because queries are strictly read-only (the
+//!    layering contract of [`super`]) and is where an insert spends most
+//!    of its time in absorb-dominated steady state.
+//! 2. **Commit** (serial, in `ingest.rs`): points apply in timestamp
+//!    order. A pre-computed probe is only trusted while no earlier commit
+//!    in the same batch could have changed its answer *or its probed
+//!    set*: a cell birth near the point (decided by
+//!    [`crate::index::NeighborIndex::probe_conflicts`]), any recycling,
+//!    or a grid rebuild sends the point back through the serial scan —
+//!    counted in [`crate::EngineStats::probe_revalidations`]. Output is
+//!    therefore observationally identical to the serial per-point loop at
+//!    every thread count; parallelism only changes who computes the
+//!    probes.
+//!
+//! The pool itself is just reusable per-point result buffers plus the
+//! fan-out logic: workers are `std::thread::scope` threads spawned per
+//! batch (scoped threads are what lets them borrow the engine without
+//! `'static` gymnastics or `unsafe`), while the [`ProbeSlot`] buffers —
+//! the allocation that would otherwise recur per point — persist on the
+//! engine across batches. Work is partitioned into contiguous chunks of
+//! the batch rather than by grid shard: probes *read* every shard (a
+//! nearest query folds per-shard winners), so batch position is the only
+//! contention-free split.
+
+use edm_common::metric::Metric;
+use edm_common::point::GridCoords;
+use edm_common::time::Timestamp;
+
+use crate::cell::CellId;
+use crate::index::{CellIndex, NeighborIndex};
+use crate::slab::CellSlab;
+
+/// One point's resolved assignment probe, computed against the engine
+/// state at probe time.
+#[derive(Debug, Clone, Default)]
+pub(super) struct ProbeSlot {
+    /// The nearest cell within `r`, if any — what
+    /// `EdmStream::scan_distances` would have returned.
+    pub(super) best: Option<(CellId, f64)>,
+    /// Every (cell, distance) the index actually computed, in probe
+    /// order — replayed into the engine's epoch-stamped scratch table at
+    /// commit time, where it feeds the Theorem 2 triangle filter exactly
+    /// like a serial scan's recordings would.
+    pub(super) probes: Vec<(CellId, f64)>,
+}
+
+/// Reusable fan-out state for the probe phase: per-point result slots
+/// that persist across batches so steady-state probing allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub(super) struct ProbePool {
+    slots: Vec<ProbeSlot>,
+}
+
+impl ProbePool {
+    /// Probes every point of `batch` against the (frozen, shared) index
+    /// and slab, using up to `threads` OS threads, and returns one filled
+    /// slot per point, in batch order.
+    ///
+    /// The calling thread always works the first chunk itself, so
+    /// `threads = 1` degenerates to an inline loop without a spawn.
+    pub(super) fn run<P, M>(
+        &mut self,
+        threads: usize,
+        batch: &[(P, Timestamp)],
+        index: &CellIndex,
+        slab: &CellSlab<P>,
+        metric: &M,
+        radius: f64,
+    ) -> &mut [ProbeSlot]
+    where
+        P: Clone + GridCoords + Sync,
+        M: Metric<P>,
+    {
+        let n = batch.len();
+        if self.slots.len() < n {
+            self.slots.resize_with(n, ProbeSlot::default);
+        }
+        let slots = &mut self.slots[..n];
+        let workers = threads.min(n).max(1);
+        if workers == 1 {
+            for ((p, _), slot) in batch.iter().zip(slots.iter_mut()) {
+                probe_one(index, slab, metric, radius, p, slot);
+            }
+        } else {
+            let chunk = n.div_ceil(workers);
+            std::thread::scope(|scope| {
+                let mut point_chunks = batch.chunks(chunk);
+                let mut slot_chunks = slots.chunks_mut(chunk);
+                let own_points = point_chunks.next().expect("batch is non-empty");
+                let own_slots = slot_chunks.next().expect("batch is non-empty");
+                for (points, chunk_slots) in point_chunks.zip(slot_chunks) {
+                    scope.spawn(move || {
+                        for ((p, _), slot) in points.iter().zip(chunk_slots.iter_mut()) {
+                            probe_one(index, slab, metric, radius, p, slot);
+                        }
+                    });
+                }
+                for ((p, _), slot) in own_points.iter().zip(own_slots.iter_mut()) {
+                    probe_one(index, slab, metric, radius, p, slot);
+                }
+            });
+        }
+        slots
+    }
+}
+
+/// Resolves one point's assignment probe into its slot, recording every
+/// distance the index computes (mirroring `EdmStream::scan_distances`,
+/// minus the engine-side bookkeeping the commit phase replays).
+fn probe_one<P: Clone + GridCoords, M: Metric<P>>(
+    index: &CellIndex,
+    slab: &CellSlab<P>,
+    metric: &M,
+    radius: f64,
+    p: &P,
+    slot: &mut ProbeSlot,
+) {
+    let ProbeSlot { best, probes } = slot;
+    probes.clear();
+    *best = index.nearest_within(p, radius, slab, metric, &mut |id, d| probes.push((id, d)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Cell;
+    use edm_common::metric::Euclidean;
+    use edm_common::point::DenseVector;
+
+    fn slab_grid(n: usize) -> (CellSlab<DenseVector>, CellIndex) {
+        let mut slab = CellSlab::new();
+        let mut index =
+            CellIndex::from_config(crate::index::NeighborIndexKind::Grid { side: None }, 0.5, 1);
+        for i in 0..n {
+            let seed = DenseVector::from([(i % 16) as f64 * 2.0, (i / 16) as f64 * 2.0]);
+            let id = slab.insert(Cell::new(seed, 0.0));
+            index.on_insert(id, &slab.get(id).seed);
+        }
+        (slab, index)
+    }
+
+    #[test]
+    fn pool_matches_direct_probes_at_every_thread_count() {
+        let (slab, index) = slab_grid(64);
+        let batch: Vec<(DenseVector, Timestamp)> = (0..37)
+            .map(|i| (DenseVector::from([(i % 16) as f64 * 2.0 + 0.1, 0.2]), i as f64))
+            .collect();
+        let mut reference: Vec<ProbeSlot> = Vec::new();
+        for (p, _) in &batch {
+            let mut slot = ProbeSlot::default();
+            probe_one(&index, &slab, &Euclidean, 0.5, p, &mut slot);
+            reference.push(slot);
+        }
+        for threads in [1, 2, 4, 64] {
+            let mut pool = ProbePool::default();
+            let slots = pool.run(threads, &batch, &index, &slab, &Euclidean, 0.5);
+            assert_eq!(slots.len(), batch.len());
+            for (got, want) in slots.iter().zip(&reference) {
+                assert_eq!(got.best, want.best, "threads={threads}");
+                assert_eq!(got.probes, want.probes, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_reuses_slots_across_batches() {
+        let (slab, index) = slab_grid(16);
+        let batch: Vec<(DenseVector, Timestamp)> =
+            (0..8).map(|i| (DenseVector::from([i as f64 * 2.0, 0.0]), i as f64)).collect();
+        let mut pool = ProbePool::default();
+        pool.run(2, &batch, &index, &slab, &Euclidean, 0.5);
+        // A second, smaller batch must only see freshly cleared slots.
+        let small: Vec<(DenseVector, Timestamp)> = vec![(DenseVector::from([1000.0, 1000.0]), 9.0)];
+        let slots = pool.run(2, &small, &index, &slab, &Euclidean, 0.5);
+        assert_eq!(slots.len(), 1);
+        assert_eq!(slots[0].best, None);
+        assert!(slots[0].probes.is_empty(), "stale probes must not leak across batches");
+    }
+}

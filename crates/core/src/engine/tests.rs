@@ -558,3 +558,197 @@ fn stats_count_points_and_cells() {
     assert_eq!(e.stats().new_cells, 1);
     assert!(e.n_cells() >= 3);
 }
+
+// ----- parallel probe-then-commit batch ingest -----
+
+/// Full observable state of an engine: per-cell tree data, cluster
+/// partition, τ, drained events, and stats normalized through
+/// [`EngineStats::normalized_for_equivalence`] (the one source of truth
+/// for which fields may differ between serial and parallel ingestion).
+#[allow(clippy::type_complexity)]
+fn observe(
+    e: &mut EdmStream<DenseVector, Euclidean>,
+    t: f64,
+) -> (Vec<(u32, Option<u32>, f64, bool, f64)>, Vec<Vec<u32>>, f64, Vec<crate::Event>, String) {
+    let mut cells: Vec<(u32, Option<u32>, f64, bool, f64)> = e
+        .slab()
+        .iter()
+        .map(|(id, c)| (id.0, c.dep.map(|d| d.0), c.delta, c.active, c.raw_rho().0))
+        .collect();
+    cells.sort_by_key(|c| c.0);
+    let snap = e.snapshot(t);
+    let clusters: Vec<Vec<u32>> =
+        snap.clusters().iter().map(|c| c.cells.iter().map(|id| id.0).collect()).collect();
+    let stats = e.stats().normalized_for_equivalence();
+    (cells, clusters, snap.tau(), e.take_events(), format!("{stats:?}"))
+}
+
+fn parallel_cfg(threads: usize) -> EdmConfig {
+    mini_cfg(0.5)
+        .to_builder()
+        .ingest_threads(std::num::NonZeroUsize::new(threads).unwrap())
+        .build()
+        .unwrap()
+}
+
+/// A stream that exercises birth, absorption, activation, decay,
+/// recycling and the init boundary: clustered sites plus wandering
+/// outliers, with a recycling horizon short enough to fire mid-stream.
+fn churny_batch(n: usize) -> Vec<(DenseVector, f64)> {
+    let mut batch = Vec::with_capacity(n);
+    let mut x = 7u64;
+    for i in 0..n {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let t = i as f64 / 100.0;
+        let p = match x % 10 {
+            0..=3 => DenseVector::from([(x % 7) as f64 * 0.1, 0.0]),
+            4..=7 => DenseVector::from([10.0 + (x % 5) as f64 * 0.1, 1.0]),
+            _ => DenseVector::from([(x % 97) as f64 * 3.0, 50.0 + (x % 31) as f64 * 3.0]),
+        };
+        batch.push((p, t));
+    }
+    batch
+}
+
+#[test]
+fn parallel_batches_match_the_serial_loop_exactly() {
+    let batch = churny_batch(700);
+    let t = batch.len() as f64 / 100.0;
+    let mut serial = EdmStream::new(
+        parallel_cfg(1).to_builder().recycle_horizon(2.0).build().unwrap(),
+        Euclidean,
+    );
+    for (p, ts) in &batch {
+        serial.insert(p, *ts);
+    }
+    let want = observe(&mut serial, t);
+    for threads in [2usize, 4] {
+        let cfg = parallel_cfg(threads).to_builder().recycle_horizon(2.0).build().unwrap();
+        for chunk in [33usize, 256, 701] {
+            let mut e = EdmStream::new(cfg.clone(), Euclidean);
+            for window in batch.chunks(chunk) {
+                e.insert_batch(window);
+            }
+            let got = observe(&mut e, t);
+            assert_eq!(got, want, "threads={threads}, chunk={chunk}");
+            assert!(e.check_invariants(t).is_ok());
+            assert!(e.check_index().is_ok());
+        }
+    }
+}
+
+#[test]
+fn parallel_path_counts_probes_and_revalidations() {
+    let batch = churny_batch(600);
+    let mut e = EdmStream::new(parallel_cfg(3), Euclidean);
+    e.insert_batch(&batch);
+    let s = e.stats();
+    assert!(s.parallel_batches > 0, "the two-phase path must engage");
+    assert!(s.probe_tasks > 0);
+    // The outlier tail keeps birthing cells, so some probes must have
+    // been revalidated — and never more than were fanned out.
+    assert!(s.probe_revalidations > 0, "churny stream must trigger revalidation");
+    assert!(s.probe_revalidations <= s.probe_tasks);
+    assert!(s.probe_revalidation_rate() > 0.0);
+    // Serial ingestion leaves all three counters untouched — unless the
+    // CI harness knob is forcing the parallel path onto default engines,
+    // in which case there is no serial engine to observe.
+    if std::env::var_os("EDM_FORCE_INGEST_THREADS").is_none() {
+        let mut serial = EdmStream::new(parallel_cfg(1), Euclidean);
+        serial.insert_batch(&batch);
+        assert_eq!(serial.stats().probe_tasks, 0);
+        assert_eq!(serial.stats().parallel_batches, 0);
+        assert_eq!(serial.stats().probe_revalidations, 0);
+    }
+}
+
+#[test]
+fn parallel_counters_freeze_into_snapshots() {
+    let batch = churny_batch(300);
+    let mut e = EdmStream::new(parallel_cfg(2), Euclidean);
+    e.insert_batch(&batch);
+    let snap = e.snapshot(3.0);
+    assert_eq!(snap.stats().probe_tasks, e.stats().probe_tasks);
+    assert_eq!(snap.stats().parallel_batches, e.stats().parallel_batches);
+    assert!(snap.stats().probe_tasks > 0);
+}
+
+#[test]
+fn parallel_try_insert_batch_ingests_the_prefix_and_reports_the_offender() {
+    let mut serial = EdmStream::new(parallel_cfg(1), Euclidean);
+    let mut parallel = EdmStream::new(parallel_cfg(4), Euclidean);
+    // Warm both past initialization so the parallel path is really live.
+    let warm = churny_batch(120);
+    serial.insert_batch(&warm);
+    parallel.insert_batch(&warm);
+    assert!(parallel.is_initialized());
+    let mut bad = churny_batch(80);
+    for (i, (_, t)) in bad.iter_mut().enumerate() {
+        *t = 2.0 + i as f64 / 100.0;
+    }
+    bad[50].1 = 0.5; // regression behind both the stream clock and the batch
+    let se = serial.try_insert_batch(&bad).unwrap_err();
+    let pe = parallel.try_insert_batch(&bad).unwrap_err();
+    assert_eq!(se, pe);
+    assert_eq!(se.0, 50);
+    assert_eq!(serial.stats().points, parallel.stats().points);
+    let t = 3.0;
+    assert_eq!(observe(&mut serial, t).0, observe(&mut parallel, t).0);
+}
+
+#[test]
+fn parallel_path_works_for_coordinate_less_payloads() {
+    use edm_common::metric::Jaccard;
+    use edm_common::point::TokenSet;
+    // TokenSet has no grid coordinates: the engine runs the linear scan
+    // and every birth conflicts with every pending probe — the parallel
+    // path must stay correct (if slower) under total invalidation.
+    let cfg = EdmConfig::builder(0.6)
+        .rate(100.0)
+        .beta_for_threshold(2.0)
+        .init_points(10)
+        .maintenance_every(8)
+        .build()
+        .unwrap();
+    let par_cfg =
+        cfg.to_builder().ingest_threads(std::num::NonZeroUsize::new(3).unwrap()).build().unwrap();
+    let batch: Vec<(TokenSet, f64)> = (0..200)
+        .map(|i| {
+            let base = (i % 3) as u32 * 100;
+            (TokenSet::new(vec![base, base + 1, base + 2, (i as u32) % 5 + base]), i as f64 / 100.0)
+        })
+        .collect();
+    let mut serial = EdmStream::new(cfg, Jaccard);
+    for (p, t) in &batch {
+        serial.insert(p, *t);
+    }
+    let mut parallel = EdmStream::new(par_cfg, Jaccard);
+    parallel.insert_batch(&batch);
+    assert_eq!(serial.n_clusters(), parallel.n_clusters());
+    assert_eq!(serial.n_cells(), parallel.n_cells());
+    assert_eq!(serial.stats().points, parallel.stats().points);
+    assert_eq!(serial.stats().absorbed, parallel.stats().absorbed);
+    assert!(parallel.stats().probe_tasks > 0);
+}
+
+#[test]
+fn sharded_parallel_ingest_matches_too() {
+    let batch = churny_batch(500);
+    let t = batch.len() as f64 / 100.0;
+    let sharded = |threads: usize| {
+        parallel_cfg(threads)
+            .to_builder()
+            .shards(std::num::NonZeroUsize::new(4).unwrap())
+            .recycle_horizon(2.0)
+            .build()
+            .unwrap()
+    };
+    let mut serial = EdmStream::new(sharded(1), Euclidean);
+    for (p, ts) in &batch {
+        serial.insert(p, *ts);
+    }
+    let mut parallel = EdmStream::new(sharded(4), Euclidean);
+    parallel.insert_batch(&batch);
+    assert_eq!(observe(&mut serial, t), observe(&mut parallel, t));
+    assert!(parallel.check_index().is_ok());
+}

@@ -111,6 +111,20 @@ pub struct EngineStats {
     /// Occupancy-band auto-tuning rebuilds of the grid index (summed over
     /// shards). See [`crate::index::UniformGrid::maintain`].
     pub grid_rebuilds: u64,
+    /// Assignment probes computed by the parallel probe phase of
+    /// `insert_batch` (phase 1 of probe-then-commit; zero when
+    /// `ingest_threads` is 1).
+    pub probe_tasks: u64,
+    /// Pre-computed probes the commit phase had to redo serially because
+    /// an earlier commit in the same batch touched their neighborhood
+    /// (cell births nearby, recycling, or a grid rebuild). High values
+    /// mean the workload creates/recycles too much for the batch size —
+    /// the two-phase path degrades toward serial cost, never toward
+    /// wrong output.
+    pub probe_revalidations: u64,
+    /// Batches (sub-batches of `insert_batch`) that took the two-phase
+    /// probe-then-commit path instead of the serial per-point loop.
+    pub parallel_batches: u64,
 }
 
 impl EngineStats {
@@ -126,6 +140,36 @@ impl EngineStats {
             0.0
         } else {
             (self.filtered_density + self.filtered_triangle) as f64 / self.dep_candidates as f64
+        }
+    }
+
+    /// A copy with every field exempt from the **parallel == serial
+    /// observational-equivalence contract** zeroed: the parallel-path
+    /// counters (`probe_tasks`, `probe_revalidations`, `parallel_batches`)
+    /// describe *who computed* the probes rather than clustering output,
+    /// and `dep_update_nanos` is wall clock. All other counters must match
+    /// exactly between a serial and a parallel ingestion of the same
+    /// stream — the equivalence suites compare through this one
+    /// normalizer, so this method *is* the exemption list.
+    pub fn normalized_for_equivalence(&self) -> EngineStats {
+        EngineStats {
+            probe_tasks: 0,
+            probe_revalidations: 0,
+            parallel_batches: 0,
+            dep_update_nanos: 0,
+            ..self.clone()
+        }
+    }
+
+    /// Fraction of parallel probe tasks the commit phase had to redo
+    /// serially — how often batch-internal structural churn invalidated
+    /// phase-1 work. Near 0 in absorb-dominated steady state; rising
+    /// values say the batch size outruns the workload's stability.
+    pub fn probe_revalidation_rate(&self) -> f64 {
+        if self.probe_tasks == 0 {
+            0.0
+        } else {
+            self.probe_revalidations as f64 / self.probe_tasks as f64
         }
     }
 
@@ -177,6 +221,13 @@ mod tests {
         assert_eq!(s.filter_rate(), 0.0);
         assert_eq!(s.dep_update_millis(), 0.0);
         assert_eq!(s.index_prune_rate(), 0.0);
+        assert_eq!(s.probe_revalidation_rate(), 0.0);
+    }
+
+    #[test]
+    fn probe_revalidation_rate_is_redone_over_tasks() {
+        let s = EngineStats { probe_tasks: 200, probe_revalidations: 30, ..Default::default() };
+        assert!((s.probe_revalidation_rate() - 0.15).abs() < 1e-12);
     }
 
     #[test]

@@ -24,6 +24,8 @@
 //! occupied buckets instead, so no query is ever asymptotically worse than
 //! the linear scan it replaces.
 
+use std::cell::RefCell;
+
 use edm_common::hash::{fx_map, FxHashMap};
 use edm_common::metric::Metric;
 use edm_common::point::GridCoords;
@@ -32,6 +34,30 @@ use crate::cell::{Cell, CellId};
 use crate::slab::CellSlab;
 
 use super::{closer, NeighborIndex};
+
+/// Reusable integer-key buffers for the query hot path.
+///
+/// Every assignment probe needs the query's bucket key, and every shell
+/// enumeration needs an offset cursor plus a candidate-key buffer.
+/// Allocating those per probe (`Box<[i64]>` from `key_of`, two `Vec`s
+/// inside the shell walker) was the last steady-state allocation on the
+/// insert path; these buffers live per thread and are reused across
+/// probes — which also keeps queries `&self` and lock-free under the
+/// parallel batch-ingest fan-out, where several threads probe one grid
+/// concurrently.
+#[derive(Default)]
+struct KeyScratch {
+    center: Vec<i64>,
+    off: Vec<i64>,
+    key: Vec<i64>,
+}
+
+thread_local! {
+    /// Per-thread query scratch. Queries never re-enter the index (the
+    /// probe callbacks only record distances / read the slab), so the
+    /// whole query can hold the borrow.
+    static KEY_SCRATCH: RefCell<KeyScratch> = RefCell::default();
+}
 
 /// Mean bucketed-cells-per-occupied-bucket above which an auto-tuning
 /// grid halves its side (crowded buckets make every probe scan long id
@@ -264,6 +290,20 @@ impl UniformGrid {
         }
     }
 
+    /// Quantizes into a reusable buffer (the query paths' allocation-free
+    /// variant of [`UniformGrid::key_of`]); `false` means the coordinates
+    /// have no bucket (missing or dimension-mismatched) and the caller
+    /// must treat the query as coordinate-less.
+    fn key_of_into(&self, coords: Option<&[f64]>, out: &mut Vec<i64>) -> bool {
+        let Some(c) = coords else { return false };
+        if matches!(self.dim, Some(d) if d != c.len()) {
+            return false;
+        }
+        out.clear();
+        out.extend(c.iter().map(|&x| (x / self.side).floor() as i64));
+        true
+    }
+
     /// Cost of enumerating the full cube of reach `k` around a key —
     /// compared against the occupied-bucket count to decide between
     /// shell enumeration and an occupied-bucket sweep.
@@ -294,17 +334,28 @@ impl UniformGrid {
 
     /// Calls `f` with every bucket key in the cube of Chebyshev reach `k`
     /// around `center` whose Chebyshev distance is **exactly** `k` when
-    /// `shell_only`, or at most `k` otherwise.
-    fn for_each_key(center: &[i64], k: i64, shell_only: bool, f: &mut dyn FnMut(&[i64])) {
+    /// `shell_only`, or at most `k` otherwise. `off` and `key` are caller
+    /// scratch (the per-thread [`KeyScratch`]) so shell walks allocate
+    /// nothing.
+    fn for_each_key(
+        center: &[i64],
+        k: i64,
+        shell_only: bool,
+        off: &mut Vec<i64>,
+        key: &mut Vec<i64>,
+        f: &mut dyn FnMut(&[i64]),
+    ) {
         let d = center.len();
-        let mut off = vec![-k; d];
-        let mut key = vec![0i64; d];
+        off.clear();
+        off.resize(d, -k);
+        key.clear();
+        key.resize(d, 0);
         loop {
             if !shell_only || off.iter().any(|&o| o.abs() == k) {
                 for i in 0..d {
                     key[i] = center[i].saturating_add(off[i]);
                 }
-                f(&key);
+                f(key);
             }
             let mut axis = 0;
             loop {
@@ -356,7 +407,8 @@ impl<P: GridCoords> NeighborIndex<P> for UniformGrid {
         on_probe: &mut dyn FnMut(CellId, f64),
     ) -> Option<(CellId, f64)> {
         let mut best: Option<(CellId, f64)> = None;
-        {
+        KEY_SCRATCH.with(|scratch| {
+            let KeyScratch { center, off, key } = &mut *scratch.borrow_mut();
             let mut consider = |id: CellId| {
                 let d = metric.dist(q, &slab.get(id).seed);
                 on_probe(id, d);
@@ -367,8 +419,8 @@ impl<P: GridCoords> NeighborIndex<P> for UniformGrid {
             for &id in &self.unbucketed {
                 consider(id);
             }
-            match self.key_of(q.grid_coords()) {
-                Some(center) if !self.buckets.is_empty() => {
+            if self.key_of_into(q.grid_coords(), center) {
+                if !self.buckets.is_empty() {
                     // Shells k with (k − 1)·side >= radius cannot hold a
                     // seed within radius, so reach = ceil(radius / side).
                     let reach = (radius / self.side).ceil().min(i64::MAX as f64) as i64;
@@ -379,28 +431,26 @@ impl<P: GridCoords> NeighborIndex<P> for UniformGrid {
                         // bucket at key-Chebyshev distance > reach cannot
                         // hold a seed within the radius, so only its
                         // in-reach peers get their distances computed.
-                        for (key, ids) in &self.buckets {
-                            if Self::key_chebyshev(key, &center) <= reach {
+                        for (bkey, ids) in &self.buckets {
+                            if Self::key_chebyshev(bkey, center) <= reach {
                                 ids.iter().for_each(|&id| consider(id));
                             }
                         }
                     } else {
-                        Self::for_each_key(&center, reach, false, &mut |key| {
-                            if let Some(ids) = self.buckets.get(key) {
+                        Self::for_each_key(center, reach, false, off, key, &mut |bkey| {
+                            if let Some(ids) = self.buckets.get(bkey) {
                                 ids.iter().for_each(|&id| consider(id));
                             }
                         });
                     }
                 }
-                Some(_) => {}
-                None => {
-                    // Coordinate-less query: no geometry to prune with.
-                    for ids in self.buckets.values() {
-                        ids.iter().for_each(|&id| consider(id));
-                    }
+            } else {
+                // Coordinate-less query: no geometry to prune with.
+                for ids in self.buckets.values() {
+                    ids.iter().for_each(|&id| consider(id));
                 }
             }
-        }
+        });
         best.filter(|&(_, d)| d <= radius)
     }
 
@@ -412,62 +462,62 @@ impl<P: GridCoords> NeighborIndex<P> for UniformGrid {
         pred: &mut dyn FnMut(CellId, &Cell<P>) -> bool,
     ) -> Option<(CellId, f64)> {
         let mut best: Option<(CellId, f64)> = None;
-        let mut consider = |id: CellId, best: &mut Option<(CellId, f64)>| {
-            let cell = slab.get(id);
-            if !pred(id, cell) {
-                return;
+        KEY_SCRATCH.with(|scratch| {
+            let KeyScratch { center, off, key } = &mut *scratch.borrow_mut();
+            let mut consider = |id: CellId, best: &mut Option<(CellId, f64)>| {
+                let cell = slab.get(id);
+                if !pred(id, cell) {
+                    return;
+                }
+                let d = metric.dist(q, &cell.seed);
+                if closer(d, id, *best) {
+                    *best = Some((id, d));
+                }
+            };
+            for &id in &self.unbucketed {
+                consider(id, &mut best);
             }
-            let d = metric.dist(q, &cell.seed);
-            if closer(d, id, *best) {
-                *best = Some((id, d));
-            }
-        };
-        for &id in &self.unbucketed {
-            consider(id, &mut best);
-        }
-        let center = match self.key_of(q.grid_coords()) {
-            Some(c) if !self.buckets.is_empty() => c,
-            _ => {
+            if !self.key_of_into(q.grid_coords(), center) || self.buckets.is_empty() {
                 for ids in self.buckets.values() {
                     ids.iter().for_each(|&id| consider(id, &mut best));
                 }
-                return best;
+                return;
             }
-        };
-        let max_reach = self.max_reach(&center);
-        let mut k: i64 = 0;
-        while k <= max_reach {
-            if self.cube_cost(k) > self.buckets.len() as f64 {
-                // Enumerating shells is now costlier than sweeping every
-                // occupied bucket not yet visited (Chebyshev >= k). A
-                // bucket's seeds all lie strictly farther than
-                // (cheb − 1)·side, so buckets whose bound already meets
-                // the best distance cannot win or tie and are skipped.
-                for (key, ids) in &self.buckets {
-                    let cheb = Self::key_chebyshev(key, &center);
-                    let beatable =
-                        best.is_none_or(|(_, bd)| ((cheb - 1).max(0) as f64) * self.side < bd);
-                    if cheb >= k && beatable {
+            let max_reach = self.max_reach(center);
+            let mut k: i64 = 0;
+            while k <= max_reach {
+                if self.cube_cost(k) > self.buckets.len() as f64 {
+                    // Enumerating shells is now costlier than sweeping every
+                    // occupied bucket not yet visited (Chebyshev >= k). A
+                    // bucket's seeds all lie strictly farther than
+                    // (cheb − 1)·side, so buckets whose bound already meets
+                    // the best distance cannot win or tie and are skipped.
+                    for (bkey, ids) in &self.buckets {
+                        let cheb = Self::key_chebyshev(bkey, center);
+                        let beatable =
+                            best.is_none_or(|(_, bd)| ((cheb - 1).max(0) as f64) * self.side < bd);
+                        if cheb >= k && beatable {
+                            ids.iter().for_each(|&id| consider(id, &mut best));
+                        }
+                    }
+                    return;
+                }
+                Self::for_each_key(center, k, true, off, key, &mut |bkey| {
+                    if let Some(ids) = self.buckets.get(bkey) {
                         ids.iter().for_each(|&id| consider(id, &mut best));
                     }
+                });
+                // Every seed in shells > k lies strictly farther than k·side,
+                // so a best at or under that bound can no longer be beaten
+                // (nor tied — strictness protects the id tie-break).
+                if let Some((_, bd)) = best {
+                    if k as f64 * self.side >= bd {
+                        break;
+                    }
                 }
-                return best;
+                k += 1;
             }
-            Self::for_each_key(&center, k, true, &mut |key| {
-                if let Some(ids) = self.buckets.get(key) {
-                    ids.iter().for_each(|&id| consider(id, &mut best));
-                }
-            });
-            // Every seed in shells > k lies strictly farther than k·side,
-            // so a best at or under that bound can no longer be beaten
-            // (nor tied — strictness protects the id tie-break).
-            if let Some((_, bd)) = best {
-                if k as f64 * self.side >= bd {
-                    break;
-                }
-            }
-            k += 1;
-        }
+        });
         best
     }
 
@@ -481,6 +531,29 @@ impl<P: GridCoords> NeighborIndex<P> for UniformGrid {
             }
             _ => 0.0,
         }
+    }
+
+    fn probe_conflicts(&self, q: &P, changed: &P, radius: f64) -> bool {
+        let (Some(qc), Some(cc)) = (q.grid_coords(), changed.grid_coords()) else {
+            // No geometry to prove anything with: a coordinate-less cell
+            // lands in the unbucketed list every query scans, and a
+            // coordinate-less query scans every bucket.
+            return true;
+        };
+        // A dimension-mismatched seed is unbucketed (scanned by every
+        // query); a dimension-mismatched query scans every bucket.
+        if qc.len() != cc.len() || self.dim.is_some_and(|d| d != cc.len()) {
+            return true;
+        }
+        // The probed set of `nearest_within` is exactly the unbucketed
+        // list plus the buckets within key-Chebyshev `reach` of the
+        // query's bucket (both enumeration strategies visit that same
+        // set). Keys are floors, so a seed farther than (reach + 1)·side
+        // on some axis is strictly beyond reach and can neither enter nor
+        // leave the set.
+        let reach = (radius / self.side).ceil().min(i64::MAX as f64);
+        let horizon = (reach + 1.0) * self.side;
+        qc.iter().zip(cc.iter()).all(|(a, b)| (a - b).abs() <= horizon)
     }
 
     fn check_coherence(&self, slab: &CellSlab<P>) -> Result<(), String> {

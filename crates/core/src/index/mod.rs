@@ -133,6 +133,22 @@ pub trait NeighborIndex<P> {
     /// assignment probe skipped.
     fn distance_lower_bound(&self, q: &P, seed: &P) -> f64;
 
+    /// Whether a structural change at `changed` — a cell with that seed
+    /// inserted into (or removed from) this index — could alter the result
+    /// **or the probed set** of [`NeighborIndex::nearest_within`]`(q,
+    /// radius, ..)`. The parallel batch committer asks this to decide
+    /// which pre-computed assignment probes survive an earlier commit's
+    /// cell birth; a stale probe is simply redone serially, so the method
+    /// affects only throughput, never output.
+    ///
+    /// Implementations must be **conservative**: return `true` whenever
+    /// the probe cannot be proven untouched. The default claims every
+    /// change conflicts — exact for the linear scan, which probes every
+    /// live cell.
+    fn probe_conflicts(&self, _q: &P, _changed: &P, _radius: f64) -> bool {
+        true
+    }
+
     /// Periodic self-maintenance hook, called from the engine's
     /// maintenance cadence: indexes that tune their own layout (grid
     /// bucket-side auto-tuning) rebuild here and return the number of
@@ -278,6 +294,14 @@ impl<P: GridCoords> NeighborIndex<P> for CellIndex {
             CellIndex::Linear(ix) => NeighborIndex::<P>::distance_lower_bound(ix, q, seed),
             CellIndex::Grid(ix) => NeighborIndex::<P>::distance_lower_bound(ix, q, seed),
             CellIndex::Sharded(ix) => NeighborIndex::<P>::distance_lower_bound(ix, q, seed),
+        }
+    }
+
+    fn probe_conflicts(&self, q: &P, changed: &P, radius: f64) -> bool {
+        match self {
+            CellIndex::Linear(ix) => NeighborIndex::<P>::probe_conflicts(ix, q, changed, radius),
+            CellIndex::Grid(ix) => NeighborIndex::<P>::probe_conflicts(ix, q, changed, radius),
+            CellIndex::Sharded(ix) => NeighborIndex::<P>::probe_conflicts(ix, q, changed, radius),
         }
     }
 

@@ -154,6 +154,15 @@ impl<P: GridCoords> NeighborIndex<P> for ShardedGrid {
         NeighborIndex::<P>::distance_lower_bound(&self.shards[0], q, seed)
     }
 
+    fn probe_conflicts(&self, q: &P, changed: &P, radius: f64) -> bool {
+        // The change routes to exactly one shard, but which one is a
+        // hashing detail; claiming a conflict whenever *any* shard's
+        // geometry cannot rule it out is sound (per-shard auto-tuning
+        // means sides — and so horizons — can differ) and stays
+        // O(shards · d).
+        self.shards.iter().any(|s| NeighborIndex::<P>::probe_conflicts(s, q, changed, radius))
+    }
+
     fn check_coherence(&self, slab: &CellSlab<P>) -> Result<(), String> {
         let indexed: usize = self.shards.iter().map(UniformGrid::indexed_len).sum();
         if indexed != slab.len() {

@@ -49,6 +49,14 @@ pub struct ClusterSnapshot {
     pub(crate) stats: EngineStats,
 }
 
+/// The module docs promise snapshots can "ship across threads" — hold the
+/// promise at compile time.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<ClusterSnapshot>();
+    assert_send_sync::<ClusterInfo>();
+};
+
 impl ClusterSnapshot {
     /// Stream time the snapshot was taken at.
     pub fn t(&self) -> Timestamp {

@@ -42,6 +42,12 @@ fn main() {
         // `EngineStats::shard_cells`) — the isolation seam for multi-core
         // work; leave at 1 for best single-threaded latency.
         .shards(std::num::NonZeroUsize::new(1).expect("1 is nonzero"))
+        // Batch ingest can fan its assignment probes out across worker
+        // threads (probe-then-commit; output identical to the serial
+        // loop at any count — see the README's "Threading model"). Two
+        // threads here so the quickstart exercises the parallel path;
+        // `EngineStats::probe_tasks` / `probe_revalidations` meter it.
+        .ingest_threads(std::num::NonZeroUsize::new(2).expect("2 is nonzero"))
         .build()
         .expect("valid quickstart configuration");
     let mut engine = EdmStream::new(cfg, Euclidean);
@@ -138,5 +144,11 @@ fn main() {
         stats.index_probed,
         stats.index_pruned,
         100.0 * stats.index_prune_rate()
+    );
+    // The batch above went through the two-phase parallel path: probes
+    // fanned out, commits serial, conflicts re-probed.
+    println!(
+        "parallel ingest: {} probes fanned out over {} batch(es), {} revalidated serially",
+        stats.probe_tasks, stats.parallel_batches, stats.probe_revalidations
     );
 }
