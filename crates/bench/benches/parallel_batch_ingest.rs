@@ -20,94 +20,20 @@
 //! before reading speedups**: on a single-core container the fan-out
 //! cannot beat the serial loop (the numbers then price the coordination
 //! overhead); the ≥ 1.5× probe-phase scaling claim is for `cpus ≥ 4`.
+//!
+//! The scenario generators live in [`edm_bench::scenarios`], shared with
+//! the `bench_regression` CI gate so its fresh smoke runs measure
+//! exactly the workload this baseline recorded.
 
-use std::num::NonZeroUsize;
 use std::path::Path;
 use std::time::Instant;
 
 use edm_bench::report::merge_bench_json;
-use edm_common::metric::Euclidean;
+use edm_bench::scenarios::{self, CROWDED_CELLS as RESERVOIR_CELLS};
 use edm_common::point::DenseVector;
-use edm_core::{EdmConfig, EdmStream};
-
-/// Reservoir population for the steady-state scenario (the acceptance
-/// bar asks for ≥ 8k live cells).
-const RESERVOIR_CELLS: usize = 8_192;
 
 /// Points pushed through each (threads, batch) configuration.
 const POINTS_PER_CONFIG: usize = 1 << 16;
-
-/// Dimensionality of the bench space.
-const DIM: usize = 8;
-
-/// Cells per grid bucket (see [`seed`]): mean occupancy sits exactly at
-/// the auto-tuner's upper band edge, so the layout is stable.
-const PER_BUCKET: usize = 8;
-
-/// The `j`-th reservoir seed: a 2-d lattice of bucket sites (spacing 2.0
-/// on dims 0–1), each crowded with [`PER_BUCKET`] seeds that are pairwise
-/// farther than r apart yet share the bucket — offsets 0.45·mask over
-/// dims 2–7 with even-popcount masks give pairwise distance at least
-/// 0.45·√2 ≈ 0.64 (above r = 0.5) while every coordinate stays inside
-/// the 0.5-cube. This is how r-separated seeds really pack in high
-/// dimensions, and it pushes every probe onto the occupied-bucket sweep
-/// path.
-fn seed(j: usize, lattice_side: usize) -> DenseVector {
-    /// Six-bit even-popcount masks, pairwise Hamming distance ≥ 2.
-    const MASKS: [u8; PER_BUCKET] =
-        [0b000000, 0b000011, 0b000101, 0b000110, 0b001001, 0b001010, 0b001100, 0b010010];
-    let site = j / PER_BUCKET;
-    let mask = MASKS[j % PER_BUCKET];
-    let mut c = vec![0.0; DIM];
-    c[0] = (site % lattice_side) as f64 * 2.0;
-    c[1] = (site / lattice_side) as f64 * 2.0;
-    for (bit, coord) in c.iter_mut().skip(2).enumerate() {
-        if mask >> bit & 1 == 1 {
-            *coord = 0.45;
-        }
-    }
-    DenseVector::new(c)
-}
-
-/// Builds a warmed engine holding `RESERVOIR_CELLS` reservoir cells in
-/// the crowded 8-d layout, with the given thread knob.
-fn seeded_engine(threads: usize) -> (EdmStream<DenseVector, Euclidean>, f64) {
-    let cfg = EdmConfig::builder(0.5)
-        .rate(1_000.0)
-        .beta_for_threshold(1e5)
-        .age_adjusted_threshold(false)
-        .init_points(1)
-        .tau_every(1 << 40)
-        .maintenance_every(64)
-        .recycle_horizon(f64::MAX)
-        .track_evolution(false)
-        .ingest_threads(NonZeroUsize::new(threads).expect("bench thread counts are nonzero"))
-        .build()
-        .expect("valid bench configuration");
-    let mut e = EdmStream::new(cfg, Euclidean);
-    let lattice_side = (RESERVOIR_CELLS.div_ceil(PER_BUCKET) as f64).sqrt().ceil() as usize;
-    let mut t = 0.0;
-    for j in 0..RESERVOIR_CELLS {
-        t += 1e-4;
-        e.insert(&seed(j, lattice_side), t);
-    }
-    assert_eq!(e.n_cells(), RESERVOIR_CELLS, "every seed must found its own cell");
-    (e, t)
-}
-
-/// Probe sites cycling over existing cells (jittered within r): always
-/// absorbed, never a new cell, so batches exercise pure assignment.
-fn probe_sites() -> Vec<DenseVector> {
-    let lattice_side = (RESERVOIR_CELLS.div_ceil(PER_BUCKET) as f64).sqrt().ceil() as usize;
-    (0..64)
-        .map(|i| {
-            // Sit on the mask-0 seed of site i, nudged within r on dim 0.
-            let mut p = seed(i * PER_BUCKET, lattice_side);
-            p.coords_mut()[0] += (i % 5) as f64 * 0.05;
-            p
-        })
-        .collect()
-}
 
 struct Run {
     threads: usize,
@@ -119,8 +45,8 @@ struct Run {
 /// Streams `POINTS_PER_CONFIG` points through `insert_batch` in batches
 /// of `batch`, timing only the ingest calls.
 fn measure(threads: usize, batch: usize) -> Run {
-    let (mut e, mut t) = seeded_engine(threads);
-    let sites = probe_sites();
+    let (mut e, mut t) = scenarios::crowded_engine(threads);
+    let sites = scenarios::crowded_probe_sites();
     let mut i = 0usize;
     let mut make_batch = |n: usize, t: &mut f64| -> Vec<(DenseVector, f64)> {
         (0..n)

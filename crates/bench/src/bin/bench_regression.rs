@@ -1,0 +1,325 @@
+//! CI bench-regression gate.
+//!
+//! PR 4 started committing `BENCH_ingest.json`, but nothing in CI ever
+//! read it back — a PR could quietly halve ingest throughput and merge
+//! green. This binary closes the loop:
+//!
+//! 1. **Smoke-measure** the two committed throughput sections with
+//!    reduced point budgets — `insert_latency` (one serial pass per
+//!    dataset surrogate) and `parallel_batch_ingest` (the crowded 8-d
+//!    steady state at a few (threads, batch) settings) — writing a fresh
+//!    artifact via [`edm_bench::report::merge_bench_json`] (uploaded by
+//!    the workflow for inspection).
+//! 2. **Compare** fresh points/sec against the committed baseline with a
+//!    deliberately generous tolerance: only a drop past 35 % fails, and
+//!    only for entries whose *effective parallelism* matches between the
+//!    two hosts (an entry recorded at `threads = 4` on a 1-core
+//!    container and re-measured on a 4-core runner is not comparable in
+//!    either direction; `min(threads, host.cpus)` must agree — that is
+//!    the `host.cpus` normalization). Per-core *speed* differences are
+//!    calibrated out through the median fresh/baseline ratio: each entry
+//!    is judged relative to the median, so a selective regression fails
+//!    on any hardware, a uniformly different machine passes, and a
+//!    uniform shortfall past the tolerance fails once as a global
+//!    regression (with a regenerate-the-baseline remedy for genuinely
+//!    slower hosts). Zero comparable entries is itself a failure — it
+//!    means the baseline's sections went missing or unparsable.
+//! 3. **Check the cover-tree acceptance ratio twice**: the committed
+//!    `index_scaling_highd` section must record ≥ 2× over the uniform
+//!    grid at d = 51 (guards the artifact itself), and a fresh smoke of
+//!    the same `scenarios::highd_*` workload must clear the same bar
+//!    (guards the code — a pruning regression that never touches the
+//!    JSON still fails here). Both are within-host ratios, so they
+//!    transfer across machines for free.
+//!
+//! Exit status is non-zero on any regression, which is what makes the CI
+//! job a gate. Refresh the baseline by re-running the full benches
+//! (`cargo bench --bench insert_latency --bench parallel_batch_ingest
+//! --bench index_scaling`) and committing the rewritten JSON.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use edm_bench::catalog::{self, DatasetId};
+use edm_bench::report::{entry_field, merge_bench_json, parse_flat_entries, read_bench_json};
+use edm_bench::scenarios;
+use edm_common::metric::Euclidean;
+use edm_common::point::DenseVector;
+use edm_core::index::NeighborIndexKind;
+use edm_core::EdmStream;
+
+/// Fractional throughput drop past which an entry fails the gate.
+const TOLERANCE: f64 = 0.35;
+
+/// Points per (threads, batch) configuration in the parallel smoke run
+/// (the full bench uses 1 << 16; the gate only needs a stable estimate).
+const SMOKE_POINTS: usize = 1 << 14;
+
+/// (threads, batch) settings smoked; a subset of the committed grid.
+const SMOKE_CONFIGS: [(usize, usize); 3] = [(1, 256), (2, 256), (4, 256)];
+
+/// Absorb probes timed per index kind in the fresh high-d smoke (the
+/// full bench times 8192; the ratio only needs a stable estimate).
+const HIGHD_SMOKE_POINTS: usize = 2_048;
+
+/// One smoke measurement of the parallel batch-ingest steady state
+/// (the `scenarios::crowded_*` workload the committed baseline records).
+fn smoke_parallel(threads: usize, batch: usize) -> f64 {
+    let (mut e, mut t) = scenarios::crowded_engine(threads);
+    let sites = scenarios::crowded_probe_sites();
+    let mut i = 0usize;
+    let mut make_batch = |n: usize, t: &mut f64| -> Vec<(DenseVector, f64)> {
+        (0..n)
+            .map(|_| {
+                *t += 1e-6;
+                i += 1;
+                (sites[i % sites.len()].clone(), *t)
+            })
+            .collect()
+    };
+    let warm = make_batch(batch, &mut t);
+    e.insert_batch(&warm);
+    let rounds = SMOKE_POINTS / batch;
+    let batches: Vec<Vec<(DenseVector, f64)>> =
+        (0..rounds).map(|_| make_batch(batch, &mut t)).collect();
+    let start = Instant::now();
+    for b in &batches {
+        e.insert_batch(b);
+    }
+    (rounds * batch) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// One smoke measurement of serial per-point latency on a dataset
+/// surrogate (the same pass the full `insert_latency` bench times).
+fn smoke_insert_latency(id: DatasetId) -> (String, f64) {
+    let ds = catalog::load(id, 0.01, 1_000.0);
+    let mut e = EdmStream::new(ds.edm.clone(), Euclidean);
+    for p in ds.stream.iter().take(2_000) {
+        e.insert(&p.payload, p.ts);
+    }
+    let start = Instant::now();
+    let mut n = 0u64;
+    for p in ds.stream.iter().skip(2_000) {
+        e.insert(&p.payload, p.ts);
+        n += 1;
+    }
+    (ds.id.name().to_string(), n as f64 / start.elapsed().as_secs_f64())
+}
+
+/// Extracts `(comparison key, configured threads)` from one parsed
+/// baseline entry; `None` skips the entry.
+type KeyOf<'a> = &'a dyn Fn(&[(String, String)]) -> Option<(String, usize)>;
+
+/// A comparable throughput entry: what it is, how parallel it runs, and
+/// the measured points/sec.
+struct Entry {
+    key: String,
+    threads: usize,
+    pps: f64,
+}
+
+fn baseline_entries(sections: &[(String, String)], section: &str, key_of: KeyOf<'_>) -> Vec<Entry> {
+    let Some((_, value)) = sections.iter().find(|(k, _)| k == section) else {
+        return Vec::new();
+    };
+    let Some(entries) = parse_flat_entries(value) else {
+        return Vec::new();
+    };
+    entries
+        .iter()
+        .filter_map(|entry| {
+            let (key, threads) = key_of(entry)?;
+            let pps: f64 = entry_field(entry, "points_per_sec")?.parse().ok()?;
+            Some(Entry { key, threads, pps })
+        })
+        .collect()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut baseline_path = PathBuf::from("BENCH_ingest.json");
+    let mut out_path = PathBuf::from("target/bench_regression/BENCH_ingest.fresh.json");
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--baseline" => baseline_path = args.next().expect("--baseline needs a path").into(),
+            "--out" => out_path = args.next().expect("--out needs a path").into(),
+            other => panic!("unknown flag {other:?} (expected --baseline/--out)"),
+        }
+    }
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("bench_regression: baseline {}, {cpus} cpu(s)", baseline_path.display());
+
+    let baseline = match read_bench_json(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("FAIL: cannot read baseline: {e}");
+            std::process::exit(1);
+        }
+    };
+    let base_cpus: usize = baseline
+        .iter()
+        .find(|(k, _)| k == "host")
+        .and_then(|(_, v)| parse_flat_entries(&format!("[{v}]")))
+        .and_then(|e| e.first().and_then(|f| entry_field(f, "cpus")?.parse().ok()))
+        .unwrap_or(1);
+
+    // ----- smoke runs -----
+    let mut fresh: Vec<Entry> = Vec::new();
+    let mut insert_json: Vec<String> = Vec::new();
+    for id in [DatasetId::Kdd, DatasetId::CoverType, DatasetId::Pamap2] {
+        let (name, pps) = smoke_insert_latency(id);
+        println!("smoke insert_latency/{name}: {pps:.0} points/s");
+        insert_json.push(format!("{{\"dataset\": \"{name}\", \"points_per_sec\": {pps:.0}}}"));
+        fresh.push(Entry { key: format!("insert_latency/{name}"), threads: 1, pps });
+    }
+    let mut parallel_json: Vec<String> = Vec::new();
+    for (threads, batch) in SMOKE_CONFIGS {
+        let pps = smoke_parallel(threads, batch);
+        println!("smoke parallel_batch_ingest/threads{threads}/batch{batch}: {pps:.0} points/s");
+        parallel_json.push(format!(
+            "{{\"threads\": {threads}, \"batch\": {batch}, \"points_per_sec\": {pps:.0}}}"
+        ));
+        fresh.push(Entry {
+            key: format!("parallel_batch_ingest/threads{threads}/batch{batch}"),
+            threads,
+            pps,
+        });
+    }
+    if let Some(dir) = out_path.parent() {
+        std::fs::create_dir_all(dir).expect("create artifact directory");
+    }
+    merge_bench_json(&out_path, "host", &format!("{{\"cpus\": {cpus}}}"))
+        .expect("write fresh artifact");
+    merge_bench_json(&out_path, "insert_latency", &format!("[{}]", insert_json.join(", ")))
+        .expect("write fresh artifact");
+    merge_bench_json(
+        &out_path,
+        "parallel_batch_ingest",
+        &format!("[{}]", parallel_json.join(", ")),
+    )
+    .expect("write fresh artifact");
+    println!("[written {}]", out_path.display());
+
+    // ----- baseline comparison -----
+    let mut base: Vec<Entry> = baseline_entries(&baseline, "insert_latency", &|entry| {
+        Some((format!("insert_latency/{}", entry_field(entry, "dataset")?), 1))
+    });
+    base.extend(baseline_entries(&baseline, "parallel_batch_ingest", &|entry| {
+        let threads: usize = entry_field(entry, "threads")?.parse().ok()?;
+        let batch = entry_field(entry, "batch")?;
+        Some((format!("parallel_batch_ingest/threads{threads}/batch{batch}"), threads))
+    }));
+
+    let mut failures = 0;
+    let mut ratios: Vec<(String, f64)> = Vec::new();
+    for entry in &fresh {
+        let Some(b) = base.iter().find(|b| b.key == entry.key) else {
+            println!("  {}: no baseline entry — skipped", entry.key);
+            continue;
+        };
+        // host.cpus normalization: only comparable when both hosts give
+        // the configuration the same effective parallelism.
+        if entry.threads.min(cpus) != b.threads.min(base_cpus) {
+            println!(
+                "  {}: effective cores differ ({} here vs {} at record time) — skipped",
+                entry.key,
+                entry.threads.min(cpus),
+                b.threads.min(base_cpus)
+            );
+            continue;
+        }
+        ratios.push((entry.key.clone(), entry.pps / b.pps));
+    }
+    if ratios.is_empty() {
+        // The serial entries are always effectively comparable, so an
+        // empty set means the baseline's throughput sections are missing
+        // or unparsable — that must not silently green-light the PR that
+        // broke them.
+        println!("  FAIL: no comparable throughput entries — baseline sections missing/corrupt");
+        failures += 1;
+    } else {
+        // Per-core speed differs between the recording host and this
+        // one, and `host.cpus` cannot normalize that away. The *median*
+        // ratio estimates the host-speed skew; each entry is judged
+        // against it, so a selective regression fails on any hardware
+        // while a uniformly faster/slower machine calibrates out. A
+        // uniform shortfall past the tolerance still fails once, below —
+        // on the homogeneous CI fleet that is a real global regression;
+        // on genuinely slower hardware, regenerate the baseline there.
+        let mut sorted: Vec<f64> = ratios.iter().map(|(_, r)| *r).collect();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        for (key, ratio) in &ratios {
+            let calibrated = ratio / median;
+            let verdict = if calibrated < 1.0 - TOLERANCE { "REGRESSED" } else { "ok" };
+            println!(
+                "  {key}: {:.0}% of baseline ({:.0}% after median calibration) {verdict}",
+                ratio * 100.0,
+                calibrated * 100.0
+            );
+            if calibrated < 1.0 - TOLERANCE {
+                failures += 1;
+            }
+        }
+        if median < 1.0 - TOLERANCE {
+            println!(
+                "  FAIL: median throughput is {:.0}% of baseline — a global regression (or a \
+                 much slower host; regenerate the baseline on this host class if so)",
+                median * 100.0
+            );
+            failures += 1;
+        }
+    }
+
+    // ----- cover-tree acceptance ratio (within-host, machine-portable) -----
+    // Two layers: the committed baseline must still record the bar (so a
+    // PR cannot quietly commit a degraded artifact), and a *fresh* smoke
+    // of the same `scenarios::highd_*` workload must still clear it (so
+    // a code regression that never touches the JSON cannot slip past —
+    // ratios of two same-host measurements transfer across machines).
+    let highd = baseline_entries(&baseline, "index_scaling_highd", &|entry| {
+        let d = entry_field(entry, "d")?;
+        let index = entry_field(entry, "index")?;
+        Some((format!("highd/d{d}/{index}"), 1))
+    });
+    let pps_of = |key: &str| highd.iter().find(|e| e.key == key).map(|e| e.pps);
+    match (pps_of("highd/d51/cover"), pps_of("highd/d51/grid")) {
+        (Some(cover), Some(grid)) => {
+            let ratio = cover / grid;
+            let verdict = if ratio >= 2.0 { "ok" } else { "REGRESSED" };
+            println!(
+                "  committed index_scaling_highd d=51: cover {cover:.0} vs grid {grid:.0} \
+                 points/s ({ratio:.2}x, bar 2.00x) {verdict}"
+            );
+            if ratio < 2.0 {
+                failures += 1;
+            }
+        }
+        _ => {
+            println!("  index_scaling_highd d=51: cover/grid entries missing from baseline");
+            failures += 1;
+        }
+    }
+    let (grid_pps, _) =
+        scenarios::highd_measure(NeighborIndexKind::Grid { side: None }, 51, HIGHD_SMOKE_POINTS);
+    let (cover_pps, cover_recomputes) =
+        scenarios::highd_measure(NeighborIndexKind::CoverTree, 51, HIGHD_SMOKE_POINTS);
+    let fresh_ratio = cover_pps / grid_pps;
+    let verdict = if fresh_ratio >= 2.0 && cover_recomputes > 0 { "ok" } else { "REGRESSED" };
+    println!(
+        "  fresh index_scaling_highd d=51: cover {cover_pps:.0} vs grid {grid_pps:.0} points/s \
+         ({fresh_ratio:.2}x, bar 2.00x, {cover_recomputes} recomputes) {verdict}"
+    );
+    if fresh_ratio < 2.0 || cover_recomputes == 0 {
+        failures += 1;
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "bench_regression: {failures} entr{} regressed",
+            if failures == 1 { "y" } else { "ies" }
+        );
+        std::process::exit(1);
+    }
+    println!("bench_regression: all checks passed");
+}

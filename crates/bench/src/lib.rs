@@ -20,6 +20,7 @@
 pub mod catalog;
 pub mod experiments;
 pub mod report;
+pub mod scenarios;
 
 pub use catalog::{Dataset, DatasetId};
 pub use report::Report;

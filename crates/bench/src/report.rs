@@ -147,6 +147,68 @@ pub fn merge_bench_json(path: &Path, section: &str, value: &str) -> std::io::Res
     std::fs::write(path, out)
 }
 
+/// Reads a bench-artifact JSON file written by [`merge_bench_json`] back
+/// into its `(section, single-line value)` entries, in file order.
+/// Returns the same [`std::io::ErrorKind::InvalidData`] verdict as the
+/// writer for files off the line discipline.
+pub fn read_bench_json(path: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let existing = std::fs::read_to_string(path)?;
+    let mut sections: Vec<(String, String)> = Vec::new();
+    for line in existing.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if line.is_empty() || line == "{" || line == "}" {
+            continue;
+        }
+        let parsed = line
+            .strip_prefix('"')
+            .and_then(|rest| rest.split_once("\": "))
+            .filter(|(_, val)| json_balanced(val));
+        let Some((key, val)) = parsed else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: line {line:?} is not a single-line entry", path.display()),
+            ));
+        };
+        sections.push((key.to_string(), val.to_string()));
+    }
+    Ok(sections)
+}
+
+/// Parses a section value holding a **flat** JSON array of objects (the
+/// shape every bench section uses: no nesting inside the objects) into
+/// one key → raw-value map per entry. String values are unquoted;
+/// numbers and booleans stay as their literal text. A non-array value or
+/// a nested object yields `None` — callers treat that as an unreadable
+/// baseline, not a crash.
+pub fn parse_flat_entries(value: &str) -> Option<Vec<Vec<(String, String)>>> {
+    let inner = value.trim().strip_prefix('[')?.strip_suffix(']')?.trim();
+    if inner.is_empty() {
+        return Some(Vec::new());
+    }
+    let mut entries = Vec::new();
+    for obj in inner.split("},") {
+        let obj = obj.trim().trim_start_matches('{').trim_end_matches('}').trim();
+        let mut fields = Vec::new();
+        for pair in obj.split(',') {
+            let (k, v) = pair.split_once(':')?;
+            let key = k.trim().strip_prefix('"')?.strip_suffix('"')?;
+            let val = v.trim();
+            let val = val.strip_prefix('"').and_then(|s| s.strip_suffix('"')).unwrap_or(val);
+            if val.contains(['{', '[']) {
+                return None; // nested: not a flat entry
+            }
+            fields.push((key.to_string(), val.to_string()));
+        }
+        entries.push(fields);
+    }
+    Some(entries)
+}
+
+/// Looks a field up in a [`parse_flat_entries`] entry.
+pub fn entry_field<'a>(entry: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    entry.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
 /// Whether `v` closes every brace, bracket and string it opens — the
 /// completeness test [`merge_bench_json`] applies to each section value
 /// (a pretty-printed file leaves openers dangling on the entry line).
@@ -286,6 +348,40 @@ mod tests {
             assert_eq!(&std::fs::read_to_string(&path).unwrap(), contents);
             let _ = std::fs::remove_file(&path);
         }
+    }
+
+    #[test]
+    fn bench_json_round_trips_through_the_reader() {
+        let path = std::env::temp_dir().join("edm-bench-test-read.json");
+        let _ = std::fs::remove_file(&path);
+        merge_bench_json(&path, "host", r#"{"cpus": 2}"#).unwrap();
+        merge_bench_json(&path, "runs", r#"[{"threads": 1, "pps": 10.0}]"#).unwrap();
+        let sections = read_bench_json(&path).unwrap();
+        assert_eq!(
+            sections,
+            vec![
+                ("host".to_string(), r#"{"cpus": 2}"#.to_string()),
+                ("runs".to_string(), r#"[{"threads": 1, "pps": 10.0}]"#.to_string()),
+            ]
+        );
+        std::fs::write(&path, "{\n  \"bad\": [\n  ]\n}\n").unwrap();
+        assert_eq!(read_bench_json(&path).unwrap_err().kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flat_entries_parse_strings_numbers_and_reject_nesting() {
+        let entries = parse_flat_entries(
+            r#"[{"dataset": "KDD", "points_per_sec": 104869}, {"dataset": "PAMAP2", "points_per_sec": 333854}]"#,
+        )
+        .unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entry_field(&entries[0], "dataset"), Some("KDD"));
+        assert_eq!(entry_field(&entries[1], "points_per_sec"), Some("333854"));
+        assert_eq!(entry_field(&entries[0], "missing"), None);
+        assert_eq!(parse_flat_entries("[]").unwrap(), Vec::<Vec<(String, String)>>::new());
+        assert!(parse_flat_entries(r#"{"not": "array"}"#).is_none());
+        assert!(parse_flat_entries(r#"[{"nested": {"x": 1}}]"#).is_none());
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Shared synthetic bench scenarios.
+//!
+//! The same workloads are driven from three places — the criterion-style
+//! benches (`parallel_batch_ingest`, `index_scaling`), which record the
+//! committed `BENCH_ingest.json` baseline, and the `bench_regression` CI
+//! gate, which re-measures them fresh. Keeping the generators here means
+//! the gate provably smokes the *same* scenario the baseline recorded,
+//! not a drifted copy.
+
+use std::num::NonZeroUsize;
+
+use edm_common::metric::Euclidean;
+use edm_common::point::DenseVector;
+use edm_core::index::NeighborIndexKind;
+use edm_core::{EdmConfig, EdmStream};
+
+// ----- crowded 8-d steady state (`parallel_batch_ingest`) -----
+
+/// Reservoir population of the crowded 8-d scenario.
+pub const CROWDED_CELLS: usize = 8_192;
+/// Dimensionality of the crowded scenario.
+pub const CROWDED_DIM: usize = 8;
+/// Seeds per grid bucket: mean occupancy sits exactly at the
+/// auto-tuner's upper band edge, so the layout is stable.
+pub const CROWDED_PER_BUCKET: usize = 8;
+
+/// The `j`-th crowded-scenario seed: a 2-d lattice of bucket sites
+/// (spacing 2.0 on dims 0–1), each crowded with [`CROWDED_PER_BUCKET`]
+/// seeds that are pairwise farther than r apart yet share the bucket —
+/// offsets 0.45·mask over dims 2–7 with even-popcount masks give
+/// pairwise distance at least 0.45·√2 ≈ 0.64 (above r = 0.5) while every
+/// coordinate stays inside the 0.5-cube. This is how r-separated seeds
+/// really pack in high dimensions, and it pushes every probe onto the
+/// occupied-bucket sweep path.
+pub fn crowded_seed(j: usize) -> DenseVector {
+    /// Six-bit even-popcount masks, pairwise Hamming distance ≥ 2.
+    const MASKS: [u8; CROWDED_PER_BUCKET] =
+        [0b000000, 0b000011, 0b000101, 0b000110, 0b001001, 0b001010, 0b001100, 0b010010];
+    let lattice_side = crowded_lattice_side();
+    let site = j / CROWDED_PER_BUCKET;
+    let mask = MASKS[j % CROWDED_PER_BUCKET];
+    let mut c = vec![0.0; CROWDED_DIM];
+    c[0] = (site % lattice_side) as f64 * 2.0;
+    c[1] = (site / lattice_side) as f64 * 2.0;
+    for (bit, coord) in c.iter_mut().skip(2).enumerate() {
+        if mask >> bit & 1 == 1 {
+            *coord = 0.45;
+        }
+    }
+    DenseVector::new(c)
+}
+
+fn crowded_lattice_side() -> usize {
+    (CROWDED_CELLS.div_ceil(CROWDED_PER_BUCKET) as f64).sqrt().ceil() as usize
+}
+
+/// Builds a warmed engine holding [`CROWDED_CELLS`] reservoir cells in
+/// the crowded 8-d layout, with the given ingest-thread knob. Returns
+/// the engine and its stream clock.
+pub fn crowded_engine(threads: usize) -> (EdmStream<DenseVector, Euclidean>, f64) {
+    let cfg = EdmConfig::builder(0.5)
+        .rate(1_000.0)
+        .beta_for_threshold(1e5)
+        .age_adjusted_threshold(false)
+        .init_points(1)
+        .tau_every(1 << 40)
+        .maintenance_every(64)
+        .recycle_horizon(f64::MAX)
+        .track_evolution(false)
+        .ingest_threads(NonZeroUsize::new(threads).expect("bench thread counts are nonzero"))
+        .build()
+        .expect("valid bench configuration");
+    let mut e = EdmStream::new(cfg, Euclidean);
+    let mut t = 0.0;
+    for j in 0..CROWDED_CELLS {
+        t += 1e-4;
+        e.insert(&crowded_seed(j), t);
+    }
+    assert_eq!(e.n_cells(), CROWDED_CELLS, "every seed must found its own cell");
+    (e, t)
+}
+
+/// Probe sites cycling over existing crowded-scenario cells (jittered
+/// within r): always absorbed, never a new cell, so batches exercise
+/// pure assignment.
+pub fn crowded_probe_sites() -> Vec<DenseVector> {
+    (0..64)
+        .map(|i| {
+            // Sit on the mask-0 seed of site i, nudged within r on dim 0.
+            let mut p = crowded_seed(i * CROWDED_PER_BUCKET);
+            p.coords_mut()[0] += (i % 5) as f64 * 0.05;
+            p
+        })
+        .collect()
+}
+
+// ----- high-dimensional clustered scenario (`index_scaling_highd`) -----
+
+/// Seeds per r-cube cluster. Offsets of 0.45 over even-popcount masks
+/// keep members pairwise ≥ 0.45·√2 ≈ 0.64 apart (every seed founds its
+/// own cell at r = 0.5) while every coordinate stays inside one side-0.5
+/// bucket.
+pub const HIGHD_PER_CLUSTER: usize = 8;
+/// Clusters taking absorb traffic (their cells are activated in warmup).
+pub const HIGHD_HOT_CLUSTERS: usize = 64;
+/// Background reservoir clusters (inactive one-point cells). Many
+/// *spread* clusters are the grid's pain: each is one more occupied
+/// bucket the per-query sweep must visit, while the cover tree reaches
+/// the relevant region through its hierarchy.
+pub const HIGHD_COLD_CLUSTERS: usize = 960;
+
+/// The `k`-th member of cluster `c` in `d` dimensions: cluster sites on
+/// a spacing-2 lattice over dims 0–1, member offsets 0.45·mask over the
+/// remaining dims (masks: the first even-popcount words — any two
+/// distinct even-weight words differ in ≥ 2 bits).
+pub fn highd_seed(c: usize, k: usize, d: usize) -> DenseVector {
+    let mut coords = vec![0.0; d];
+    coords[0] = (c % 32) as f64 * 2.0;
+    coords[1] = (c / 32) as f64 * 2.0;
+    let mut mask = 0u64;
+    let mut found = 0;
+    for w in 0u64.. {
+        if w.count_ones() % 2 == 0 {
+            if found == k {
+                mask = w;
+                break;
+            }
+            found += 1;
+        }
+    }
+    for (bit, coord) in coords.iter_mut().skip(2).enumerate() {
+        if bit < 62 && mask >> bit & 1 == 1 {
+            *coord = 0.45;
+        }
+    }
+    DenseVector::new(coords)
+}
+
+/// Builds a warmed high-d engine: [`HIGHD_HOT_CLUSTERS`] clusters of
+/// active cells (absorb traffic keeps overtaking inside them, so
+/// nearest-denser recomputation fires on the measured path) plus
+/// [`HIGHD_COLD_CLUSTERS`] clusters of inactive reservoir cells the
+/// index must keep pruning. Returns the engine and its stream clock.
+pub fn highd_engine(kind: NeighborIndexKind, d: usize) -> (EdmStream<DenseVector, Euclidean>, f64) {
+    let cfg = EdmConfig::builder(0.5)
+        .rate(1_000.0)
+        .beta_for_threshold(3.0)
+        .age_adjusted_threshold(false)
+        .init_points(1)
+        .tau_every(1 << 40)
+        .maintenance_every(1 << 40)
+        .recycle_horizon(f64::MAX)
+        .track_evolution(false)
+        .neighbor_index(kind)
+        .build()
+        .expect("valid bench configuration");
+    let mut e = EdmStream::new(cfg, Euclidean);
+    let mut t = 0.0;
+    // Reservoir first (ids don't matter; traffic never reaches them).
+    for c in 0..HIGHD_COLD_CLUSTERS {
+        for k in 0..HIGHD_PER_CLUSTER {
+            t += 1e-4;
+            e.insert(&highd_seed(HIGHD_HOT_CLUSTERS + c, k, d), t);
+        }
+    }
+    // Hot cells: 4 sustained points clears the ≈ 3-point threshold.
+    for _ in 0..4 {
+        for c in 0..HIGHD_HOT_CLUSTERS {
+            for k in 0..HIGHD_PER_CLUSTER {
+                t += 1e-4;
+                e.insert(&highd_seed(c, k, d), t);
+            }
+        }
+    }
+    assert_eq!(e.n_cells(), (HIGHD_HOT_CLUSTERS + HIGHD_COLD_CLUSTERS) * HIGHD_PER_CLUSTER);
+    assert_eq!(
+        e.active_len(),
+        HIGHD_HOT_CLUSTERS * HIGHD_PER_CLUSTER,
+        "warmup must activate the hot set"
+    );
+    (e, t)
+}
+
+/// Probe sites cycling over the hot cells (jittered within r on dim 0,
+/// which keeps each probe nearest its own seed): every insert absorbs
+/// and rises one active cell past round-robin peers — the overtaking
+/// pattern that drives `recompute_dep`.
+pub fn highd_probes(d: usize) -> Vec<DenseVector> {
+    (0..HIGHD_HOT_CLUSTERS * HIGHD_PER_CLUSTER)
+        .map(|i| {
+            let mut p = highd_seed(i / HIGHD_PER_CLUSTER, i % HIGHD_PER_CLUSTER, d);
+            p.coords_mut()[0] += (i % 5) as f64 * 0.04;
+            p
+        })
+        .collect()
+}
+
+/// Streams `points` absorb probes through a warmed high-d engine and
+/// returns `(points_per_sec, dep_recomputes)` — the measurement both the
+/// committed `index_scaling_highd` section and the CI gate's fresh smoke
+/// derive from.
+pub fn highd_measure(kind: NeighborIndexKind, d: usize, points: usize) -> (f64, u64) {
+    let (mut e, mut t) = highd_engine(kind, d);
+    let probes = highd_probes(d);
+    let recomputes_before = e.stats().dep_recomputes;
+    let start = std::time::Instant::now();
+    for i in 0..points {
+        t += 1e-5;
+        e.insert(&probes[i % probes.len()], t);
+    }
+    let pps = points as f64 / start.elapsed().as_secs_f64();
+    (pps, e.stats().dep_recomputes - recomputes_before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crowded_seeds_share_buckets_but_stay_r_separated() {
+        for j in 1..CROWDED_PER_BUCKET {
+            let d = crowded_seed(0).dist(&crowded_seed(j));
+            assert!(d > 0.5, "bucket-mates must exceed r (got {d})");
+            assert!(d < 1.0, "bucket-mates must share the r-cube region (got {d})");
+        }
+    }
+
+    #[test]
+    fn highd_cluster_members_are_r_separated_in_both_dims() {
+        for &d in &[16usize, 51] {
+            for k in 1..HIGHD_PER_CLUSTER {
+                let dist = highd_seed(0, 0, d).dist(&highd_seed(0, k, d));
+                assert!(dist > 0.5, "d={d}: members must exceed r (got {dist})");
+            }
+            let cross = highd_seed(0, 0, d).dist(&highd_seed(1, 0, d));
+            assert!((cross - 2.0).abs() < 1e-9, "adjacent cluster sites sit 2 apart");
+        }
+    }
+}

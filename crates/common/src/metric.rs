@@ -35,6 +35,22 @@ pub trait Metric<P>: Send + Sync {
     fn dominates_coordinate_axes(&self) -> bool {
         false
     }
+
+    /// Whether this distance **provably satisfies the metric axioms** —
+    /// above all the triangle inequality `d(a,c) <= d(a,b) + d(b,c)`.
+    ///
+    /// The trait contract already demands the axioms, but (mirroring
+    /// [`Metric::dominates_coordinate_axes`]) this marker is the explicit
+    /// opt-in that lets an engine build **metric-tree** neighbor indexing
+    /// (cover trees prune whole subtrees through triangle-inequality
+    /// bounds, which an axiom-violating distance would turn into silently
+    /// dropped neighbors). The default `false` downgrades such indexes to
+    /// the exact linear scan for any distance that has not vouched for
+    /// itself — a sloppy custom "metric" can cost performance, never
+    /// correctness.
+    fn is_metric(&self) -> bool {
+        false
+    }
 }
 
 /// Euclidean (L2) distance over dense vectors.
@@ -55,6 +71,11 @@ impl Metric<DenseVector> for Euclidean {
     fn dominates_coordinate_axes(&self) -> bool {
         true
     }
+
+    /// L2 is a true metric; metric-tree pruning is sound.
+    fn is_metric(&self) -> bool {
+        true
+    }
 }
 
 /// Jaccard distance over token sets: `1 − |A∩B|/|A∪B|`.
@@ -73,6 +94,14 @@ impl Metric<TokenSet> for Jaccard {
 
     fn name(&self) -> &'static str {
         "jaccard"
+    }
+
+    /// Jaccard distance is a true metric (Steinhaus transform of the
+    /// symmetric-difference metric), so metric-tree pruning is sound —
+    /// token sets have no coordinates for the grid, which makes the
+    /// cover tree the only sub-linear index available to them.
+    fn is_metric(&self) -> bool {
+        true
     }
 }
 
@@ -96,6 +125,29 @@ mod tests {
         let b = TokenSet::new(vec![2, 3]);
         assert!((m.dist(&a, &b) - (1.0 - 1.0 / 3.0)).abs() < 1e-12);
         assert_eq!(m.name(), "jaccard");
+    }
+
+    #[test]
+    fn capability_markers_default_off_and_builtin_metrics_opt_in() {
+        // Both built-in metrics are true metrics; only Euclidean also
+        // dominates per-axis coordinate differences (Jaccard has no
+        // coordinate embedding to dominate).
+        assert!(Metric::<DenseVector>::is_metric(&Euclidean));
+        assert!(Metric::<DenseVector>::dominates_coordinate_axes(&Euclidean));
+        assert!(Metric::<TokenSet>::is_metric(&Jaccard));
+        assert!(!Metric::<TokenSet>::dominates_coordinate_axes(&Jaccard));
+        // A custom metric that stays silent claims neither capability.
+        struct Silent;
+        impl Metric<DenseVector> for Silent {
+            fn dist(&self, a: &DenseVector, b: &DenseVector) -> f64 {
+                a.dist(b)
+            }
+            fn name(&self) -> &'static str {
+                "silent"
+            }
+        }
+        assert!(!Metric::<DenseVector>::is_metric(&Silent));
+        assert!(!Metric::<DenseVector>::dominates_coordinate_axes(&Silent));
     }
 
     /// Spot-check the triangle inequality on a few token sets — the

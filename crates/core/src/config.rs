@@ -492,13 +492,19 @@ impl EdmConfigBuilder {
     /// Picks the neighbor index backing cell assignment and dependency
     /// search. The default `Grid { side: None }` probes only the 3^d
     /// bucket shell around each point (sub-linear in cell count) and
-    /// degrades to an exact scan for payloads without coordinates. The
+    /// degrades to an exact scan for payloads without coordinates;
+    /// [`NeighborIndexKind::CoverTree`] prunes through measured distances
+    /// instead of coordinate geometry — the pick for high-dimensional
+    /// payloads (where uniform buckets degenerate into occupied-bucket
+    /// sweeps) and for coordinate-less payloads like token sets. The
     /// engine additionally downgrades `Grid` to
     /// [`NeighborIndexKind::LinearScan`] unless the metric asserts the
     /// grid's soundness bound through
     /// [`edm_common::metric::Metric::dominates_coordinate_axes`] (see
-    /// [`edm_common::point::GridCoords`]), so custom metrics stay exact
-    /// without touching this knob.
+    /// [`edm_common::point::GridCoords`]), and `CoverTree` unless it
+    /// asserts the triangle inequality through
+    /// [`edm_common::metric::Metric::is_metric`] — so custom metrics stay
+    /// exact without touching this knob.
     pub fn neighbor_index(mut self, kind: NeighborIndexKind) -> Self {
         self.cfg.neighbor_index = kind;
         self

@@ -277,7 +277,7 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
                 }
                 None => {
                     let id = self.slab.insert(Cell::new(p, tp));
-                    self.index.on_insert(id, &self.slab.get(id).seed);
+                    self.index.on_insert(id, &self.slab.get(id).seed, &self.slab, &self.metric);
                 }
             }
         }
@@ -377,7 +377,7 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
                 // New cluster-cell, cached in the reservoir (low density).
                 self.stats.new_cells += 1;
                 let id = self.slab.insert(Cell::new(p.clone(), t));
-                self.index.on_insert(id, &self.slab.get(id).seed);
+                self.index.on_insert(id, &self.slab.get(id).seed, &self.slab, &self.metric);
                 self.idle.push(id, t);
                 self.refresh_shard_stats();
                 born = Some(id);

@@ -326,7 +326,7 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
                 continue; // stale: superseded by activation or re-absorb
             }
             let cell = self.slab.remove(entry.id);
-            self.index.on_remove(entry.id, &cell.seed);
+            self.index.on_remove(entry.id, &cell.seed, &self.slab, &self.metric);
             self.stats.recycled += 1;
             removed_any = true;
         }

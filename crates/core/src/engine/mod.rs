@@ -123,39 +123,53 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
     /// [`EdmConfig::check`]; this constructor only debug-asserts.
     pub fn new(cfg: EdmConfig, metric: M) -> Self {
         debug_assert!(cfg.check().is_ok(), "config bypassed builder validation: {:?}", cfg.check());
-        // Test-harness knob: `EDM_FORCE_INGEST_THREADS=<n>` forces the
+        // Test-harness knobs: `EDM_FORCE_INGEST_THREADS=<n>` forces the
         // parallel batch-ingest path onto engines that left the knob at
-        // its default, so an entire test suite can run a second time with
-        // phase-1 probing live (CI does exactly that; `cargo test` builds
-        // with debug assertions, so the knob is live there). Deliberately
-        // ignored when the caller chose a thread count — and compiled out
-        // of release builds entirely, where a stray environment variable
-        // must never change library behavior (the release default really
-        // is the serial loop, byte for byte).
+        // its default, and `EDM_FORCE_SHARDS=<n>` does the same for the
+        // sharded grid index — so an entire test suite can run extra
+        // passes with phase-1 probing / multi-shard routing live (the CI
+        // test matrix does exactly that; `cargo test` builds with debug
+        // assertions, so the knobs are live there). Both are deliberately
+        // ignored when the caller chose a value — and compiled out of
+        // release builds entirely, where a stray environment variable
+        // must never change library behavior (the release defaults really
+        // are the serial loop and the unsharded grid, byte for byte).
         #[cfg(debug_assertions)]
         let cfg = {
             let mut cfg = cfg;
+            let forced = |var: &str| {
+                std::env::var(var).ok().and_then(|v| v.parse::<usize>().ok()).filter(|&n| n > 1)
+            };
             if cfg.ingest_threads() == 1 {
-                if let Some(forced) = std::env::var("EDM_FORCE_INGEST_THREADS")
-                    .ok()
-                    .and_then(|v| v.parse::<usize>().ok())
-                    .filter(|&n| n > 1)
-                {
-                    cfg.ingest_threads = forced;
+                if let Some(n) = forced("EDM_FORCE_INGEST_THREADS") {
+                    cfg.ingest_threads = n;
+                }
+            }
+            if cfg.shards() == 1 {
+                if let Some(n) = forced("EDM_FORCE_SHARDS") {
+                    cfg.shards = n;
                 }
             }
             cfg
         };
         let active_thr = cfg.active_threshold();
         let dt_del = cfg.delta_t_del();
-        // Grid pruning is only sound for metrics that vouch for the
-        // axis-domination bound ([`Metric::dominates_coordinate_axes`]);
-        // anything else gets the exact linear scan, so a custom metric
-        // can never make the index silently drop a true neighbor.
-        let index_kind = if metric.dominates_coordinate_axes() {
-            cfg.neighbor_index()
-        } else {
-            crate::index::NeighborIndexKind::LinearScan
+        // Each index backend is only built when the metric vouches for
+        // the capability its pruning rests on: grid kinds need the
+        // axis-domination bound ([`Metric::dominates_coordinate_axes`]),
+        // the cover tree needs the triangle inequality
+        // ([`Metric::is_metric`]). Anything else gets the exact linear
+        // scan, so a custom metric can never make an index silently drop
+        // a true neighbor.
+        let axis_bound = metric.dominates_coordinate_axes();
+        let index_kind = match cfg.neighbor_index() {
+            crate::index::NeighborIndexKind::Grid { .. } if !axis_bound => {
+                crate::index::NeighborIndexKind::LinearScan
+            }
+            crate::index::NeighborIndexKind::CoverTree if !metric.is_metric() => {
+                crate::index::NeighborIndexKind::LinearScan
+            }
+            kind => kind,
         };
         EdmStream {
             tau_ctl: TauController::new(cfg.tau_mode()),
@@ -165,7 +179,7 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
             registry: ClusterRegistry::new(),
             log: EvolutionLog::with_capacity(cfg.event_capacity()),
             stats: EngineStats::default(),
-            index: CellIndex::from_config(index_kind, cfg.r(), cfg.shards()),
+            index: CellIndex::from_config(index_kind, cfg.r(), cfg.shards(), axis_bound),
             scratch: ScratchDistances::default(),
             idle: IdleQueue::default(),
             probe_pool: ProbePool::default(),
@@ -246,6 +260,7 @@ const _: () = {
     assert_send_sync::<crate::index::CellIndex>();
     assert_send_sync::<crate::index::UniformGrid>();
     assert_send_sync::<crate::index::ShardedGrid>();
+    assert_send_sync::<crate::index::CoverTree>();
     assert_send_sync::<crate::slab::CellSlab<edm_common::point::DenseVector>>();
     assert_send_sync::<EdmStream<edm_common::point::DenseVector, edm_common::metric::Euclidean>>();
     assert_send_sync::<EdmStream<edm_common::point::TokenSet, edm_common::metric::Jaccard>>();

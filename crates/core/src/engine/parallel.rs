@@ -137,12 +137,16 @@ mod tests {
 
     fn slab_grid(n: usize) -> (CellSlab<DenseVector>, CellIndex) {
         let mut slab = CellSlab::new();
-        let mut index =
-            CellIndex::from_config(crate::index::NeighborIndexKind::Grid { side: None }, 0.5, 1);
+        let mut index = CellIndex::from_config(
+            crate::index::NeighborIndexKind::Grid { side: None },
+            0.5,
+            1,
+            true,
+        );
         for i in 0..n {
             let seed = DenseVector::from([(i % 16) as f64 * 2.0, (i / 16) as f64 * 2.0]);
             let id = slab.insert(Cell::new(seed, 0.0));
-            index.on_insert(id, &slab.get(id).seed);
+            index.on_insert(id, &slab.get(id).seed, &slab, &Euclidean);
         }
         (slab, index)
     }

@@ -300,10 +300,11 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
     }
 
     /// Verifies the neighbor index mirrors the live slab exactly — every
-    /// live cell filed once where its seed says, nothing stale (test
-    /// support; the index proptests call this after every operation).
+    /// live cell filed once where its seed says, nothing stale, and every
+    /// internal pruning bound sound against the metric (test support; the
+    /// index proptests call this after every operation).
     pub fn check_index(&self) -> Result<(), String> {
-        self.index.check_coherence(&self.slab)
+        self.index.check_coherence(&self.slab, &self.metric)
     }
 
     /// Entries currently held by the idle recycling queue, stale included

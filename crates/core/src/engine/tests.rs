@@ -559,6 +559,131 @@ fn stats_count_points_and_cells() {
     assert!(e.n_cells() >= 3);
 }
 
+// ----- cover-tree neighbor index -----
+
+#[test]
+fn cover_tree_engine_matches_the_linear_scan() {
+    // Facade-level smoke check (the proptest suite does the heavy
+    // lifting): identical clustering output, and the tree must actually
+    // have pruned probes the scan paid for.
+    let cover_cfg = mini_cfg(0.5)
+        .to_builder()
+        .neighbor_index(crate::index::NeighborIndexKind::CoverTree)
+        .build()
+        .unwrap();
+    let linear_cfg = mini_cfg(0.5)
+        .to_builder()
+        .neighbor_index(crate::index::NeighborIndexKind::LinearScan)
+        .build()
+        .unwrap();
+    let mut cover = EdmStream::new(cover_cfg, Euclidean);
+    let mut linear = EdmStream::new(linear_cfg, Euclidean);
+    feed_two_blobs(&mut cover, 300);
+    feed_two_blobs(&mut linear, 300);
+    // A far-flung reservoir lattice plus concentrated traffic: enough
+    // population that subtree pruning actually engages (a tree of a
+    // handful of cells is all root fanout — it degenerates to a scan).
+    for e in [&mut cover, &mut linear] {
+        for i in 0..120 {
+            e.insert(
+                &DenseVector::from([(i % 12) as f64 * 6.0, 20.0 + (i / 12) as f64 * 6.0]),
+                3.0 + i as f64 / 100.0,
+            );
+        }
+        for i in 0..200 {
+            e.insert(&DenseVector::from([0.05, 0.0]), 4.2 + i as f64 / 100.0);
+        }
+    }
+    let t = 6.2;
+    let (c_cells, c_clusters, c_tau, c_events, _) = observe(&mut cover, t);
+    let (l_cells, l_clusters, l_tau, l_events, _) = observe(&mut linear, t);
+    assert_eq!(c_cells, l_cells);
+    assert_eq!(c_clusters, l_clusters);
+    assert_eq!(c_tau, l_tau);
+    assert_eq!(c_events, l_events);
+    assert!(cover.stats().index_pruned > 0, "the tree must prune probes");
+    assert!(cover.stats().index_probed < linear.stats().index_probed);
+    // The tree meters its population like the unsharded grid does.
+    assert_eq!(cover.stats().shard_cells, vec![cover.n_cells() as u64]);
+    cover.check_index().unwrap();
+    cover.check_invariants(t).unwrap();
+}
+
+#[test]
+fn cover_tree_indexes_token_sets_the_grid_can_only_scan() {
+    use edm_common::metric::Jaccard;
+    use edm_common::point::TokenSet;
+    // Jaccard is a true metric but has no coordinate embedding: the
+    // default grid config downgrades to the linear scan, while the cover
+    // tree indexes the sets for real — same output, fewer probes.
+    let base = EdmConfig::builder(0.6)
+        .rate(100.0)
+        .beta_for_threshold(2.0)
+        .init_points(10)
+        .maintenance_every(8)
+        .build()
+        .unwrap();
+    let cover_cfg = base
+        .to_builder()
+        .neighbor_index(crate::index::NeighborIndexKind::CoverTree)
+        .build()
+        .unwrap();
+    // 8 disjoint topics (cross-topic Jaccard distance 1.0) of 6 variants
+    // each ({t, t+k} pairs: in-topic distance 2/3 > r, so every variant
+    // founds its own cell yet routes under its topic-mates in the tree).
+    // That gives the tree topic-pure subtrees with covering radii well
+    // under the cross-topic distance — the structure pruning needs, and
+    // one no coordinate grid could ever see for sets.
+    let stream: Vec<(TokenSet, f64)> = (0..600)
+        .map(|i| {
+            let topic = (i % 8) as u32 * 100;
+            let k = 1 + ((i / 8) % 6) as u32;
+            (TokenSet::new(vec![topic, topic + k]), i as f64 / 100.0)
+        })
+        .collect();
+    let mut scan = EdmStream::new(base, Jaccard);
+    let mut tree = EdmStream::new(cover_cfg, Jaccard);
+    for (p, t) in &stream {
+        scan.insert(p, *t);
+        tree.insert(p, *t);
+    }
+    assert_eq!(scan.n_clusters(), tree.n_clusters());
+    assert_eq!(scan.n_cells(), tree.n_cells());
+    assert_eq!(scan.stats().absorbed, tree.stats().absorbed);
+    assert_eq!(scan.stats().index_pruned, 0, "grid config must have downgraded to the scan");
+    assert!(tree.stats().index_pruned > 0, "the tree must prune even without coordinates");
+    tree.check_index().unwrap();
+    tree.check_invariants(6.0).unwrap();
+}
+
+#[test]
+fn cover_tree_downgrades_for_distances_that_never_vouched_for_the_axioms() {
+    // A distance that stays silent about the metric axioms must not get
+    // triangle-inequality pruning: the engine runs the exact scan.
+    struct Unvouched;
+    impl Metric<DenseVector> for Unvouched {
+        fn dist(&self, a: &DenseVector, b: &DenseVector) -> f64 {
+            a.dist(b)
+        }
+        fn name(&self) -> &'static str {
+            "unvouched"
+        }
+        // is_metric: default false.
+    }
+    let cfg = mini_cfg(0.5)
+        .to_builder()
+        .neighbor_index(crate::index::NeighborIndexKind::CoverTree)
+        .build()
+        .unwrap();
+    let mut e = EdmStream::new(cfg, Unvouched);
+    for i in 0..100 {
+        e.insert(&DenseVector::from([(i % 10) as f64 * 4.0, 0.0]), i as f64 / 100.0);
+    }
+    assert_eq!(e.stats().index_pruned, 0, "engine must run the exact scan");
+    assert!(e.stats().index_probed > 0);
+    e.check_index().unwrap();
+}
+
 // ----- parallel probe-then-commit batch ingest -----
 
 /// Full observable state of an engine: per-cell tree data, cluster

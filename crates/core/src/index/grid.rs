@@ -33,7 +33,7 @@ use edm_common::point::GridCoords;
 use crate::cell::{Cell, CellId};
 use crate::slab::CellSlab;
 
-use super::{closer, NeighborIndex};
+use super::{chebyshev_lower_bound, closer, NeighborIndex};
 
 /// Reusable integer-key buffers for the query hot path.
 ///
@@ -375,11 +375,11 @@ impl UniformGrid {
 }
 
 impl<P: GridCoords> NeighborIndex<P> for UniformGrid {
-    fn on_insert(&mut self, id: CellId, seed: &P) {
+    fn on_insert<M: Metric<P>>(&mut self, id: CellId, seed: &P, _slab: &CellSlab<P>, _metric: &M) {
         self.file(id, seed.grid_coords());
     }
 
-    fn on_remove(&mut self, id: CellId, seed: &P) {
+    fn on_remove<M: Metric<P>>(&mut self, id: CellId, seed: &P, _slab: &CellSlab<P>, _metric: &M) {
         if let Some(key) = self.key_of(seed.grid_coords()) {
             let bucket = self.buckets.get_mut(&key).expect("removing cell from unknown bucket");
             let pos = bucket.iter().position(|&c| c == id).expect("cell missing from its bucket");
@@ -525,12 +525,7 @@ impl<P: GridCoords> NeighborIndex<P> for UniformGrid {
         // Chebyshev distance: sound for any metric dominating per-axis
         // coordinate differences (the GridCoords contract), and tighter
         // than what bucket keys alone could prove.
-        match (q.grid_coords(), seed.grid_coords()) {
-            (Some(a), Some(b)) if a.len() == b.len() => {
-                a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
-            }
-            _ => 0.0,
-        }
+        chebyshev_lower_bound(q, seed)
     }
 
     fn probe_conflicts(&self, q: &P, changed: &P, radius: f64) -> bool {
@@ -556,7 +551,7 @@ impl<P: GridCoords> NeighborIndex<P> for UniformGrid {
         qc.iter().zip(cc.iter()).all(|(a, b)| (a - b).abs() <= horizon)
     }
 
-    fn check_coherence(&self, slab: &CellSlab<P>) -> Result<(), String> {
+    fn check_coherence<M: Metric<P>>(&self, slab: &CellSlab<P>, _metric: &M) -> Result<(), String> {
         let counted = self.buckets.values().map(Vec::len).sum::<usize>();
         if counted != self.n_bucketed {
             return Err(format!(
@@ -594,7 +589,7 @@ mod tests {
         let mut ids = Vec::new();
         for s in seeds {
             let id = slab.insert(Cell::new(s, 0.0));
-            grid.on_insert(id, &slab.get(id).seed);
+            grid.on_insert(id, &slab.get(id).seed, &slab, &Euclidean);
             ids.push(id);
         }
         (grid, slab, ids)
@@ -619,7 +614,7 @@ mod tests {
         let mut slab = CellSlab::new();
         for i in 0..25 {
             let id = slab.insert(Cell::new(v((i % 5) as f64 * 3.0, (i / 5) as f64 * 3.0), 0.0));
-            grid.on_insert(id, &slab.get(id).seed);
+            grid.on_insert(id, &slab.get(id).seed, &slab, &Euclidean);
         }
         let mut probed = 0;
         let hit =
@@ -646,10 +641,10 @@ mod tests {
     #[test]
     fn remove_keeps_the_grid_coherent() {
         let (mut grid, mut slab, ids) = populated();
-        assert!(grid.check_coherence(&slab).is_ok());
+        assert!(grid.check_coherence(&slab, &Euclidean).is_ok());
         let cell = slab.remove(ids[1]);
-        grid.on_remove(ids[1], &cell.seed);
-        assert!(grid.check_coherence(&slab).is_ok());
+        grid.on_remove(ids[1], &cell.seed, &slab, &Euclidean);
+        assert!(grid.check_coherence(&slab, &Euclidean).is_ok());
         let hit = grid.nearest_within(&v(0.9, 0.2), 0.5, &slab, &Euclidean, &mut |_, _| {});
         assert_ne!(hit.map(|(id, _)| id), Some(ids[1]));
     }
@@ -671,15 +666,15 @@ mod tests {
         let mut slab = CellSlab::new();
         let a = slab.insert(Cell::new(TokenSet::new(vec![1, 2, 3]), 0.0));
         let b = slab.insert(Cell::new(TokenSet::new(vec![7, 8]), 0.0));
-        grid.on_insert(a, &slab.get(a).seed);
-        grid.on_insert(b, &slab.get(b).seed);
-        assert!(grid.check_coherence(&slab).is_ok());
+        grid.on_insert(a, &slab.get(a).seed, &slab, &Jaccard);
+        grid.on_insert(b, &slab.get(b).seed, &slab, &Jaccard);
+        assert!(grid.check_coherence(&slab, &Jaccard).is_ok());
         let q = TokenSet::new(vec![1, 2, 4]);
         let hit = grid.nearest_within(&q, 0.9, &slab, &Jaccard, &mut |_, _| {});
         assert_eq!(hit.map(|(id, _)| id), Some(a));
         let cell = slab.remove(b);
-        grid.on_remove(b, &cell.seed);
-        assert!(grid.check_coherence(&slab).is_ok());
+        grid.on_remove(b, &cell.seed, &slab, &Jaccard);
+        assert!(grid.check_coherence(&slab, &Jaccard).is_ok());
     }
 
     /// Crowds one r-cube with hundreds of pairwise-far seeds (possible in
@@ -719,14 +714,14 @@ mod tests {
             })
             .collect();
         for &id in ids.iter().chain(far.iter()) {
-            grid.on_insert(id, &slab.get(id).seed);
+            grid.on_insert(id, &slab.get(id).seed, &slab, &Euclidean);
         }
         assert!(grid.mean_occupancy() > OCCUPANCY_HI);
         let before = grid.side();
         assert_eq!(grid.maintain(&slab), 1, "crowded grid must rebuild");
         assert!(grid.side() < before);
         assert_eq!(grid.rebuilds(), 1);
-        assert!(grid.check_coherence(&slab).is_ok());
+        assert!(grid.check_coherence(&slab, &Euclidean).is_ok());
         // Queries stay exact across the retune.
         let q = DenseVector::new(vec![0.05; 8]);
         let hit = grid.nearest_matching(&q, &slab, &Euclidean, &mut |_, _| true);
@@ -739,7 +734,7 @@ mod tests {
         // A pinned side never tunes, however crowded.
         let mut pinned = UniformGrid::new(1.0);
         for &id in ids.iter().chain(far.iter()) {
-            pinned.on_insert(id, &slab.get(id).seed);
+            pinned.on_insert(id, &slab.get(id).seed, &slab, &Euclidean);
         }
         assert_eq!(pinned.maintain(&slab), 0);
         assert_eq!(pinned.side(), 1.0);
@@ -749,7 +744,7 @@ mod tests {
         let all: Vec<CellId> = slab.iter().map(|(id, _)| id).collect();
         for &id in all.iter().skip(280) {
             let cell = slab.remove(id);
-            grid.on_remove(id, &cell.seed);
+            grid.on_remove(id, &cell.seed, &slab, &Euclidean);
         }
         let mut rounds = 0;
         while grid.maintain(&slab) == 1 {
@@ -757,7 +752,7 @@ mod tests {
             assert!(rounds < 32, "auto-tuning must settle, not oscillate");
         }
         assert!(grid.rebuilds() > 1, "the shrunken population must coarsen at least once");
-        assert!(grid.check_coherence(&slab).is_ok());
+        assert!(grid.check_coherence(&slab, &Euclidean).is_ok());
     }
 
     #[test]
@@ -767,8 +762,8 @@ mod tests {
         // Equidistant seeds in different buckets around the query.
         let a = slab.insert(Cell::new(v(-1.0, 0.0), 0.0));
         let b = slab.insert(Cell::new(v(1.0, 0.0), 0.0));
-        grid.on_insert(a, &slab.get(a).seed);
-        grid.on_insert(b, &slab.get(b).seed);
+        grid.on_insert(a, &slab.get(a).seed, &slab, &Euclidean);
+        grid.on_insert(b, &slab.get(b).seed, &slab, &Euclidean);
         let hit = grid.nearest_within(&v(0.0, 0.0), 2.0, &slab, &Euclidean, &mut |_, _| {});
         assert_eq!(hit.map(|(id, _)| id), Some(a));
         let m = grid.nearest_matching(&v(0.0, 0.0), &slab, &Euclidean, &mut |_, _| true);

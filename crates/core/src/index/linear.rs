@@ -19,9 +19,23 @@ use super::{closer, NeighborIndex};
 pub struct LinearScan;
 
 impl<P> NeighborIndex<P> for LinearScan {
-    fn on_insert(&mut self, _id: CellId, _seed: &P) {}
+    fn on_insert<M: Metric<P>>(
+        &mut self,
+        _id: CellId,
+        _seed: &P,
+        _slab: &CellSlab<P>,
+        _metric: &M,
+    ) {
+    }
 
-    fn on_remove(&mut self, _id: CellId, _seed: &P) {}
+    fn on_remove<M: Metric<P>>(
+        &mut self,
+        _id: CellId,
+        _seed: &P,
+        _slab: &CellSlab<P>,
+        _metric: &M,
+    ) {
+    }
 
     fn nearest_within<M: Metric<P>>(
         &self,
@@ -68,7 +82,11 @@ impl<P> NeighborIndex<P> for LinearScan {
         0.0
     }
 
-    fn check_coherence(&self, _slab: &CellSlab<P>) -> Result<(), String> {
+    fn check_coherence<M: Metric<P>>(
+        &self,
+        _slab: &CellSlab<P>,
+        _metric: &M,
+    ) -> Result<(), String> {
         Ok(())
     }
 }

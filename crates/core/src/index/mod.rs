@@ -7,7 +7,7 @@
 //! insert cost grow linearly with cell count, which defeats the paper's
 //! cheap-maintenance claim as soon as the outlier reservoir grows. This
 //! module abstracts the question behind [`NeighborIndex`] and provides
-//! three implementations:
+//! four implementations:
 //!
 //! * [`UniformGrid`] — seeds quantized into a uniform grid of bucket side
 //!   `r` (the cluster-cell radius), so an assignment query probes only the
@@ -26,9 +26,17 @@
 //!   one shard; queries combine per-shard winners. The isolation seam for
 //!   per-shard locking/threading (configured via
 //!   [`crate::EdmConfigBuilder::shards`]).
+//! * [`CoverTree`] — a best-first metric tree over cell seeds, pruning
+//!   whole subtrees through triangle-inequality covering-radius bounds.
+//!   Needs no coordinates at all — only the metric axioms (the
+//!   [`edm_common::metric::Metric::is_metric`] opt-in) — which makes it
+//!   the index of choice for high-dimensional payloads, where uniform
+//!   buckets degenerate into occupied-bucket sweeps, and for
+//!   coordinate-less payloads like token sets, which the grid can only
+//!   scan.
 //! * [`LinearScan`] — the exact full scan, as a fallback for arbitrary
 //!   metric spaces and as the reference implementation the property suite
-//!   compares the grids against.
+//!   compares the other backends against.
 //!
 //! All are *exact*: they return the same nearest cell (identical
 //! distance-then-id tie-breaking) the brute-force scan would, so switching
@@ -36,10 +44,12 @@
 //! distance computations, which the engine counts in
 //! [`crate::EngineStats::index_probed`] / [`crate::EngineStats::index_pruned`].
 
+mod cover;
 mod grid;
 mod linear;
 mod sharded;
 
+pub use cover::CoverTree;
 pub use grid::UniformGrid;
 pub use linear::LinearScan;
 pub use sharded::ShardedGrid;
@@ -72,6 +82,14 @@ pub enum NeighborIndexKind {
         /// query. Must be positive and finite when given.
         side: Option<f64>,
     },
+    /// Best-first metric tree over cell seeds ([`CoverTree`]). Exact for
+    /// any true metric — the engine downgrades it to [`LinearScan`]
+    /// unless the metric vouches for the triangle inequality via
+    /// [`edm_common::metric::Metric::is_metric`]. Unlike the grid it
+    /// needs no coordinate embedding, so it indexes token sets and other
+    /// coordinate-less payloads, and it keeps pruning in high dimensions
+    /// where uniform buckets degenerate into occupied-bucket sweeps.
+    CoverTree,
 }
 
 impl Default for NeighborIndexKind {
@@ -95,11 +113,18 @@ impl Default for NeighborIndexKind {
 /// [`on_insert`]: NeighborIndex::on_insert
 /// [`on_remove`]: NeighborIndex::on_remove
 pub trait NeighborIndex<P> {
-    /// Registers a freshly inserted cell.
-    fn on_insert(&mut self, id: CellId, seed: &P);
+    /// Registers a freshly inserted cell. The cell is already live in
+    /// `slab` (so `slab.get(id).seed` is `seed`), and `metric` is the
+    /// engine's metric — metric-tree backends route the insertion through
+    /// distance computations against seeds fetched from the slab;
+    /// coordinate-quantizing backends ignore both.
+    fn on_insert<M: Metric<P>>(&mut self, id: CellId, seed: &P, slab: &CellSlab<P>, metric: &M);
 
     /// Unregisters a cell removed from the slab (reservoir recycling).
-    fn on_remove(&mut self, id: CellId, seed: &P);
+    /// Called **after** `slab.remove(id)` — `seed` carries the removed
+    /// cell's seed, while `slab` holds every still-live cell (metric-tree
+    /// backends re-hang the removed node's orphans against it).
+    fn on_remove<M: Metric<P>>(&mut self, id: CellId, seed: &P, slab: &CellSlab<P>, metric: &M);
 
     /// The nearest cell whose seed lies within `radius` of `q`, with its
     /// distance; `None` when no cell is that close. Calls `on_probe` once
@@ -158,8 +183,23 @@ pub trait NeighborIndex<P> {
     }
 
     /// Verifies that the index holds exactly the live slab cells, each
-    /// filed where its seed says it belongs (test support).
-    fn check_coherence(&self, slab: &CellSlab<P>) -> Result<(), String>;
+    /// filed where its seed says it belongs, and that every internal
+    /// pruning bound is sound against the metric (test support).
+    fn check_coherence<M: Metric<P>>(&self, slab: &CellSlab<P>, metric: &M) -> Result<(), String>;
+}
+
+/// Chebyshev (L∞) distance between two payloads' coordinate embeddings —
+/// `0.0` when either has none or the dimensionalities disagree. A sound
+/// lower bound on any metric that dominates per-axis coordinate
+/// differences; shared by the grid and cover-tree
+/// [`NeighborIndex::distance_lower_bound`] implementations.
+pub(crate) fn chebyshev_lower_bound<P: GridCoords>(q: &P, seed: &P) -> f64 {
+    match (q.grid_coords(), seed.grid_coords()) {
+        (Some(a), Some(b)) if a.len() == b.len() => {
+            a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        }
+        _ => 0.0,
+    }
 }
 
 /// Strict "closer" order used by every index: nearer wins, equal distances
@@ -174,7 +214,7 @@ pub(crate) fn closer(d: f64, id: CellId, best: Option<(CellId, f64)>) -> bool {
     }
 }
 
-/// The engine's concrete index: static dispatch over the three
+/// The engine's concrete index: static dispatch over the four
 /// implementations (no boxing on the hot path).
 #[derive(Debug, Clone)]
 pub enum CellIndex {
@@ -184,14 +224,21 @@ pub enum CellIndex {
     Grid(UniformGrid),
     /// Hash-sharded uniform grids (`shards > 1`).
     Sharded(ShardedGrid),
+    /// Best-first metric tree over seeds.
+    Cover(CoverTree),
 }
 
 impl CellIndex {
     /// Builds the index a configuration asks for; `r` is the cluster-cell
-    /// radius (the grid's default bucket side) and `shards` the configured
-    /// shard count (1 = a single unsharded grid). A defaulted side
-    /// (`side: None`) enables occupancy auto-tuning — the side is the
-    /// engine's guess, free to refine; an explicit side is pinned.
+    /// radius (the grid's default bucket side), `shards` the configured
+    /// shard count (1 = a single unsharded grid; ignored by the cover
+    /// tree and the linear scan, which have no shard structure), and
+    /// `axis_bound` whether the engine's metric dominates per-axis
+    /// coordinate differences (lets the cover tree hand out Chebyshev
+    /// [`NeighborIndex::distance_lower_bound`]s; the grid kinds are only
+    /// ever constructed when it holds). A defaulted side (`side: None`)
+    /// enables occupancy auto-tuning — the side is the engine's guess,
+    /// free to refine; an explicit side is pinned.
     ///
     /// A degenerate side (zero, negative, non-finite) or shard count of
     /// zero degrades to the linear scan instead of panicking: the builder
@@ -199,9 +246,10 @@ impl CellIndex {
     /// only triggers for configs smuggled past validation
     /// (deserialization, FFI), where the engine's contract is
     /// debug-assert-only.
-    pub fn from_config(kind: NeighborIndexKind, r: f64, shards: usize) -> Self {
+    pub fn from_config(kind: NeighborIndexKind, r: f64, shards: usize, axis_bound: bool) -> Self {
         match kind {
             NeighborIndexKind::LinearScan => CellIndex::Linear(LinearScan),
+            NeighborIndexKind::CoverTree => CellIndex::Cover(CoverTree::new(axis_bound)),
             NeighborIndexKind::Grid { side } => {
                 let auto_tune = side.is_none();
                 let side = side.unwrap_or(r);
@@ -226,37 +274,42 @@ impl CellIndex {
             CellIndex::Linear(_) => "linear",
             CellIndex::Grid(_) => "grid",
             CellIndex::Sharded(_) => "sharded-grid",
+            CellIndex::Cover(_) => "cover-tree",
         }
     }
 
     /// Live cells held per shard: one entry per shard of the sharded
-    /// grid, a single entry for the unsharded grid, empty for the linear
-    /// scan (the slab itself is the only structure). Written into
-    /// `out` so the engine's per-insert refresh never reallocates.
+    /// grid, a single entry for the unsharded grid and the cover tree,
+    /// empty for the linear scan (the slab itself is the only
+    /// structure). Written into `out` so the engine's per-insert refresh
+    /// never reallocates.
     pub fn shard_occupancy_into(&self, out: &mut Vec<u64>) {
         out.clear();
         match self {
             CellIndex::Linear(_) => {}
             CellIndex::Grid(g) => out.push(g.indexed_len() as u64),
             CellIndex::Sharded(s) => out.extend(s.occupancy_iter()),
+            CellIndex::Cover(c) => out.push(c.len() as u64),
         }
     }
 }
 
 impl<P: GridCoords> NeighborIndex<P> for CellIndex {
-    fn on_insert(&mut self, id: CellId, seed: &P) {
+    fn on_insert<M: Metric<P>>(&mut self, id: CellId, seed: &P, slab: &CellSlab<P>, metric: &M) {
         match self {
-            CellIndex::Linear(ix) => ix.on_insert(id, seed),
-            CellIndex::Grid(ix) => ix.on_insert(id, seed),
-            CellIndex::Sharded(ix) => ix.on_insert(id, seed),
+            CellIndex::Linear(ix) => ix.on_insert(id, seed, slab, metric),
+            CellIndex::Grid(ix) => ix.on_insert(id, seed, slab, metric),
+            CellIndex::Sharded(ix) => ix.on_insert(id, seed, slab, metric),
+            CellIndex::Cover(ix) => ix.on_insert(id, seed, slab, metric),
         }
     }
 
-    fn on_remove(&mut self, id: CellId, seed: &P) {
+    fn on_remove<M: Metric<P>>(&mut self, id: CellId, seed: &P, slab: &CellSlab<P>, metric: &M) {
         match self {
-            CellIndex::Linear(ix) => ix.on_remove(id, seed),
-            CellIndex::Grid(ix) => ix.on_remove(id, seed),
-            CellIndex::Sharded(ix) => ix.on_remove(id, seed),
+            CellIndex::Linear(ix) => ix.on_remove(id, seed, slab, metric),
+            CellIndex::Grid(ix) => ix.on_remove(id, seed, slab, metric),
+            CellIndex::Sharded(ix) => ix.on_remove(id, seed, slab, metric),
+            CellIndex::Cover(ix) => ix.on_remove(id, seed, slab, metric),
         }
     }
 
@@ -272,6 +325,7 @@ impl<P: GridCoords> NeighborIndex<P> for CellIndex {
             CellIndex::Linear(ix) => ix.nearest_within(q, radius, slab, metric, on_probe),
             CellIndex::Grid(ix) => ix.nearest_within(q, radius, slab, metric, on_probe),
             CellIndex::Sharded(ix) => ix.nearest_within(q, radius, slab, metric, on_probe),
+            CellIndex::Cover(ix) => ix.nearest_within(q, radius, slab, metric, on_probe),
         }
     }
 
@@ -286,6 +340,7 @@ impl<P: GridCoords> NeighborIndex<P> for CellIndex {
             CellIndex::Linear(ix) => ix.nearest_matching(q, slab, metric, pred),
             CellIndex::Grid(ix) => ix.nearest_matching(q, slab, metric, pred),
             CellIndex::Sharded(ix) => ix.nearest_matching(q, slab, metric, pred),
+            CellIndex::Cover(ix) => ix.nearest_matching(q, slab, metric, pred),
         }
     }
 
@@ -294,6 +349,7 @@ impl<P: GridCoords> NeighborIndex<P> for CellIndex {
             CellIndex::Linear(ix) => NeighborIndex::<P>::distance_lower_bound(ix, q, seed),
             CellIndex::Grid(ix) => NeighborIndex::<P>::distance_lower_bound(ix, q, seed),
             CellIndex::Sharded(ix) => NeighborIndex::<P>::distance_lower_bound(ix, q, seed),
+            CellIndex::Cover(ix) => NeighborIndex::<P>::distance_lower_bound(ix, q, seed),
         }
     }
 
@@ -302,22 +358,24 @@ impl<P: GridCoords> NeighborIndex<P> for CellIndex {
             CellIndex::Linear(ix) => NeighborIndex::<P>::probe_conflicts(ix, q, changed, radius),
             CellIndex::Grid(ix) => NeighborIndex::<P>::probe_conflicts(ix, q, changed, radius),
             CellIndex::Sharded(ix) => NeighborIndex::<P>::probe_conflicts(ix, q, changed, radius),
+            CellIndex::Cover(ix) => NeighborIndex::<P>::probe_conflicts(ix, q, changed, radius),
         }
     }
 
     fn maintain(&mut self, slab: &CellSlab<P>) -> u64 {
         match self {
-            CellIndex::Linear(_) => 0,
+            CellIndex::Linear(_) | CellIndex::Cover(_) => 0,
             CellIndex::Grid(ix) => ix.maintain(slab),
             CellIndex::Sharded(ix) => ix.maintain(slab),
         }
     }
 
-    fn check_coherence(&self, slab: &CellSlab<P>) -> Result<(), String> {
+    fn check_coherence<M: Metric<P>>(&self, slab: &CellSlab<P>, metric: &M) -> Result<(), String> {
         match self {
-            CellIndex::Linear(ix) => ix.check_coherence(slab),
-            CellIndex::Grid(ix) => ix.check_coherence(slab),
-            CellIndex::Sharded(ix) => ix.check_coherence(slab),
+            CellIndex::Linear(ix) => ix.check_coherence(slab, metric),
+            CellIndex::Grid(ix) => ix.check_coherence(slab, metric),
+            CellIndex::Sharded(ix) => ix.check_coherence(slab, metric),
+            CellIndex::Cover(ix) => ix.check_coherence(slab, metric),
         }
     }
 }
@@ -328,21 +386,37 @@ mod tests {
 
     #[test]
     fn from_config_builds_what_was_asked() {
-        assert_eq!(CellIndex::from_config(NeighborIndexKind::LinearScan, 0.5, 1).label(), "linear");
         assert_eq!(
-            CellIndex::from_config(NeighborIndexKind::Grid { side: None }, 0.5, 1).label(),
+            CellIndex::from_config(NeighborIndexKind::LinearScan, 0.5, 1, true).label(),
+            "linear"
+        );
+        assert_eq!(
+            CellIndex::from_config(NeighborIndexKind::Grid { side: None }, 0.5, 1, true).label(),
             "grid"
         );
         assert_eq!(
-            CellIndex::from_config(NeighborIndexKind::Grid { side: Some(2.0) }, 0.5, 1).label(),
+            CellIndex::from_config(NeighborIndexKind::Grid { side: Some(2.0) }, 0.5, 1, true)
+                .label(),
             "grid"
         );
         assert_eq!(
-            CellIndex::from_config(NeighborIndexKind::Grid { side: None }, 0.5, 4).label(),
+            CellIndex::from_config(NeighborIndexKind::Grid { side: None }, 0.5, 4, true).label(),
             "sharded-grid"
         );
-        // Sharding a linear scan is meaningless; the scan wins.
-        assert_eq!(CellIndex::from_config(NeighborIndexKind::LinearScan, 0.5, 4).label(), "linear");
+        assert_eq!(
+            CellIndex::from_config(NeighborIndexKind::CoverTree, 0.5, 1, true).label(),
+            "cover-tree"
+        );
+        // Sharding a linear scan or a cover tree is meaningless; the
+        // single structure wins.
+        assert_eq!(
+            CellIndex::from_config(NeighborIndexKind::LinearScan, 0.5, 4, true).label(),
+            "linear"
+        );
+        assert_eq!(
+            CellIndex::from_config(NeighborIndexKind::CoverTree, 0.5, 4, false).label(),
+            "cover-tree"
+        );
     }
 
     #[test]
@@ -350,28 +424,32 @@ mod tests {
         // Smuggled configs (deserialization/FFI) bypass builder validation;
         // the engine must not panic in release builds.
         for bad in [0.0, -3.0, f64::NAN, f64::INFINITY] {
-            let ix = CellIndex::from_config(NeighborIndexKind::Grid { side: Some(bad) }, 0.5, 1);
+            let ix =
+                CellIndex::from_config(NeighborIndexKind::Grid { side: Some(bad) }, 0.5, 1, true);
             assert_eq!(ix.label(), "linear", "side {bad} must degrade");
         }
         // A degenerate radius poisons the default side the same way, and a
         // smuggled shard count of zero cannot panic either.
-        let ix = CellIndex::from_config(NeighborIndexKind::Grid { side: None }, f64::NAN, 1);
+        let ix = CellIndex::from_config(NeighborIndexKind::Grid { side: None }, f64::NAN, 1, true);
         assert_eq!(ix.label(), "linear");
-        let ix = CellIndex::from_config(NeighborIndexKind::Grid { side: None }, 0.5, 0);
+        let ix = CellIndex::from_config(NeighborIndexKind::Grid { side: None }, 0.5, 0, true);
         assert_eq!(ix.label(), "linear");
     }
 
     #[test]
     fn shard_occupancy_matches_the_variant() {
         let mut out = vec![9, 9];
-        CellIndex::from_config(NeighborIndexKind::LinearScan, 0.5, 1)
+        CellIndex::from_config(NeighborIndexKind::LinearScan, 0.5, 1, true)
             .shard_occupancy_into(&mut out);
         assert!(out.is_empty());
-        CellIndex::from_config(NeighborIndexKind::Grid { side: None }, 0.5, 1)
+        CellIndex::from_config(NeighborIndexKind::Grid { side: None }, 0.5, 1, true)
             .shard_occupancy_into(&mut out);
         assert_eq!(out, vec![0]);
-        CellIndex::from_config(NeighborIndexKind::Grid { side: None }, 0.5, 3)
+        CellIndex::from_config(NeighborIndexKind::Grid { side: None }, 0.5, 3, true)
             .shard_occupancy_into(&mut out);
         assert_eq!(out, vec![0, 0, 0]);
+        CellIndex::from_config(NeighborIndexKind::CoverTree, 0.5, 1, true)
+            .shard_occupancy_into(&mut out);
+        assert_eq!(out, vec![0]);
     }
 }

@@ -98,14 +98,14 @@ impl ShardedGrid {
 }
 
 impl<P: GridCoords> NeighborIndex<P> for ShardedGrid {
-    fn on_insert(&mut self, id: CellId, seed: &P) {
+    fn on_insert<M: Metric<P>>(&mut self, id: CellId, seed: &P, slab: &CellSlab<P>, metric: &M) {
         let shard = self.shard_of(seed.grid_coords());
-        self.shards[shard].on_insert(id, seed);
+        self.shards[shard].on_insert(id, seed, slab, metric);
     }
 
-    fn on_remove(&mut self, id: CellId, seed: &P) {
+    fn on_remove<M: Metric<P>>(&mut self, id: CellId, seed: &P, slab: &CellSlab<P>, metric: &M) {
         let shard = self.shard_of(seed.grid_coords());
-        self.shards[shard].on_remove(id, seed);
+        self.shards[shard].on_remove(id, seed, slab, metric);
     }
 
     fn nearest_within<M: Metric<P>>(
@@ -163,7 +163,7 @@ impl<P: GridCoords> NeighborIndex<P> for ShardedGrid {
         self.shards.iter().any(|s| NeighborIndex::<P>::probe_conflicts(s, q, changed, radius))
     }
 
-    fn check_coherence(&self, slab: &CellSlab<P>) -> Result<(), String> {
+    fn check_coherence<M: Metric<P>>(&self, slab: &CellSlab<P>, _metric: &M) -> Result<(), String> {
         let indexed: usize = self.shards.iter().map(UniformGrid::indexed_len).sum();
         if indexed != slab.len() {
             return Err(format!("shards hold {indexed} cells, slab holds {}", slab.len()));
@@ -196,7 +196,7 @@ mod tests {
         for i in 0..40 {
             let seed = v((i % 8) as f64 * 1.7 - 5.0, (i / 8) as f64 * 1.3 - 2.0);
             let id = slab.insert(Cell::new(seed, 0.0));
-            grid.on_insert(id, &slab.get(id).seed);
+            grid.on_insert(id, &slab.get(id).seed, &slab, &Euclidean);
             ids.push(id);
         }
         (grid, slab, ids)
@@ -206,7 +206,7 @@ mod tests {
     fn sharded_answers_match_brute_force() {
         for shards in [1, 2, 4, 7] {
             let (grid, slab, _) = populated(shards);
-            assert!(grid.check_coherence(&slab).is_ok());
+            assert!(grid.check_coherence(&slab, &Euclidean).is_ok());
             for probe in [v(0.0, 0.0), v(-4.9, -1.9), v(6.6, 2.0), v(100.0, 0.0)] {
                 let hit = grid.nearest_within(&probe, 2.0, &slab, &Euclidean, &mut |_, _| {});
                 let brute = slab
@@ -232,10 +232,10 @@ mod tests {
         assert_eq!(grid.shard_count(), 4);
         for &id in &ids[..20] {
             let cell = slab.remove(id);
-            grid.on_remove(id, &cell.seed);
+            grid.on_remove(id, &cell.seed, &slab, &Euclidean);
         }
         assert_eq!(grid.shard_occupancy().iter().sum::<u64>(), 20);
-        assert!(grid.check_coherence(&slab).is_ok());
+        assert!(grid.check_coherence(&slab, &Euclidean).is_ok());
     }
 
     #[test]
@@ -243,7 +243,7 @@ mod tests {
         let (grid, slab, _) = populated(1);
         let mut plain = UniformGrid::new(1.0);
         for (id, cell) in slab.iter() {
-            plain.on_insert(id, &cell.seed);
+            plain.on_insert(id, &cell.seed, &slab, &Euclidean);
         }
         for probe in [v(0.3, 0.3), v(-5.0, -2.0), v(3.1, 1.2)] {
             let a = grid.nearest_within(&probe, 1.5, &slab, &Euclidean, &mut |_, _| {});
@@ -260,15 +260,15 @@ mod tests {
         let mut slab = CellSlab::new();
         let a = slab.insert(Cell::new(TokenSet::new(vec![1, 2, 3]), 0.0));
         let b = slab.insert(Cell::new(TokenSet::new(vec![9, 10]), 0.0));
-        grid.on_insert(a, &slab.get(a).seed);
-        grid.on_insert(b, &slab.get(b).seed);
+        grid.on_insert(a, &slab.get(a).seed, &slab, &Jaccard);
+        grid.on_insert(b, &slab.get(b).seed, &slab, &Jaccard);
         assert_eq!(grid.shard_occupancy(), vec![2, 0, 0]);
-        assert!(grid.check_coherence(&slab).is_ok());
+        assert!(grid.check_coherence(&slab, &Jaccard).is_ok());
         let q = TokenSet::new(vec![1, 2]);
         let hit = grid.nearest_within(&q, 0.9, &slab, &Jaccard, &mut |_, _| {});
         assert_eq!(hit.map(|(id, _)| id), Some(a));
         let cell = slab.remove(b);
-        grid.on_remove(b, &cell.seed);
-        assert!(grid.check_coherence(&slab).is_ok());
+        grid.on_remove(b, &cell.seed, &slab, &Jaccard);
+        assert!(grid.check_coherence(&slab, &Jaccard).is_ok());
     }
 }

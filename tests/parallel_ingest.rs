@@ -13,11 +13,15 @@
 //! enough that cells die while probes for later points are already
 //! computed — the hardest case for probe revalidation.
 
-use edmstream::{DenseVector, EdmConfig, EdmStream, Euclidean, Event};
+use edmstream::{DenseVector, EdmConfig, EdmStream, Euclidean, Event, NeighborIndexKind};
 use proptest::prelude::*;
 use std::num::NonZeroUsize;
 
-fn engine(threads: usize, recycle_horizon: f64) -> EdmStream<DenseVector, Euclidean> {
+fn engine_with_index(
+    threads: usize,
+    recycle_horizon: f64,
+    index: NeighborIndexKind,
+) -> EdmStream<DenseVector, Euclidean> {
     let cfg = EdmConfig::builder(0.8)
         .rate(100.0)
         .beta_for_threshold(3.0)
@@ -25,10 +29,15 @@ fn engine(threads: usize, recycle_horizon: f64) -> EdmStream<DenseVector, Euclid
         .tau_every(16)
         .maintenance_every(8)
         .recycle_horizon(recycle_horizon)
+        .neighbor_index(index)
         .ingest_threads(NonZeroUsize::new(threads).expect("nonzero"))
         .build()
         .expect("valid test configuration");
     EdmStream::new(cfg, Euclidean)
+}
+
+fn engine(threads: usize, recycle_horizon: f64) -> EdmStream<DenseVector, Euclidean> {
+    engine_with_index(threads, recycle_horizon, NeighborIndexKind::default())
 }
 
 /// Per-cell `(slot, dep, delta, active, raw_rho)` tree state.
@@ -92,6 +101,44 @@ proptest! {
             prop_assert_eq!(got.2, want.2, "tau diverged (threads={})", threads);
             prop_assert_eq!(&got.3, &want.3, "events diverged (threads={})", threads);
             prop_assert_eq!(&got.4, &want.4, "stats diverged (threads={})", threads);
+            prop_assert!(e.check_invariants(t).is_ok());
+            prop_assert!(e.check_index().is_ok());
+        }
+    }
+
+    /// The cover tree's `probe_conflicts` is maximally conservative (any
+    /// birth invalidates every pending probe, since radii widen along
+    /// arbitrary insertion paths); the parallel pipeline must therefore
+    /// stay *exact* over it — same cells, tree, clusters, τ, events and
+    /// stats as one serial insert per point — across recycling and
+    /// chunking, at every thread count.
+    #[test]
+    fn cover_tree_parallel_ingest_is_observationally_equivalent(
+        points in prop::collection::vec(((-5.0f64..15.0), (-3.0f64..3.0)), 60..240),
+        chunk in 1usize..96,
+        recycle_fast in 0usize..2,
+    ) {
+        let batch: Vec<(DenseVector, f64)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (DenseVector::from([x, y]), i as f64 / 100.0))
+            .collect();
+        let t = batch.len() as f64 / 100.0;
+        let horizon = if recycle_fast == 1 { 1.0 } else { 1e9 };
+
+        let mut reference = engine_with_index(1, horizon, NeighborIndexKind::CoverTree);
+        for (p, ts) in &batch {
+            reference.insert(p, *ts);
+        }
+        let want = observe(&mut reference, t);
+
+        for threads in [2usize, 4] {
+            let mut e = engine_with_index(threads, horizon, NeighborIndexKind::CoverTree);
+            for window in batch.chunks(chunk) {
+                e.insert_batch(window);
+            }
+            let got = observe(&mut e, t);
+            prop_assert_eq!(&got, &want, "threads={}", threads);
             prop_assert!(e.check_invariants(t).is_ok());
             prop_assert!(e.check_index().is_ok());
         }
