@@ -7,12 +7,13 @@
 //! the gate provably smokes the *same* scenario the baseline recorded,
 //! not a drifted copy.
 
-use std::num::NonZeroUsize;
+use std::num::{NonZeroU64, NonZeroUsize};
 
 use edm_common::metric::Euclidean;
 use edm_common::point::DenseVector;
 use edm_core::index::NeighborIndexKind;
 use edm_core::{EdmConfig, EdmStream};
+use edm_serve::{BackpressurePolicy, EdmServer, ServeConfig};
 
 // ----- crowded 8-d steady state (`parallel_batch_ingest`) -----
 
@@ -210,6 +211,128 @@ pub fn highd_measure(kind: NeighborIndexKind, d: usize, points: usize) -> (f64, 
     }
     let pps = points as f64 / start.elapsed().as_secs_f64();
     (pps, e.stats().dep_recomputes - recomputes_before)
+}
+
+// ----- mixed read/write serving scenario (`mixed_read_write`) -----
+
+/// Dimensionality of the serving scenario: the high-d clustered layout
+/// at a size where `cluster_of` does real nearest-seed work (512 active
+/// member cells) without drowning the read-latency signal in distance
+/// arithmetic.
+pub const SERVE_DIM: usize = 16;
+
+/// One measured mixed read/write run.
+pub struct MixedRun {
+    /// Concurrent reader threads that hammered `cluster_of`.
+    pub readers: usize,
+    /// Sustained ingest throughput while the readers ran.
+    pub points_per_sec: f64,
+    /// Aggregate read throughput across all readers.
+    pub reads_per_sec: f64,
+    /// Median `cluster_of` latency, microseconds.
+    pub read_p50_us: f64,
+    /// 99th-percentile `cluster_of` latency, microseconds.
+    pub read_p99_us: f64,
+}
+
+/// Streams `points` absorb probes through an [`EdmServer`] (64-batch
+/// queue, `Block`, republish every 4 batches) while `readers` threads
+/// time every `cluster_of` against the published snapshots — the
+/// latency-under-ingest measurement both the committed
+/// `mixed_read_write` section and the CI gate's fresh smoke derive from.
+///
+/// The engine is the warmed [`highd_engine`] hot/cold layout (grid
+/// index, [`SERVE_DIM`] dims) and the probes are [`highd_probes`] absorb
+/// traffic, so ingest exercises the same steady state as the
+/// index-scaling scenario while every read resolves to a real cluster.
+pub fn mixed_measure(readers: usize, points: usize, batch: usize) -> MixedRun {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let (engine, mut t) = highd_engine(NeighborIndexKind::Grid { side: None }, SERVE_DIM);
+    let server = EdmServer::spawn(
+        engine,
+        ServeConfig {
+            queue_capacity: NonZeroUsize::new(64).expect("nonzero"),
+            publish_every_batches: NonZeroU64::new(4).expect("nonzero"),
+            publish_interval: None,
+            policy: BackpressurePolicy::Block,
+        },
+    );
+    let probes = Arc::new(highd_probes(SERVE_DIM));
+    let rounds = points / batch;
+    let batches: Vec<Vec<(DenseVector, f64)>> = (0..rounds)
+        .map(|_| {
+            (0..batch)
+                .map(|j| {
+                    t += 1e-5;
+                    (probes[(j * 3) % probes.len()].clone(), t)
+                })
+                .collect()
+        })
+        .collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader_threads: Vec<_> = (0..readers)
+        .map(|rid| {
+            let handle = server.handle();
+            let probes = Arc::clone(&probes);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut latencies_ns: Vec<u64> = Vec::with_capacity(1 << 18);
+                let mut hits = 0u64;
+                let mut i = rid;
+                while !stop.load(Ordering::Relaxed) {
+                    let p = &probes[i % probes.len()];
+                    i += 7;
+                    let begin = std::time::Instant::now();
+                    if handle.cluster_of(p).is_some() {
+                        hits += 1;
+                    }
+                    latencies_ns.push(begin.elapsed().as_nanos() as u64);
+                }
+                (latencies_ns, hits)
+            })
+        })
+        .collect();
+
+    // Time enqueue + drain + final publish: that is the writer's actual
+    // sustained cost, not just the queue push.
+    let start = std::time::Instant::now();
+    for b in batches {
+        server.ingest(b).expect("Block ingest never fails");
+    }
+    server.shutdown().expect("writer survives the bench stream");
+    let elapsed = start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+
+    let mut latencies_ns: Vec<u64> = Vec::new();
+    let mut hits = 0u64;
+    for r in reader_threads {
+        let (lat, h) = r.join().expect("reader thread ok");
+        latencies_ns.extend(lat);
+        hits += h;
+    }
+    assert_eq!(
+        hits,
+        latencies_ns.len() as u64,
+        "every probe sits within r of an active seed — reads must all resolve"
+    );
+    latencies_ns.sort_unstable();
+    let percentile = |q: f64| -> f64 {
+        if latencies_ns.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies_ns.len() as f64 * q) as usize).min(latencies_ns.len() - 1);
+        latencies_ns[idx] as f64 / 1_000.0
+    };
+    MixedRun {
+        readers,
+        points_per_sec: (rounds * batch) as f64 / elapsed,
+        reads_per_sec: latencies_ns.len() as f64 / elapsed,
+        read_p50_us: percentile(0.50),
+        read_p99_us: percentile(0.99),
+    }
 }
 
 #[cfg(test)]

@@ -27,6 +27,13 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
         &self.cfg
     }
 
+    /// The distance metric the engine was built with. Serving layers use
+    /// this to answer point-level queries (e.g. nearest published seed)
+    /// with *the same* geometry the engine clusters under.
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
     /// Current τ.
     pub fn tau(&self) -> f64 {
         self.tau_ctl.tau()
@@ -162,7 +169,32 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
             points: self.stats.points,
             event_cursor: self.log.cursor(),
             stats: self.stats.clone(),
+            generation: self.stats.snapshots_published,
         }
+    }
+
+    /// Freezes and **publishes** a snapshot: exactly [`EdmStream::snapshot`]
+    /// plus a bump of [`EngineStats::snapshots_published`], which becomes
+    /// the snapshot's [`crate::ClusterSnapshot::generation`] (1 for the
+    /// first publication — strictly monotone across a session). This is
+    /// the serving tier's entry point: a publisher that hands frozen
+    /// views to concurrent readers stamps each one here, so readers can
+    /// order what they observe and the publication cadence shows up in
+    /// the engine's own counters. Requires `&mut self` (the count is
+    /// engine state); passive reporting that should not perturb the
+    /// counters keeps using `snapshot()`.
+    pub fn publish_snapshot(&mut self, t: Timestamp) -> ClusterSnapshot {
+        self.stats.snapshots_published += 1;
+        self.snapshot(t)
+    }
+
+    /// The engine's stream clock: the largest timestamp ingested so far
+    /// (0 before the first point). Callers that freeze snapshots on a
+    /// wall-clock cadence rather than per batch — the serving tier's ΔT
+    /// publication mode — use this to snapshot "now" without threading
+    /// the last batch's timestamps around.
+    pub fn stream_time(&self) -> Timestamp {
+        self.now
     }
 
     /// Snapshot of the current clusters.

@@ -877,3 +877,38 @@ fn sharded_parallel_ingest_matches_too() {
     assert_eq!(observe(&mut serial, t), observe(&mut parallel, t));
     assert!(parallel.check_index().is_ok());
 }
+
+#[test]
+fn publish_snapshot_stamps_monotone_generations() {
+    let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+    feed_two_blobs(&mut e, 200);
+    // A passive freeze observes generation 0 and counts nothing.
+    let passive = e.snapshot(2.0);
+    assert_eq!(passive.generation(), 0);
+    assert_eq!(passive.stats().snapshots_published, 0);
+    // Publications count themselves: generation == publications so far,
+    // and the frozen stats agree with the stamp.
+    let first = e.publish_snapshot(2.0);
+    assert_eq!(first.generation(), 1);
+    assert_eq!(first.stats().snapshots_published, 1);
+    let second = e.publish_snapshot(2.0);
+    assert_eq!(second.generation(), 2);
+    // Publication is pure observation: the clustering is untouched and a
+    // later passive freeze sees the count without bumping it.
+    assert_eq!(first.n_clusters(), second.n_clusters());
+    assert_eq!(e.snapshot(2.0).generation(), 2);
+    assert_eq!(e.stats().snapshots_published, 2);
+    // Equivalence normalization treats publication as an observer
+    // artifact, like the parallel-path counters.
+    assert_eq!(e.stats().normalized_for_equivalence().snapshots_published, 0);
+    // as_of is the freeze time.
+    assert_eq!(second.as_of(), 2.0);
+}
+
+#[test]
+fn stream_time_tracks_the_newest_ingested_timestamp() {
+    let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+    assert_eq!(e.stream_time(), 0.0);
+    feed_two_blobs(&mut e, 150);
+    assert!((e.stream_time() - 149.0 / 100.0).abs() < 1e-12);
+}

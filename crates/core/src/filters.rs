@@ -125,6 +125,14 @@ pub struct EngineStats {
     /// Batches (sub-batches of `insert_batch`) that took the two-phase
     /// probe-then-commit path instead of the serial per-point loop.
     pub parallel_batches: u64,
+    /// Snapshots published through `EdmStream::publish_snapshot` — the
+    /// serving tier's publication cadence, visible in the same counters
+    /// every other engine activity reports through. Plain `snapshot()`
+    /// freezes are *not* counted: they are private reads, not
+    /// publications. Serde-defaulted so stats persisted before the field
+    /// existed still load.
+    #[serde(default)]
+    pub snapshots_published: u64,
 }
 
 impl EngineStats {
@@ -147,16 +155,19 @@ impl EngineStats {
     /// observational-equivalence contract** zeroed: the parallel-path
     /// counters (`probe_tasks`, `probe_revalidations`, `parallel_batches`)
     /// describe *who computed* the probes rather than clustering output,
-    /// and `dep_update_nanos` is wall clock. All other counters must match
-    /// exactly between a serial and a parallel ingestion of the same
-    /// stream — the equivalence suites compare through this one
-    /// normalizer, so this method *is* the exemption list.
+    /// `dep_update_nanos` is wall clock, and `snapshots_published` counts
+    /// how often the state was *observed* (published) rather than what
+    /// was clustered. All other counters must match exactly between a
+    /// serial and a parallel (or served) ingestion of the same stream —
+    /// the equivalence suites compare through this one normalizer, so
+    /// this method *is* the exemption list.
     pub fn normalized_for_equivalence(&self) -> EngineStats {
         EngineStats {
             probe_tasks: 0,
             probe_revalidations: 0,
             parallel_batches: 0,
             dep_update_nanos: 0,
+            snapshots_published: 0,
             ..self.clone()
         }
     }

@@ -47,6 +47,12 @@ pub struct ClusterSnapshot {
     pub(crate) points: u64,
     pub(crate) event_cursor: EventCursor,
     pub(crate) stats: EngineStats,
+    /// Publication generation: how many snapshots had been *published*
+    /// (via [`crate::EdmStream::publish_snapshot`]) when this one was
+    /// frozen, including itself if it was the published one. Plain
+    /// [`crate::EdmStream::snapshot`] freezes carry the count as of the
+    /// freeze; 0 means no snapshot was ever published.
+    pub(crate) generation: u64,
 }
 
 /// The module docs promise snapshots can "ship across threads" — hold the
@@ -61,6 +67,24 @@ impl ClusterSnapshot {
     /// Stream time the snapshot was taken at.
     pub fn t(&self) -> Timestamp {
         self.t
+    }
+
+    /// Stream time the snapshot reflects — an alias of [`ClusterSnapshot::t`]
+    /// reading naturally at serving call sites ("state as of `t`"). A
+    /// consumer comparing this against the live stream clock gets the
+    /// snapshot's *stream-time* staleness; the serving tier's wall-clock
+    /// age is a separate number (`edm-serve`'s `ServeStats`).
+    pub fn as_of(&self) -> Timestamp {
+        self.t
+    }
+
+    /// Publication generation at freeze time: the total number of
+    /// snapshots published through [`crate::EdmStream::publish_snapshot`],
+    /// counting this one if it was published. Strictly monotone over a
+    /// publisher's output — concurrent readers use it to order the frozen
+    /// views they observe. 0 = nothing was ever published.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The separation threshold τ in force.
@@ -175,6 +199,7 @@ mod tests {
                 index_pruned: 60,
                 ..Default::default()
             },
+            generation: 3,
         }
     }
 
@@ -192,5 +217,7 @@ mod tests {
         assert_eq!(rho.len(), delta.len());
         assert_eq!(s.stats().points, 100);
         assert!((s.stats().index_prune_rate() - 0.6).abs() < 1e-12);
+        assert_eq!(s.generation(), 3);
+        assert_eq!(s.as_of(), s.t());
     }
 }

@@ -1,0 +1,77 @@
+//! Serving-tier configuration: queue sizing, backpressure, publication
+//! cadence.
+
+use std::num::{NonZeroU64, NonZeroUsize};
+use std::time::Duration;
+
+/// What [`crate::EdmServer::ingest`] does when the bounded queue is full.
+///
+/// | Policy | Producer sees | Data loss | Use when |
+/// |---|---|---|---|
+/// | `Block` | waits for queue space | none | the producer can tolerate latency (offline replay, batch ETL) |
+/// | `DropOldest` | `Ok`, oldest queued batch discarded | oldest unprocessed data | freshest-data-wins telemetry; staleness is worse than loss |
+/// | `Reject` | `Err(QueueFull)` immediately | caller's choice | the producer has its own retry/shed logic |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Block the producer until the writer frees a slot (lossless).
+    #[default]
+    Block,
+    /// Drop the oldest queued batch to make room (bounded staleness,
+    /// lossy). Dropped points are counted in
+    /// [`crate::ServeStats::dropped_points`].
+    DropOldest,
+    /// Fail fast with [`crate::ServeError::QueueFull`], leaving the queue
+    /// untouched. Rejected points are counted in
+    /// [`crate::ServeStats::rejected_points`].
+    Reject,
+}
+
+/// Configuration of [`crate::EdmServer::spawn`].
+///
+/// Everything is valid by construction (non-zero types), so there is no
+/// fallible builder. The defaults — 64-batch queue, publish after every
+/// batch, no timer, `Block` — serve fresh snapshots losslessly and suit
+/// tests and demos; production ingest at high rate usually raises
+/// `publish_every_batches` (publication freezes the full cluster map).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bounded ingest queue capacity, **in batches** (whatever batch
+    /// granularity the producer pushes). Bounds both memory and the
+    /// worst-case snapshot staleness under `Block`.
+    pub queue_capacity: NonZeroUsize,
+    /// Publish a fresh snapshot after every K ingested batches.
+    pub publish_every_batches: NonZeroU64,
+    /// Additionally publish whenever this much wall-clock time passed
+    /// since the last publication — keeps `snapshot_age` bounded on idle
+    /// or slow streams. `None` disables the timer (publication is then
+    /// purely batch-driven).
+    pub publish_interval: Option<Duration>,
+    /// Full-queue behavior.
+    pub policy: BackpressurePolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: NonZeroUsize::new(64).unwrap(),
+            publish_every_batches: NonZeroU64::new(1).unwrap(),
+            publish_interval: None,
+            policy: BackpressurePolicy::Block,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_lossless_and_fresh() {
+        let cfg = ServeConfig::default();
+        assert_eq!(cfg.queue_capacity.get(), 64);
+        assert_eq!(cfg.publish_every_batches.get(), 1);
+        assert!(cfg.publish_interval.is_none());
+        assert_eq!(cfg.policy, BackpressurePolicy::Block);
+        assert_eq!(BackpressurePolicy::default(), BackpressurePolicy::Block);
+    }
+}

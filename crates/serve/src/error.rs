@@ -1,0 +1,55 @@
+//! Typed errors of the serving tier.
+
+use std::error::Error;
+use std::fmt;
+
+/// What went wrong on a serving-tier entry point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded ingest queue was full and the configured backpressure
+    /// policy was [`crate::BackpressurePolicy::Reject`]. The batch was
+    /// returned untouched to the caller (inside the `Err` at the call
+    /// site that produced this) — retry later or switch policy.
+    QueueFull {
+        /// Configured queue capacity, in batches.
+        capacity: usize,
+    },
+    /// The writer thread panicked. The serving handle is poisoned: all
+    /// further ingest fails with this error, while readers keep getting
+    /// the last snapshot published before the panic.
+    WriterPanicked {
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// The server is shutting down (or already shut down); no further
+    /// ingest is accepted.
+    ShutDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "ingest queue full ({capacity} batches) and policy is Reject")
+            }
+            ServeError::WriterPanicked { message } => {
+                write!(f, "writer thread panicked: {message}")
+            }
+            ServeError::ShutDown => write!(f, "server is shut down"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ServeError::QueueFull { capacity: 8 }.to_string().contains("8 batches"));
+        assert!(ServeError::WriterPanicked { message: "boom".into() }.to_string().contains("boom"));
+        assert!(ServeError::ShutDown.to_string().contains("shut down"));
+    }
+}

@@ -1,0 +1,256 @@
+//! The bounded ingest queue between producers and the writer thread.
+//!
+//! `std::sync::mpsc::sync_channel` bounds a queue but cannot express
+//! [`BackpressurePolicy::DropOldest`] (no way to evict from the far end),
+//! so the queue is a `Mutex<VecDeque>` with two condvars — the classic
+//! bounded-buffer shape. Locking here is fine: the ISSUE's lock-freedom
+//! requirement is about the **read path** (snapshot loads), which never
+//! touches this queue.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use edm_common::time::Timestamp;
+
+use crate::config::BackpressurePolicy;
+
+/// One queued unit of work: a timestamped batch, as handed to
+/// `EdmStream::insert_batch`.
+pub(crate) type Batch<P> = Vec<(P, Timestamp)>;
+
+/// Result of [`BatchQueue::push`].
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum PushOutcome {
+    /// Batch accepted.
+    Queued,
+    /// Batch accepted after evicting the oldest queued batch
+    /// (`DropOldest`); carries the number of points evicted.
+    QueuedDroppingOldest(u64),
+    /// Batch refused, queue untouched (`Reject`).
+    Rejected,
+    /// The queue is closed (shutdown started / writer gone).
+    Closed,
+}
+
+/// Result of [`BatchQueue::pop`].
+#[derive(Debug)]
+pub(crate) enum Popped<P> {
+    /// A batch to ingest.
+    Batch(Batch<P>),
+    /// The timeout elapsed with the queue empty (used for timer-driven
+    /// publication cadence).
+    TimedOut,
+    /// Queue closed *and* drained — the writer should finish up.
+    Closed,
+}
+
+struct Inner<P> {
+    queue: VecDeque<Batch<P>>,
+    open: bool,
+    /// Deepest the queue has ever been, in batches.
+    hwm: usize,
+}
+
+/// Bounded multi-producer / single-consumer batch queue with pluggable
+/// full-queue behavior.
+pub(crate) struct BatchQueue<P> {
+    inner: Mutex<Inner<P>>,
+    /// Signalled when a batch arrives or the queue closes.
+    not_empty: Condvar,
+    /// Signalled when a slot frees up or the queue closes.
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<P> BatchQueue<P> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity is NonZeroUsize upstream");
+        BatchQueue {
+            inner: Mutex::new(Inner { queue: VecDeque::new(), open: true, hwm: 0 }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues `batch` under `policy`. Blocks only under
+    /// [`BackpressurePolicy::Block`] with a full queue.
+    pub(crate) fn push(&self, batch: Batch<P>, policy: BackpressurePolicy) -> PushOutcome {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if !inner.open {
+                return PushOutcome::Closed;
+            }
+            if inner.queue.len() < self.capacity {
+                inner.queue.push_back(batch);
+                inner.hwm = inner.hwm.max(inner.queue.len());
+                drop(inner);
+                self.not_empty.notify_one();
+                return PushOutcome::Queued;
+            }
+            match policy {
+                BackpressurePolicy::Block => {
+                    inner = self.not_full.wait(inner).unwrap();
+                }
+                BackpressurePolicy::DropOldest => {
+                    let dropped = inner.queue.pop_front().map(|b| b.len() as u64).unwrap_or(0);
+                    inner.queue.push_back(batch);
+                    inner.hwm = inner.hwm.max(inner.queue.len());
+                    drop(inner);
+                    self.not_empty.notify_one();
+                    return PushOutcome::QueuedDroppingOldest(dropped);
+                }
+                BackpressurePolicy::Reject => return PushOutcome::Rejected,
+            }
+        }
+    }
+
+    /// Dequeues the oldest batch, waiting up to `timeout` (forever when
+    /// `None`). Keeps returning queued batches after `close` until the
+    /// queue drains — that is the graceful-shutdown drain.
+    pub(crate) fn pop(&self, timeout: Option<Duration>) -> Popped<P> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(batch) = inner.queue.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Popped::Batch(batch);
+            }
+            if !inner.open {
+                return Popped::Closed;
+            }
+            match timeout {
+                Some(dur) => {
+                    let (guard, res) = self.not_empty.wait_timeout(inner, dur).unwrap();
+                    inner = guard;
+                    if res.timed_out() {
+                        // Report the timeout even if a batch slipped in at
+                        // the deadline; the caller just loops to pop it.
+                        if inner.queue.is_empty() {
+                            return Popped::TimedOut;
+                        }
+                    }
+                }
+                None => inner = self.not_empty.wait(inner).unwrap(),
+            }
+        }
+    }
+
+    /// Closes the queue: producers get [`PushOutcome::Closed`], the
+    /// consumer drains what is left and then sees [`Popped::Closed`].
+    pub(crate) fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.open = false;
+        drop(inner);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Discards all queued batches (panic path: unblock producers fast).
+    pub(crate) fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.queue.clear();
+        drop(inner);
+        self.not_full.notify_all();
+    }
+
+    /// `(current depth, high-water mark)`, in batches.
+    pub(crate) fn depth(&self) -> (usize, usize) {
+        let inner = self.inner.lock().unwrap();
+        (inner.queue.len(), inner.hwm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn batch(n: usize) -> Batch<u32> {
+        (0..n).map(|i| (i as u32, i as f64)).collect()
+    }
+
+    #[test]
+    fn fifo_order_and_hwm() {
+        let q: BatchQueue<u32> = BatchQueue::new(4);
+        assert_eq!(q.push(batch(1), BackpressurePolicy::Reject), PushOutcome::Queued);
+        assert_eq!(q.push(batch(2), BackpressurePolicy::Reject), PushOutcome::Queued);
+        assert_eq!(q.depth(), (2, 2));
+        match q.pop(None) {
+            Popped::Batch(b) => assert_eq!(b.len(), 1),
+            other => panic!("expected batch, got {other:?}"),
+        }
+        assert_eq!(q.depth(), (1, 2));
+    }
+
+    #[test]
+    fn reject_policy_leaves_queue_untouched() {
+        let q: BatchQueue<u32> = BatchQueue::new(2);
+        q.push(batch(1), BackpressurePolicy::Reject);
+        q.push(batch(2), BackpressurePolicy::Reject);
+        assert_eq!(q.push(batch(3), BackpressurePolicy::Reject), PushOutcome::Rejected);
+        assert_eq!(q.depth(), (2, 2));
+    }
+
+    #[test]
+    fn drop_oldest_evicts_front_and_reports_points() {
+        let q: BatchQueue<u32> = BatchQueue::new(2);
+        q.push(batch(5), BackpressurePolicy::DropOldest);
+        q.push(batch(1), BackpressurePolicy::DropOldest);
+        assert_eq!(
+            q.push(batch(2), BackpressurePolicy::DropOldest),
+            PushOutcome::QueuedDroppingOldest(5)
+        );
+        // Front is now the 1-point batch.
+        match q.pop(None) {
+            Popped::Batch(b) => assert_eq!(b.len(), 1),
+            other => panic!("expected batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn block_policy_waits_for_consumer() {
+        let q: Arc<BatchQueue<u32>> = Arc::new(BatchQueue::new(1));
+        q.push(batch(1), BackpressurePolicy::Block);
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.push(batch(2), BackpressurePolicy::Block))
+        };
+        // Give the producer time to block, then free a slot.
+        thread::sleep(Duration::from_millis(20));
+        assert!(matches!(q.pop(None), Popped::Batch(_)));
+        assert_eq!(producer.join().unwrap(), PushOutcome::Queued);
+        assert!(matches!(q.pop(None), Popped::Batch(_)));
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let q: BatchQueue<u32> = BatchQueue::new(4);
+        q.push(batch(1), BackpressurePolicy::Block);
+        q.close();
+        assert_eq!(q.push(batch(9), BackpressurePolicy::Block), PushOutcome::Closed);
+        assert!(matches!(q.pop(None), Popped::Batch(_)));
+        assert!(matches!(q.pop(None), Popped::Closed));
+    }
+
+    #[test]
+    fn close_wakes_blocked_producer() {
+        let q: Arc<BatchQueue<u32>> = Arc::new(BatchQueue::new(1));
+        q.push(batch(1), BackpressurePolicy::Block);
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.push(batch(2), BackpressurePolicy::Block))
+        };
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(producer.join().unwrap(), PushOutcome::Closed);
+    }
+
+    #[test]
+    fn pop_times_out_when_idle() {
+        let q: BatchQueue<u32> = BatchQueue::new(1);
+        assert!(matches!(q.pop(Some(Duration::from_millis(5))), Popped::TimedOut));
+    }
+}

@@ -1,0 +1,341 @@
+//! The serving tier: a dedicated writer thread owning the engine, a
+//! bounded ingest queue in front of it, and cheap concurrent read
+//! handles behind the lock-free snapshot publication.
+//!
+//! ```text
+//! producers --ingest()--> [BatchQueue] --pop--> writer thread
+//!                                               ├─ insert_batch
+//!                                               └─ SnapshotPublisher ──store──┐
+//!                                                                        [SwapCell]
+//! readers  --ServeHandle reads-- (lock-free load) <─────────────────────────┘
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use edm_common::metric::Metric;
+use edm_common::point::GridCoords;
+use edm_common::time::Timestamp;
+use edm_core::evolution::ClusterId;
+use edm_core::EdmStream;
+
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use crate::publish::{Published, SnapshotPublisher, SnapshotSource};
+use crate::queue::{BatchQueue, Popped, PushOutcome};
+use crate::stats::{Counters, ServeStats};
+
+/// State shared by producers, readers, and the writer thread.
+struct Shared<P> {
+    source: SnapshotSource<P>,
+    queue: BatchQueue<P>,
+    counters: Counters,
+    /// Set (with the message below) when the writer loop panicked.
+    poisoned: AtomicBool,
+    poison_message: Mutex<Option<String>>,
+}
+
+impl<P> Shared<P> {
+    fn poison_error(&self) -> Option<ServeError> {
+        if self.poisoned.load(SeqCst) {
+            let message = self
+                .poison_message
+                .lock()
+                .unwrap()
+                .clone()
+                .unwrap_or_else(|| "unknown panic".into());
+            Some(ServeError::WriterPanicked { message })
+        } else {
+            None
+        }
+    }
+
+    fn stats(&self) -> ServeStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        let latest = self.source.latest();
+        let (queue_depth, queue_depth_hwm) = self.queue.depth();
+        ServeStats {
+            generation: latest.generation(),
+            snapshot_age: latest.age(),
+            queue_depth,
+            queue_depth_hwm,
+            enqueued_points: self.counters.enqueued_points.load(Relaxed),
+            ingested_points: self.counters.ingested_points.load(Relaxed),
+            dropped_points: self.counters.dropped_points.load(Relaxed),
+            rejected_points: self.counters.rejected_points.load(Relaxed),
+            reads_cluster_of: self.counters.reads_cluster_of.load(Relaxed),
+            reads_n_clusters: self.counters.reads_n_clusters.load(Relaxed),
+            reads_decision_graph: self.counters.reads_decision_graph.load(Relaxed),
+            reads_snapshot: self.counters.reads_snapshot.load(Relaxed),
+            poisoned: self.poisoned.load(SeqCst),
+        }
+    }
+}
+
+/// A running serving tier around one [`EdmStream`].
+///
+/// [`EdmServer::spawn`] publishes the engine's current state, moves the
+/// engine onto a dedicated writer thread, and returns this front end.
+/// Producers push timestamped batches through [`EdmServer::ingest`]
+/// (backpressure per [`crate::BackpressurePolicy`]); any number of
+/// [`ServeHandle`] clones answer queries from the latest published
+/// snapshot without ever blocking the writer or each other.
+/// [`EdmServer::shutdown`] drains the queue, publishes a final snapshot,
+/// and hands the engine back.
+///
+/// Dropping the server without `shutdown` closes the queue and joins the
+/// writer (discarding the engine) — no thread is leaked either way.
+pub struct EdmServer<P, M: Metric<P>> {
+    shared: Arc<Shared<P>>,
+    metric: M,
+    writer: Option<JoinHandle<EdmStream<P, M>>>,
+    capacity: usize,
+    policy: crate::BackpressurePolicy,
+}
+
+impl<P, M> EdmServer<P, M>
+where
+    P: Clone + GridCoords + Send + Sync + 'static,
+    M: Metric<P> + Clone + 'static,
+{
+    /// Starts the serving tier: publishes the engine's current state
+    /// (generation includes any prior `publish_snapshot` calls), then
+    /// moves the engine onto a writer thread driven by `cfg`.
+    pub fn spawn(mut engine: EdmStream<P, M>, cfg: ServeConfig) -> Self {
+        let publisher = SnapshotPublisher::new(
+            &mut engine,
+            cfg.publish_every_batches.get(),
+            cfg.publish_interval,
+        );
+        let metric = engine.metric().clone();
+        let shared = Arc::new(Shared {
+            source: publisher.source(),
+            queue: BatchQueue::new(cfg.queue_capacity.get()),
+            counters: Counters::default(),
+            poisoned: AtomicBool::new(false),
+            poison_message: Mutex::new(None),
+        });
+        let writer_shared = Arc::clone(&shared);
+        let writer = std::thread::Builder::new()
+            .name("edm-serve-writer".into())
+            .spawn(move || writer_loop(engine, publisher, writer_shared))
+            .expect("spawn edm-serve writer thread");
+        EdmServer {
+            shared,
+            metric,
+            writer: Some(writer),
+            capacity: cfg.queue_capacity.get(),
+            policy: cfg.policy,
+        }
+    }
+
+    /// Queues one timestamped batch for ingestion. Behavior on a full
+    /// queue follows the configured [`crate::BackpressurePolicy`]; a
+    /// poisoned or shut-down server fails with the corresponding
+    /// [`ServeError`], returning the batch's points uningested.
+    pub fn ingest(&self, batch: Vec<(P, Timestamp)>) -> Result<(), ServeError> {
+        if let Some(err) = self.shared.poison_error() {
+            return Err(err);
+        }
+        let n = batch.len() as u64;
+        let c = &self.shared.counters;
+        match self.shared.queue.push(batch, self.policy) {
+            PushOutcome::Queued => {
+                c.add(&c.enqueued_points, n);
+                Ok(())
+            }
+            PushOutcome::QueuedDroppingOldest(dropped) => {
+                c.add(&c.enqueued_points, n);
+                c.add(&c.dropped_points, dropped);
+                Ok(())
+            }
+            PushOutcome::Rejected => {
+                c.add(&c.rejected_points, n);
+                Err(ServeError::QueueFull { capacity: self.capacity })
+            }
+            PushOutcome::Closed => Err(self.shared.poison_error().unwrap_or(ServeError::ShutDown)),
+        }
+    }
+
+    /// A new concurrent read handle. Cheap (an `Arc` clone plus the
+    /// metric); spawn as many as there are readers.
+    pub fn handle(&self) -> ServeHandle<P, M> {
+        ServeHandle { shared: Arc::clone(&self.shared), metric: self.metric.clone() }
+    }
+
+    /// Current serving statistics (same view as
+    /// [`ServeHandle::stats`]).
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats()
+    }
+
+    /// `Err(WriterPanicked)` once the writer thread has panicked, `Ok`
+    /// otherwise.
+    pub fn health(&self) -> Result<(), ServeError> {
+        self.shared.poison_error().map_or(Ok(()), Err)
+    }
+
+    /// Graceful shutdown: stop accepting ingest, let the writer drain
+    /// every queued batch, publish a final snapshot (so readers holding
+    /// a [`ServeHandle`] see the complete stream), and hand the engine
+    /// back. Fails with [`ServeError::WriterPanicked`] if the writer
+    /// panicked before or during the drain.
+    pub fn shutdown(mut self) -> Result<EdmStream<P, M>, ServeError> {
+        self.shared.queue.close();
+        let writer = self.writer.take().expect("writer present until shutdown");
+        let engine = writer.join().map_err(|_| ServeError::WriterPanicked {
+            message: "writer thread died outside its panic guard".into(),
+        })?;
+        match self.shared.poison_error() {
+            Some(err) => Err(err),
+            None => Ok(engine),
+        }
+    }
+}
+
+impl<P, M: Metric<P>> Drop for EdmServer<P, M> {
+    fn drop(&mut self) {
+        if let Some(writer) = self.writer.take() {
+            self.shared.queue.close();
+            let _ = writer.join();
+        }
+    }
+}
+
+/// The writer thread body: pop → ingest → publish-on-cadence, panic
+/// isolated so a poisoned engine can never hang producers or readers.
+fn writer_loop<P, M>(
+    mut engine: EdmStream<P, M>,
+    mut publisher: SnapshotPublisher<P>,
+    shared: Arc<Shared<P>>,
+) -> EdmStream<P, M>
+where
+    P: Clone + GridCoords + Send + Sync,
+    M: Metric<P>,
+{
+    let outcome = catch_unwind(AssertUnwindSafe(|| loop {
+        match shared.queue.pop(publisher.poll_timeout()) {
+            Popped::Batch(batch) => {
+                engine.insert_batch(&batch);
+                let c = &shared.counters;
+                c.add(&c.ingested_points, batch.len() as u64);
+                publisher.note_batch(&mut engine);
+                // A long pop-wait may have pushed the timer past due too.
+                publisher.publish_if_due(&mut engine);
+            }
+            Popped::TimedOut => {
+                publisher.publish_if_due(&mut engine);
+            }
+            Popped::Closed => {
+                // Drained. Final publish so the last generation reflects
+                // every ingested point.
+                publisher.publish(&mut engine);
+                break;
+            }
+        }
+    }));
+    if let Err(payload) = outcome {
+        let message = panic_message(&*payload);
+        *shared.poison_message.lock().unwrap() = Some(message);
+        shared.poisoned.store(true, SeqCst);
+        // Unblock producers: no more batches will ever be consumed.
+        shared.queue.close();
+        shared.queue.clear();
+    }
+    engine
+}
+
+/// Best-effort stringification of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// A concurrent read handle over the latest published snapshot.
+///
+/// Every method answers from the most recent [`Published`] payload via a
+/// lock-free load — readers never block on the writer, on producers, or
+/// on each other, and a panicked writer leaves reads serving the last
+/// good snapshot. Clone freely across threads.
+pub struct ServeHandle<P, M: Metric<P>> {
+    shared: Arc<Shared<P>>,
+    metric: M,
+}
+
+impl<P, M: Metric<P> + Clone> Clone for ServeHandle<P, M> {
+    fn clone(&self) -> Self {
+        ServeHandle { shared: Arc::clone(&self.shared), metric: self.metric.clone() }
+    }
+}
+
+impl<P, M: Metric<P>> ServeHandle<P, M> {
+    /// The latest published payload (snapshot + membership data), for
+    /// multi-field reads that must be mutually coherent: one `latest()`
+    /// is one frozen generation, whereas two separate handle calls may
+    /// straddle a publication.
+    pub fn latest(&self) -> Arc<Published<P>> {
+        let c = &self.shared.counters;
+        c.add(&c.reads_snapshot, 1);
+        self.shared.source.latest()
+    }
+
+    /// The cluster a fresh point would join, per the published state:
+    /// nearest published seed within `r` under the engine's own metric
+    /// (`None` = outlier). See [`Published::cluster_of`] for staleness
+    /// semantics.
+    pub fn cluster_of(&self, p: &P) -> Option<ClusterId> {
+        let c = &self.shared.counters;
+        c.add(&c.reads_cluster_of, 1);
+        self.shared.source.latest().cluster_of(p, &self.metric)
+    }
+
+    /// Number of clusters in the published snapshot.
+    pub fn n_clusters(&self) -> usize {
+        let c = &self.shared.counters;
+        c.add(&c.reads_n_clusters, 1);
+        self.shared.source.latest().snapshot().n_clusters()
+    }
+
+    /// The published (ρ, δ) decision graph, cloned out so the caller
+    /// holds no borrow into the payload.
+    pub fn decision_graph(&self) -> (Vec<f64>, Vec<f64>) {
+        let c = &self.shared.counters;
+        c.add(&c.reads_decision_graph, 1);
+        let latest = self.shared.source.latest();
+        let (rho, delta) = latest.snapshot().decision_graph();
+        (rho.to_vec(), delta.to_vec())
+    }
+
+    /// Generation of the published snapshot (1-based, monotone).
+    pub fn generation(&self) -> u64 {
+        let c = &self.shared.counters;
+        c.add(&c.reads_snapshot, 1);
+        self.shared.source.generation()
+    }
+
+    /// Wall-clock age of the published snapshot.
+    pub fn snapshot_age(&self) -> Duration {
+        let c = &self.shared.counters;
+        c.add(&c.reads_snapshot, 1);
+        self.shared.source.latest().age()
+    }
+
+    /// Current serving statistics.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats()
+    }
+
+    /// `Err(WriterPanicked)` once the writer thread has panicked, `Ok`
+    /// otherwise.
+    pub fn health(&self) -> Result<(), ServeError> {
+        self.shared.poison_error().map_or(Ok(()), Err)
+    }
+}

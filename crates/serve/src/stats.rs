@@ -1,0 +1,78 @@
+//! Serving-tier observability: atomic counters and their frozen view.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// Live counters shared between producers, the writer thread, and
+/// readers. All increments are `Relaxed` — they are statistics, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub(crate) enqueued_points: AtomicU64,
+    pub(crate) ingested_points: AtomicU64,
+    pub(crate) dropped_points: AtomicU64,
+    pub(crate) rejected_points: AtomicU64,
+    pub(crate) reads_cluster_of: AtomicU64,
+    pub(crate) reads_n_clusters: AtomicU64,
+    pub(crate) reads_decision_graph: AtomicU64,
+    pub(crate) reads_snapshot: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn add(&self, counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Relaxed);
+    }
+}
+
+/// A frozen view of the serving tier's health, from
+/// [`crate::ServeHandle::stats`] / [`crate::EdmServer::stats`].
+///
+/// Point counters are **points**, queue depths are **batches** (the queue
+/// bounds batches, whatever their size).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeStats {
+    /// Generation of the currently published snapshot (see
+    /// [`edm_core::ClusterSnapshot::generation`]): total publications so
+    /// far, 1-based.
+    pub generation: u64,
+    /// Wall-clock time since the current snapshot was published.
+    pub snapshot_age: Duration,
+    /// Batches currently queued for the writer.
+    pub queue_depth: usize,
+    /// Deepest the queue has ever been — the backpressure early-warning
+    /// number: near capacity means the writer cannot keep up.
+    pub queue_depth_hwm: usize,
+    /// Points accepted into the queue (includes still-queued ones).
+    pub enqueued_points: u64,
+    /// Points the writer has fed through `insert_batch`.
+    pub ingested_points: u64,
+    /// Points discarded by the `DropOldest` policy.
+    pub dropped_points: u64,
+    /// Points refused by the `Reject` policy.
+    pub rejected_points: u64,
+    /// `cluster_of` calls served.
+    pub reads_cluster_of: u64,
+    /// `n_clusters` calls served.
+    pub reads_n_clusters: u64,
+    /// `decision_graph` calls served.
+    pub reads_decision_graph: u64,
+    /// Raw snapshot loads served (`latest` / `generation` /
+    /// `snapshot_age`).
+    pub reads_snapshot: u64,
+    /// The writer thread panicked; ingest fails, reads serve the last
+    /// published snapshot.
+    pub poisoned: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = Counters::default();
+        c.add(&c.enqueued_points, 3);
+        c.add(&c.enqueued_points, 4);
+        assert_eq!(c.enqueued_points.load(Relaxed), 7);
+    }
+}

@@ -1,0 +1,217 @@
+//! A hand-rolled, double-buffered `Arc` swap cell — the lock-free
+//! publication primitive under [`crate::SnapshotPublisher`].
+//!
+//! The vendor tree is offline, so the usual `arc-swap` crate is not
+//! available; this module implements the narrow slice of it the serving
+//! tier needs, on plain `std::sync` atomics:
+//!
+//! * **one writer** replaces the current `Arc<T>` ([`SwapCell::store`]);
+//! * **unbounded readers** clone the current `Arc<T>` ([`SwapCell::load`])
+//!   without ever taking a lock — the read path is a pin counter
+//!   increment, a recheck, an `Arc` clone, and a decrement.
+//!
+//! # Design
+//!
+//! Two slots, each `{ pinned: AtomicUsize, value: UnsafeCell<Arc<T>> }`,
+//! plus a `current` index. Readers pin the slot `current` points at,
+//! *re-read* `current`, and only dereference if it still points at the
+//! pinned slot; otherwise they unpin and retry. The writer always mutates
+//! the **non-current** slot, and only after observing its pin count at
+//! zero; it then flips `current`. A reader therefore only ever
+//! dereferences a slot the writer cannot be mutating, and the writer only
+//! ever mutates a slot no reader holds pinned.
+//!
+//! # Safety argument
+//!
+//! All atomics use `SeqCst`, so every pin, flip and pin-check below is
+//! part of one total order. Suppose a reader dereferences slot `i`. Its
+//! recheck saw `current == i` *after* its pin landed. For the writer to
+//! mutate slot `i` it must first flip `current` away from `i` and then
+//! observe `pinned[i] == 0`. Either that observation precedes the
+//! reader's pin — then the flip also precedes it, the recheck fails, and
+//! the reader never dereferences — or it follows the reader's *unpin*,
+//! which the reader only issues after its `Arc` clone is complete. In
+//! both cases the mutation and the dereference are temporally disjoint.
+//! Conversely the value the reader clones was written before the flip
+//! that made the slot current, and the flip/recheck pair orders that
+//! write before the read. Hence no data race, and no torn `Arc`.
+//!
+//! Progress: readers are lock-free — a retry only happens when the
+//! writer completed a flip in the window, and two consecutive flips
+//! around one pin are themselves serialized by the pin the reader holds.
+//! The writer may briefly spin waiting for a reader mid-clone to unpin;
+//! that window is a few instructions, not a critical section a descheduled
+//! reader can hold indefinitely *while pinned and rechecked* (a reader
+//! descheduled before its recheck will fail the recheck and unpin).
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::Arc;
+
+/// One buffer of the double-buffered cell.
+struct Slot<T> {
+    /// Readers currently between pin and unpin on this slot.
+    pinned: AtomicUsize,
+    /// The published value. Only the writer writes it, and only while the
+    /// slot is non-current with `pinned == 0`.
+    value: UnsafeCell<Arc<T>>,
+}
+
+/// A lock-free single-writer / many-reader `Arc<T>` cell.
+///
+/// [`SwapCell::load`] never blocks on [`SwapCell::store`]; see the module
+/// docs for the full protocol and its safety argument. The single-writer
+/// contract is enforced by the crate: only the serving writer thread
+/// calls [`SwapCell::store`], and a debug assertion catches accidental
+/// concurrent stores.
+pub struct SwapCell<T> {
+    slots: [Slot<T>; 2],
+    /// Index of the slot readers should pin — always 0 or 1.
+    current: AtomicUsize,
+    /// Number of `store`s performed since construction (diagnostics; the
+    /// authoritative generation lives inside the published payload).
+    stores: AtomicU64,
+    /// Guards the single-writer contract in debug builds.
+    storing: AtomicUsize,
+}
+
+// SAFETY: the protocol above keeps the writer's UnsafeCell mutation and
+// every reader's dereference temporally disjoint, and `Arc<T>` itself is
+// Send + Sync for T: Send + Sync. The UnsafeCell is the only reason the
+// auto-impls do not apply.
+unsafe impl<T: Send + Sync> Send for SwapCell<T> {}
+unsafe impl<T: Send + Sync> Sync for SwapCell<T> {}
+
+impl<T> SwapCell<T> {
+    /// A cell initially publishing `value` (both buffers hold it, so the
+    /// first `store` can overwrite the inactive one unconditionally).
+    pub fn new(value: Arc<T>) -> Self {
+        SwapCell {
+            slots: [
+                Slot { pinned: AtomicUsize::new(0), value: UnsafeCell::new(value.clone()) },
+                Slot { pinned: AtomicUsize::new(0), value: UnsafeCell::new(value) },
+            ],
+            current: AtomicUsize::new(0),
+            stores: AtomicU64::new(0),
+            storing: AtomicUsize::new(0),
+        }
+    }
+
+    /// Clones the currently published `Arc<T>`. Lock-free: retries only
+    /// when the writer flipped buffers mid-pin, and never waits on the
+    /// writer's store.
+    pub fn load(&self) -> Arc<T> {
+        loop {
+            let i = self.current.load(SeqCst);
+            let slot = &self.slots[i];
+            slot.pinned.fetch_add(1, SeqCst);
+            if self.current.load(SeqCst) == i {
+                // SAFETY: pin + recheck — the writer cannot be mutating
+                // this slot (module-level safety argument).
+                let value = unsafe { (*slot.value.get()).clone() };
+                slot.pinned.fetch_sub(1, SeqCst);
+                return value;
+            }
+            // Writer flipped between our first read and the pin landing;
+            // this slot may be about to be overwritten. Back off.
+            slot.pinned.fetch_sub(1, SeqCst);
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Publishes `value`, replacing the current one for all subsequent
+    /// [`SwapCell::load`]s. **Single writer only** — concurrent stores
+    /// are a contract violation (panics in debug builds).
+    pub fn store(&self, value: Arc<T>) {
+        debug_assert_eq!(
+            self.storing.fetch_add(1, SeqCst),
+            0,
+            "SwapCell::store called concurrently — the cell is single-writer"
+        );
+        let cur = self.current.load(SeqCst);
+        let next = cur ^ 1;
+        // Wait out readers still cloning from the buffer we are about to
+        // overwrite: they pinned it while it was current (at least two
+        // flips ago) and are at most a few instructions from unpinning.
+        while self.slots[next].pinned.load(SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+        // SAFETY: `next` is not `current`, so no new reader passes its
+        // recheck on it, and the pin drain above retired every old one.
+        unsafe {
+            *self.slots[next].value.get() = value;
+        }
+        self.current.store(next, SeqCst);
+        self.stores.fetch_add(1, SeqCst);
+        self.storing.fetch_sub(1, SeqCst);
+    }
+
+    /// Number of [`SwapCell::store`]s since construction.
+    pub fn stores(&self) -> u64 {
+        self.stores.load(SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::thread;
+
+    #[test]
+    fn load_returns_initial_then_stored() {
+        let cell = SwapCell::new(Arc::new(1u64));
+        assert_eq!(*cell.load(), 1);
+        assert_eq!(cell.stores(), 0);
+        cell.store(Arc::new(2));
+        assert_eq!(*cell.load(), 2);
+        cell.store(Arc::new(3));
+        assert_eq!(*cell.load(), 3);
+        assert_eq!(cell.stores(), 2);
+    }
+
+    #[test]
+    fn readers_hold_old_arcs_safely_across_many_stores() {
+        let cell = SwapCell::new(Arc::new(vec![0u64; 32]));
+        let old = cell.load();
+        for g in 1..100u64 {
+            cell.store(Arc::new(vec![g; 32]));
+        }
+        // The pre-store clone is untouched by 99 buffer overwrites.
+        assert!(old.iter().all(|&v| v == 0));
+        assert!(cell.load().iter().all(|&v| v == 99));
+    }
+
+    /// Hammer the cell from many readers while the writer republishes.
+    /// Every loaded vector must be internally consistent (all elements
+    /// equal) — a torn read would mix generations.
+    #[test]
+    fn concurrent_loads_never_tear() {
+        let cell = Arc::new(SwapCell::new(Arc::new(vec![0u64; 64])));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    let mut last = 0u64;
+                    while !stop.load(SeqCst) {
+                        let v = cell.load();
+                        let first = v[0];
+                        assert!(v.iter().all(|&x| x == first), "torn read");
+                        assert!(first >= last, "non-monotone publication");
+                        last = first;
+                    }
+                })
+            })
+            .collect();
+        for g in 1..=2_000u64 {
+            cell.store(Arc::new(vec![g; 64]));
+        }
+        stop.store(true, SeqCst);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(cell.load()[0], 2_000);
+    }
+}

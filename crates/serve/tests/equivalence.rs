@@ -1,0 +1,134 @@
+//! Serving tier == engine observational equivalence.
+//!
+//! Pushing a stream through `EdmServer` (bounded queue → writer thread →
+//! `insert_batch`, publications interleaved at a random cadence) and then
+//! draining through `shutdown` must leave the engine in **exactly** the
+//! state a serial `insert_batch` run produces: same cells, dependency
+//! tree, cluster partition, τ, evolution events, and stats modulo
+//! `EngineStats::normalized_for_equivalence` (publication counts how
+//! often state was *observed*, not what was clustered). The final
+//! published payload must likewise mirror the reference snapshot.
+//!
+//! This is what makes the serving tier a pure deployment knob: putting a
+//! queue, a thread, and a publisher in front of the engine can never
+//! change clustering output.
+
+use std::num::{NonZeroU64, NonZeroUsize};
+
+use edm_common::metric::Euclidean;
+use edm_common::point::DenseVector;
+use edm_core::{EdmConfig, EdmStream, Event};
+use edm_serve::{EdmServer, ServeConfig};
+use proptest::prelude::*;
+
+fn engine() -> EdmStream<DenseVector, Euclidean> {
+    let cfg = EdmConfig::builder(0.8)
+        .rate(100.0)
+        .beta_for_threshold(3.0)
+        .init_points(25)
+        .tau_every(16)
+        .maintenance_every(8)
+        .build()
+        .expect("valid test configuration");
+    EdmStream::new(cfg, Euclidean)
+}
+
+/// Per-cell `(slot, dep, delta, active, raw_rho)` tree state.
+type CellState = Vec<(u32, Option<u32>, f64, bool, f64)>;
+
+fn observe(
+    engine: &mut EdmStream<DenseVector, Euclidean>,
+    t: f64,
+) -> (CellState, Vec<Vec<u32>>, f64, Vec<Event>, String) {
+    let mut cells: CellState = engine
+        .slab()
+        .iter()
+        .map(|(id, c)| (id.0, c.dep.map(|d| d.0), c.delta, c.active, c.raw_rho().0))
+        .collect();
+    cells.sort_by_key(|c| c.0);
+    let snap = engine.snapshot(t);
+    let clusters: Vec<Vec<u32>> =
+        snap.clusters().iter().map(|c| c.cells.iter().map(|id| id.0).collect()).collect();
+    let stats = snap.stats().normalized_for_equivalence();
+    (cells, clusters, snap.tau(), engine.take_events(), format!("{stats:?}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn serve_then_shutdown_equals_serial_insert_batch(
+        points in prop::collection::vec(((-5.0f64..15.0), (-3.0f64..3.0)), 60..240),
+        chunk in 1usize..64,
+        every in 1u64..5,
+        capacity in 1usize..8,
+    ) {
+        let batch: Vec<(DenseVector, f64)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (DenseVector::from([x, y]), i as f64 / 100.0))
+            .collect();
+        let t = batch.len() as f64 / 100.0;
+
+        // Reference: one serial insert_batch over the whole stream.
+        let mut reference = engine();
+        reference.insert_batch(&batch);
+        // The served final publish freezes at the engine's stream time
+        // (the newest ingested timestamp) — compare at the same instant,
+        // since decayed densities depend on it.
+        let want_snapshot = reference.snapshot(reference.stream_time());
+        let want = observe(&mut reference, t);
+
+        // Served: same stream through the queue + writer thread, with
+        // publications interleaved every `every` batches. `Block` keeps
+        // it lossless regardless of the tiny queue.
+        let cfg = ServeConfig {
+            queue_capacity: NonZeroUsize::new(capacity).unwrap(),
+            publish_every_batches: NonZeroU64::new(every).unwrap(),
+            ..ServeConfig::default()
+        };
+        let server = EdmServer::spawn(engine(), cfg);
+        let handle = server.handle();
+        let mut n_batches = 0u64;
+        for window in batch.chunks(chunk) {
+            server.ingest(window.to_vec()).expect("Block policy never fails");
+            n_batches += 1;
+        }
+        let mut served = server.shutdown().expect("writer never panics here");
+        let got = observe(&mut served, t);
+
+        prop_assert_eq!(&got.0, &want.0, "cell state diverged");
+        prop_assert_eq!(&got.1, &want.1, "clusters diverged");
+        prop_assert_eq!(got.2, want.2, "tau diverged");
+        prop_assert_eq!(&got.3, &want.3, "events diverged");
+        prop_assert_eq!(&got.4, &want.4, "stats diverged");
+        prop_assert!(served.check_invariants(t).is_ok());
+        prop_assert!(served.check_index().is_ok());
+
+        // The final published payload reflects the complete stream and
+        // the deterministic publication arithmetic: one at spawn, one per
+        // completed K-batch window, one forced at drain.
+        let published = handle.latest();
+        prop_assert_eq!(published.generation(), 1 + n_batches / every + 1);
+        prop_assert_eq!(published.snapshot().n_clusters(), want_snapshot.n_clusters());
+        prop_assert_eq!(published.snapshot().points(), want_snapshot.points());
+        prop_assert_eq!(published.snapshot().active_cells(), want_snapshot.active_cells());
+        prop_assert_eq!(published.snapshot().tau(), want_snapshot.tau());
+        prop_assert_eq!(published.n_members(), {
+            let total: usize = want_snapshot.clusters().iter().map(|c| c.cells.len()).sum();
+            total
+        });
+        let (rho, delta) = published.snapshot().decision_graph();
+        let (want_rho, want_delta) = want_snapshot.decision_graph();
+        prop_assert_eq!(rho, want_rho);
+        prop_assert_eq!(delta, want_delta);
+
+        // Lossless accounting under Block.
+        let stats = handle.stats();
+        prop_assert_eq!(stats.ingested_points, batch.len() as u64);
+        prop_assert_eq!(stats.enqueued_points, batch.len() as u64);
+        prop_assert_eq!(stats.dropped_points, 0);
+        prop_assert_eq!(stats.rejected_points, 0);
+        prop_assert!(stats.queue_depth_hwm <= capacity);
+    }
+}

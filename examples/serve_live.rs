@@ -1,0 +1,139 @@
+//! Live serving demo: the SDS stream ingested through the `edm-serve`
+//! tier while reader threads answer queries against the published
+//! snapshots — the paper's real-time pitch (§6.3.1: query response in
+//! milliseconds *while* the stream runs) as a running program.
+//!
+//! One producer replays the scripted SDS stream into the bounded ingest
+//! queue; the writer thread clusters it and republishes a
+//! generation-stamped snapshot every few batches; three reader threads
+//! concurrently poll `n_clusters`, probe `cluster_of` at two fixed
+//! sites, and read the decision graph — all lock-free, never blocking
+//! the writer. The end-of-run report prints the serving statistics
+//! (`ServeStats`): generations published, queue high-water mark, read
+//! counters, and the final snapshot's age.
+//!
+//! ```text
+//! cargo run --release --example serve_live
+//! ```
+
+use std::num::{NonZeroU64, NonZeroUsize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use edmstream::data::gen::sds::{self, SdsConfig};
+use edmstream::serve::{BackpressurePolicy, EdmServer, ServeConfig};
+use edmstream::{DecayModel, DenseVector, EdmConfig, EdmStream, Euclidean};
+
+fn main() {
+    let stream = sds::generate(&SdsConfig::default());
+    println!("SDS: {} points over {:.0} seconds\n", stream.len(), stream.duration());
+
+    // Same engine parameters as the evolution_timeline example — SDS
+    // plays out in 20 s and needs a fast-forgetting decay model.
+    let cfg = EdmConfig::builder(0.3)
+        .decay(DecayModel::new(0.998, 200.0))
+        .beta(3e-3)
+        .rate(1_000.0)
+        .recycle_horizon(5.0)
+        .tau_every(128)
+        .build()
+        .expect("valid SDS configuration");
+
+    let server = EdmServer::spawn(
+        EdmStream::new(cfg, Euclidean),
+        ServeConfig {
+            queue_capacity: NonZeroUsize::new(32).expect("nonzero"),
+            publish_every_batches: NonZeroU64::new(4).expect("nonzero"),
+            publish_interval: Some(Duration::from_millis(20)),
+            policy: BackpressurePolicy::Block,
+        },
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Three concurrent readers, each with its own cheap handle.
+    let readers: Vec<_> = (0..3)
+        .map(|reader| {
+            let handle = server.handle();
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut last_generation = 0;
+                let mut observed = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let generation = handle.generation();
+                    if generation != last_generation {
+                        // A fresh publication: snapshot the live answers
+                        // this reader would have served at this moment.
+                        let n = handle.n_clusters();
+                        // Probe the A/B merge corridor and the C/D site
+                        // (SDS components live at x ≈ ±0.8 and x ≈ 10).
+                        let left = handle.cluster_of(&DenseVector::from([-0.8, 0.0]));
+                        let right = handle.cluster_of(&DenseVector::from([10.0, 0.0]));
+                        let (rho, _) = handle.decision_graph();
+                        observed.push((generation, n, left, right, rho.len()));
+                        last_generation = generation;
+                    }
+                    thread::sleep(Duration::from_millis(2));
+                }
+                (reader, observed)
+            })
+        })
+        .collect();
+
+    // Producer: replay SDS in 64-point batches through the queue.
+    let batches: Vec<Vec<(DenseVector, f64)>> = stream
+        .iter()
+        .map(|p| (p.payload.clone(), p.ts))
+        .collect::<Vec<_>>()
+        .chunks(64)
+        .map(<[_]>::to_vec)
+        .collect();
+    for batch in batches {
+        server.ingest(batch).expect("Block policy ingest");
+    }
+
+    let handle = server.handle();
+    let engine = server.shutdown().expect("clean shutdown");
+    stop.store(true, Ordering::Relaxed);
+    let stats = handle.stats();
+
+    println!("serving statistics after the drain:");
+    println!("  generations published : {}", stats.generation);
+    println!("  queue depth high-water: {} (capacity 32)", stats.queue_depth_hwm);
+    println!("  points ingested       : {}", stats.ingested_points);
+    println!(
+        "  reads served          : {} cluster_of, {} n_clusters, {} decision_graph, {} raw",
+        stats.reads_cluster_of,
+        stats.reads_n_clusters,
+        stats.reads_decision_graph,
+        stats.reads_snapshot
+    );
+
+    for r in readers {
+        let (reader, observed) = r.join().expect("reader thread ok");
+        let tail: Vec<String> = observed
+            .iter()
+            .rev()
+            .take(3)
+            .rev()
+            .map(|(generation, n, left, right, cells)| {
+                format!(
+                    "gen {generation}: {n} clusters ({cells} active cells, probe L={left:?} \
+                     R={right:?})"
+                )
+            })
+            .collect();
+        println!("reader {reader} saw {} generations; last: {}", observed.len(), tail.join("; "));
+    }
+
+    let final_snapshot = engine.snapshot(engine.stream_time());
+    println!(
+        "\nfinal state: {} clusters over {} active cells after {} points \
+         ({} snapshots published)",
+        final_snapshot.n_clusters(),
+        final_snapshot.active_cells(),
+        final_snapshot.points(),
+        engine.stats().snapshots_published
+    );
+}

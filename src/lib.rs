@@ -18,6 +18,9 @@
 //!   k-means.
 //! * [`baselines`] — D-Stream, DenStream, DBSTREAM, MR-Stream.
 //! * [`metrics`] — CMM and classic external quality criteria.
+//! * [`serve`] — the concurrent serving tier ([`EdmServer`],
+//!   [`ServeHandle`]): lock-free snapshot publication, bounded ingest
+//!   queue with backpressure, serving observability.
 //!
 //! The API follows a **builder → session → snapshot** shape: configure
 //! with [`EdmConfig::builder`] (typed [`ConfigError`]s instead of panics),
@@ -56,6 +59,7 @@ pub use edm_core as core;
 pub use edm_data as data;
 pub use edm_dp as dp;
 pub use edm_metrics as metrics;
+pub use edm_serve as serve;
 
 pub use edm_common::decay::DecayModel;
 pub use edm_common::metric::{Euclidean, Jaccard, Metric};
@@ -66,3 +70,6 @@ pub use edm_core::{
     NeighborIndexKind, TauMode,
 };
 pub use edm_data::clusterer::StreamClusterer;
+pub use edm_serve::{
+    BackpressurePolicy, EdmServer, ServeConfig, ServeError, ServeHandle, ServeStats,
+};
