@@ -106,6 +106,61 @@ fn smoke_parallel(threads: usize, batch: usize) -> f64 {
     (rounds * batch) as f64 / start.elapsed().as_secs_f64()
 }
 
+/// One smoke measurement of `digest_since` latency: build a full digest
+/// window over the crowded steady state (one publication per batch),
+/// then time whole-window digests. Recorded in the artifact for trend
+/// inspection, never gated — digest reads are reader-side work over a
+/// bounded window, and their cost floor is set by cluster churn, which
+/// the crowded workload deliberately maximizes.
+fn smoke_digest_since() -> (u64, f64, f64) {
+    // The crowded scenario turns evolution tracking off (it prices pure
+    // ingest); digests need it on, plus genuine cluster churn so the
+    // sealed records carry events. Eight blob sites visited round-robin
+    // with a short recycle horizon: clusters emerge, fade, and die all
+    // through the run.
+    let cfg = edm_core::EdmConfig::builder(0.8)
+        .rate(1_000.0)
+        .beta_for_threshold(3.0)
+        .init_points(64)
+        .tau_every(64)
+        .maintenance_every(32)
+        .recycle_horizon(2.0)
+        .build()
+        .expect("valid digest smoke configuration");
+    let mut e = EdmStream::new(cfg, Euclidean);
+    let mut t = 0.0;
+    for k in 0..DIGEST_SMOKE_GENERATIONS {
+        let angle = (k / 4) as f64 * std::f64::consts::FRAC_PI_4;
+        let (cx, cy) = (10.0 * angle.cos(), 10.0 * angle.sin());
+        let batch: Vec<(DenseVector, f64)> = (0..256)
+            .map(|i| {
+                t += 1e-3;
+                let jx = 0.2 * ((i % 7) as f64 - 3.0);
+                let jy = 0.2 * ((i % 5) as f64 - 2.0);
+                (DenseVector::from([cx + jx, cy + jy]), t)
+            })
+            .collect();
+        e.insert_batch(&batch);
+        e.publish_snapshot(t);
+    }
+    let (oldest, latest) = e.digest_window().generations().expect("generations published");
+    let mut lat_us = Vec::with_capacity(DIGEST_SMOKE_READS);
+    for _ in 0..DIGEST_SMOKE_READS {
+        let start = Instant::now();
+        let digest = e.digest_since(oldest).expect("whole window is held");
+        std::hint::black_box(digest);
+        lat_us.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    lat_us.sort_by(f64::total_cmp);
+    (latest - oldest, lat_us[lat_us.len() / 2], lat_us[lat_us.len() * 99 / 100])
+}
+
+/// Generations sealed (and batches ingested) before timing digests.
+const DIGEST_SMOKE_GENERATIONS: usize = 32;
+
+/// Whole-window digests timed per smoke run.
+const DIGEST_SMOKE_READS: usize = 512;
+
 /// One smoke measurement of serial per-point latency on a dataset
 /// surrogate (the same pass the full `insert_latency` bench times).
 fn smoke_insert_latency(id: DatasetId) -> (String, f64) {
@@ -241,6 +296,22 @@ fn main() {
     )
     .expect("write fresh artifact");
     merge_bench_json(&out_path, "mixed_read_write", &mixed_json).expect("write fresh artifact");
+    // Evolution-digest latency: recorded for trend inspection, never
+    // compared against the baseline (no Entry is pushed into `fresh`).
+    let (digest_generations, digest_p50_us, digest_p99_us) = smoke_digest_since();
+    println!(
+        "smoke digest_since/generations{digest_generations}: p50 {digest_p50_us:.1} us, \
+         p99 {digest_p99_us:.1} us (recorded, not gated)"
+    );
+    merge_bench_json(
+        &out_path,
+        "digest_since",
+        &format!(
+            "[{{\"generations\": {digest_generations}, \"p50_us\": {digest_p50_us:.2}, \
+             \"p99_us\": {digest_p99_us:.2}}}]"
+        ),
+    )
+    .expect("write fresh artifact");
     println!("[written {}]", out_path.display());
 
     // ----- baseline comparison -----

@@ -21,6 +21,9 @@ use crate::tau::TauMode;
 /// Default bound on the buffered evolution-event backlog.
 pub const DEFAULT_EVENT_CAPACITY: usize = 16_384;
 
+/// Default bound on the sealed per-generation digest history.
+pub const DEFAULT_DIGEST_HISTORY: usize = 64;
+
 /// A rejected engine configuration (from [`EdmConfigBuilder::build`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ConfigError {
@@ -58,6 +61,8 @@ pub enum ConfigError {
     },
     /// The evolution-event buffer needs room for at least one event.
     ZeroEventCapacity,
+    /// The digest history needs room for at least one generation record.
+    ZeroDigestHistory,
     /// An explicit grid-index bucket side must be positive and finite.
     NonPositiveGridSide {
         /// The offending side length.
@@ -94,6 +99,7 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "static tau must be positive (got {tau})")
             }
             ConfigError::ZeroEventCapacity => write!(f, "event_capacity must be positive"),
+            ConfigError::ZeroDigestHistory => write!(f, "digest_history must be positive"),
             ConfigError::NonPositiveGridSide { side } => {
                 write!(f, "grid-index bucket side must be positive and finite (got {side})")
             }
@@ -155,6 +161,12 @@ pub struct EdmConfig {
     /// Bound on the buffered evolution-event backlog; oldest events are
     /// evicted past it (see `EdmStream::take_events` / `events_since`).
     pub(crate) event_capacity: usize,
+    /// Bound on the sealed per-generation digest history (how far back
+    /// `EdmStream::digest_since` can reach, in published generations).
+    /// Defaulted on deserialization so configs persisted before the
+    /// field existed still load.
+    #[serde(default = "default_digest_history")]
+    pub(crate) digest_history: usize,
     /// Neighbor-index backing for cell assignment and dependency search.
     /// Defaulted on deserialization so configs persisted before the field
     /// existed still load (as `Grid { side: None }`).
@@ -173,6 +185,12 @@ pub struct EdmConfig {
     /// smuggled zeros.
     #[serde(default = "default_ingest_threads")]
     pub(crate) ingest_threads: usize,
+}
+
+/// Serde default for [`EdmConfig::digest_history`]: configs persisted
+/// before the field existed load with the default window.
+fn default_digest_history() -> usize {
+    DEFAULT_DIGEST_HISTORY
 }
 
 /// Serde default for [`EdmConfig::shards`]: configs persisted before the
@@ -207,6 +225,7 @@ impl EdmConfig {
                 age_adjusted_threshold: true,
                 track_evolution: true,
                 event_capacity: DEFAULT_EVENT_CAPACITY,
+                digest_history: default_digest_history(),
                 neighbor_index: NeighborIndexKind::default(),
                 shards: default_shards(),
                 ingest_threads: default_ingest_threads(),
@@ -254,6 +273,9 @@ impl EdmConfig {
         }
         if self.event_capacity == 0 {
             return Err(ConfigError::ZeroEventCapacity);
+        }
+        if self.digest_history == 0 {
+            return Err(ConfigError::ZeroDigestHistory);
         }
         if let NeighborIndexKind::Grid { side: Some(side) } = self.neighbor_index {
             // NaN fails is_finite, so everything not strictly positive and
@@ -341,6 +363,11 @@ impl EdmConfig {
     /// Bound on the buffered evolution-event backlog.
     pub fn event_capacity(&self) -> usize {
         self.event_capacity
+    }
+
+    /// Bound on the sealed per-generation digest history.
+    pub fn digest_history(&self) -> usize {
+        self.digest_history
     }
 
     /// Neighbor-index backing for cell assignment and dependency search.
@@ -489,6 +516,17 @@ impl EdmConfigBuilder {
         self
     }
 
+    /// Bounds the sealed per-generation digest history: how many
+    /// published generations `EdmStream::digest_since` /
+    /// `digest_between` can reach back over. Each held generation costs
+    /// one record (its interval's structural events plus the live
+    /// cluster list); windows reaching past the bound fail with
+    /// `EvolveError::EvictedGeneration` instead of answering partially.
+    pub fn digest_history(mut self, generations: usize) -> Self {
+        self.cfg.digest_history = generations;
+        self
+    }
+
     /// Picks the neighbor index backing cell assignment and dependency
     /// search. The default `Grid { side: None }` probes only the 3^d
     /// bucket shell around each point (sub-linear in cell count) and
@@ -557,6 +595,18 @@ mod tests {
         assert!(cfg.reservoir_bound() > cfg.delta_t_del() * cfg.rate());
         assert!(cfg.track_evolution());
         assert_eq!(cfg.event_capacity(), DEFAULT_EVENT_CAPACITY);
+        assert_eq!(cfg.digest_history(), DEFAULT_DIGEST_HISTORY);
+    }
+
+    #[test]
+    fn digest_history_is_settable_and_rejects_zero() {
+        let cfg = EdmConfig::builder(0.5).digest_history(8).build().unwrap();
+        assert_eq!(cfg.digest_history(), 8);
+        assert_eq!(
+            EdmConfig::builder(0.5).digest_history(0).build().unwrap_err(),
+            ConfigError::ZeroDigestHistory
+        );
+        assert!(ConfigError::ZeroDigestHistory.to_string().contains("digest_history"));
     }
 
     #[test]

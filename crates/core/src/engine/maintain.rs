@@ -377,6 +377,12 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
         for (cell, cid) in assignments {
             self.slab.get_mut(cell).cluster = Some(cid);
         }
+        // Every event-recording site funnels through here (maintenance's
+        // adjust events mark the structure dirty, so a diff — and this
+        // sync — always follows), which keeps the lineage tracker's
+        // cursor ahead of the log's eviction point unless one diff alone
+        // overflows `event_capacity`.
+        self.tracker.sync(&self.log);
     }
 
     /// The densest active cell at `t` by full scan of the registry

@@ -49,6 +49,7 @@ use edm_common::time::Timestamp;
 use crate::cell::CellId;
 use crate::config::EdmConfig;
 use crate::evolution::{ClusterRegistry, EvolutionLog};
+use crate::evolve::EvolutionTracker;
 use crate::filters::EngineStats;
 use crate::index::CellIndex;
 use crate::slab::CellSlab;
@@ -78,6 +79,10 @@ pub struct EdmStream<P, M> {
     tau_ctl: TauController,
     registry: ClusterRegistry,
     log: EvolutionLog,
+    /// Incremental consumer of the event log: lineage graph, rolling
+    /// summaries, and the sealed per-generation digest records behind
+    /// `lineage_of` / `digest_since`.
+    tracker: EvolutionTracker,
     stats: EngineStats,
     /// Neighbor index over cell seeds; answers assignment and
     /// nearest-denser queries without scanning the whole slab.
@@ -178,6 +183,7 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
             slab: CellSlab::new(),
             registry: ClusterRegistry::new(),
             log: EvolutionLog::with_capacity(cfg.event_capacity()),
+            tracker: EvolutionTracker::new(cfg.event_capacity(), cfg.digest_history()),
             stats: EngineStats::default(),
             index: CellIndex::from_config(index_kind, cfg.r(), cfg.shards(), axis_bound),
             scratch: ScratchDistances::default(),

@@ -13,6 +13,9 @@ use edm_common::time::Timestamp;
 use crate::cell::CellId;
 use crate::config::EdmConfig;
 use crate::evolution::{ClusterId, Event, EventCursor};
+use crate::evolve::{
+    BoundingBox, ClusterSummary, DigestWindow, EvolutionDigest, EvolveError, Lineage, LineageGraph,
+};
 use crate::filters::EngineStats;
 use crate::index::NeighborIndex;
 use crate::slab::CellSlab;
@@ -156,11 +159,14 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
     /// ```
     pub fn snapshot(&self, t: Timestamp) -> ClusterSnapshot {
         let (rho, delta) = self.decision_graph(t);
+        let clusters = self.clusters(t);
+        let summaries = self.summaries_for(t, &clusters);
         ClusterSnapshot {
             t,
             tau: self.tau_ctl.tau(),
             alpha: self.tau_ctl.alpha(),
-            clusters: self.clusters(t),
+            clusters,
+            summaries,
             rho,
             delta,
             active_cells: self.active_ids.len(),
@@ -185,7 +191,186 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
     /// counters keeps using `snapshot()`.
     pub fn publish_snapshot(&mut self, t: Timestamp) -> ClusterSnapshot {
         self.stats.snapshots_published += 1;
-        self.snapshot(t)
+        let snap = self.snapshot(t);
+        if self.cfg.track_evolution {
+            // Belt and braces: the tracker is already synced after every
+            // diff, but a sync here is free when nothing is new and
+            // keeps the sealed record correct if a future code path
+            // records events outside `run_diff`.
+            self.tracker.sync(&self.log);
+            let mut live: Vec<(ClusterId, f64)> = snap
+                .clusters()
+                .iter()
+                .filter(|c| c.id != u64::MAX)
+                .map(|c| (c.id, c.density))
+                .collect();
+            live.sort_unstable_by_key(|&(id, _)| id);
+            self.tracker.seal(snap.generation(), t, live, snap.summaries());
+        }
+        snap
+    }
+
+    /// Compact summaries of `clusters` (those with a registered
+    /// persistent identity), ascending by cluster id: density-weighted
+    /// centroid and bounding box over the member-cell seeds (`None` for
+    /// coordinate-less payloads), mass, and birth time from the identity
+    /// registry. Generations are stamped with the current publication
+    /// count; the engine's rolling map (see [`EdmStream::summary_of`])
+    /// preserves each cluster's true first observation.
+    fn summaries_for(&self, t: Timestamp, clusters: &[ClusterInfo]) -> Vec<ClusterSummary> {
+        let born: edm_common::hash::FxHashMap<ClusterId, Timestamp> =
+            self.registry.clusters().map(|(id, m)| (id, m.born)).collect();
+        let generation = self.stats.snapshots_published;
+        let mut out: Vec<ClusterSummary> = clusters
+            .iter()
+            .filter(|c| c.id != u64::MAX)
+            .map(|c| {
+                // Running density-weighted extent: (Σw·x, min, max, Σw).
+                struct Extent {
+                    sum: Vec<f64>,
+                    min: Vec<f64>,
+                    max: Vec<f64>,
+                    total: f64,
+                }
+                let mut weighted: Option<Extent> = None;
+                let mut coords_ok = true;
+                for &cell in &c.cells {
+                    let cref = self.slab.get(cell);
+                    let Some(x) = cref.seed.grid_coords() else {
+                        coords_ok = false;
+                        break;
+                    };
+                    let w = cref.rho_at(t, self.decay()).max(0.0);
+                    match &mut weighted {
+                        None => {
+                            weighted = Some(Extent {
+                                sum: x.iter().map(|v| v * w).collect(),
+                                min: x.to_vec(),
+                                max: x.to_vec(),
+                                total: w,
+                            });
+                        }
+                        Some(Extent { sum, min, max, total }) => {
+                            for (i, v) in x.iter().enumerate() {
+                                sum[i] += v * w;
+                                min[i] = min[i].min(*v);
+                                max[i] = max[i].max(*v);
+                            }
+                            *total += w;
+                        }
+                    }
+                }
+                let (centroid, bounds) = match (coords_ok, weighted) {
+                    (true, Some(Extent { sum, min, max, total })) => {
+                        let centroid = if total > 0.0 {
+                            sum.iter().map(|s| s / total).collect()
+                        } else {
+                            // Fully decayed cluster: fall back to the
+                            // unweighted seed mean.
+                            let n = c.cells.len() as f64;
+                            c.cells.iter().fold(vec![0.0; min.len()], |mut acc, &cell| {
+                                for (i, v) in self
+                                    .slab
+                                    .get(cell)
+                                    .seed
+                                    .grid_coords()
+                                    .expect("coords_ok checked above")
+                                    .iter()
+                                    .enumerate()
+                                {
+                                    acc[i] += v / n;
+                                }
+                                acc
+                            })
+                        };
+                        (Some(centroid), Some(BoundingBox { min, max }))
+                    }
+                    _ => (None, None),
+                };
+                ClusterSummary {
+                    cluster: c.id,
+                    cells: c.cells.len(),
+                    mass: c.density,
+                    centroid,
+                    bounds,
+                    born: born.get(&c.id).copied().unwrap_or(t),
+                    as_of: t,
+                    first_generation: generation,
+                    last_seen: generation,
+                }
+            })
+            .collect();
+        out.sort_unstable_by_key(|s| s.cluster);
+        out
+    }
+
+    // ----- evolution queries (lineage, digests, rolling summaries) -----
+
+    /// Resolves the provenance of `cluster`: its ancestry through split
+    /// parents and its current identity through the transitive merge
+    /// chain — "which of today's clusters is yesterday's #3?".
+    ///
+    /// Refuses with a typed [`EvolveError`] when evolution tracking is
+    /// disabled, when events were lost to the bounded log before the
+    /// tracker read them (the graph would be missing edges), or when the
+    /// id was never observed.
+    pub fn lineage_of(&self, cluster: ClusterId) -> Result<Lineage, EvolveError> {
+        if !self.cfg.track_evolution {
+            return Err(EvolveError::EvolutionDisabled);
+        }
+        if self.tracker.lost() > 0 {
+            return Err(EvolveError::EventsLost { lost: self.tracker.lost() });
+        }
+        self.tracker.graph().lineage_of(cluster).ok_or(EvolveError::UnknownCluster { cluster })
+    }
+
+    /// The raw lineage graph the tracker has replayed so far — every
+    /// cluster id ever observed with its birth and end. Unlike
+    /// [`EdmStream::lineage_of`] this access is not loss-gated; check
+    /// [`EdmStream::evolution_events_lost`] before trusting provenance
+    /// read off it.
+    pub fn lineage_graph(&self) -> &LineageGraph {
+        self.tracker.graph()
+    }
+
+    /// Events evicted from the bounded log before the lineage tracker
+    /// consumed them. Non-zero means lineage answers would be missing
+    /// history — [`EdmStream::lineage_of`] refuses rather than guessing.
+    pub fn evolution_events_lost(&self) -> u64 {
+        self.tracker.lost()
+    }
+
+    /// What changed since generation `from`: births, deaths, merges,
+    /// splits and mass drift up to the newest published generation. See
+    /// [`DigestWindow::digest`] for the windowing and error contract.
+    pub fn digest_since(&self, from: u64) -> Result<EvolutionDigest, EvolveError> {
+        self.digest_window().digest_since(from)
+    }
+
+    /// What changed in the window `(from, to]` of published generations.
+    pub fn digest_between(&self, from: u64, to: u64) -> Result<EvolutionDigest, EvolveError> {
+        self.digest_window().digest(from, to)
+    }
+
+    /// A cheap `Arc`-shared view of the sealed per-generation records —
+    /// what the serving tier attaches to each published payload so that
+    /// readers compute digests without re-entering the engine.
+    pub fn digest_window(&self) -> DigestWindow {
+        self.tracker.window(self.cfg.track_evolution)
+    }
+
+    /// The rolling publish-cadence summary of `cluster`, if held: unlike
+    /// the per-snapshot [`ClusterSnapshot::summaries`] it preserves the
+    /// cluster's true first-observed generation and survives (for a
+    /// while) past the cluster's death. `None` when the cluster was
+    /// never published, or its era left the digest history.
+    pub fn summary_of(&self, cluster: ClusterId) -> Option<&ClusterSummary> {
+        self.tracker.summary_of(cluster)
+    }
+
+    /// All rolling publish-cadence summaries, ascending by cluster id.
+    pub fn tracked_summaries(&self) -> impl Iterator<Item = &ClusterSummary> {
+        self.tracker.summaries()
     }
 
     /// The engine's stream clock: the largest timestamp ingested so far

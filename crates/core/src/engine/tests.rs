@@ -912,3 +912,131 @@ fn stream_time_tracks_the_newest_ingested_timestamp() {
     feed_two_blobs(&mut e, 150);
     assert!((e.stream_time() - 149.0 / 100.0).abs() < 1e-12);
 }
+
+#[test]
+fn lineage_resolves_a_real_merge_through_ingest() {
+    let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+    for i in 0..300 {
+        let t = i as f64 / 100.0;
+        let jitter = (i % 5) as f64 * 0.05;
+        let p = if i % 2 == 0 {
+            DenseVector::from([jitter, 0.0])
+        } else {
+            DenseVector::from([6.0 + jitter, 0.0])
+        };
+        e.insert(&p, t);
+    }
+    assert_eq!(e.n_clusters(), 2);
+    for i in 0..1_200 {
+        let t = 3.0 + i as f64 / 100.0;
+        let x = 0.5 + 5.0 * ((i % 11) as f64 / 11.0);
+        e.insert(&DenseVector::from([x, 0.0]), t);
+    }
+    assert_eq!(e.n_clusters(), 1, "bridge should merge the blobs");
+    assert_eq!(e.evolution_events_lost(), 0);
+    // Find the merge in the log and cross-check the lineage answer.
+    let merge = e
+        .events_since(EventCursor::START)
+        .into_iter()
+        .find(|ev| matches!(ev.kind, EventKind::Merge { .. }))
+        .expect("merge recorded");
+    let EventKind::Merge { from, into } = merge.kind else { unreachable!() };
+    for victim in from {
+        let lineage = e.lineage_of(victim).expect("lossless run answers lineage");
+        // First hop of the identity chain is this merge's survivor; the
+        // survivor may itself be absorbed later, so the chain resolves
+        // transitively to a cluster that is alive at stream end (exactly
+        // one cluster remains).
+        assert_eq!(lineage.absorbed_into.first().copied(), Some(into));
+        assert!(!lineage.ancestry[0].is_alive(), "victim identity must have ended");
+        assert!(lineage.alive, "the merged identity lives on");
+        assert!(
+            e.lineage_graph().node(lineage.current).expect("tracked").is_alive(),
+            "current must name the live cluster"
+        );
+        // The chain the lineage reports is the chain the graph records.
+        let mut cur = victim;
+        for &hop in &lineage.absorbed_into {
+            use crate::evolve::EndKind;
+            let end = e.lineage_graph().node(cur).expect("tracked").end.expect("absorbed");
+            assert_eq!(end.kind, EndKind::MergedInto { survivor: hop });
+            cur = hop;
+        }
+        assert_eq!(cur, lineage.current);
+    }
+}
+
+#[test]
+fn digest_since_reports_a_merge_between_publications() {
+    let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+    for i in 0..300 {
+        let t = i as f64 / 100.0;
+        let jitter = (i % 5) as f64 * 0.05;
+        let p = if i % 2 == 0 {
+            DenseVector::from([jitter, 0.0])
+        } else {
+            DenseVector::from([6.0 + jitter, 0.0])
+        };
+        e.insert(&p, t);
+    }
+    let before = e.publish_snapshot(3.0);
+    assert_eq!(before.n_clusters(), 2);
+    for i in 0..1_200 {
+        let t = 3.0 + i as f64 / 100.0;
+        let x = 0.5 + 5.0 * ((i % 11) as f64 / 11.0);
+        e.insert(&DenseVector::from([x, 0.0]), t);
+    }
+    let after = e.publish_snapshot(15.0);
+    assert_eq!(after.n_clusters(), 1);
+    let d = e.digest_since(before.generation()).expect("window held");
+    assert_eq!((d.from_generation, d.to_generation), (before.generation(), after.generation()));
+    assert!(!d.merges.is_empty(), "digest missed the merge");
+    assert!(!d.is_quiet());
+    // Every merge victim is a death; the survivor is not.
+    for m in &d.merges {
+        for victim in &m.from {
+            assert!(d.deaths.contains(victim));
+        }
+    }
+    // Drift entries exist exactly for clusters alive at both window
+    // ends: the final survivor carries one iff it predates the window
+    // (it may have been born mid-window, e.g. as the bridge's own
+    // emergent cluster).
+    let survivor = d.merges.last().expect("merge present").into;
+    assert_eq!(
+        d.drift_of(survivor).is_some(),
+        !d.births.contains(&survivor),
+        "drift iff the survivor was alive at the window start"
+    );
+    for drift in &d.drifts {
+        assert!(!d.births.contains(&drift.cluster), "mid-window births cannot drift");
+        assert!(!d.deaths.contains(&drift.cluster), "mid-window deaths cannot drift");
+    }
+}
+
+#[test]
+fn publish_cadence_summaries_track_centroid_mass_and_extent() {
+    let mut e = EdmStream::new(mini_cfg(0.5), Euclidean);
+    feed_two_blobs(&mut e, 300);
+    let snap = e.publish_snapshot(3.0);
+    assert_eq!(snap.summaries().len(), 2, "one summary per live cluster");
+    for s in snap.summaries() {
+        assert!(s.mass > 0.0);
+        assert!(s.cells > 0);
+        assert_eq!((s.first_generation, s.last_seen), (snap.generation(), snap.generation()));
+        let centroid = s.centroid.as_ref().expect("dense payloads have centroids");
+        let bounds = s.bounds.as_ref().expect("dense payloads have bounds");
+        assert!(bounds.contains(centroid), "centroid inside its own bounding box");
+        // Blobs sit at x≈0 and x≈10: each centroid hugs one of them.
+        assert!(centroid[0] < 1.0 || (centroid[0] - 10.0).abs() < 1.0, "centroid {centroid:?}");
+    }
+    // The rolling tracker agrees with the per-snapshot view, and keeps
+    // `first_generation` pinned across republications.
+    let again = e.publish_snapshot(3.1);
+    for s in again.summaries() {
+        let rolling = e.summary_of(s.cluster).expect("tracked");
+        assert_eq!(rolling.first_generation, snap.generation());
+        assert_eq!(rolling.last_seen, again.generation());
+    }
+    assert_eq!(e.tracked_summaries().count(), 2);
+}

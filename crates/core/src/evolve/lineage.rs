@@ -1,0 +1,354 @@
+//! Cluster identity matching over the evolution-event history.
+//!
+//! The [`LineageGraph`] replays structural events ([`EventKind::Emerge`],
+//! [`EventKind::Split`], [`EventKind::Merge`], [`EventKind::Disappear`])
+//! into one node per cluster id ever observed. Because the registry never
+//! reuses ids, the graph is append-only: a node is born exactly once and
+//! ends at most once, which is what makes both lineage walks terminate —
+//! ancestry steps through split parents (ids strictly decrease) and the
+//! current-identity walk steps through merge survivors (each node ends at
+//! most once, so the chain never revisits a node).
+
+use std::collections::BTreeMap;
+
+use edm_common::time::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::evolution::{ClusterId, Event, EventKind};
+
+/// How a cluster came into existence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BirthKind {
+    /// Emerged with no predecessor (`∅ → C`).
+    Emerged,
+    /// Broke off an existing cluster in a split.
+    SplitFrom {
+        /// The cluster it split from (which kept its id in the largest
+        /// fragment).
+        parent: ClusterId,
+    },
+}
+
+/// How a cluster's identity ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EndKind {
+    /// Faded away with no successor (`C → ∅`).
+    Disappeared,
+    /// Was absorbed in a merge; its members live on under the survivor's
+    /// id.
+    MergedInto {
+        /// The surviving cluster.
+        survivor: ClusterId,
+    },
+}
+
+/// The end of a cluster's identity, timestamped.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterEnd {
+    /// Stream time the identity ended.
+    pub t: Timestamp,
+    /// How it ended.
+    pub kind: EndKind,
+}
+
+/// One cluster's provenance node in the [`LineageGraph`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LineageNode {
+    /// The cluster id this node describes.
+    pub cluster: ClusterId,
+    /// Stream time of birth.
+    pub born: Timestamp,
+    /// How it was born.
+    pub birth: BirthKind,
+    /// How (and when) its identity ended; `None` while it lives.
+    pub end: Option<ClusterEnd>,
+}
+
+impl LineageNode {
+    /// True while the cluster's identity has not ended.
+    pub fn is_alive(&self) -> bool {
+        self.end.is_none()
+    }
+}
+
+/// A resolved lineage answer: where a cluster came from and where its
+/// identity went.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lineage {
+    /// The queried cluster.
+    pub cluster: ClusterId,
+    /// The id its members answer to *today*: the queried id itself while
+    /// it lives, else the end of its transitive merge chain (which may
+    /// itself be dead — check [`Lineage::alive`]).
+    pub current: ClusterId,
+    /// True when [`Lineage::current`] is a live cluster.
+    pub alive: bool,
+    /// Ancestry chain, starting at the queried cluster and stepping
+    /// through split parents until a cluster that [`BirthKind::Emerged`]
+    /// (or whose parent predates the tracked history). Always non-empty;
+    /// `ancestry[0].cluster == cluster`.
+    pub ancestry: Vec<LineageNode>,
+    /// The merge hops from the queried cluster to [`Lineage::current`],
+    /// oldest first; empty when the queried cluster still owns its
+    /// identity.
+    pub absorbed_into: Vec<ClusterId>,
+}
+
+impl Lineage {
+    /// The cluster the queried one originally emerged from (the far end
+    /// of the ancestry chain).
+    pub fn progenitor(&self) -> ClusterId {
+        self.ancestry.last().expect("ancestry is never empty").cluster
+    }
+}
+
+/// Replayed provenance of every cluster id ever observed.
+///
+/// Grows by one small node per cluster ever created; for unbounded
+/// streams with heavy churn, treat it as an operational log to be
+/// inspected, not an index to be held forever.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LineageGraph {
+    nodes: BTreeMap<ClusterId, LineageNode>,
+}
+
+impl LineageGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a graph by replaying `events` in order — the brute-force
+    /// path consumers (and the provenance test suite) can run against a
+    /// raw event log.
+    pub fn from_events<'a>(events: impl IntoIterator<Item = &'a Event>) -> Self {
+        let mut g = Self::new();
+        for e in events {
+            g.apply(e);
+        }
+        g
+    }
+
+    /// Number of cluster ids ever observed.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no cluster was ever observed.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The provenance node of `cluster`, if it was ever observed.
+    pub fn node(&self, cluster: ClusterId) -> Option<&LineageNode> {
+        self.nodes.get(&cluster)
+    }
+
+    /// All nodes, in ascending cluster-id order (which is also birth
+    /// order — ids are handed out monotonically).
+    pub fn nodes(&self) -> impl Iterator<Item = &LineageNode> {
+        self.nodes.values()
+    }
+
+    /// Folds one event into the graph. [`EventKind::Adjust`] changes no
+    /// identity and is ignored.
+    pub fn apply(&mut self, event: &Event) {
+        let t = event.t;
+        match &event.kind {
+            EventKind::Emerge { cluster } => {
+                self.nodes.entry(*cluster).or_insert(LineageNode {
+                    cluster: *cluster,
+                    born: t,
+                    birth: BirthKind::Emerged,
+                    end: None,
+                });
+            }
+            EventKind::Split { from, into } => {
+                for &c in into {
+                    self.nodes.entry(c).or_insert(LineageNode {
+                        cluster: c,
+                        born: t,
+                        birth: BirthKind::SplitFrom { parent: *from },
+                        end: None,
+                    });
+                }
+            }
+            EventKind::Merge { from, into } => {
+                for &c in from {
+                    if let Some(n) = self.nodes.get_mut(&c) {
+                        if n.end.is_none() {
+                            n.end = Some(ClusterEnd {
+                                t,
+                                kind: EndKind::MergedInto { survivor: *into },
+                            });
+                        }
+                    }
+                }
+            }
+            EventKind::Disappear { cluster } => {
+                if let Some(n) = self.nodes.get_mut(cluster) {
+                    if n.end.is_none() {
+                        n.end = Some(ClusterEnd { t, kind: EndKind::Disappeared });
+                    }
+                }
+            }
+            EventKind::Adjust { .. } => {}
+        }
+    }
+
+    /// Resolves the full lineage of `cluster`: its ancestry through split
+    /// parents and its current identity through the transitive merge
+    /// chain. `None` when the id was never observed.
+    pub fn lineage_of(&self, cluster: ClusterId) -> Option<Lineage> {
+        let start = self.nodes.get(&cluster)?;
+
+        // Ancestry: step through split parents. Fresh ids are handed out
+        // monotonically, so a parent id is always smaller than its
+        // child's — the walk strictly descends and must terminate.
+        let mut ancestry = vec![start.clone()];
+        let mut at = start;
+        while let BirthKind::SplitFrom { parent } = at.birth {
+            debug_assert!(parent < at.cluster, "split parent must predate the fragment");
+            match self.nodes.get(&parent) {
+                Some(p) if parent < at.cluster => {
+                    ancestry.push(p.clone());
+                    at = p;
+                }
+                // Parent unknown (predates history) or inconsistent:
+                // stop at the last known ancestor.
+                _ => break,
+            }
+        }
+
+        // Current identity: follow merge survivors forward. Each node
+        // ends at most once, so the chain visits each node at most once;
+        // the visited set guards the walk against a (never expected)
+        // corrupt cycle anyway.
+        let mut absorbed_into = Vec::new();
+        let mut visited = std::collections::BTreeSet::new();
+        let mut cur = start;
+        visited.insert(cur.cluster);
+        while let Some(ClusterEnd { kind: EndKind::MergedInto { survivor }, .. }) = cur.end {
+            if !visited.insert(survivor) {
+                break;
+            }
+            absorbed_into.push(survivor);
+            match self.nodes.get(&survivor) {
+                Some(n) => cur = n,
+                None => break,
+            }
+        }
+        let alive = absorbed_into.last().map_or(start.end.is_none(), |&last| {
+            self.nodes.get(&last).is_some_and(|n| n.end.is_none())
+        });
+
+        Some(Lineage { cluster, current: cur.cluster, alive, ancestry, absorbed_into })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64, kind: EventKind) -> Event {
+        Event { t, kind }
+    }
+
+    #[test]
+    fn emerge_then_query_is_a_trivial_lineage() {
+        let g = LineageGraph::from_events(&[ev(1.0, EventKind::Emerge { cluster: 3 })]);
+        let l = g.lineage_of(3).unwrap();
+        assert_eq!(l.current, 3);
+        assert!(l.alive);
+        assert_eq!(l.ancestry.len(), 1);
+        assert_eq!(l.progenitor(), 3);
+        assert!(l.absorbed_into.is_empty());
+        assert!(g.lineage_of(99).is_none());
+    }
+
+    #[test]
+    fn split_ancestry_walks_back_to_the_emerged_root() {
+        let g = LineageGraph::from_events(&[
+            ev(0.0, EventKind::Emerge { cluster: 0 }),
+            ev(1.0, EventKind::Split { from: 0, into: vec![1, 2] }),
+            ev(2.0, EventKind::Split { from: 2, into: vec![3] }),
+        ]);
+        let l = g.lineage_of(3).unwrap();
+        let chain: Vec<ClusterId> = l.ancestry.iter().map(|n| n.cluster).collect();
+        assert_eq!(chain, vec![3, 2, 0]);
+        assert_eq!(l.progenitor(), 0);
+        assert!(l.alive);
+        assert_eq!(g.lineage_of(1).unwrap().progenitor(), 0);
+    }
+
+    #[test]
+    fn merge_chain_resolves_to_the_transitive_survivor() {
+        let g = LineageGraph::from_events(&[
+            ev(0.0, EventKind::Emerge { cluster: 0 }),
+            ev(0.0, EventKind::Emerge { cluster: 1 }),
+            ev(0.0, EventKind::Emerge { cluster: 2 }),
+            ev(1.0, EventKind::Merge { from: vec![0], into: 1 }),
+            ev(2.0, EventKind::Merge { from: vec![1], into: 2 }),
+        ]);
+        let l = g.lineage_of(0).unwrap();
+        assert_eq!(l.current, 2, "yesterday's #0 answers to #2 today");
+        assert_eq!(l.absorbed_into, vec![1, 2]);
+        assert!(l.alive);
+        // The survivor's own lineage is trivial.
+        assert_eq!(g.lineage_of(2).unwrap().absorbed_into, Vec::<ClusterId>::new());
+    }
+
+    #[test]
+    fn disappeared_cluster_is_dead_and_keeps_its_identity() {
+        let g = LineageGraph::from_events(&[
+            ev(0.0, EventKind::Emerge { cluster: 5 }),
+            ev(3.0, EventKind::Disappear { cluster: 5 }),
+        ]);
+        let l = g.lineage_of(5).unwrap();
+        assert_eq!(l.current, 5);
+        assert!(!l.alive);
+        assert_eq!(g.node(5).unwrap().end, Some(ClusterEnd { t: 3.0, kind: EndKind::Disappeared }));
+    }
+
+    #[test]
+    fn merge_into_a_cluster_that_later_dies_is_dead() {
+        let g = LineageGraph::from_events(&[
+            ev(0.0, EventKind::Emerge { cluster: 0 }),
+            ev(0.0, EventKind::Emerge { cluster: 1 }),
+            ev(1.0, EventKind::Merge { from: vec![0], into: 1 }),
+            ev(2.0, EventKind::Disappear { cluster: 1 }),
+        ]);
+        let l = g.lineage_of(0).unwrap();
+        assert_eq!(l.current, 1);
+        assert!(!l.alive);
+    }
+
+    #[test]
+    fn adjust_events_change_no_identity() {
+        let mut g = LineageGraph::from_events(&[ev(0.0, EventKind::Emerge { cluster: 0 })]);
+        g.apply(&ev(
+            1.0,
+            EventKind::Adjust {
+                kind: crate::evolution::AdjustKind::OutliersJoined,
+                cluster: 0,
+                cells: 3,
+            },
+        ));
+        assert_eq!(g.len(), 1);
+        assert!(g.lineage_of(0).unwrap().alive);
+    }
+
+    #[test]
+    fn split_then_merge_combines_both_walks() {
+        // 0 splits off 1; later 1 is absorbed back into 0.
+        let g = LineageGraph::from_events(&[
+            ev(0.0, EventKind::Emerge { cluster: 0 }),
+            ev(1.0, EventKind::Split { from: 0, into: vec![1] }),
+            ev(2.0, EventKind::Merge { from: vec![1], into: 0 }),
+        ]);
+        let l = g.lineage_of(1).unwrap();
+        assert_eq!(l.progenitor(), 0, "ancestry through the split parent");
+        assert_eq!(l.current, 0, "identity through the merge survivor");
+        assert!(l.alive);
+    }
+}

@@ -69,6 +69,7 @@
 //! | [`filters`] | §4.2 Thm 1–2, Fig 11 | density & triangle-inequality update filters, runtime counters |
 //! | [`tau`] | §5, Table 4 | the F(τ) objective, α learning, the adaptive τ controller |
 //! | [`evolution`] | §3.1 Table 1, §3.3 | emerge / disappear / split / merge / adjust detection, bounded event log |
+//! | [`evolve`] | §5 evolution tracking, Figs 7–8 | lineage (identity matching over the event history), per-cluster summaries, windowed `digest_since` evolution digests |
 //! | [`snapshot`] | §6.3.1 | owned, frozen views of the clustering for queries off the hot path |
 //! | [`config`] | §6.1, Table 2 | validated parameters, the builder, derived thresholds |
 //! | [`error`] | — | typed errors of the fallible entry points |
@@ -81,6 +82,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod evolution;
+pub mod evolve;
 pub mod filters;
 pub mod index;
 pub mod slab;
@@ -93,6 +95,11 @@ pub use config::{ConfigError, EdmConfig, EdmConfigBuilder};
 pub use engine::EdmStream;
 pub use error::EdmError;
 pub use evolution::{AdjustKind, ClusterId, Event, EventCursor, EventKind, EvolutionLog};
+pub use evolve::{
+    BirthKind, BoundingBox, ClusterEnd, ClusterSummary, DigestWindow, EndKind, EvolutionDigest,
+    EvolveError, GenerationRecord, Lineage, LineageGraph, LineageNode, MassDrift, MergeEdge,
+    SplitEdge,
+};
 pub use filters::{EngineStats, FilterConfig};
 pub use index::{
     CoverTree, LinearScan, NeighborIndex, NeighborIndexKind, ShardedGrid, UniformGrid,

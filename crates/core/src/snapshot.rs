@@ -11,6 +11,7 @@ use edm_common::time::Timestamp;
 
 use crate::cell::CellId;
 use crate::evolution::{ClusterId, EventCursor};
+use crate::evolve::ClusterSummary;
 use crate::filters::EngineStats;
 
 /// A summary of one current cluster (one MSDSubTree, paper Def. 2).
@@ -36,6 +37,9 @@ pub struct ClusterSnapshot {
     pub(crate) tau: f64,
     pub(crate) alpha: f64,
     pub(crate) clusters: Vec<ClusterInfo>,
+    /// Compact per-cluster summaries of the clusters with a registered
+    /// persistent identity, ascending by cluster id.
+    pub(crate) summaries: Vec<ClusterSummary>,
     /// Decision-graph densities of the active cells (Fig 2b/15).
     pub(crate) rho: Vec<f64>,
     /// Decision-graph dependent distances, with the root's infinite δ
@@ -105,6 +109,20 @@ impl ClusterSnapshot {
     /// The clusters, ordered by root cell id.
     pub fn clusters(&self) -> &[ClusterInfo] {
         &self.clusters
+    }
+
+    /// Compact per-cluster summaries (centroid, mass, bounding extent,
+    /// birth time), ascending by cluster id. Only clusters with a
+    /// registered persistent identity are summarized, so the list is
+    /// empty when evolution tracking is disabled; geometry is `None` for
+    /// coordinate-less payloads (see [`ClusterSummary`]).
+    pub fn summaries(&self) -> &[ClusterSummary] {
+        &self.summaries
+    }
+
+    /// The summary of cluster `id`, if it is live and identity-tracked.
+    pub fn summary(&self, id: ClusterId) -> Option<&ClusterSummary> {
+        self.summaries.iter().find(|s| s.cluster == id)
     }
 
     /// Looks up a cluster by its persistent id.
@@ -186,6 +204,17 @@ mod tests {
                 },
                 ClusterInfo { id: 9, root: CellId(5), cells: vec![CellId(5)], density: 4.0 },
             ],
+            summaries: vec![ClusterSummary {
+                cluster: 7,
+                cells: 2,
+                mass: 10.0,
+                centroid: Some(vec![0.5, 0.0]),
+                bounds: None,
+                born: 0.5,
+                as_of: 2.0,
+                first_generation: 3,
+                last_seen: 3,
+            }],
             rho: vec![8.0, 2.0, 4.0],
             delta: vec![3.0, 0.4, 2.0],
             active_cells: 3,
@@ -219,5 +248,8 @@ mod tests {
         assert!((s.stats().index_prune_rate() - 0.6).abs() < 1e-12);
         assert_eq!(s.generation(), 3);
         assert_eq!(s.as_of(), s.t());
+        assert_eq!(s.summaries().len(), 1);
+        assert_eq!(s.summary(7).unwrap().cells, 2);
+        assert!(s.summary(9).is_none());
     }
 }

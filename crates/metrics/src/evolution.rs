@@ -1,0 +1,299 @@
+//! Evolution-quality scoring: how faithfully a stream clusterer's
+//! reported transitions (births, deaths, merges, splits) track a
+//! reference narrative.
+//!
+//! The paper's §5 claim is qualitative — EDMStream *sees* the density
+//! mountain merge and split where point-in-time clusterers only see the
+//! before and after. This module makes the claim measurable, for any
+//! [`edm_data::clusterer::StreamClusterer`]: derive a transition
+//! timeline from periodic probe-point labelings
+//! ([`partition_transitions`]), then score it against a reference
+//! timeline with tolerance-windowed matching ([`match_transitions`]).
+//! EDMStream's own event log maps directly onto [`Transition`]s; the
+//! four baselines get theirs derived from their labelings — the same
+//! yardstick for all five.
+
+use edm_common::time::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// The identity-changing transition kinds (membership adjustments are
+/// not scored — every clusterer reshuffles members constantly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TransitionKind {
+    /// A cluster appeared with no predecessor.
+    Birth,
+    /// A cluster vanished with no successor.
+    Death,
+    /// Two or more clusters fused into one.
+    Merge,
+    /// One cluster broke into two or more.
+    Split,
+}
+
+/// One observed (or reference) transition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Stream time of the transition.
+    pub t: Timestamp,
+    /// What kind of transition.
+    pub kind: TransitionKind,
+}
+
+/// Outcome of matching an observed timeline against a reference.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransitionScore {
+    /// Reference transitions that found an observed partner in time and
+    /// kind.
+    pub matched: usize,
+    /// Total reference transitions.
+    pub reference: usize,
+    /// Total observed transitions.
+    pub observed: usize,
+}
+
+impl TransitionScore {
+    /// Fraction of observed transitions that correspond to a reference
+    /// one (1.0 when nothing spurious was reported; 1.0 on an empty
+    /// observation by convention).
+    pub fn precision(&self) -> f64 {
+        if self.observed == 0 {
+            1.0
+        } else {
+            self.matched as f64 / self.observed as f64
+        }
+    }
+
+    /// Fraction of reference transitions the observer caught (1.0 on an
+    /// empty reference by convention).
+    pub fn recall(&self) -> f64 {
+        if self.reference == 0 {
+            1.0
+        } else {
+            self.matched as f64 / self.reference as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Matches `observed` transitions against `reference` ones: same kind,
+/// within `tolerance` stream seconds, each transition used at most once,
+/// greedily in time order (both slices are sorted internally). The
+/// tolerance absorbs cadence skew — a clusterer that only re-partitions
+/// every K points necessarily reports a merge late.
+pub fn match_transitions(
+    reference: &[Transition],
+    observed: &[Transition],
+    tolerance: f64,
+) -> TransitionScore {
+    let mut matched = 0usize;
+    for kind in
+        [TransitionKind::Birth, TransitionKind::Death, TransitionKind::Merge, TransitionKind::Split]
+    {
+        let mut refs: Vec<f64> = reference.iter().filter(|x| x.kind == kind).map(|x| x.t).collect();
+        let mut obs: Vec<f64> = observed.iter().filter(|x| x.kind == kind).map(|x| x.t).collect();
+        refs.sort_by(|a, b| a.partial_cmp(b).expect("transition time NaN"));
+        obs.sort_by(|a, b| a.partial_cmp(b).expect("transition time NaN"));
+        // Two-pointer greedy: earliest unmatched pair within tolerance.
+        let (mut i, mut j) = (0, 0);
+        while i < refs.len() && j < obs.len() {
+            let dt = obs[j] - refs[i];
+            if dt.abs() <= tolerance {
+                matched += 1;
+                i += 1;
+                j += 1;
+            } else if dt < 0.0 {
+                j += 1; // observation too early for this reference
+            } else {
+                i += 1; // reference missed: observation already too late
+            }
+        }
+    }
+    TransitionScore { matched, reference: reference.len(), observed: observed.len() }
+}
+
+/// Derives a transition timeline from periodic labelings of a fixed
+/// probe-point set: `checkpoints` holds `(t, labels)` pairs where
+/// `labels[i]` is the cluster (algorithm-local id) of probe `i` at `t`,
+/// `None` = unclustered. Works for any clusterer that can answer
+/// `cluster_of` — the baselines' timelines come from exactly this.
+///
+/// Between consecutive checkpoints, clusters are identity-matched by
+/// greedy maximum probe overlap (the same MONIC-style notion the engine's
+/// registry uses): an unmatched new cluster whose members came mostly
+/// from a surviving old one is a [`TransitionKind::Split`], otherwise a
+/// [`TransitionKind::Birth`]; an unmatched old cluster whose members
+/// mostly flowed into a surviving new one is a [`TransitionKind::Merge`],
+/// otherwise a [`TransitionKind::Death`].
+pub fn partition_transitions(checkpoints: &[(Timestamp, Vec<Option<usize>>)]) -> Vec<Transition> {
+    let mut out = Vec::new();
+    for pair in checkpoints.windows(2) {
+        let (_, prev) = &pair[0];
+        let (t, next) = &pair[1];
+        assert_eq!(prev.len(), next.len(), "checkpoints must label the same probe set");
+
+        // Overlap votes: (old label, new label) -> probes shared.
+        let mut votes: std::collections::BTreeMap<(usize, usize), usize> = Default::default();
+        let mut old_sizes: std::collections::BTreeMap<usize, usize> = Default::default();
+        let mut new_sizes: std::collections::BTreeMap<usize, usize> = Default::default();
+        for (o, n) in prev.iter().zip(next) {
+            if let Some(o) = o {
+                *old_sizes.entry(*o).or_insert(0) += 1;
+            }
+            if let Some(n) = n {
+                *new_sizes.entry(*n).or_insert(0) += 1;
+            }
+            if let (Some(o), Some(n)) = (o, n) {
+                *votes.entry((*o, *n)).or_insert(0) += 1;
+            }
+        }
+
+        // Greedy max-overlap matching, deterministic order.
+        let mut claims: Vec<(usize, usize, usize)> =
+            votes.iter().map(|(&(o, n), &v)| (v, o, n)).collect();
+        claims.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let mut old_matched: std::collections::BTreeSet<usize> = Default::default();
+        let mut new_matched: std::collections::BTreeSet<usize> = Default::default();
+        for (_, o, n) in claims {
+            if !old_matched.contains(&o) && !new_matched.contains(&n) {
+                old_matched.insert(o);
+                new_matched.insert(n);
+            }
+        }
+
+        // Unmatched new clusters: Split if their dominant parent survived
+        // the matching, Birth otherwise.
+        for &n in new_sizes.keys() {
+            if new_matched.contains(&n) {
+                continue;
+            }
+            let parent = votes
+                .iter()
+                .filter(|(&(_, vn), _)| vn == n)
+                .max_by_key(|(&(o, _), &v)| (v, usize::MAX - o))
+                .map(|(&(o, _), _)| o);
+            let kind = match parent {
+                Some(o) if old_matched.contains(&o) => TransitionKind::Split,
+                _ => TransitionKind::Birth,
+            };
+            out.push(Transition { t: *t, kind });
+        }
+
+        // Unmatched old clusters: Merge if their members mostly flowed
+        // into a surviving new cluster, Death otherwise.
+        for &o in old_sizes.keys() {
+            if old_matched.contains(&o) {
+                continue;
+            }
+            let heir = votes
+                .iter()
+                .filter(|(&(vo, _), _)| vo == o)
+                .max_by_key(|(&(_, n), &v)| (v, usize::MAX - n))
+                .map(|(&(_, n), _)| n);
+            let kind = match heir {
+                Some(n) if new_matched.contains(&n) => TransitionKind::Merge,
+                _ => TransitionKind::Death,
+            };
+            out.push(Transition { t: *t, kind });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tr(t: f64, kind: TransitionKind) -> Transition {
+        Transition { t, kind }
+    }
+
+    #[test]
+    fn perfect_timeline_scores_one() {
+        let reference = [tr(1.0, TransitionKind::Birth), tr(5.0, TransitionKind::Merge)];
+        let s = match_transitions(&reference, &reference, 0.5);
+        assert_eq!(s.matched, 2);
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+        assert_eq!(s.f1(), 1.0);
+    }
+
+    #[test]
+    fn tolerance_absorbs_cadence_skew_but_not_more() {
+        let reference = [tr(5.0, TransitionKind::Merge)];
+        let late = [tr(5.8, TransitionKind::Merge)];
+        assert_eq!(match_transitions(&reference, &late, 1.0).matched, 1);
+        assert_eq!(match_transitions(&reference, &late, 0.5).matched, 0);
+    }
+
+    #[test]
+    fn kinds_never_cross_match() {
+        let reference = [tr(5.0, TransitionKind::Merge)];
+        let observed = [tr(5.0, TransitionKind::Split)];
+        let s = match_transitions(&reference, &observed, 1.0);
+        assert_eq!(s.matched, 0);
+        assert_eq!(s.precision(), 0.0);
+        assert_eq!(s.recall(), 0.0);
+        assert_eq!(s.f1(), 0.0);
+    }
+
+    #[test]
+    fn each_transition_matches_at_most_once() {
+        let reference = [tr(5.0, TransitionKind::Birth)];
+        let observed = [tr(4.9, TransitionKind::Birth), tr(5.1, TransitionKind::Birth)];
+        let s = match_transitions(&reference, &observed, 1.0);
+        assert_eq!(s.matched, 1);
+        assert_eq!(s.precision(), 0.5);
+        assert_eq!(s.recall(), 1.0);
+    }
+
+    #[test]
+    fn empty_sides_score_by_convention() {
+        let s = match_transitions(&[], &[], 1.0);
+        assert_eq!((s.precision(), s.recall(), s.f1()), (1.0, 1.0, 1.0));
+        let spurious = match_transitions(&[], &[tr(1.0, TransitionKind::Birth)], 1.0);
+        assert_eq!(spurious.precision(), 0.0);
+        assert_eq!(spurious.recall(), 1.0);
+    }
+
+    #[test]
+    fn partition_diff_detects_birth_and_death() {
+        let checkpoints = vec![
+            (1.0, vec![Some(0), Some(0), None, None]),
+            (2.0, vec![Some(0), Some(0), Some(1), Some(1)]), // cluster 1 born
+            (3.0, vec![Some(0), Some(0), None, None]),       // cluster 1 died
+        ];
+        let ts = partition_transitions(&checkpoints);
+        assert_eq!(ts, vec![tr(2.0, TransitionKind::Birth), tr(3.0, TransitionKind::Death)]);
+    }
+
+    #[test]
+    fn partition_diff_detects_merge_and_split() {
+        let checkpoints = vec![
+            (1.0, vec![Some(0), Some(0), Some(1), Some(1)]),
+            (2.0, vec![Some(7), Some(7), Some(7), Some(7)]), // merged
+            (3.0, vec![Some(2), Some(2), Some(3), Some(3)]), // split
+        ];
+        let ts = partition_transitions(&checkpoints);
+        assert_eq!(ts, vec![tr(2.0, TransitionKind::Merge), tr(3.0, TransitionKind::Split)]);
+    }
+
+    #[test]
+    fn relabeling_without_structure_change_is_quiet() {
+        // Baselines renumber their clusters constantly; overlap matching
+        // must see through it.
+        let checkpoints = vec![
+            (1.0, vec![Some(0), Some(0), Some(1), Some(1)]),
+            (2.0, vec![Some(9), Some(9), Some(4), Some(4)]),
+        ];
+        assert!(partition_transitions(&checkpoints).is_empty());
+    }
+}

@@ -17,7 +17,7 @@ use edm_common::metric::Metric;
 use edm_common::point::GridCoords;
 use edm_core::cell::CellId;
 use edm_core::evolution::ClusterId;
-use edm_core::{ClusterSnapshot, EdmStream};
+use edm_core::{ClusterSnapshot, DigestWindow, EdmStream, EvolutionDigest, EvolveError};
 
 use crate::swap::SwapCell;
 
@@ -31,6 +31,10 @@ pub struct Published<P> {
     members: Vec<(CellId, ClusterId, P)>,
     /// Cell radius: the assignment cutoff for `cluster_of`.
     r: f64,
+    /// `Arc`-shared view of the engine's sealed generation records at
+    /// freeze time; readers compute evolution digests from it without
+    /// ever re-entering (or blocking) the writer.
+    window: DigestWindow,
     published_at: Instant,
 }
 
@@ -51,7 +55,10 @@ impl<P> Published<P> {
         }
         members.sort_by_key(|&(cell, _, _)| cell);
         let r = engine.config().r();
-        Published { snapshot, members, r, published_at: Instant::now() }
+        // After publish_snapshot: the window includes the record this
+        // very publication just sealed.
+        let window = engine.digest_window();
+        Published { snapshot, members, r, window, published_at: Instant::now() }
     }
 
     /// The frozen cluster snapshot.
@@ -79,6 +86,29 @@ impl<P> Published<P> {
     /// in clusters at publication time).
     pub fn n_members(&self) -> usize {
         self.members.len()
+    }
+
+    /// The `(oldest, latest)` generations this payload can digest over,
+    /// or `None` when evolution tracking is disabled. The latest held
+    /// generation is this payload's own [`Published::generation`].
+    pub fn digest_generations(&self) -> Option<(u64, u64)> {
+        self.window.generations()
+    }
+
+    /// What changed since generation `from`, up to this payload's own
+    /// generation: births, deaths, merges, splits and mass drift (see
+    /// [`EvolutionDigest`]). Computed entirely from the frozen window —
+    /// the writer is never touched. Like every published read, the
+    /// answer is as stale as the payload itself
+    /// ([`Published::generation`] names the horizon).
+    pub fn digest_since(&self, from: u64) -> Result<EvolutionDigest, EvolveError> {
+        self.window.digest_since(from)
+    }
+
+    /// What changed in the window `(from, to]` of published generations,
+    /// both within this payload's held history.
+    pub fn digest_between(&self, from: u64, to: u64) -> Result<EvolutionDigest, EvolveError> {
+        self.window.digest(from, to)
     }
 
     /// The cluster a fresh point would join: the cluster of the nearest

@@ -70,6 +70,7 @@ impl<P> Shared<P> {
             reads_n_clusters: self.counters.reads_n_clusters.load(Relaxed),
             reads_decision_graph: self.counters.reads_decision_graph.load(Relaxed),
             reads_snapshot: self.counters.reads_snapshot.load(Relaxed),
+            reads_digest: self.counters.reads_digest.load(Relaxed),
             poisoned: self.poisoned.load(SeqCst),
         }
     }
@@ -312,6 +313,43 @@ impl<P, M: Metric<P>> ServeHandle<P, M> {
         let latest = self.shared.source.latest();
         let (rho, delta) = latest.snapshot().decision_graph();
         (rho.to_vec(), delta.to_vec())
+    }
+
+    /// What changed since generation `from`, per the latest published
+    /// payload: births, deaths, merges, splits and mass drift up to the
+    /// payload's own generation. Computed entirely from the payload's
+    /// frozen digest window — a lock-free read that never blocks the
+    /// writer. Dashboards poll this with the generation they last
+    /// rendered; a typed [`edm_core::EvolveError`] tells them when that
+    /// generation has already left the bounded history (re-render from
+    /// the full snapshot instead).
+    pub fn digest_since(
+        &self,
+        from: u64,
+    ) -> Result<edm_core::EvolutionDigest, edm_core::EvolveError> {
+        let c = &self.shared.counters;
+        c.add(&c.reads_digest, 1);
+        self.shared.source.latest().digest_since(from)
+    }
+
+    /// What changed in the window `(from, to]` of published generations,
+    /// per the latest published payload.
+    pub fn digest_between(
+        &self,
+        from: u64,
+        to: u64,
+    ) -> Result<edm_core::EvolutionDigest, edm_core::EvolveError> {
+        let c = &self.shared.counters;
+        c.add(&c.reads_digest, 1);
+        self.shared.source.latest().digest_between(from, to)
+    }
+
+    /// The `(oldest, latest)` generations the latest published payload
+    /// can digest over; `None` when evolution tracking is disabled.
+    pub fn digest_generations(&self) -> Option<(u64, u64)> {
+        let c = &self.shared.counters;
+        c.add(&c.reads_digest, 1);
+        self.shared.source.latest().digest_generations()
     }
 
     /// Generation of the published snapshot (1-based, monotone).

@@ -16,6 +16,7 @@ pub(crate) struct Counters {
     pub(crate) reads_n_clusters: AtomicU64,
     pub(crate) reads_decision_graph: AtomicU64,
     pub(crate) reads_snapshot: AtomicU64,
+    pub(crate) reads_digest: AtomicU64,
 }
 
 impl Counters {
@@ -59,6 +60,9 @@ pub struct ServeStats {
     /// Raw snapshot loads served (`latest` / `generation` /
     /// `snapshot_age`).
     pub reads_snapshot: u64,
+    /// Evolution-digest reads served (`digest_since` / `digest_between` /
+    /// `digest_generations`).
+    pub reads_digest: u64,
     /// The writer thread panicked; ingest fails, reads serve the last
     /// published snapshot.
     pub poisoned: bool,

@@ -301,3 +301,120 @@ fn shutdown_of_idle_server_publishes_final_generation() {
     assert_eq!(handle.generation(), 2, "drain publishes even with no ingest");
     assert_eq!(engine.stats().snapshots_published, 2);
 }
+
+#[test]
+fn digest_readers_see_monotone_composable_windows_under_sustained_ingest() {
+    use edm_core::{ClusterId, EvolveError};
+
+    let server = EdmServer::spawn(
+        engine(),
+        ServeConfig {
+            queue_capacity: NonZeroUsize::new(8).unwrap(),
+            publish_every_batches: NonZeroU64::new(1).unwrap(),
+            publish_interval: Some(Duration::from_millis(5)),
+            policy: BackpressurePolicy::Block,
+        },
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..4)
+        .map(|reader| {
+            let handle = server.handle();
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut last_window = (0u64, 0u64);
+                let mut composed = 0u64;
+                while !stop.load(SeqCst) {
+                    // All window reads below come from ONE payload, so the
+                    // algebra must hold exactly; `handle`-level digest
+                    // calls may race to a newer payload and are checked
+                    // separately.
+                    let payload = handle.latest();
+                    let Some((oldest, latest)) = payload.digest_generations() else {
+                        continue;
+                    };
+                    assert!(oldest <= latest, "reader {reader}: inverted window bounds");
+                    assert_eq!(
+                        latest,
+                        payload.generation(),
+                        "reader {reader}: window head must be the payload's own generation"
+                    );
+                    // Monotone: neither edge of the window ever regresses.
+                    assert!(
+                        (oldest, latest) >= last_window,
+                        "reader {reader}: window regressed {last_window:?} -> ({oldest}, {latest})"
+                    );
+                    last_window = (oldest, latest);
+
+                    // Composability: digest(o→m) ⊎ digest(m→l) == digest(o→l)
+                    // on cluster-id sets and event tallies.
+                    let mid = oldest + (latest - oldest) / 2;
+                    let left = payload.digest_between(oldest, mid).expect("held window");
+                    let right = payload.digest_between(mid, latest).expect("held window");
+                    let whole = payload.digest_between(oldest, latest).expect("held window");
+                    let cat = |a: &[ClusterId], b: &[ClusterId]| {
+                        let mut v: Vec<ClusterId> = a.iter().chain(b).copied().collect();
+                        v.sort_unstable();
+                        v
+                    };
+                    assert_eq!(
+                        cat(&left.births, &right.births),
+                        whole.births,
+                        "reader {reader}: births don't compose"
+                    );
+                    assert_eq!(
+                        cat(&left.deaths, &right.deaths),
+                        whole.deaths,
+                        "reader {reader}: deaths don't compose"
+                    );
+                    assert_eq!(left.merges.len() + right.merges.len(), whole.merges.len());
+                    assert_eq!(left.splits.len() + right.splits.len(), whole.splits.len());
+                    assert_eq!(left.adjustments + right.adjustments, whole.adjustments);
+
+                    // Handle-level reads race against publication: the
+                    // window may have slid past `mid` by the time they
+                    // load the (newer) payload — but the only acceptable
+                    // failure is the typed eviction error.
+                    match handle.digest_since(mid) {
+                        Ok(d) => assert!(d.to_generation >= latest),
+                        Err(EvolveError::EvictedGeneration { requested, oldest }) => {
+                            assert!(requested < oldest)
+                        }
+                        Err(other) => panic!("reader {reader}: unexpected {other}"),
+                    }
+                    assert!(handle.digest_generations().is_some());
+                    composed += 1;
+                }
+                composed
+            })
+        })
+        .collect();
+
+    // Sustained ingest; Block policy means the writer keeps up and the
+    // reader-side digest computation never stalls it.
+    let started = Instant::now();
+    let mut offset = 0usize;
+    let mut batches = 0u64;
+    while started.elapsed() < Duration::from_millis(600) && batches < 200 {
+        server.ingest(blob_batch(offset, 64)).expect("Block ingest");
+        offset += 64;
+        batches += 1;
+    }
+
+    let handle = server.handle();
+    let engine = server.shutdown().expect("clean shutdown");
+    stop.store(true, SeqCst);
+    let total_composed: u64 = readers.into_iter().map(|r| r.join().expect("reader ok")).sum();
+
+    assert!(total_composed > 0, "digest readers made progress");
+    let stats = handle.stats();
+    assert!(stats.reads_digest > 0, "digest reads were counted");
+    assert!(!stats.poisoned);
+    assert_eq!(engine.stats().points, offset as u64, "digest serving never lost ingest");
+
+    // The final payload digests cleanly over its whole held window.
+    let payload = handle.latest();
+    let (oldest, latest) = payload.digest_generations().expect("evolution on by default");
+    let whole = payload.digest_between(oldest, latest).expect("held window");
+    assert_eq!((whole.from_generation, whole.to_generation), (oldest, latest));
+}

@@ -9,7 +9,9 @@
 //!
 //! * [`core`] — the EDMStream engine ([`EdmStream`], [`EdmConfig`]):
 //!   cluster-cells, the DP-Tree, outlier reservoir, the two dependency
-//!   filters, adaptive τ, and evolution tracking.
+//!   filters, adaptive τ, and evolution tracking with provenance
+//!   queries ([`EdmStream::lineage_of`], [`EdmStream::digest_since`],
+//!   rolling [`ClusterSummary`]s).
 //! * [`common`] — payload types ([`DenseVector`], [`TokenSet`]), metrics
 //!   ([`Euclidean`], [`Jaccard`]), and the decay model ([`DecayModel`]).
 //! * [`data`] — stream model, the [`StreamClusterer`] trait, and the six
@@ -20,7 +22,8 @@
 //! * [`metrics`] — CMM and classic external quality criteria.
 //! * [`serve`] — the concurrent serving tier ([`EdmServer`],
 //!   [`ServeHandle`]): lock-free snapshot publication, bounded ingest
-//!   queue with backpressure, serving observability.
+//!   queue with backpressure, reader-side evolution digests, serving
+//!   observability.
 //!
 //! The API follows a **builder → session → snapshot** shape: configure
 //! with [`EdmConfig::builder`] (typed [`ConfigError`]s instead of panics),
@@ -65,9 +68,11 @@ pub use edm_common::decay::DecayModel;
 pub use edm_common::metric::{Euclidean, Jaccard, Metric};
 pub use edm_common::point::{DenseVector, GridCoords, TokenSet};
 pub use edm_core::{
-    AdjustKind, ClusterId, ClusterInfo, ClusterSnapshot, ConfigError, EdmConfig, EdmConfigBuilder,
-    EdmError, EdmStream, EngineStats, Event, EventCursor, EventKind, FilterConfig,
-    NeighborIndexKind, TauMode,
+    AdjustKind, BirthKind, BoundingBox, ClusterEnd, ClusterId, ClusterInfo, ClusterSnapshot,
+    ClusterSummary, ConfigError, DigestWindow, EdmConfig, EdmConfigBuilder, EdmError, EdmStream,
+    EndKind, EngineStats, Event, EventCursor, EventKind, EvolutionDigest, EvolveError,
+    FilterConfig, GenerationRecord, Lineage, LineageGraph, LineageNode, MassDrift, MergeEdge,
+    NeighborIndexKind, SplitEdge, TauMode,
 };
 pub use edm_data::clusterer::StreamClusterer;
 pub use edm_serve::{

@@ -3,7 +3,7 @@
 //! disappearance, split — from raw points alone.
 
 use edmstream::data::gen::sds::{self, SdsConfig};
-use edmstream::{DecayModel, EdmConfig, EdmStream, Euclidean, EventKind};
+use edmstream::{DecayModel, EdmConfig, EdmStream, EndKind, Euclidean, EventKind};
 
 fn sds_engine() -> EdmStream<edmstream::DenseVector, Euclidean> {
     let cfg = EdmConfig::builder(0.3)
@@ -56,6 +56,97 @@ fn sds_evolution_narrative_is_recovered() {
         events.iter().any(|e| matches!(e.kind, EventKind::Split { .. }) && e.t > 13.0),
         "no split after 13s"
     );
+}
+
+#[test]
+fn sds_merge_corridor_has_exact_provenance_and_digest() {
+    // Golden provenance run: publish one generation per simulated second,
+    // then ask the evolution subsystem the Fig 7 question — "what changed
+    // in the merge corridor?" — and check the answer names the right
+    // clusters with the right lineage.
+    let stream = sds::generate(&SdsConfig::default());
+    let mut engine = sds_engine();
+    let mut gen_sealed_at = Vec::new(); // (publication time, generation)
+    let mut next = 1.0;
+    for p in stream.iter() {
+        engine.insert(&p.payload, p.ts);
+        if p.ts >= next {
+            let snap = engine.publish_snapshot(p.ts);
+            gen_sealed_at.push((p.ts, snap.generation()));
+            next += 1.0;
+        }
+    }
+    assert_eq!(engine.evolution_events_lost(), 0, "default capacity must stay lossless");
+
+    // Corridor window: everything after the 5 s publication, up to and
+    // including the 12 s one. The scripted A↔B merge lands inside it.
+    let gen_at = |t: f64| {
+        gen_sealed_at
+            .iter()
+            .find(|&&(ts, _)| ts >= t)
+            .map(|&(_, g)| g)
+            .expect("publication past t exists")
+    };
+    let (g5, g12) = (gen_at(5.0), gen_at(12.0));
+    let corridor = engine.digest_between(g5, g12).expect("corridor window is held");
+    // The corridor sees the scripted A↔B merge plus transient
+    // micro-clusters being absorbed as the blobs close in. Exactly one
+    // merge involves an *original* cluster (born in the opening seconds)
+    // — that one is the Fig 7 event.
+    let scripted: Vec<_> = corridor
+        .merges
+        .iter()
+        .filter(|m| {
+            m.from.iter().any(|&victim| {
+                engine.lineage_graph().node(victim).expect("victim tracked").born < 5.0
+            })
+        })
+        .collect();
+    assert_eq!(
+        scripted.len(),
+        1,
+        "the corridor must contain exactly one merge of original clusters: {:?}",
+        corridor.merges
+    );
+    let merge = scripted[0];
+    assert!((5.0..=12.0).contains(&merge.t), "merge at t={} escaped the corridor", merge.t);
+    // The absorbed ids die in the corridor; the survivor does not.
+    for &victim in &merge.from {
+        assert!(corridor.deaths.contains(&victim), "merge victim {victim} missing from deaths");
+        assert!(!corridor.deaths.contains(&merge.into) || victim != merge.into);
+    }
+
+    // `digest_since` over the corridor start tells the same story.
+    let since = engine.digest_since(g5).expect("window held");
+    assert!(since.merges.iter().any(|m| m.t == merge.t), "digest_since dropped the merge");
+
+    // Lineage: each victim's identity transitively resolves through the
+    // survivor, and the survivor's ancestry bottoms out at an emergence.
+    for &victim in &merge.from {
+        let lineage = engine.lineage_of(victim).expect("lossless run answers lineage");
+        assert_eq!(
+            lineage.absorbed_into.first().copied(),
+            Some(merge.into),
+            "victim {victim} must hop to the survivor first"
+        );
+        let end = lineage.ancestry[0].end.expect("victim ended");
+        assert_eq!(end.kind, EndKind::MergedInto { survivor: merge.into });
+        assert!((end.t - merge.t).abs() < 1e-9, "lineage and digest disagree on merge time");
+    }
+    let survivor = engine.lineage_of(merge.into).expect("lossless run answers lineage");
+    assert!(survivor.ancestry[0].born < merge.t, "survivor must predate the merge");
+
+    // Rolling summaries kept both eras: the victims' summaries survive
+    // their death (they are within the digest history), stamped with a
+    // birth generation at or before the corridor.
+    for &victim in &merge.from {
+        let summary = engine.summary_of(victim).expect("victim summary retained");
+        assert!(summary.first_generation <= g12);
+        assert!(summary.mass > 0.0);
+        if let (Some(centroid), Some(bounds)) = (&summary.centroid, &summary.bounds) {
+            assert!(bounds.contains(centroid), "centroid must sit inside its bounding box");
+        }
+    }
 }
 
 #[test]
