@@ -255,5 +255,39 @@ fn emit_highd_json(c: &mut Criterion) {
     println!("[written {}]", path.display());
 }
 
-criterion_group!(benches, bench_index_scaling, bench_active_absorb, bench_highd, emit_highd_json);
+/// Distance evaluations per second at the two high-d bench
+/// dimensionalities, through the naive sequential accumulation the engine
+/// shipped before the chunked kernels vs. `Metric::dist` today — the raw
+/// per-eval multiplier underneath every `index_scaling_highd` number,
+/// recorded so kernel regressions are visible separately from pruning
+/// regressions.
+fn emit_kernel_json(c: &mut Criterion) {
+    let _ = c; // runs as a criterion group member; needs no bencher
+    let mut entries: Vec<String> = Vec::new();
+    for &d in &[16usize, 51] {
+        let (scalar, chunked) = scenarios::kernel_measure(d, KERNEL_EVALS);
+        entries.push(format!(
+            "{{\"d\": {d}, \"scalar_per_sec\": {scalar:.0}, \"chunked_per_sec\": {chunked:.0}, \
+             \"speedup\": {:.2}}}",
+            chunked / scalar
+        ));
+    }
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_ingest.json");
+    merge_bench_json(&path, "kernel", &format!("[{}]", entries.join(", ")))
+        .expect("write bench json");
+    println!("[written {}]", path.display());
+}
+
+/// Distance evaluations timed per (dimensionality, kernel path) in the
+/// `kernel` emit pass.
+const KERNEL_EVALS: usize = 4_000_000;
+
+criterion_group!(
+    benches,
+    bench_index_scaling,
+    bench_active_absorb,
+    bench_highd,
+    emit_highd_json,
+    emit_kernel_json
+);
 criterion_main!(benches);

@@ -9,7 +9,7 @@
 
 use std::num::{NonZeroU64, NonZeroUsize};
 
-use edm_common::metric::Euclidean;
+use edm_common::metric::{Euclidean, Metric};
 use edm_common::point::DenseVector;
 use edm_core::index::NeighborIndexKind;
 use edm_core::{EdmConfig, EdmStream};
@@ -211,6 +211,60 @@ pub fn highd_measure(kind: NeighborIndexKind, d: usize, points: usize) -> (f64, 
     }
     let pps = points as f64 / start.elapsed().as_secs_f64();
     (pps, e.stats().dep_recomputes - recomputes_before)
+}
+
+// ----- raw distance-kernel scenario (`kernel`) -----
+
+/// Deterministic pseudo-random unit-cube vectors for the kernel bench —
+/// a fixed pool large enough to defeat trivial caching of one operand
+/// pair, small enough to stay L1/L2-resident (the engine's slab is too).
+pub fn kernel_pool(d: usize, n: usize) -> Vec<DenseVector> {
+    (0..n)
+        .map(|i| {
+            DenseVector::new(
+                (0..d)
+                    .map(|k| ((i * 31 + k * 7919 + 13) % 1997) as f64 / 1997.0)
+                    .collect::<Vec<f64>>(),
+            )
+        })
+        .collect()
+}
+
+/// The scalar reference kernel: the strict sequential accumulation the
+/// engine used before the chunked kernels landed. Kept here (not in
+/// `edm-common`) so the committed `kernel` section always prices the
+/// chunked path against the same naive baseline.
+#[inline(never)]
+pub fn kernel_scalar_dist(a: &DenseVector, b: &DenseVector) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.coords().iter().zip(b.coords().iter()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc.sqrt()
+}
+
+/// Times `evals` distance evaluations at dimensionality `d` through the
+/// scalar reference and through [`Metric::dist`] (the chunked kernel),
+/// returning `(scalar_per_sec, chunked_per_sec)`. Both passes walk the
+/// identical operand sequence and fold results into a black-boxed sink so
+/// neither loop can be elided.
+pub fn kernel_measure(d: usize, evals: usize) -> (f64, f64) {
+    let pool = kernel_pool(d, 256);
+    let time_pass = |f: &dyn Fn(&DenseVector, &DenseVector) -> f64| -> f64 {
+        let mut sink = 0.0;
+        let start = std::time::Instant::now();
+        for i in 0..evals {
+            let a = &pool[i % pool.len()];
+            let b = &pool[(i * 7 + 1) % pool.len()];
+            sink += f(a, b);
+        }
+        std::hint::black_box(sink);
+        evals as f64 / start.elapsed().as_secs_f64()
+    };
+    let scalar = time_pass(&kernel_scalar_dist);
+    let chunked = time_pass(&|a, b| Euclidean.dist(a, b));
+    (scalar, chunked)
 }
 
 // ----- mixed read/write serving scenario (`mixed_read_write`) -----

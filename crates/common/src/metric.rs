@@ -17,6 +17,59 @@ pub trait Metric<P>: Send + Sync {
     /// identical payloads, and satisfy `d(a,c) <= d(a,b) + d(b,c)`.
     fn dist(&self, a: &P, b: &P) -> f64;
 
+    /// Squared distance between two payloads.
+    ///
+    /// Hot loops that only *compare* distances call this to let metrics
+    /// with a square-root in their definition (Euclidean) skip it. The
+    /// default squares [`Metric::dist`], so custom metrics keep working
+    /// unchanged; overrides must return exactly `dist(a, b)²` up to the
+    /// usual "same operations, same rounding" discipline — squared values
+    /// order identically to distances because squaring is monotone on
+    /// non-negative reals, which preserves every comparison-site
+    /// tie-break.
+    #[inline]
+    fn dist_sq(&self, a: &P, b: &P) -> f64 {
+        let d = self.dist(a, b);
+        d * d
+    }
+
+    /// Distance between two payloads, allowed to bail out early once the
+    /// result provably exceeds `bound`.
+    ///
+    /// Returns exactly [`Metric::dist`]`(a, b)` whenever that distance is
+    /// `<= bound`; when it exceeds the bound the return value is only
+    /// guaranteed to be strictly greater than `bound` and no greater than
+    /// the true distance (i.e. a valid lower bound). Callers use this at
+    /// pruning sites — the paper's Theorem 2 triangle-inequality filter
+    /// and index search frontiers — where any value past the bound is
+    /// discarded unexamined, so the exact-within-bound contract preserves
+    /// the shared distance-then-lower-id tie-break. The default computes
+    /// the full distance; metrics with an incremental sum (Euclidean)
+    /// override it with a partial-sum early exit.
+    #[inline]
+    fn dist_upper_bounded(&self, a: &P, b: &P, bound: f64) -> f64 {
+        let _ = bound;
+        self.dist(a, b)
+    }
+
+    /// Distances from one query to a batch of payloads, appended to `out`
+    /// (which is cleared first).
+    ///
+    /// `out[i]` must equal exactly [`Metric::dist`]`(q, items[i])`; the
+    /// batched form exists so index search loops (cover-tree child
+    /// expansion, grid bucket sweeps) can evaluate a node's candidates in
+    /// one call, keeping the per-candidate dispatch and bounds checks out
+    /// of the inner loop. The default loops over `dist`, so custom
+    /// metrics keep working unchanged.
+    #[inline]
+    fn dist_batch(&self, q: &P, items: &[&P], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(items.len());
+        for p in items {
+            out.push(self.dist(q, p));
+        }
+    }
+
     /// Human-readable metric name (for experiment output).
     fn name(&self) -> &'static str;
 
@@ -61,6 +114,32 @@ impl Metric<DenseVector> for Euclidean {
     #[inline]
     fn dist(&self, a: &DenseVector, b: &DenseVector) -> f64 {
         a.dist(b)
+    }
+
+    /// Chunked squared distance — the sqrt is skipped entirely, not just
+    /// recomputed away.
+    #[inline]
+    fn dist_sq(&self, a: &DenseVector, b: &DenseVector) -> f64 {
+        a.sq_dist(b)
+    }
+
+    /// Partial-sum early exit once the accumulated squared distance
+    /// passes `bound²`; exact (and bit-identical to [`Metric::dist`])
+    /// whenever the distance is within the bound.
+    #[inline]
+    fn dist_upper_bounded(&self, a: &DenseVector, b: &DenseVector, bound: f64) -> f64 {
+        a.sq_dist_upper_bounded(b, bound * bound).sqrt()
+    }
+
+    /// One pass over the batch with the chunked kernel; `out[i]` is
+    /// bit-identical to `dist(q, items[i])`.
+    #[inline]
+    fn dist_batch(&self, q: &DenseVector, items: &[&DenseVector], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(items.len());
+        for p in items {
+            out.push(q.dist(p));
+        }
     }
 
     fn name(&self) -> &'static str {

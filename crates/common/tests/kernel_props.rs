@@ -1,0 +1,107 @@
+//! Property tests for the chunked distance kernels: every fast path —
+//! squared, upper-bounded, batched — must be observationally equivalent
+//! to the plain [`Metric::dist`] the engine's tie-breaks are defined
+//! against. The strategies sweep dimensionalities across and between the
+//! monomorphized chunk counts (including non-multiples of the 4-lane
+//! width) and value magnitudes from subnormal-adjacent to 1e12, staying
+//! NaN-free as the engine's payload contract requires.
+
+use edm_common::metric::{Euclidean, Metric};
+use edm_common::point::DenseVector;
+use proptest::prelude::*;
+
+/// One coordinate: a base in (-1, 1) stretched to one of four magnitude
+/// bands (huge, ordinary, tiny, exact zero) — the diversity `prop_oneof`
+/// would provide, expressed through the offline stand-in's primitives.
+fn stretch(base: f64, band: u32) -> f64 {
+    base * [1e12, 100.0, 1e-9, 0.0][band as usize % 4]
+}
+
+/// A pair of equal-dimension vectors, dimension 1..=67 — crossing every
+/// monomorphized chunk count (8, 16, 32, 48 lanes) and the general path,
+/// with every tail length against the 4-lane kernel width.
+fn vec_pair() -> impl Strategy<Value = (DenseVector, DenseVector)> {
+    prop::collection::vec((-1.0f64..1.0, 0u32..4, -1.0f64..1.0, 0u32..4), 1..68).prop_map(|lanes| {
+        let (a, b): (Vec<f64>, Vec<f64>) =
+            lanes.into_iter().map(|(xa, ba, xb, bb)| (stretch(xa, ba), stretch(xb, bb))).unzip();
+        (DenseVector::from(a), DenseVector::from(b))
+    })
+}
+
+proptest! {
+    /// `dist` is defined as the square root of the chunked squared
+    /// kernel, and the kernel must agree with a plain scalar
+    /// accumulation up to reassociation rounding.
+    #[test]
+    fn squared_kernel_matches_the_scalar_sum((a, b) in vec_pair()) {
+        let sq = Euclidean.dist_sq(&a, &b);
+        let scalar: f64 = a
+            .coords()
+            .iter()
+            .zip(b.coords().iter())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum();
+        prop_assert!(
+            (sq - scalar).abs() <= 1e-12 * scalar.max(1.0),
+            "chunked {sq} vs scalar {scalar}"
+        );
+        prop_assert_eq!(Euclidean.dist(&a, &b).to_bits(), sq.sqrt().to_bits());
+    }
+
+    /// The bounded kernel's contract: exact (bit-identical to `dist`)
+    /// whenever the result lands within the bound; past the bound the
+    /// value must still be a sound lower bound on the true distance while
+    /// provably exceeding the bound — the two halves the pruning sites
+    /// rely on.
+    #[test]
+    fn bounded_kernel_is_exact_within_and_sound_past_the_bound(
+        (a, b) in vec_pair(),
+        sel in 0u32..3,
+        scale in 0.25f64..2.0,
+    ) {
+        let exact = Euclidean.dist(&a, &b);
+        let bound = match sel {
+            0 => 0.0,
+            1 => exact * scale,
+            _ => f64::INFINITY,
+        };
+        let got = Euclidean.dist_upper_bounded(&a, &b, bound);
+        if got <= bound {
+            prop_assert_eq!(got.to_bits(), exact.to_bits(), "within-bound values must be exact");
+        } else {
+            prop_assert!(got <= exact, "past the bound the value must lower-bound the distance");
+        }
+        // Whenever the true distance is within the bound, the kernel may
+        // not bail early at all.
+        if exact <= bound {
+            prop_assert_eq!(got.to_bits(), exact.to_bits());
+        }
+    }
+
+    /// The batched kernel must be indistinguishable from per-item `dist`,
+    /// bit for bit, and must fully overwrite whatever the reused output
+    /// buffer held.
+    #[test]
+    fn batched_kernel_matches_per_item_dist(
+        (q, other) in vec_pair(),
+        n in 0usize..12,
+        stale in 0usize..4,
+    ) {
+        let dim = q.coords().len();
+        let mut items: Vec<DenseVector> = (0..n)
+            .map(|i| {
+                DenseVector::from(
+                    (0..dim).map(|k| (i * 7 + k) as f64 * 0.37 - 2.0).collect::<Vec<f64>>(),
+                )
+            })
+            .collect();
+        items.push(other);
+        let refs: Vec<&DenseVector> = items.iter().collect();
+        let mut out = vec![f64::NAN; stale];
+        Euclidean.dist_batch(&q, &refs, &mut out);
+        prop_assert_eq!(out.len(), refs.len());
+        for (i, p) in refs.iter().enumerate() {
+            prop_assert_eq!(out[i].to_bits(), Euclidean.dist(&q, p).to_bits());
+        }
+    }
+}

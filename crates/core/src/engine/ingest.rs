@@ -199,7 +199,7 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
         // recycling and grid rebuilds (both only possible inside the
         // maintenance cadence) invalidate every remaining probe — they
         // remove or re-file cells, which birth tracking cannot describe.
-        let mut births: Vec<P> = Vec::new();
+        let mut births: Vec<(CellId, P)> = Vec::new();
         let mut invalidate_all = false;
         let recycled_before = self.stats.recycled;
         let rebuilds_before = self.stats.grid_rebuilds;
@@ -208,17 +208,25 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
             self.start.get_or_insert(*t);
             self.now = self.now.max(*t);
             self.stats.points += 1;
-            let stale =
-                invalidate_all || births.iter().any(|b| self.index.probe_conflicts(p, b, radius));
+            let stale = invalidate_all
+                || births.iter().any(|(id, b)| {
+                    self.index.probe_conflicts(p, *id, b, radius, &self.slab, &self.metric)
+                });
             let nearest = if stale {
                 self.stats.probe_revalidations += 1;
                 self.scan_distances(p)
             } else {
+                if !births.is_empty() {
+                    // A birth happened but its conflict geometry cleared
+                    // this probe — before the per-index horizons, any
+                    // birth in the round forced a revalidation here.
+                    self.stats.probe_revalidations_avoided += 1;
+                }
                 self.replay_probe(slot)
             };
             if let Some(born) = self.process_resolved(p, *t, nearest) {
                 if births.len() < MAX_BIRTH_TRACKING {
-                    births.push(self.slab.get(born).seed.clone());
+                    births.push((born, self.slab.get(born).seed.clone()));
                 } else {
                     invalidate_all = true;
                 }

@@ -164,9 +164,7 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
             if filters.triangle {
                 let pruned = match self.scratch.get(id.0 as usize) {
                     Some(p_dist_c) => (p_dist_c - p_dist_cprime).abs() > cell.delta,
-                    None => {
-                        self.index.distance_lower_bound(p, &cell.seed) - p_dist_cprime > cell.delta
-                    }
+                    None => self.index.lower_bound_prunes(p, &cell.seed, p_dist_cprime, cell.delta),
                 };
                 if pruned {
                     self.stats.filtered_triangle += 1;
@@ -190,7 +188,15 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
             candidates.push(id);
         }
         for c in candidates {
-            let d = self.metric.dist(&self.slab.get(c).seed, &self.slab.get(cprime).seed);
+            // The distance only matters when it beats δ_c; past that bound
+            // the bounded kernel's early exit is free (any value > δ_c is
+            // discarded, and within the bound it is exact).
+            let delta = self.slab.get(c).delta;
+            let d = self.metric.dist_upper_bounded(
+                &self.slab.get(c).seed,
+                &self.slab.get(cprime).seed,
+                delta,
+            );
             if d < self.slab.get(c).delta {
                 tree::set_dep(&mut self.slab, c, cprime, d);
                 self.stats.dep_updates += 1;
@@ -267,8 +273,12 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
         }
         if !decayed_tops.is_empty() {
             let mut removed: Vec<CellId> = Vec::new();
-            let mut by_cluster: std::collections::HashMap<Option<ClusterId>, u32> =
-                std::collections::HashMap::new();
+            // BTreeMap, not HashMap: the loop below emits one Adjust event
+            // per cluster, and event order must be identical across engine
+            // instances (the equivalence suites compare event streams) —
+            // a hashed iteration order is randomized per instance.
+            let mut by_cluster: std::collections::BTreeMap<Option<ClusterId>, u32> =
+                std::collections::BTreeMap::new();
             for top in decayed_tops {
                 tree::detach(&mut self.slab, top);
                 removed.clear();
@@ -342,10 +352,17 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
                 }
             });
         }
-        // Index self-maintenance: occupancy-band auto-tuning (counted so
-        // rebuild churn is observable).
-        self.stats.grid_rebuilds += self.index.maintain(&self.slab);
-        if removed_any {
+        // Index self-maintenance: occupancy-band auto-tuning, cover-tree
+        // radius re-tightening, and `Auto` backend re-selection (all
+        // counted so rebuild churn is observable — and so the parallel
+        // commit loop invalidates cached probes whenever the index's
+        // pruning geometry changed under them). The cumulative probe
+        // counters feed the auto-selector's prune-rate evidence.
+        self.index.note_probe_stats(self.stats.index_probed, self.stats.index_pruned);
+        let index_changes = self.index.maintain(&self.slab, &self.metric);
+        self.stats.grid_rebuilds += index_changes;
+        self.stats.index_switches = self.index.auto_switches();
+        if removed_any || index_changes > 0 {
             self.refresh_shard_stats();
         }
     }

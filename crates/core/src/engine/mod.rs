@@ -155,6 +155,15 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
                     cfg.shards = n;
                 }
             }
+            // `EDM_FORCE_INDEX=auto` swaps the defaulted index for the
+            // runtime auto-selector, mirroring the two knobs above: only
+            // when the caller left the index at its default, and only in
+            // debug builds.
+            if matches!(cfg.neighbor_index, crate::index::NeighborIndexKind::Grid { side: None })
+                && std::env::var("EDM_FORCE_INDEX").as_deref() == Ok("auto")
+            {
+                cfg.neighbor_index = crate::index::NeighborIndexKind::Auto;
+            }
             cfg
         };
         let active_thr = cfg.active_threshold();
@@ -167,6 +176,7 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
         // scan, so a custom metric can never make an index silently drop
         // a true neighbor.
         let axis_bound = metric.dominates_coordinate_axes();
+        let true_metric = metric.is_metric();
         let index_kind = match cfg.neighbor_index() {
             crate::index::NeighborIndexKind::Grid { .. } if !axis_bound => {
                 crate::index::NeighborIndexKind::LinearScan
@@ -185,7 +195,13 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
             log: EvolutionLog::with_capacity(cfg.event_capacity()),
             tracker: EvolutionTracker::new(cfg.event_capacity(), cfg.digest_history()),
             stats: EngineStats::default(),
-            index: CellIndex::from_config(index_kind, cfg.r(), cfg.shards(), axis_bound),
+            index: CellIndex::from_config(
+                index_kind,
+                cfg.r(),
+                cfg.shards(),
+                axis_bound,
+                true_metric,
+            ),
             scratch: ScratchDistances::default(),
             idle: IdleQueue::default(),
             probe_pool: ProbePool::default(),

@@ -142,6 +142,7 @@ mod tests {
             0.5,
             1,
             true,
+            true,
         );
         for i in 0..n {
             let seed = DenseVector::from([(i % 16) as f64 * 2.0, (i / 16) as f64 * 2.0]);

@@ -52,6 +52,15 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
         &self.stats
     }
 
+    /// Human-readable label of the active neighbor-index backend (e.g.
+    /// `"grid"`, `"cover-tree"`). Under
+    /// [`crate::index::NeighborIndexKind::Auto`] the label carries an
+    /// `auto:` prefix and tracks the currently selected backend — the
+    /// observable face of runtime index selection.
+    pub fn index_label(&self) -> &'static str {
+        self.index.label()
+    }
+
     /// Drains the buffered evolution events, oldest first. Subsequent
     /// calls return only events recorded in between — the "consume the
     /// narrative as it happens" pattern of the paper's Figs 7–8.

@@ -133,6 +133,27 @@ pub struct EngineStats {
     /// existed still load.
     #[serde(default)]
     pub snapshots_published: u64,
+    /// Cached parallel probes the commit phase *kept* after a cell birth
+    /// in the same batch, because the index's conflict geometry proved
+    /// the birth could not have reached the probe's neighborhood. Before
+    /// the per-index horizons, every one of these would have been a
+    /// serial revalidation — the counter meters what the finer
+    /// `probe_conflicts` checks save. Zero when `ingest_threads` is 1.
+    /// Serde-defaulted so stats persisted before the field existed still
+    /// load.
+    #[serde(default)]
+    pub probe_revalidations_avoided: u64,
+    /// Backend switches performed by the
+    /// [`crate::index::NeighborIndexKind::Auto`] runtime index selector
+    /// (grid ↔ cover tree ↔ linear). Zero under every fixed index kind.
+    /// Identical between serial and parallel ingestion of the same
+    /// stream — selection is driven by deterministic occupancy and
+    /// prune-rate evidence at the maintenance cadence, so it is *not*
+    /// exempt from the observational-equivalence contract.
+    /// Serde-defaulted so stats persisted before the field existed still
+    /// load.
+    #[serde(default)]
+    pub index_switches: u64,
 }
 
 impl EngineStats {
@@ -165,6 +186,7 @@ impl EngineStats {
         EngineStats {
             probe_tasks: 0,
             probe_revalidations: 0,
+            probe_revalidations_avoided: 0,
             parallel_batches: 0,
             dep_update_nanos: 0,
             snapshots_published: 0,

@@ -66,12 +66,20 @@ use edm_common::point::GridCoords;
 use crate::cell::{Cell, CellId};
 use crate::slab::CellSlab;
 
-use super::{chebyshev_lower_bound, closer, NeighborIndex};
+use super::{chebyshev_lower_bound, chebyshev_prunes, closer, NeighborIndex};
 
 /// Relative inflation applied to triangle-inequality radius updates on
 /// removal, so float rounding in the `d + radius` sum can never leave a
 /// stored covering radius a few ulps below a descendant's true distance.
 const RADIUS_SLACK: f64 = 1.0 + 1e-9;
+
+/// Metric-evaluation budget per maintenance cadence for re-tightening
+/// removal-widened covering radii (see [`CoverTree::retighten`]): enough
+/// to retire a recycling wave's worth of dirty nodes within a few
+/// cadences, small enough that a maintenance tick never stalls ingest.
+/// Stale-large radii are sound, so deferring the remainder costs pruning
+/// power only.
+const RETIGHTEN_BUDGET: usize = 4096;
 
 /// One tree node: a live cell plus its subtree bookkeeping.
 #[derive(Debug, Clone)]
@@ -160,6 +168,13 @@ pub struct CoverTree {
     /// (token sets) leave this off and the engine falls back to the
     /// no-information bound of `0.0`.
     axis_lower_bound: bool,
+    /// Arena indices whose covering radius was widened by a removal
+    /// re-hang — the only radius updates that *over*-estimate (insert
+    /// folds store true descendant distances). The maintenance cadence
+    /// re-tightens them to exact subtree maxima; entries may be stale
+    /// (node since freed or reused), so consumers re-validate against
+    /// `loc` before touching anything.
+    dirty: Vec<usize>,
 }
 
 impl CoverTree {
@@ -175,6 +190,7 @@ impl CoverTree {
             root: None,
             loc: fx_map(),
             axis_lower_bound,
+            dirty: Vec::new(),
         }
     }
 
@@ -215,6 +231,59 @@ impl CoverTree {
             self.walk(c, f);
         }
     }
+
+    /// Exact covering radius of arena node `idx`: the maximum measured
+    /// distance from its seed to any descendant's seed (0 for a leaf).
+    /// O(subtree) metric evaluations.
+    fn exact_radius<P, M: Metric<P>>(&self, idx: usize, slab: &CellSlab<P>, metric: &M) -> f64 {
+        let seed = &slab.get(self.nodes[idx].id).seed;
+        let mut max = 0.0f64;
+        for &c in &self.nodes[idx].children {
+            self.walk(c, &mut |n| {
+                max = max.max(metric.dist(seed, &slab.get(self.nodes[n].id).seed));
+            });
+        }
+        max
+    }
+
+    /// Re-tightens covering radii loosened by removal re-hangs (the
+    /// `maintain`-cadence satellite of the radius invariant): each dirty
+    /// node still alive gets its radius recomputed to the exact subtree
+    /// maximum. Exact radii can only be **smaller** than the stored
+    /// triangle-inequality bounds, so tightening never breaks the
+    /// ancestor invariant — it just restores the pruning power removals
+    /// leak. Work is budgeted per cadence ([`RETIGHTEN_BUDGET`] metric
+    /// evaluations, give or take one subtree); the remainder stays dirty
+    /// for the next cadence, and a stale-large radius in the meantime is
+    /// sound. Returns the number of nodes re-tightened.
+    pub(crate) fn retighten<P, M: Metric<P>>(&mut self, slab: &CellSlab<P>, metric: &M) -> u64 {
+        let mut done = 0u64;
+        let mut spent = 0usize;
+        let mut i = 0;
+        while i < self.dirty.len() {
+            if spent >= RETIGHTEN_BUDGET {
+                break;
+            }
+            let idx = self.dirty[i];
+            i += 1;
+            // A dirty entry is only actionable while the arena slot still
+            // holds the node it referred to — freed or reused slots are
+            // someone else's (already-tight) node now.
+            let live = idx < self.nodes.len()
+                && self.loc.get(&self.nodes[idx].id) == Some(&idx)
+                && !self.dirty[..i - 1].contains(&idx);
+            if !live {
+                continue;
+            }
+            let mut size = 0usize;
+            self.walk(idx, &mut |_| size += 1);
+            spent += size;
+            self.nodes[idx].radius = self.exact_radius(idx, slab, metric);
+            done += 1;
+        }
+        self.dirty.drain(..i);
+        done
+    }
 }
 
 impl<P: GridCoords> NeighborIndex<P> for CoverTree {
@@ -241,13 +310,21 @@ impl<P: GridCoords> NeighborIndex<P> for CoverTree {
         // crowded regions by log(cover span / seed separation).
         let mut cur = root;
         let mut d_cur = d_root;
+        let mut seeds: Vec<&P> = Vec::new();
+        let mut dists: Vec<f64> = Vec::new();
         let idx = loop {
             let node = &mut self.nodes[cur];
             node.radius = node.radius.max(d_cur);
+            // One batched kernel call covers the whole sibling set
+            // (distances are bit-identical to per-child `dist`, so the
+            // routing — and with it the tree shape — is unchanged).
+            seeds.clear();
+            seeds
+                .extend(self.nodes[cur].children.iter().map(|&c| &slab.get(self.nodes[c].id).seed));
+            metric.dist_batch(seed, &seeds, &mut dists);
             let mut best: Option<(f64, usize)> = None;
-            for ci in 0..self.nodes[cur].children.len() {
+            for (ci, &d) in dists.iter().enumerate() {
                 let child = self.nodes[cur].children[ci];
-                let d = self.dist_to(child, seed, slab, metric);
                 if d > covdist(self.nodes[child].level) {
                     continue; // out of this child's cover
                 }
@@ -302,7 +379,14 @@ impl<P: GridCoords> NeighborIndex<P> for CoverTree {
                 self.nodes[p].children.swap_remove(pos);
                 if !children.is_empty() {
                     let d = metric.dist(seed, &slab.get(self.nodes[p].id).seed);
-                    self.nodes[p].radius = self.nodes[p].radius.max((d + radius) * RADIUS_SLACK);
+                    let widened = (d + radius) * RADIUS_SLACK;
+                    if widened > self.nodes[p].radius {
+                        // The only radius update that over-estimates;
+                        // queue it for exact re-tightening at maintenance
+                        // cadence.
+                        self.nodes[p].radius = widened;
+                        self.dirty.push(p);
+                    }
                     for c in &children {
                         self.nodes[*c].parent = Some(p);
                     }
@@ -321,8 +405,11 @@ impl<P: GridCoords> NeighborIndex<P> for CoverTree {
                         self.root = Some(new_root);
                         if !siblings.is_empty() {
                             let d = metric.dist(seed, &slab.get(self.nodes[new_root].id).seed);
-                            self.nodes[new_root].radius =
-                                self.nodes[new_root].radius.max((d + radius) * RADIUS_SLACK);
+                            let widened = (d + radius) * RADIUS_SLACK;
+                            if widened > self.nodes[new_root].radius {
+                                self.nodes[new_root].radius = widened;
+                                self.dirty.push(new_root);
+                            }
                             for c in siblings {
                                 self.nodes[*c].parent = Some(new_root);
                             }
@@ -348,22 +435,23 @@ impl<P: GridCoords> NeighborIndex<P> for CoverTree {
         FRONTIER_SCRATCH.with(|scratch| {
             let frontier = &mut *scratch.borrow_mut();
             frontier.clear();
-            let mut visit =
-                |idx: usize,
-                 best: &mut Option<(CellId, f64)>,
-                 frontier: &mut BinaryHeap<Reverse<Frontier>>| {
-                    let node = &self.nodes[idx];
-                    let d = metric.dist(q, &slab.get(node.id).seed);
-                    on_probe(node.id, d);
-                    if closer(d, node.id, *best) {
-                        *best = Some((node.id, d));
-                    }
-                    if !node.children.is_empty() {
-                        frontier
-                            .push(Reverse(Frontier { lb: (d - node.radius).max(0.0), node: idx }));
-                    }
-                };
-            visit(root, &mut best, frontier);
+            // Batch buffers for sibling-set expansion; `dist_batch`
+            // results are bit-identical to per-child `dist`, so the
+            // probed set, every `on_probe` value, and the id tie-break
+            // all match the scalar search exactly.
+            let mut seeds: Vec<&P> = Vec::new();
+            let mut dists: Vec<f64> = Vec::new();
+            let d_root = metric.dist(q, &slab.get(self.nodes[root].id).seed);
+            on_probe(self.nodes[root].id, d_root);
+            if closer(d_root, self.nodes[root].id, best) {
+                best = Some((self.nodes[root].id, d_root));
+            }
+            if !self.nodes[root].children.is_empty() {
+                frontier.push(Reverse(Frontier {
+                    lb: (d_root - self.nodes[root].radius).max(0.0),
+                    node: root,
+                }));
+            }
             while let Some(Reverse(Frontier { lb, node })) = frontier.pop() {
                 // Nothing beyond min(best, radius) can matter; strict `>`
                 // so equal-bound subtrees still expand and the id
@@ -375,8 +463,20 @@ impl<P: GridCoords> NeighborIndex<P> for CoverTree {
                     frontier.clear();
                     break;
                 }
-                for ci in 0..self.nodes[node].children.len() {
-                    visit(self.nodes[node].children[ci], &mut best, frontier);
+                let children = &self.nodes[node].children;
+                seeds.clear();
+                seeds.extend(children.iter().map(|&c| &slab.get(self.nodes[c].id).seed));
+                metric.dist_batch(q, &seeds, &mut dists);
+                for (&c, &d) in children.iter().zip(dists.iter()) {
+                    let child = &self.nodes[c];
+                    on_probe(child.id, d);
+                    if closer(d, child.id, best) {
+                        best = Some((child.id, d));
+                    }
+                    if !child.children.is_empty() {
+                        frontier
+                            .push(Reverse(Frontier { lb: (d - child.radius).max(0.0), node: c }));
+                    }
                 }
             }
         });
@@ -398,14 +498,36 @@ impl<P: GridCoords> NeighborIndex<P> for CoverTree {
             // Non-matching nodes still route the search (their covering
             // radius bounds their subtree regardless), they just never
             // become candidates — the unbounded analogue of the grid's
-            // predicate handling in its shell walk.
+            // predicate handling in its shell walk. This search has no
+            // probe callback, so two kernel-level savings are free:
+            //
+            // * a non-matching **leaf** contributes neither a candidate
+            //   nor a frontier entry — its distance is never read, so the
+            //   evaluation is skipped outright (dependency predicates
+            //   reject most cells, making this the common case);
+            // * every other evaluation runs under the bound
+            //   `best + radius`: a node farther than that can neither
+            //   displace the best (it is farther than best, ties
+            //   included, because within-bound results are exact) nor
+            //   survive the frontier cut (its lower bound `d − radius`
+            //   already exceeds best, and the early-exit value — a sound
+            //   lower bound on the true distance — keeps `d − radius`
+            //   sound, merely looser, which can only expand *more*, never
+            //   less, so exactness holds). In fact with this bound the
+            //   expansion set is *identical* to the exact search's:
+            //   within the bound the value is exact, and past it both
+            //   verdicts are "prune".
             let mut visit =
                 |idx: usize,
                  best: &mut Option<(CellId, f64)>,
                  frontier: &mut BinaryHeap<Reverse<Frontier>>| {
                     let node = &self.nodes[idx];
                     let matches = pred(node.id, slab.get(node.id));
-                    let d = metric.dist(q, &slab.get(node.id).seed);
+                    if !matches && node.children.is_empty() {
+                        return;
+                    }
+                    let bound = best.map_or(f64::INFINITY, |(_, bd)| bd + node.radius);
+                    let d = metric.dist_upper_bounded(q, &slab.get(node.id).seed, bound);
                     if matches && closer(d, node.id, *best) {
                         *best = Some((node.id, d));
                     }
@@ -441,16 +563,93 @@ impl<P: GridCoords> NeighborIndex<P> for CoverTree {
         }
     }
 
-    fn probe_conflicts(&self, _q: &P, _changed: &P, _radius: f64) -> bool {
-        // Deliberately maximal: a birth anywhere can widen covering radii
-        // along its insertion path (the root's always), which loosens
-        // lower bounds and can grow the probed set of *any* pending
-        // query — there is no cheap geometric horizon like the grid's.
-        // Claiming every change conflicts keeps the parallel
-        // probe-then-commit path exact; it only costs re-probes in
-        // batches that birth cells (absorb-dominated steady state pays
-        // nothing).
-        true
+    fn lower_bound_prunes(&self, q: &P, seed: &P, p_dist: f64, delta: f64) -> bool {
+        // Mirrors `distance_lower_bound`: the Chebyshev walk when axis
+        // domination holds, otherwise the 0.0 bound proves nothing
+        // (`0.0 - p_dist > delta` is false for nonnegative inputs).
+        self.axis_lower_bound && chebyshev_prunes(q, seed, p_dist, delta)
+    }
+
+    fn probe_conflicts<M: Metric<P>>(
+        &self,
+        q: &P,
+        changed: CellId,
+        changed_seed: &P,
+        radius: f64,
+        slab: &CellSlab<P>,
+        metric: &M,
+    ) -> bool {
+        // A birth can perturb a pending `nearest_within(q, ρ)` probe in
+        // exactly two ways, and both are testable with *exact* distances
+        // against the current tree (radii could only have grown since the
+        // probe was cached — any shrink, i.e. a re-tightening, counts as
+        // a rebuild and already invalidated every cached probe):
+        //
+        // 1. **The born node gets probed.** The search probes a node iff
+        //    it expands the node's parent, and expanding parent `p`
+        //    requires its lower bound `d(q,p) − r_p` to stay within the
+        //    search bound, which never exceeds ρ. `d(q,p) > ρ + r_p` with
+        //    the parent's *current* (post-widening) radius therefore
+        //    proves `p` expands in neither the cached nor the re-run
+        //    search: the born node — and anything that attached under it
+        //    later in the batch — is probed in neither.
+        // 2. **A widened ancestor's loosened lower bound changes the
+        //    expansion set.** This birth can only have widened ancestor
+        //    `a` if it set `a.radius = d(a,born)` outright (insert folds
+        //    are exact maxima), so `a.radius ≤ d(a,born)` — up to
+        //    removal-widening slack — is a necessary condition. A widened
+        //    `a` perturbs the search only by itself expanding, which
+        //    needs `d(q,a) ≤ ρ + a.radius`; past that, `a` expands in
+        //    neither run, and a never-expanded entry cannot perturb the
+        //    rest: the frontier's total order (lb, then node) makes each
+        //    pop a function of the live entry *set*, so the expanded
+        //    prefix — and with it every probe — replays identically, and
+        //    at worst the final over-bound pop lands on `a` instead,
+        //    which only ends the search as before. When several batched
+        //    births widened the same ancestor, the final radius belongs
+        //    to one of them and *that* birth's check catches the flip;
+        //    subsumed widenings need no claim of their own.
+        //
+        // Outside both horizons the probed set and every probed distance
+        // are provably identical, so the cached probe stands.
+        let Some(&idx) = self.loc.get(&changed) else {
+            // Not (or no longer) in the tree — a removal or an unknown
+            // change; no horizon to measure, claim the conflict.
+            return true;
+        };
+        let node = &self.nodes[idx];
+        let Some(parent) = node.parent else {
+            // The born cell seeded (or got promoted to) the root: the
+            // root always expands, so the birth is always probed.
+            return true;
+        };
+        let pn = &self.nodes[parent];
+        let d_qp = metric.dist(q, &slab.get(pn.id).seed);
+        if d_qp <= radius + pn.radius {
+            return true;
+        }
+        let mut anc = pn.parent;
+        while let Some(a) = anc {
+            let an = &self.nodes[a];
+            let da = metric.dist(changed_seed, &slab.get(an.id).seed);
+            if an.radius <= da * RADIUS_SLACK {
+                let d_qa = metric.dist(q, &slab.get(an.id).seed);
+                if d_qa <= radius + an.radius {
+                    return true;
+                }
+            }
+            anc = an.parent;
+        }
+        false
+    }
+
+    fn maintain<M: Metric<P>>(&mut self, slab: &CellSlab<P>, metric: &M) -> u64 {
+        // Re-tightening *shrinks* covering radii, which tightens search
+        // lower bounds and can shrink the probed set of a cached parallel
+        // probe — so a cadence that actually re-tightened something must
+        // count as a rebuild, invalidating the batch committer's cached
+        // probes exactly like a grid retune does.
+        u64::from(self.retighten(slab, metric) > 0)
     }
 
     fn check_coherence<M: Metric<P>>(&self, slab: &CellSlab<P>, metric: &M) -> Result<(), String> {
@@ -704,13 +903,127 @@ mod tests {
     }
 
     #[test]
-    fn probe_conflicts_is_maximally_conservative() {
-        let (tree, _, _) = scattered(10);
-        assert!(NeighborIndex::<DenseVector>::probe_conflicts(
-            &tree,
-            &v(0.0, 0.0),
-            &v(1e9, 1e9),
-            0.5
-        ));
+    fn probe_conflicts_clears_far_births_and_claims_near_ones() {
+        // A tight cluster near the origin, a second cluster far away, and
+        // a sentinel even farther (so the far birth widens no ancestor
+        // radius): a probe at the origin must shrug off a birth landing
+        // inside the far cluster's subtree (that is the whole point of
+        // the finer horizon) but must keep claiming conflicts for births
+        // inside its own neighborhood.
+        let mut tree = CoverTree::new(true);
+        let mut slab = CellSlab::new();
+        let add = |slab: &mut CellSlab<DenseVector>, tree: &mut CoverTree, x: f64, y: f64| {
+            let id = slab.insert(Cell::new(v(x, y), 0.0));
+            tree.on_insert(id, &slab.get(id).seed, slab, &Euclidean);
+            id
+        };
+        add(&mut slab, &mut tree, 0.0, 0.0); // root
+        add(&mut slab, &mut tree, 300.0, 300.0); // sentinel: fixes root radius
+        for i in 0..30 {
+            add(&mut slab, &mut tree, (i % 6) as f64 * 0.8, (i / 6) as f64 * 0.8);
+        }
+        for (dx, dy) in [(0.0, 0.0), (0.5, 0.0), (0.0, 0.5), (0.5, 0.5)] {
+            add(&mut slab, &mut tree, 100.0 + dx, 100.0 + dy);
+        }
+        let far = add(&mut slab, &mut tree, 100.3, 100.3);
+        let near = add(&mut slab, &mut tree, 0.3, 0.3);
+        let q = v(0.1, 0.1);
+        assert!(
+            !tree.probe_conflicts(&q, far, &slab.get(far).seed, 0.5, &slab, &Euclidean),
+            "a birth inside an unexpanded far subtree cannot touch a \
+             radius-0.5 probe at the origin"
+        );
+        assert!(
+            tree.probe_conflicts(&q, near, &slab.get(near).seed, 0.5, &slab, &Euclidean),
+            "a birth inside the probe radius must conflict"
+        );
+        // A cell the tree does not hold (e.g. already recycled away) has
+        // no measurable horizon — conservative claim.
+        let gone = slab.insert(Cell::new(v(50.0, 50.0), 0.0));
+        let cell = slab.remove(gone);
+        assert!(tree.probe_conflicts(&q, gone, &cell.seed, 0.5, &slab, &Euclidean));
+    }
+
+    #[test]
+    fn probe_conflicts_never_clears_a_probe_the_birth_actually_perturbs() {
+        // Oracle check: for every (query, birth) pair over a scattered
+        // population, a cleared probe must reproduce the identical probed
+        // set and answer before and after the birth.
+        let (mut tree, mut slab, _) = scattered(80);
+        let mut x = 77u64;
+        for step in 0..40 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let q = v(((x >> 33) % 1000) as f64 / 25.0, ((x >> 13) % 1000) as f64 / 25.0);
+            let radius = [0.5, 2.0, 8.0][step % 3];
+            let mut before = Vec::new();
+            let hit_before = tree.nearest_within(&q, radius, &slab, &Euclidean, &mut |id, d| {
+                before.push((id, d.to_bits()))
+            });
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let seed = v(((x >> 23) % 2000) as f64 / 25.0, ((x >> 3) % 2000) as f64 / 25.0);
+            let born = slab.insert(Cell::new(seed.clone(), 0.0));
+            tree.on_insert(born, &slab.get(born).seed, &slab, &Euclidean);
+            let conflicts = tree.probe_conflicts(&q, born, &seed, radius, &slab, &Euclidean);
+            let mut after = Vec::new();
+            let hit_after = tree.nearest_within(&q, radius, &slab, &Euclidean, &mut |id, d| {
+                after.push((id, d.to_bits()))
+            });
+            if !conflicts {
+                assert_eq!(hit_before, hit_after, "cleared probe changed its answer");
+                assert_eq!(before, after, "cleared probe changed its probed set");
+            }
+        }
+    }
+
+    #[test]
+    fn retighten_restores_exact_radii_after_removals() {
+        let (mut tree, mut slab, ids) = scattered(150);
+        for (k, &id) in ids.iter().enumerate() {
+            if k % 2 != 0 {
+                continue;
+            }
+            let cell = slab.remove(id);
+            tree.on_remove(id, &cell.seed, &slab, &Euclidean);
+        }
+        assert!(!tree.dirty.is_empty(), "removal re-hangs must queue dirty radii");
+        let retightened = tree.retighten(&slab, &Euclidean);
+        assert!(retightened > 0);
+        assert!(tree.dirty.is_empty(), "the budget comfortably covers this population");
+        // Every radius is now the exact subtree maximum: still an upper
+        // bound (coherence) and no looser than any descendant demands.
+        assert!(tree.check_coherence(&slab, &Euclidean).is_ok());
+        for (&id, &idx) in &tree.loc {
+            let exact = tree.exact_radius(idx, &slab, &Euclidean);
+            assert!(
+                tree.nodes[idx].radius >= exact,
+                "{id}: stored radius {} under-covers exact {exact}",
+                tree.nodes[idx].radius
+            );
+        }
+        let mut probed_tight = 0;
+        let q = v(20.0, 20.0);
+        let hit = tree.nearest_within(&q, 1e9, &slab, &Euclidean, &mut |_, _| probed_tight += 1);
+        assert_eq!(hit, brute_nearest(&slab, &q, 1e9));
+        // And the specific nodes that were re-tightened are exact.
+        for &idx in tree.loc.values() {
+            if tree.nodes[idx].children.is_empty() {
+                assert_eq!(tree.nodes[idx].radius.min(0.0), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn maintain_reports_a_rebuild_only_when_radii_actually_tightened() {
+        let (mut tree, mut slab, ids) = scattered(60);
+        assert_eq!(NeighborIndex::<DenseVector>::maintain(&mut tree, &slab, &Euclidean), 0);
+        for &id in ids.iter().take(20) {
+            let cell = slab.remove(id);
+            tree.on_remove(id, &cell.seed, &slab, &Euclidean);
+        }
+        let had_dirty = !tree.dirty.is_empty();
+        let reported = NeighborIndex::<DenseVector>::maintain(&mut tree, &slab, &Euclidean);
+        assert_eq!(reported, u64::from(had_dirty));
+        assert_eq!(NeighborIndex::<DenseVector>::maintain(&mut tree, &slab, &Euclidean), 0);
+        assert!(tree.check_coherence(&slab, &Euclidean).is_ok());
     }
 }

@@ -33,7 +33,7 @@ use edm_common::point::GridCoords;
 use crate::cell::{Cell, CellId};
 use crate::slab::CellSlab;
 
-use super::{chebyshev_lower_bound, closer, NeighborIndex};
+use super::{chebyshev_lower_bound, chebyshev_prunes, closer, NeighborIndex};
 
 /// Reusable integer-key buffers for the query hot path.
 ///
@@ -409,15 +409,17 @@ impl<P: GridCoords> NeighborIndex<P> for UniformGrid {
         let mut best: Option<(CellId, f64)> = None;
         KEY_SCRATCH.with(|scratch| {
             let KeyScratch { center, off, key } = &mut *scratch.borrow_mut();
-            let mut consider = |id: CellId| {
+            let consider = |id: CellId,
+                            best: &mut Option<(CellId, f64)>,
+                            probe: &mut dyn FnMut(CellId, f64)| {
                 let d = metric.dist(q, &slab.get(id).seed);
-                on_probe(id, d);
-                if closer(d, id, best) {
-                    best = Some((id, d));
+                probe(id, d);
+                if closer(d, id, *best) {
+                    *best = Some((id, d));
                 }
             };
             for &id in &self.unbucketed {
-                consider(id);
+                consider(id, &mut best, on_probe);
             }
             if self.key_of_into(q.grid_coords(), center) {
                 if !self.buckets.is_empty() {
@@ -430,16 +432,31 @@ impl<P: GridCoords> NeighborIndex<P> for UniformGrid {
                         // sweep them, but keep the geometric pruning: a
                         // bucket at key-Chebyshev distance > reach cannot
                         // hold a seed within the radius, so only its
-                        // in-reach peers get their distances computed.
+                        // in-reach peers get their distances computed —
+                        // one batched kernel call per surviving bucket.
+                        // The batch buffers are per-sweep allocations, but
+                        // this branch only runs when the sweep dominates
+                        // (hundreds of metric evaluations amortize them);
+                        // the shell path below stays allocation-free.
+                        let mut seeds: Vec<&P> = Vec::new();
+                        let mut dists: Vec<f64> = Vec::new();
                         for (bkey, ids) in &self.buckets {
                             if Self::key_chebyshev(bkey, center) <= reach {
-                                ids.iter().for_each(|&id| consider(id));
+                                seeds.clear();
+                                seeds.extend(ids.iter().map(|&id| &slab.get(id).seed));
+                                metric.dist_batch(q, &seeds, &mut dists);
+                                for (&id, &d) in ids.iter().zip(dists.iter()) {
+                                    on_probe(id, d);
+                                    if closer(d, id, best) {
+                                        best = Some((id, d));
+                                    }
+                                }
                             }
                         }
                     } else {
                         Self::for_each_key(center, reach, false, off, key, &mut |bkey| {
                             if let Some(ids) = self.buckets.get(bkey) {
-                                ids.iter().for_each(|&id| consider(id));
+                                ids.iter().for_each(|&id| consider(id, &mut best, on_probe));
                             }
                         });
                     }
@@ -447,7 +464,7 @@ impl<P: GridCoords> NeighborIndex<P> for UniformGrid {
             } else {
                 // Coordinate-less query: no geometry to prune with.
                 for ids in self.buckets.values() {
-                    ids.iter().for_each(|&id| consider(id));
+                    ids.iter().for_each(|&id| consider(id, &mut best, on_probe));
                 }
             }
         });
@@ -469,7 +486,15 @@ impl<P: GridCoords> NeighborIndex<P> for UniformGrid {
                 if !pred(id, cell) {
                     return;
                 }
-                let d = metric.dist(q, &cell.seed);
+                // Bounded kernel: a candidate can only displace the best
+                // when its distance is at most the best distance, so the
+                // metric may bail out past that bound — the early-exit
+                // value is > best (and ≥ nothing else reads it), which
+                // loses the `closer` comparison exactly like the true
+                // distance would, ties included (exact-within-bound
+                // covers the d == best case).
+                let bound = best.map_or(f64::INFINITY, |(_, bd)| bd);
+                let d = metric.dist_upper_bounded(q, &cell.seed, bound);
                 if closer(d, id, *best) {
                     *best = Some((id, d));
                 }
@@ -528,7 +553,19 @@ impl<P: GridCoords> NeighborIndex<P> for UniformGrid {
         chebyshev_lower_bound(q, seed)
     }
 
-    fn probe_conflicts(&self, q: &P, changed: &P, radius: f64) -> bool {
+    fn lower_bound_prunes(&self, q: &P, seed: &P, p_dist: f64, delta: f64) -> bool {
+        chebyshev_prunes(q, seed, p_dist, delta)
+    }
+
+    fn probe_conflicts<M: Metric<P>>(
+        &self,
+        q: &P,
+        _changed: CellId,
+        changed: &P,
+        radius: f64,
+        _slab: &CellSlab<P>,
+        _metric: &M,
+    ) -> bool {
         let (Some(qc), Some(cc)) = (q.grid_coords(), changed.grid_coords()) else {
             // No geometry to prove anything with: a coordinate-less cell
             // lands in the unbucketed list every query scans, and a

@@ -90,6 +90,20 @@ pub enum NeighborIndexKind {
     /// coordinate-less payloads, and it keeps pruning in high dimensions
     /// where uniform buckets degenerate into occupied-bucket sweeps.
     CoverTree,
+    /// Runtime backend selection: the engine starts on the cheapest
+    /// backend the metric's capability markers allow (grid when the
+    /// metric dominates coordinate axes, else cover tree, else linear
+    /// scan) and re-evaluates the choice at every maintenance cadence
+    /// from observed workload statistics — grid-bucket occupancy vs the
+    /// 3^d candidate-shell cost, and the engine's probed/pruned counters.
+    /// A switch drains the old backend and refiles every cell into the
+    /// new one (O(cells), counted both as a rebuild in
+    /// [`crate::EngineStats::grid_rebuilds`] and as a selection event in
+    /// [`crate::EngineStats::index_switches`]); consecutive-agreement
+    /// hysteresis with a doubling confirmation requirement keeps the
+    /// selector from flapping. All candidate backends are exact, so a
+    /// switch never changes clustering output — only throughput.
+    Auto,
 }
 
 impl Default for NeighborIndexKind {
@@ -158,27 +172,55 @@ pub trait NeighborIndex<P> {
     /// assignment probe skipped.
     fn distance_lower_bound(&self, q: &P, seed: &P) -> f64;
 
-    /// Whether a structural change at `changed` — a cell with that seed
-    /// inserted into (or removed from) this index — could alter the result
-    /// **or the probed set** of [`NeighborIndex::nearest_within`]`(q,
-    /// radius, ..)`. The parallel batch committer asks this to decide
-    /// which pre-computed assignment probes survive an earlier commit's
-    /// cell birth; a stale probe is simply redone serially, so the method
-    /// affects only throughput, never output.
+    /// Whether the index can prove `metric.dist(q, seed) - p_dist > delta`
+    /// without a metric evaluation — the exact prune test of the engine's
+    /// Theorem-2 fallback path, fused so the index can short-circuit. The
+    /// default derives the decision from
+    /// [`NeighborIndex::distance_lower_bound`]; coordinate-backed indexes
+    /// override it with a per-axis walk that reaches the identical
+    /// decision (the test is monotone in the bound, so the first axis that
+    /// proves it settles it) in O(1) for well-separated cells instead of
+    /// O(d) for every candidate.
+    fn lower_bound_prunes(&self, q: &P, seed: &P, p_dist: f64, delta: f64) -> bool {
+        self.distance_lower_bound(q, seed) - p_dist > delta
+    }
+
+    /// Whether a structural change at `changed` — a cell with seed
+    /// `changed_seed` inserted into (or removed from) this index — could
+    /// alter the result **or the probed set** of
+    /// [`NeighborIndex::nearest_within`]`(q, radius, ..)`. The parallel
+    /// batch committer asks this to decide which pre-computed assignment
+    /// probes survive an earlier commit's cell birth; a stale probe is
+    /// simply redone serially, so the method affects only throughput,
+    /// never output. `slab` and `metric` let structural backends (the
+    /// cover tree) measure a real change horizon instead of claiming
+    /// everything; `changed` may or may not still be live in `slab`.
     ///
     /// Implementations must be **conservative**: return `true` whenever
     /// the probe cannot be proven untouched. The default claims every
     /// change conflicts — exact for the linear scan, which probes every
     /// live cell.
-    fn probe_conflicts(&self, _q: &P, _changed: &P, _radius: f64) -> bool {
+    fn probe_conflicts<M: Metric<P>>(
+        &self,
+        _q: &P,
+        _changed: CellId,
+        _changed_seed: &P,
+        _radius: f64,
+        _slab: &CellSlab<P>,
+        _metric: &M,
+    ) -> bool {
         true
     }
 
     /// Periodic self-maintenance hook, called from the engine's
     /// maintenance cadence: indexes that tune their own layout (grid
-    /// bucket-side auto-tuning) rebuild here and return the number of
-    /// rebuilds performed. Stateless indexes keep the default no-op.
-    fn maintain(&mut self, _slab: &CellSlab<P>) -> u64 {
+    /// bucket-side auto-tuning, cover-tree covering-radius re-tightening,
+    /// auto-selection backend switches) work here and return the number
+    /// of full rebuilds performed — a rebuild invalidates any cached
+    /// probe state the parallel committer holds. `metric` lets
+    /// metric-tree backends recompute exact bounds. Stateless indexes
+    /// keep the default no-op.
+    fn maintain<M: Metric<P>>(&mut self, _slab: &CellSlab<P>, _metric: &M) -> u64 {
         0
     }
 
@@ -202,6 +244,21 @@ pub(crate) fn chebyshev_lower_bound<P: GridCoords>(q: &P, seed: &P) -> f64 {
     }
 }
 
+/// Short-circuiting form of the Theorem-2 fallback prune: true iff
+/// `chebyshev_lower_bound(q, seed) - p_dist > delta`, decided at the first
+/// axis that proves it. `fl(u - p_dist)` is monotone non-decreasing in
+/// `u`, so "some axis proves it" and "the maximum axis proves it" are the
+/// same decision, bit for bit — only the cost changes: far cells exit on
+/// their first separated axis instead of walking every coordinate.
+pub(crate) fn chebyshev_prunes<P: GridCoords>(q: &P, seed: &P, p_dist: f64, delta: f64) -> bool {
+    match (q.grid_coords(), seed.grid_coords()) {
+        (Some(a), Some(b)) if a.len() == b.len() => {
+            a.iter().zip(b.iter()).any(|(x, y)| (x - y).abs() - p_dist > delta)
+        }
+        _ => false,
+    }
+}
+
 /// Strict "closer" order used by every index: nearer wins, equal distances
 /// break toward the lower cell id. Total, so visitation order never
 /// changes the winner — the property that keeps all index kinds
@@ -214,8 +271,9 @@ pub(crate) fn closer(d: f64, id: CellId, best: Option<(CellId, f64)>) -> bool {
     }
 }
 
-/// The engine's concrete index: static dispatch over the four
-/// implementations (no boxing on the hot path).
+/// The engine's concrete index: static dispatch over the four fixed
+/// implementations (no boxing on the hot path) plus the boxed
+/// auto-selecting wrapper.
 #[derive(Debug, Clone)]
 pub enum CellIndex {
     /// Brute-force fallback.
@@ -226,19 +284,25 @@ pub enum CellIndex {
     Sharded(ShardedGrid),
     /// Best-first metric tree over seeds.
     Cover(CoverTree),
+    /// Runtime-selected backend ([`NeighborIndexKind::Auto`]); boxed so
+    /// the selector's bookkeeping does not widen every fixed variant.
+    Auto(Box<AutoCell>),
 }
 
 impl CellIndex {
     /// Builds the index a configuration asks for; `r` is the cluster-cell
     /// radius (the grid's default bucket side), `shards` the configured
     /// shard count (1 = a single unsharded grid; ignored by the cover
-    /// tree and the linear scan, which have no shard structure), and
+    /// tree and the linear scan, which have no shard structure),
     /// `axis_bound` whether the engine's metric dominates per-axis
     /// coordinate differences (lets the cover tree hand out Chebyshev
     /// [`NeighborIndex::distance_lower_bound`]s; the grid kinds are only
-    /// ever constructed when it holds). A defaulted side (`side: None`)
-    /// enables occupancy auto-tuning — the side is the engine's guess,
-    /// free to refine; an explicit side is pinned.
+    /// ever constructed when it holds), and `true_metric` whether the
+    /// metric vouches for the triangle inequality (gates the cover tree
+    /// as an [`NeighborIndexKind::Auto`] candidate — fixed kinds are
+    /// downgraded by the engine before this call). A defaulted side
+    /// (`side: None`) enables occupancy auto-tuning — the side is the
+    /// engine's guess, free to refine; an explicit side is pinned.
     ///
     /// A degenerate side (zero, negative, non-finite) or shard count of
     /// zero degrades to the linear scan instead of panicking: the builder
@@ -246,7 +310,13 @@ impl CellIndex {
     /// only triggers for configs smuggled past validation
     /// (deserialization, FFI), where the engine's contract is
     /// debug-assert-only.
-    pub fn from_config(kind: NeighborIndexKind, r: f64, shards: usize, axis_bound: bool) -> Self {
+    pub fn from_config(
+        kind: NeighborIndexKind,
+        r: f64,
+        shards: usize,
+        axis_bound: bool,
+        true_metric: bool,
+    ) -> Self {
         match kind {
             NeighborIndexKind::LinearScan => CellIndex::Linear(LinearScan),
             NeighborIndexKind::CoverTree => CellIndex::Cover(CoverTree::new(axis_bound)),
@@ -265,16 +335,34 @@ impl CellIndex {
                     CellIndex::Sharded(ShardedGrid::new(side, shards, auto_tune))
                 }
             }
+            NeighborIndexKind::Auto => {
+                let can_grid = axis_bound && r.is_finite() && r > 0.0 && shards > 0;
+                if !can_grid && !true_metric {
+                    // Neither candidate backend is sound for this metric;
+                    // a selector with one option is dead weight.
+                    CellIndex::Linear(LinearScan)
+                } else {
+                    CellIndex::Auto(Box::new(AutoCell::new(r, shards, can_grid, true_metric)))
+                }
+            }
         }
     }
 
-    /// Fig-style label of the active implementation.
+    /// Fig-style label of the active implementation; the auto selector
+    /// reports its currently selected backend behind an `auto:` prefix.
     pub fn label(&self) -> &'static str {
         match self {
             CellIndex::Linear(_) => "linear",
             CellIndex::Grid(_) => "grid",
             CellIndex::Sharded(_) => "sharded-grid",
             CellIndex::Cover(_) => "cover-tree",
+            CellIndex::Auto(a) => match &a.inner {
+                CellIndex::Linear(_) => "auto:linear",
+                CellIndex::Grid(_) => "auto:grid",
+                CellIndex::Sharded(_) => "auto:sharded-grid",
+                CellIndex::Cover(_) => "auto:cover-tree",
+                CellIndex::Auto(_) => unreachable!("auto index cannot nest"),
+            },
         }
     }
 
@@ -282,15 +370,316 @@ impl CellIndex {
     /// grid, a single entry for the unsharded grid and the cover tree,
     /// empty for the linear scan (the slab itself is the only
     /// structure). Written into `out` so the engine's per-insert refresh
-    /// never reallocates.
+    /// never reallocates. The auto selector reports whatever its current
+    /// backend would.
     pub fn shard_occupancy_into(&self, out: &mut Vec<u64>) {
-        out.clear();
         match self {
-            CellIndex::Linear(_) => {}
-            CellIndex::Grid(g) => out.push(g.indexed_len() as u64),
-            CellIndex::Sharded(s) => out.extend(s.occupancy_iter()),
-            CellIndex::Cover(c) => out.push(c.len() as u64),
+            CellIndex::Linear(_) => out.clear(),
+            CellIndex::Grid(g) => {
+                out.clear();
+                out.push(g.indexed_len() as u64);
+            }
+            CellIndex::Sharded(s) => {
+                out.clear();
+                out.extend(s.occupancy_iter());
+            }
+            CellIndex::Cover(c) => {
+                out.clear();
+                out.push(c.len() as u64);
+            }
+            CellIndex::Auto(a) => a.inner.shard_occupancy_into(out),
         }
+    }
+
+    /// Feeds the engine's cumulative probe accounting
+    /// ([`crate::EngineStats::index_probed`] /
+    /// [`crate::EngineStats::index_pruned`]) to the auto selector, which
+    /// turns the per-cadence deltas into its prune-effectiveness signal.
+    /// No-op for fixed backends. Called right before
+    /// [`NeighborIndex::maintain`] on the maintenance cadence, so the
+    /// inputs to every selection decision are deterministic — identical
+    /// for the serial and parallel ingest paths, which keeps the two
+    /// bit-identical even through backend switches.
+    pub fn note_probe_stats(&mut self, probed: u64, pruned: u64) {
+        if let CellIndex::Auto(a) = self {
+            a.cur_probed = probed;
+            a.cur_pruned = pruned;
+        }
+    }
+
+    /// Backend switches performed by the auto selector so far (`0` for
+    /// fixed backends) — mirrored into
+    /// [`crate::EngineStats::index_switches`].
+    pub fn auto_switches(&self) -> u64 {
+        match self {
+            CellIndex::Auto(a) => a.switches,
+            _ => 0,
+        }
+    }
+}
+
+/// Candidate backend families the auto selector can pick between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AutoChoice {
+    /// Uniform grid (sharded when the engine's shard count asks for it).
+    Grid,
+    /// Cover tree.
+    Cover,
+    /// Linear scan — only when no capability admits a better backend.
+    Linear,
+}
+
+/// Live cells below which the auto selector never reconsiders its
+/// backend: tiny populations make every backend cheap and every workload
+/// statistic noisy (mirrors the grid's own auto-tune floor).
+const AUTO_MIN_CELLS: usize = 256;
+/// Fraction of probes the index must fail to prune before the selector
+/// calls the current backend ineffective on prune-rate grounds.
+const AUTO_POOR_PRUNE: f64 = 0.25;
+/// Probe-accounting volume (probed + pruned since the last decision)
+/// below which the prune-rate signal is considered noise.
+const AUTO_MIN_EVIDENCE: u64 = 1024;
+/// Consecutive agreeing decisions required before the first switch.
+const AUTO_STREAK_INITIAL: u32 = 2;
+/// Cap on the doubling confirmation requirement: even a workload that
+/// has caused several switches can still earn another within a bounded
+/// number of maintenance cadences.
+const AUTO_STREAK_MAX: u32 = 64;
+
+/// Runtime index auto-selection ([`NeighborIndexKind::Auto`]): wraps one
+/// concrete backend and re-evaluates the choice at every maintenance
+/// cadence from deterministic workload statistics.
+///
+/// Selection signals, in order of precedence:
+///
+/// 1. **Capability** — a coordinate-less (or dimension-mixed) seed makes
+///    the grid family a mere scan wrapper, so the first one observed
+///    forces the metric-tree side immediately (no hysteresis: this is a
+///    soundness-of-purpose signal, not a statistical one).
+/// 2. **Sweep regime** — when the 3^d assignment shell holds more
+///    candidate buckets than the grid has occupied ones, grid queries
+///    have degenerated into occupied-bucket sweeps (the high-dimensional
+///    failure mode the ROADMAP names); the cover tree's measured-distance
+///    pruning is the right tool. While on the cover tree the occupied
+///    bucket count is unavailable, so the live cell count stands in — an
+///    upper bound on occupied buckets, making the test conservative
+///    about switching *back* to the grid.
+/// 3. **Prune rate** — a grid that computes distances to more than
+///    `AUTO_POOR_PRUNE` of the slab per probe (with at least
+///    `AUTO_MIN_EVIDENCE` accounted probes as evidence) is not earning
+///    its keep either.
+///
+/// A decision differing from the current backend must repeat on
+/// consecutive cadences (`streak_required` times, doubling after every
+/// switch up to `AUTO_STREAK_MAX`) before the switch happens; any
+/// agreeing decision resets the streak. The switch itself drains the old
+/// backend and refiles every live cell in slab order — O(cells), counted
+/// as a rebuild (which invalidates the parallel committer's cached
+/// probes) and as a selection event.
+#[derive(Debug, Clone)]
+pub struct AutoCell {
+    /// The currently selected backend (never `Auto` itself).
+    inner: CellIndex,
+    /// Cluster-cell radius — the grid side used when (re)building a grid
+    /// backend.
+    r: f64,
+    /// Engine shard count — >1 selects the sharded grid on the grid side.
+    shards: usize,
+    /// Whether the grid family is sound for the engine's metric/payload.
+    can_grid: bool,
+    /// Whether the cover tree is sound for the engine's metric.
+    can_cover: bool,
+    /// Dimensionality of the first coordinate-bearing seed observed.
+    dim: Option<usize>,
+    /// Set once any seed arrives without coordinates (or with a
+    /// dimensionality disagreeing with `dim`) — from then on the grid
+    /// family degrades to scanning side lists, so the selector abandons
+    /// it for good.
+    coordless_seen: bool,
+    /// Cumulative engine probe counters, fed by
+    /// [`CellIndex::note_probe_stats`] before each decision.
+    cur_probed: u64,
+    cur_pruned: u64,
+    /// The counters as of the previous decision (delta basis).
+    last_probed: u64,
+    last_pruned: u64,
+    /// The backend the previous differing decision wanted, and how many
+    /// consecutive cadences have wanted it.
+    streak_choice: AutoChoice,
+    streak: u32,
+    /// Consecutive agreeing decisions required before the next switch.
+    streak_required: u32,
+    /// Backend switches performed (selection events).
+    switches: u64,
+}
+
+impl AutoCell {
+    /// Creates the selector on its starting backend: the grid when the
+    /// capabilities allow it (the engine default — cheapest when sound),
+    /// else the cover tree, else the linear scan.
+    fn new(r: f64, shards: usize, can_grid: bool, can_cover: bool) -> Self {
+        let start = if can_grid {
+            AutoChoice::Grid
+        } else if can_cover {
+            AutoChoice::Cover
+        } else {
+            AutoChoice::Linear
+        };
+        AutoCell {
+            inner: Self::build(start, r, shards),
+            r,
+            shards,
+            can_grid,
+            can_cover,
+            dim: None,
+            coordless_seen: false,
+            cur_probed: 0,
+            cur_pruned: 0,
+            last_probed: 0,
+            last_pruned: 0,
+            streak_choice: start,
+            streak: 0,
+            streak_required: AUTO_STREAK_INITIAL,
+            switches: 0,
+        }
+    }
+
+    /// Builds an empty backend of the chosen family. Grid sides always
+    /// auto-tune: under `Auto` the side is the engine's guess by
+    /// definition.
+    fn build(choice: AutoChoice, r: f64, shards: usize) -> CellIndex {
+        match choice {
+            AutoChoice::Linear => CellIndex::Linear(LinearScan),
+            AutoChoice::Cover => CellIndex::Cover(CoverTree::new(true)),
+            AutoChoice::Grid => {
+                if shards > 1 {
+                    CellIndex::Sharded(ShardedGrid::new(r, shards, true))
+                } else {
+                    CellIndex::Grid(UniformGrid::auto_tuned(r))
+                }
+            }
+        }
+    }
+
+    /// The family of the current backend.
+    fn current(&self) -> AutoChoice {
+        match &self.inner {
+            CellIndex::Linear(_) => AutoChoice::Linear,
+            CellIndex::Grid(_) | CellIndex::Sharded(_) => AutoChoice::Grid,
+            CellIndex::Cover(_) => AutoChoice::Cover,
+            CellIndex::Auto(_) => unreachable!("auto index cannot nest"),
+        }
+    }
+
+    /// Tracks payload capability from an inserted seed (dimensionality,
+    /// coordinate-lessness).
+    fn observe<P: GridCoords>(&mut self, seed: &P) {
+        match seed.grid_coords() {
+            None => self.coordless_seen = true,
+            Some(c) => match self.dim {
+                None => self.dim = Some(c.len()),
+                Some(d) if d != c.len() => self.coordless_seen = true,
+                Some(_) => {}
+            },
+        }
+    }
+
+    /// Occupied buckets of a grid-family backend, `None` otherwise.
+    fn occupied_buckets(&self) -> Option<usize> {
+        match &self.inner {
+            CellIndex::Grid(g) => Some(g.occupied_buckets()),
+            CellIndex::Sharded(s) => Some(s.occupied_buckets()),
+            _ => None,
+        }
+    }
+
+    /// The backend this cadence's statistics argue for.
+    fn desired<P>(&self, slab: &CellSlab<P>) -> AutoChoice {
+        if self.coordless_seen || !self.can_grid {
+            return if self.can_cover { AutoChoice::Cover } else { AutoChoice::Linear };
+        }
+        // 3^d candidate shell vs the structures it would be enumerated
+        // against: occupied buckets when a grid is live, the live cell
+        // count (an upper bound on occupied buckets) otherwise.
+        let cube = self.dim.map_or(1.0, |d| 3.0_f64.powi(d.min(i32::MAX as usize) as i32));
+        let dense = self.occupied_buckets().unwrap_or(slab.len());
+        let sweep_regime = cube > dense as f64;
+        // Prune effectiveness of the current backend since the last
+        // decision, judged only with enough evidence.
+        let dp = self.cur_probed.saturating_sub(self.last_probed);
+        let dr = self.cur_pruned.saturating_sub(self.last_pruned);
+        let poor_prune = dp + dr >= AUTO_MIN_EVIDENCE
+            && dp as f64 > AUTO_POOR_PRUNE * (dp + dr) as f64
+            && self.current() == AutoChoice::Grid;
+        if (sweep_regime || poor_prune) && self.can_cover {
+            AutoChoice::Cover
+        } else {
+            AutoChoice::Grid
+        }
+    }
+
+    /// One selection decision at maintenance cadence; returns 1 when a
+    /// backend switch (a full rebuild) happened.
+    fn decide<P: GridCoords, M: Metric<P>>(&mut self, slab: &CellSlab<P>, metric: &M) -> u64 {
+        // Capability loss switches immediately — statistics cannot argue
+        // a coordinate-less payload back onto the grid.
+        let capability_forced =
+            (self.coordless_seen || !self.can_grid) && self.current() == AutoChoice::Grid;
+        if !capability_forced && slab.len() < AUTO_MIN_CELLS {
+            self.settle();
+            return 0;
+        }
+        let desired = self.desired(slab);
+        if desired == self.current() {
+            self.settle();
+            return 0;
+        }
+        if !capability_forced {
+            if desired == self.streak_choice {
+                self.streak += 1;
+            } else {
+                self.streak_choice = desired;
+                self.streak = 1;
+            }
+            if self.streak < self.streak_required {
+                // Not confirmed yet; keep the probe-delta basis moving so
+                // the next decision judges fresh evidence.
+                self.last_probed = self.cur_probed;
+                self.last_pruned = self.cur_pruned;
+                return 0;
+            }
+        }
+        self.switch_to(desired, slab, metric);
+        1
+    }
+
+    /// Resets hysteresis after a decision that agreed with the current
+    /// backend, and re-bases the probe-delta window.
+    fn settle(&mut self) {
+        self.streak_choice = self.current();
+        self.streak = 0;
+        self.last_probed = self.cur_probed;
+        self.last_pruned = self.cur_pruned;
+    }
+
+    /// Drains the current backend and refiles every live cell into a
+    /// fresh one of the chosen family, in slab order (deterministic for
+    /// a given operation history, so serial and parallel ingest switch
+    /// identically).
+    fn switch_to<P: GridCoords, M: Metric<P>>(
+        &mut self,
+        choice: AutoChoice,
+        slab: &CellSlab<P>,
+        metric: &M,
+    ) {
+        let mut fresh = Self::build(choice, self.r, self.shards);
+        for (id, cell) in slab.iter() {
+            fresh.on_insert(id, &cell.seed, slab, metric);
+        }
+        self.inner = fresh;
+        self.switches += 1;
+        self.streak_required = (self.streak_required * 2).min(AUTO_STREAK_MAX);
+        self.settle();
     }
 }
 
@@ -301,6 +690,10 @@ impl<P: GridCoords> NeighborIndex<P> for CellIndex {
             CellIndex::Grid(ix) => ix.on_insert(id, seed, slab, metric),
             CellIndex::Sharded(ix) => ix.on_insert(id, seed, slab, metric),
             CellIndex::Cover(ix) => ix.on_insert(id, seed, slab, metric),
+            CellIndex::Auto(a) => {
+                a.observe(seed);
+                a.inner.on_insert(id, seed, slab, metric);
+            }
         }
     }
 
@@ -310,6 +703,7 @@ impl<P: GridCoords> NeighborIndex<P> for CellIndex {
             CellIndex::Grid(ix) => ix.on_remove(id, seed, slab, metric),
             CellIndex::Sharded(ix) => ix.on_remove(id, seed, slab, metric),
             CellIndex::Cover(ix) => ix.on_remove(id, seed, slab, metric),
+            CellIndex::Auto(a) => a.inner.on_remove(id, seed, slab, metric),
         }
     }
 
@@ -326,6 +720,7 @@ impl<P: GridCoords> NeighborIndex<P> for CellIndex {
             CellIndex::Grid(ix) => ix.nearest_within(q, radius, slab, metric, on_probe),
             CellIndex::Sharded(ix) => ix.nearest_within(q, radius, slab, metric, on_probe),
             CellIndex::Cover(ix) => ix.nearest_within(q, radius, slab, metric, on_probe),
+            CellIndex::Auto(a) => a.inner.nearest_within(q, radius, slab, metric, on_probe),
         }
     }
 
@@ -341,6 +736,7 @@ impl<P: GridCoords> NeighborIndex<P> for CellIndex {
             CellIndex::Grid(ix) => ix.nearest_matching(q, slab, metric, pred),
             CellIndex::Sharded(ix) => ix.nearest_matching(q, slab, metric, pred),
             CellIndex::Cover(ix) => ix.nearest_matching(q, slab, metric, pred),
+            CellIndex::Auto(a) => a.inner.nearest_matching(q, slab, metric, pred),
         }
     }
 
@@ -350,23 +746,69 @@ impl<P: GridCoords> NeighborIndex<P> for CellIndex {
             CellIndex::Grid(ix) => NeighborIndex::<P>::distance_lower_bound(ix, q, seed),
             CellIndex::Sharded(ix) => NeighborIndex::<P>::distance_lower_bound(ix, q, seed),
             CellIndex::Cover(ix) => NeighborIndex::<P>::distance_lower_bound(ix, q, seed),
+            CellIndex::Auto(a) => a.inner.distance_lower_bound(q, seed),
         }
     }
 
-    fn probe_conflicts(&self, q: &P, changed: &P, radius: f64) -> bool {
+    fn lower_bound_prunes(&self, q: &P, seed: &P, p_dist: f64, delta: f64) -> bool {
         match self {
-            CellIndex::Linear(ix) => NeighborIndex::<P>::probe_conflicts(ix, q, changed, radius),
-            CellIndex::Grid(ix) => NeighborIndex::<P>::probe_conflicts(ix, q, changed, radius),
-            CellIndex::Sharded(ix) => NeighborIndex::<P>::probe_conflicts(ix, q, changed, radius),
-            CellIndex::Cover(ix) => NeighborIndex::<P>::probe_conflicts(ix, q, changed, radius),
+            CellIndex::Linear(ix) => {
+                NeighborIndex::<P>::lower_bound_prunes(ix, q, seed, p_dist, delta)
+            }
+            CellIndex::Grid(ix) => {
+                NeighborIndex::<P>::lower_bound_prunes(ix, q, seed, p_dist, delta)
+            }
+            CellIndex::Sharded(ix) => {
+                NeighborIndex::<P>::lower_bound_prunes(ix, q, seed, p_dist, delta)
+            }
+            CellIndex::Cover(ix) => {
+                NeighborIndex::<P>::lower_bound_prunes(ix, q, seed, p_dist, delta)
+            }
+            CellIndex::Auto(a) => a.inner.lower_bound_prunes(q, seed, p_dist, delta),
         }
     }
 
-    fn maintain(&mut self, slab: &CellSlab<P>) -> u64 {
+    fn probe_conflicts<M: Metric<P>>(
+        &self,
+        q: &P,
+        changed: CellId,
+        changed_seed: &P,
+        radius: f64,
+        slab: &CellSlab<P>,
+        metric: &M,
+    ) -> bool {
         match self {
-            CellIndex::Linear(_) | CellIndex::Cover(_) => 0,
+            CellIndex::Linear(ix) => {
+                ix.probe_conflicts(q, changed, changed_seed, radius, slab, metric)
+            }
+            CellIndex::Grid(ix) => {
+                ix.probe_conflicts(q, changed, changed_seed, radius, slab, metric)
+            }
+            CellIndex::Sharded(ix) => {
+                ix.probe_conflicts(q, changed, changed_seed, radius, slab, metric)
+            }
+            CellIndex::Cover(ix) => {
+                ix.probe_conflicts(q, changed, changed_seed, radius, slab, metric)
+            }
+            CellIndex::Auto(a) => {
+                a.inner.probe_conflicts(q, changed, changed_seed, radius, slab, metric)
+            }
+        }
+    }
+
+    fn maintain<M: Metric<P>>(&mut self, slab: &CellSlab<P>, metric: &M) -> u64 {
+        match self {
+            CellIndex::Linear(_) => 0,
             CellIndex::Grid(ix) => ix.maintain(slab),
             CellIndex::Sharded(ix) => ix.maintain(slab),
+            CellIndex::Cover(ix) => NeighborIndex::maintain(ix, slab, metric),
+            CellIndex::Auto(a) => {
+                // The current backend maintains itself first (grid side
+                // retuning, cover-tree radius re-tightening), then the
+                // selector reconsiders the backend with fresh statistics.
+                let inner = a.inner.maintain(slab, metric);
+                inner + a.decide(slab, metric)
+            }
         }
     }
 
@@ -376,6 +818,7 @@ impl<P: GridCoords> NeighborIndex<P> for CellIndex {
             CellIndex::Grid(ix) => ix.check_coherence(slab, metric),
             CellIndex::Sharded(ix) => ix.check_coherence(slab, metric),
             CellIndex::Cover(ix) => ix.check_coherence(slab, metric),
+            CellIndex::Auto(a) => a.inner.check_coherence(slab, metric),
         }
     }
 }
@@ -387,35 +830,71 @@ mod tests {
     #[test]
     fn from_config_builds_what_was_asked() {
         assert_eq!(
-            CellIndex::from_config(NeighborIndexKind::LinearScan, 0.5, 1, true).label(),
+            CellIndex::from_config(NeighborIndexKind::LinearScan, 0.5, 1, true, true).label(),
             "linear"
         );
         assert_eq!(
-            CellIndex::from_config(NeighborIndexKind::Grid { side: None }, 0.5, 1, true).label(),
-            "grid"
-        );
-        assert_eq!(
-            CellIndex::from_config(NeighborIndexKind::Grid { side: Some(2.0) }, 0.5, 1, true)
+            CellIndex::from_config(NeighborIndexKind::Grid { side: None }, 0.5, 1, true, true)
                 .label(),
             "grid"
         );
         assert_eq!(
-            CellIndex::from_config(NeighborIndexKind::Grid { side: None }, 0.5, 4, true).label(),
+            CellIndex::from_config(NeighborIndexKind::Grid { side: Some(2.0) }, 0.5, 1, true, true)
+                .label(),
+            "grid"
+        );
+        assert_eq!(
+            CellIndex::from_config(NeighborIndexKind::Grid { side: None }, 0.5, 4, true, true)
+                .label(),
             "sharded-grid"
         );
         assert_eq!(
-            CellIndex::from_config(NeighborIndexKind::CoverTree, 0.5, 1, true).label(),
+            CellIndex::from_config(NeighborIndexKind::CoverTree, 0.5, 1, true, true).label(),
             "cover-tree"
         );
         // Sharding a linear scan or a cover tree is meaningless; the
         // single structure wins.
         assert_eq!(
-            CellIndex::from_config(NeighborIndexKind::LinearScan, 0.5, 4, true).label(),
+            CellIndex::from_config(NeighborIndexKind::LinearScan, 0.5, 4, true, true).label(),
             "linear"
         );
         assert_eq!(
-            CellIndex::from_config(NeighborIndexKind::CoverTree, 0.5, 4, false).label(),
+            CellIndex::from_config(NeighborIndexKind::CoverTree, 0.5, 4, false, true).label(),
             "cover-tree"
+        );
+    }
+
+    #[test]
+    fn auto_starts_on_the_best_capability_backend() {
+        // Axis-dominating metric: the grid is sound and cheapest.
+        assert_eq!(
+            CellIndex::from_config(NeighborIndexKind::Auto, 0.5, 1, true, true).label(),
+            "auto:grid"
+        );
+        assert_eq!(
+            CellIndex::from_config(NeighborIndexKind::Auto, 0.5, 4, true, true).label(),
+            "auto:sharded-grid"
+        );
+        // True metric without coordinates (token sets): cover tree,
+        // immediately — no warm-up on a backend that can only scan.
+        assert_eq!(
+            CellIndex::from_config(NeighborIndexKind::Auto, 0.5, 1, false, true).label(),
+            "auto:cover-tree"
+        );
+        // A metric claiming nothing leaves the selector one option; the
+        // wrapper is dropped entirely.
+        assert_eq!(
+            CellIndex::from_config(NeighborIndexKind::Auto, 0.5, 1, false, false).label(),
+            "linear"
+        );
+        // A degenerate radius only poisons the grid side.
+        assert_eq!(
+            CellIndex::from_config(NeighborIndexKind::Auto, f64::NAN, 1, true, true).label(),
+            "auto:cover-tree"
+        );
+        assert_eq!(
+            CellIndex::from_config(NeighborIndexKind::Auto, f64::NAN, 1, true, false).label(),
+            "linear"
         );
     }
 
@@ -424,32 +903,64 @@ mod tests {
         // Smuggled configs (deserialization/FFI) bypass builder validation;
         // the engine must not panic in release builds.
         for bad in [0.0, -3.0, f64::NAN, f64::INFINITY] {
-            let ix =
-                CellIndex::from_config(NeighborIndexKind::Grid { side: Some(bad) }, 0.5, 1, true);
+            let ix = CellIndex::from_config(
+                NeighborIndexKind::Grid { side: Some(bad) },
+                0.5,
+                1,
+                true,
+                true,
+            );
             assert_eq!(ix.label(), "linear", "side {bad} must degrade");
         }
         // A degenerate radius poisons the default side the same way, and a
         // smuggled shard count of zero cannot panic either.
-        let ix = CellIndex::from_config(NeighborIndexKind::Grid { side: None }, f64::NAN, 1, true);
+        let ix =
+            CellIndex::from_config(NeighborIndexKind::Grid { side: None }, f64::NAN, 1, true, true);
         assert_eq!(ix.label(), "linear");
-        let ix = CellIndex::from_config(NeighborIndexKind::Grid { side: None }, 0.5, 0, true);
+        let ix = CellIndex::from_config(NeighborIndexKind::Grid { side: None }, 0.5, 0, true, true);
         assert_eq!(ix.label(), "linear");
     }
 
     #[test]
     fn shard_occupancy_matches_the_variant() {
         let mut out = vec![9, 9];
-        CellIndex::from_config(NeighborIndexKind::LinearScan, 0.5, 1, true)
+        CellIndex::from_config(NeighborIndexKind::LinearScan, 0.5, 1, true, true)
             .shard_occupancy_into(&mut out);
         assert!(out.is_empty());
-        CellIndex::from_config(NeighborIndexKind::Grid { side: None }, 0.5, 1, true)
+        CellIndex::from_config(NeighborIndexKind::Grid { side: None }, 0.5, 1, true, true)
             .shard_occupancy_into(&mut out);
         assert_eq!(out, vec![0]);
-        CellIndex::from_config(NeighborIndexKind::Grid { side: None }, 0.5, 3, true)
+        CellIndex::from_config(NeighborIndexKind::Grid { side: None }, 0.5, 3, true, true)
             .shard_occupancy_into(&mut out);
         assert_eq!(out, vec![0, 0, 0]);
-        CellIndex::from_config(NeighborIndexKind::CoverTree, 0.5, 1, true)
+        CellIndex::from_config(NeighborIndexKind::CoverTree, 0.5, 1, true, true)
             .shard_occupancy_into(&mut out);
         assert_eq!(out, vec![0]);
+        CellIndex::from_config(NeighborIndexKind::Auto, 0.5, 1, true, true)
+            .shard_occupancy_into(&mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn auto_switches_to_the_cover_tree_when_coordinates_disappear() {
+        use edm_common::metric::Jaccard;
+        use edm_common::point::TokenSet;
+        let mut ix = CellIndex::from_config(NeighborIndexKind::Auto, 0.5, 1, true, true);
+        // `can_grid` came from the engine's metric capability; feed the
+        // selector a coordinate-less payload stream (possible because
+        // capability markers are per-metric, not per-payload-instance).
+        assert_eq!(ix.label(), "auto:grid");
+        let mut slab: CellSlab<TokenSet> = CellSlab::new();
+        let id = slab.insert(Cell::new(TokenSet::new(vec![1, 2, 3]), 0.0));
+        ix.on_insert(id, &slab.get(id).seed, &slab, &Jaccard);
+        // Capability loss bypasses both the population floor and
+        // hysteresis: the very next maintenance cadence switches.
+        assert_eq!(ix.maintain(&slab, &Jaccard), 1);
+        assert_eq!(ix.label(), "auto:cover-tree");
+        assert_eq!(ix.auto_switches(), 1);
+        assert!(ix.check_coherence(&slab, &Jaccard).is_ok());
+        // The statistics can never argue their way back onto the grid.
+        assert_eq!(ix.maintain(&slab, &Jaccard), 0);
+        assert_eq!(ix.label(), "auto:cover-tree");
     }
 }

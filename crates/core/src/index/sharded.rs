@@ -78,6 +78,12 @@ impl ShardedGrid {
         self.shards.iter().map(UniformGrid::rebuilds).sum()
     }
 
+    /// Occupied buckets summed over all shards (diagnostics; the auto
+    /// selector's sweep-regime signal).
+    pub fn occupied_buckets(&self) -> usize {
+        self.shards.iter().map(UniformGrid::occupied_buckets).sum()
+    }
+
     /// The shard a seed with these coordinates routes to. Coordinate-less
     /// payloads all land in shard 0 (its unbucketed list is the shared
     /// degradation path). The route depends only on the seed — stable for
@@ -154,13 +160,27 @@ impl<P: GridCoords> NeighborIndex<P> for ShardedGrid {
         NeighborIndex::<P>::distance_lower_bound(&self.shards[0], q, seed)
     }
 
-    fn probe_conflicts(&self, q: &P, changed: &P, radius: f64) -> bool {
+    fn lower_bound_prunes(&self, q: &P, seed: &P, p_dist: f64, delta: f64) -> bool {
+        NeighborIndex::<P>::lower_bound_prunes(&self.shards[0], q, seed, p_dist, delta)
+    }
+
+    fn probe_conflicts<M: Metric<P>>(
+        &self,
+        q: &P,
+        changed: CellId,
+        changed_seed: &P,
+        radius: f64,
+        slab: &CellSlab<P>,
+        metric: &M,
+    ) -> bool {
         // The change routes to exactly one shard, but which one is a
         // hashing detail; claiming a conflict whenever *any* shard's
         // geometry cannot rule it out is sound (per-shard auto-tuning
         // means sides — and so horizons — can differ) and stays
         // O(shards · d).
-        self.shards.iter().any(|s| NeighborIndex::<P>::probe_conflicts(s, q, changed, radius))
+        self.shards
+            .iter()
+            .any(|s| s.probe_conflicts(q, changed, changed_seed, radius, slab, metric))
     }
 
     fn check_coherence<M: Metric<P>>(&self, slab: &CellSlab<P>, _metric: &M) -> Result<(), String> {

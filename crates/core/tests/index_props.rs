@@ -286,6 +286,69 @@ proptest! {
         }
     }
 
+    /// Runtime index auto-selection is an access-path decision, never a
+    /// policy: an engine on [`NeighborIndexKind::Auto`] must match the
+    /// linear scan exactly even when the stream drives it through a live
+    /// grid → cover-tree switch *and* ΔT_del recycling interleavings. A
+    /// high-dimensional warmup lattice clears the selector's population
+    /// floor so the sweep-regime signal forces a confirmed switch before
+    /// the random interleavings begin; the switch drains and refiles the
+    /// whole index mid-stream, which is exactly the moment staleness
+    /// bugs would surface.
+    #[test]
+    fn auto_index_matches_linear_scan_across_switch_and_recycling(
+        ops in prop::collection::vec((0usize..1024, any::<bool>()), 40..160),
+    ) {
+        let cfg = |kind| {
+            EdmConfig::builder(0.8)
+                .rate(100.0)
+                .beta_for_threshold(3.0)
+                .init_points(10)
+                .tau_every(16)
+                .maintenance_every(4)
+                .recycle_horizon(5.0)
+                .neighbor_index(kind)
+                .build()
+                .expect("valid test configuration")
+        };
+        // 8-d lattice points (pairwise distance ≥ 2 > r): every distinct
+        // code founds a cell, repeats absorb.
+        let lattice = |u: usize| {
+            DenseVector::from(std::array::from_fn::<f64, 8, _>(|k| {
+                ((u >> (2 * k)) & 3) as f64 * 2.0
+            }))
+        };
+        let mut linear = EdmStream::new(cfg(NeighborIndexKind::LinearScan), Euclidean);
+        let mut auto = EdmStream::new(cfg(NeighborIndexKind::Auto), Euclidean);
+        let mut t = 0.0;
+        for i in 0..300usize {
+            t += 0.01;
+            let p = lattice(i);
+            linear.insert(&p, t);
+            auto.insert(&p, t);
+        }
+        prop_assert_eq!(auto.stats().index_switches, 1, "warmup must confirm the switch");
+        prop_assert_eq!(auto.index_label(), "auto:cover-tree");
+        for (i, &(u, jump)) in ops.iter().enumerate() {
+            t += if jump { 7.0 } else { 0.01 };
+            let p = lattice(u);
+            linear.insert(&p, t);
+            auto.insert(&p, t);
+            prop_assert!(auto.check_index().is_ok(), "index diverged: {:?}", auto.check_index());
+            if i % 7 == 0 && auto.is_initialized() {
+                prop_assert!(auto.check_invariants(t).is_ok(), "{:?}", auto.check_invariants(t));
+            }
+        }
+        linear.force_init();
+        auto.force_init();
+        prop_assert_eq!(observe(&mut linear, t), observe(&mut auto, t));
+        prop_assert!(auto.check_index().is_ok());
+        prop_assert!(auto.check_invariants(t).is_ok());
+        if ops.iter().filter(|(_, j)| *j).count() >= 5 {
+            prop_assert!(auto.stats().recycled > 0, "recycling never fired");
+        }
+    }
+
     /// Coherence under recycling holds per shard too: arbitrary
     /// interleavings of births, absorptions, and ΔT_del expiries keep
     /// every shard mirroring its slice of the slab and the idle queue
