@@ -1,5 +1,5 @@
 //! Batch-ingest throughput: serial per-point loop vs. the two-phase
-//! probe-then-commit pipeline at 1/2/4 ingest threads.
+//! probe-then-commit pipeline, across a threads × shards matrix.
 //!
 //! The scenario is the steady state the paper's throughput claims rest
 //! on: a large reservoir of cells (every point absorbed, nothing created
@@ -9,9 +9,17 @@
 //! bucket: the high-dimensional regime of the paper's datasets (KDD
 //! d = 34, PAMAP2 d = 51), where the grid degenerates to occupied-bucket
 //! sweeps and a probe costs microseconds — the work worth fanning out.
-//! Batch sizes 64/256/1024 bracket the spawn-amortization question:
-//! scoped workers are spawned per round, so small batches pay
-//! proportionally more coordination.
+//! Batch sizes 64/256/1024 bracket the dispatch-amortization question:
+//! the persistent pool parks its workers between rounds, so small
+//! batches price a condvar wake instead of a thread spawn.
+//!
+//! The shards axis (1 vs 4) is the commit side of the same question:
+//! with `shards > 1` the committer fans phase-2 absorbs out in
+//! shard-owned waves, so `threads×shards = 4×4` is the full pipeline —
+//! parallel probes *and* parallel commits — while `4×1` isolates the
+//! probe fan-out alone. Each entry records the waves its run formed
+//! (`commit_waves`), so a configuration that silently fell back to the
+//! serial commit loop is visible in the artifact.
 //!
 //! Besides the console table, the run rewrites the `parallel_batch_ingest`
 //! (and `host`) sections of the committed `BENCH_ingest.json` via
@@ -19,7 +27,7 @@
 //! tracked machine-readably across PRs. **Read the `host.cpus` field
 //! before reading speedups**: on a single-core container the fan-out
 //! cannot beat the serial loop (the numbers then price the coordination
-//! overhead); the ≥ 1.5× probe-phase scaling claim is for `cpus ≥ 4`.
+//! overhead); the ≥ 1.5× scaling claim is for `cpus ≥ 4`.
 //!
 //! The scenario generators live in [`edm_bench::scenarios`], shared with
 //! the `bench_regression` CI gate so its fresh smoke runs measure
@@ -32,20 +40,22 @@ use edm_bench::report::merge_bench_json;
 use edm_bench::scenarios::{self, CROWDED_CELLS as RESERVOIR_CELLS};
 use edm_common::point::DenseVector;
 
-/// Points pushed through each (threads, batch) configuration.
+/// Points pushed through each (threads, shards, batch) configuration.
 const POINTS_PER_CONFIG: usize = 1 << 16;
 
 struct Run {
     threads: usize,
+    shards: usize,
     batch: usize,
     points_per_sec: f64,
     revalidation_rate: f64,
+    commit_waves: u64,
 }
 
 /// Streams `POINTS_PER_CONFIG` points through `insert_batch` in batches
 /// of `batch`, timing only the ingest calls.
-fn measure(threads: usize, batch: usize) -> Run {
-    let (mut e, mut t) = scenarios::crowded_engine(threads);
+fn measure(threads: usize, shards: usize, batch: usize) -> Run {
+    let (mut e, mut t) = scenarios::crowded_engine_sharded(threads, shards);
     let sites = scenarios::crowded_probe_sites();
     let mut i = 0usize;
     let mut make_batch = |n: usize, t: &mut f64| -> Vec<(DenseVector, f64)> {
@@ -65,6 +75,7 @@ fn measure(threads: usize, batch: usize) -> Run {
         (0..rounds).map(|_| make_batch(batch, &mut t)).collect();
     let reval_before = e.stats().probe_revalidations;
     let tasks_before = e.stats().probe_tasks;
+    let waves_before = e.stats().commit_waves;
     let start = Instant::now();
     for b in &batches {
         e.insert_batch(b);
@@ -74,9 +85,11 @@ fn measure(threads: usize, batch: usize) -> Run {
     let tasks = (e.stats().probe_tasks - tasks_before).max(1);
     Run {
         threads,
+        shards,
         batch,
         points_per_sec: (rounds * batch) as f64 / elapsed,
         revalidation_rate: (e.stats().probe_revalidations - reval_before) as f64 / tasks as f64,
+        commit_waves: e.stats().commit_waves - waves_before,
     }
 }
 
@@ -87,29 +100,43 @@ fn main() {
          {POINTS_PER_CONFIG} points/config, {cpus} cpu(s) available"
     );
     let mut runs: Vec<Run> = Vec::new();
-    for &batch in &[64usize, 256, 1024] {
-        for &threads in &[1usize, 2, 4] {
-            let run = measure(threads, batch);
-            println!(
-                "parallel_batch_ingest/threads{}/batch{}: {:.0} points/s (reval {:.4})",
-                run.threads, run.batch, run.points_per_sec, run.revalidation_rate
-            );
-            runs.push(run);
+    for &shards in &[1usize, 4] {
+        for &batch in &[64usize, 256, 1024] {
+            for &threads in &[1usize, 2, 4] {
+                let run = measure(threads, shards, batch);
+                println!(
+                    "parallel_batch_ingest/threads{}/shards{}/batch{}: {:.0} points/s \
+                     (reval {:.4}, {} waves)",
+                    run.threads,
+                    run.shards,
+                    run.batch,
+                    run.points_per_sec,
+                    run.revalidation_rate,
+                    run.commit_waves
+                );
+                runs.push(run);
+            }
         }
     }
-    for &batch in &[64usize, 256, 1024] {
-        let base = runs
-            .iter()
-            .find(|r| r.threads == 1 && r.batch == batch)
+    let serial_base = |shards: usize, batch: usize| -> f64 {
+        runs.iter()
+            .find(|r| r.threads == 1 && r.shards == shards && r.batch == batch)
             .expect("serial baseline measured")
-            .points_per_sec;
-        for r in runs.iter().filter(|r| r.batch == batch && r.threads > 1) {
-            println!(
-                "  speedup threads{} batch{}: {:.2}x vs serial",
-                r.threads,
-                batch,
-                r.points_per_sec / base
-            );
+            .points_per_sec
+    };
+    for &shards in &[1usize, 4] {
+        for &batch in &[64usize, 256, 1024] {
+            let base = serial_base(shards, batch);
+            for r in runs.iter().filter(|r| r.shards == shards && r.batch == batch && r.threads > 1)
+            {
+                println!(
+                    "  speedup threads{} shards{} batch{}: {:.2}x vs serial",
+                    r.threads,
+                    shards,
+                    batch,
+                    r.points_per_sec / base
+                );
+            }
         }
     }
 
@@ -117,21 +144,19 @@ fn main() {
     let entries: Vec<String> = runs
         .iter()
         .map(|r| {
-            let base = runs
-                .iter()
-                .find(|b| b.threads == 1 && b.batch == r.batch)
-                .expect("serial baseline measured")
-                .points_per_sec;
+            let base = serial_base(r.shards, r.batch);
             format!(
-                "{{\"threads\": {}, \"batch\": {}, \"reservoir_cells\": {}, \
+                "{{\"threads\": {}, \"shards\": {}, \"batch\": {}, \"reservoir_cells\": {}, \
                  \"points_per_sec\": {:.0}, \"speedup_vs_serial\": {:.3}, \
-                 \"revalidation_rate\": {:.5}}}",
+                 \"revalidation_rate\": {:.5}, \"commit_waves\": {}}}",
                 r.threads,
+                r.shards,
                 r.batch,
                 RESERVOIR_CELLS,
                 r.points_per_sec,
                 r.points_per_sec / base,
-                r.revalidation_rate
+                r.revalidation_rate,
+                r.commit_waves
             )
         })
         .collect();

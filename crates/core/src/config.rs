@@ -185,6 +185,20 @@ pub struct EdmConfig {
     /// smuggled zeros.
     #[serde(default = "default_ingest_threads")]
     pub(crate) ingest_threads: usize,
+    /// Minimum planned wave length before the batch committer fans a
+    /// shard-owned commit wave out across the worker pool instead of
+    /// committing serially. Shorter waves cannot amortize the wake/merge
+    /// round trip. `0` behaves like `1` (any provable wave fans out);
+    /// only meaningful with `ingest_threads > 1` and a sharded index.
+    #[serde(default = "default_commit_wave_min")]
+    pub(crate) commit_wave_min: usize,
+    /// Minimum DP-Tree population (active cells) before the Theorem-1/2
+    /// dependency-candidate scan fans out across the worker pool. Below
+    /// it the serial scan wins — the scan is a tight read-only loop, and
+    /// a pool round costs a wake/park cycle. `0` behaves like `1`; only
+    /// meaningful with `ingest_threads > 1`.
+    #[serde(default = "default_parallel_candidates_min")]
+    pub(crate) parallel_candidates_min: usize,
 }
 
 /// Serde default for [`EdmConfig::digest_history`]: configs persisted
@@ -203,6 +217,16 @@ fn default_shards() -> usize {
 /// before the field existed load as serial batch ingest.
 fn default_ingest_threads() -> usize {
     1
+}
+
+/// Serde default for [`EdmConfig::commit_wave_min`].
+fn default_commit_wave_min() -> usize {
+    64
+}
+
+/// Serde default for [`EdmConfig::parallel_candidates_min`].
+fn default_parallel_candidates_min() -> usize {
+    512
 }
 
 impl EdmConfig {
@@ -229,6 +253,8 @@ impl EdmConfig {
                 neighbor_index: NeighborIndexKind::default(),
                 shards: default_shards(),
                 ingest_threads: default_ingest_threads(),
+                commit_wave_min: default_commit_wave_min(),
+                parallel_candidates_min: default_parallel_candidates_min(),
             },
         }
     }
@@ -383,6 +409,18 @@ impl EdmConfig {
     /// Worker threads for the probe phase of batch ingest (1 = serial).
     pub fn ingest_threads(&self) -> usize {
         self.ingest_threads
+    }
+
+    /// Minimum planned wave length before shard-owned commit waves fan
+    /// out across the worker pool.
+    pub fn commit_wave_min(&self) -> usize {
+        self.commit_wave_min
+    }
+
+    /// Minimum active-cell count before the dependency-candidate scan
+    /// fans out across the worker pool.
+    pub fn parallel_candidates_min(&self) -> usize {
+        self.parallel_candidates_min
     }
 
     // ----- derived quantities -----
@@ -576,6 +614,26 @@ impl EdmConfigBuilder {
         self
     }
 
+    /// Minimum planned wave length before the batch committer fans a
+    /// shard-owned commit wave out across the worker pool (see
+    /// [`EdmConfig::commit_wave_min`]). Lower values parallelize more
+    /// commit work but pay a pool round trip per wave; `0` fans out every
+    /// provable wave. Irrelevant unless `ingest_threads > 1` *and* the
+    /// index is a sharded grid.
+    pub fn commit_wave_min(mut self, min: usize) -> Self {
+        self.cfg.commit_wave_min = min;
+        self
+    }
+
+    /// Minimum DP-Tree population before the Theorem-1/2 dependency
+    /// candidate scan fans out across the worker pool (see
+    /// [`EdmConfig::parallel_candidates_min`]). Irrelevant unless
+    /// `ingest_threads > 1`.
+    pub fn parallel_candidates_min(mut self, min: usize) -> Self {
+        self.cfg.parallel_candidates_min = min;
+        self
+    }
+
     /// Validates the parameters and produces the configuration.
     pub fn build(self) -> Result<EdmConfig, ConfigError> {
         self.cfg.check()?;
@@ -737,6 +795,16 @@ mod tests {
         let mut smuggled = parallel.clone();
         smuggled.ingest_threads = 0;
         assert_eq!(smuggled.check().unwrap_err(), ConfigError::ZeroIngestThreads);
+    }
+
+    #[test]
+    fn pool_knobs_default_and_override() {
+        let cfg = EdmConfig::builder(0.5).build().unwrap();
+        assert_eq!(cfg.commit_wave_min(), 64);
+        assert_eq!(cfg.parallel_candidates_min(), 512);
+        let tuned = cfg.to_builder().commit_wave_min(8).parallel_candidates_min(0).build().unwrap();
+        assert_eq!(tuned.commit_wave_min(), 8);
+        assert_eq!(tuned.parallel_candidates_min(), 0);
     }
 
     #[test]

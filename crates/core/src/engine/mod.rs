@@ -37,9 +37,12 @@
 mod ingest;
 mod maintain;
 mod parallel;
+mod pool;
 mod query;
 #[cfg(test)]
 mod tests;
+
+pub use pool::live_pool_workers;
 
 use edm_common::decay::DecayModel;
 use edm_common::metric::Metric;
@@ -55,9 +58,10 @@ use crate::index::CellIndex;
 use crate::slab::CellSlab;
 use crate::tau::TauController;
 
-use ingest::ScratchDistances;
-use maintain::IdleQueue;
+use ingest::{BirthLedger, ScratchDistances};
+use maintain::{DepScratch, IdleQueue};
 use parallel::ProbePool;
+use pool::WorkerPool;
 
 /// Engine phase: caching the initialization buffer, or running.
 enum Phase<P> {
@@ -97,6 +101,18 @@ pub struct EdmStream<P, M> {
     /// Reusable result buffers for the parallel probe phase of
     /// `insert_batch` (idle while `ingest_threads` is 1).
     probe_pool: ProbePool,
+    /// The persistent worker pool every parallel stage dispatches through
+    /// (probe fan-out, commit waves, the dependency candidate pass).
+    /// Spawns `ingest_threads − 1` parked threads lazily on the first
+    /// real round; joined when the engine drops.
+    workers: WorkerPool,
+    /// Per-commit-route birth tracking for the batch commit loop's probe
+    /// revalidation decisions (reused across rounds).
+    ledger: BirthLedger<P>,
+    /// Chunk-claim flags for commit-wave dispatch (reused across waves).
+    wave_claims: Vec<std::sync::atomic::AtomicBool>,
+    /// Reusable chunk buffers for the parallel dependency-candidate pass.
+    dep_scratch: DepScratch,
     active_thr: f64,
     dt_del: f64,
     start: Option<Timestamp>,
@@ -117,7 +133,7 @@ pub struct EdmStream<P, M> {
     structure_dirty: bool,
 }
 
-impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
+impl<P: Clone + GridCoords + Send + Sync, M: Metric<P>> EdmStream<P, M> {
     /// Creates an engine; the first `cfg.init_points` inserts are buffered
     /// for the initialization step.
     ///
@@ -205,6 +221,10 @@ impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
             scratch: ScratchDistances::default(),
             idle: IdleQueue::default(),
             probe_pool: ProbePool::default(),
+            workers: WorkerPool::new(cfg.ingest_threads()),
+            ledger: BirthLedger::default(),
+            wave_claims: Vec::new(),
+            dep_scratch: DepScratch::default(),
             active_thr,
             dt_del,
             start: None,
@@ -272,13 +292,16 @@ fn suggest_tau_from_deltas(sorted: &[f64]) -> Option<f64> {
 }
 
 /// Compile-time `Send + Sync` audit of the engine and its parallel-ingest
-/// machinery: the probe phase shares `&self` across scoped threads, and
+/// machinery: the probe phase shares `&self` across pool workers, and
 /// [`crate::ClusterSnapshot`]'s docs promise it ships across threads —
-/// neither claim may silently rot. All of it holds without a single
-/// `unsafe` block in this crate (scoped threads borrow safely).
+/// neither claim may silently rot. The crate's single audited `unsafe`
+/// boundary is `engine/pool.rs` (the persistent pool's lifetime-erased
+/// dispatch); everything layered on it — probe fan-out, commit waves, the
+/// candidate pass — is safe code checked by these bounds.
 const fn assert_send_sync<T: Send + Sync>() {}
 const _: () = {
     assert_send_sync::<ProbePool>();
+    assert_send_sync::<WorkerPool>();
     assert_send_sync::<crate::index::CellIndex>();
     assert_send_sync::<crate::index::UniformGrid>();
     assert_send_sync::<crate::index::ShardedGrid>();
@@ -288,7 +311,7 @@ const _: () = {
     assert_send_sync::<EdmStream<edm_common::point::TokenSet, edm_common::metric::Jaccard>>();
 };
 
-impl<P: Clone + GridCoords + Sync, M: Metric<P>> edm_data::clusterer::StreamClusterer<P>
+impl<P: Clone + GridCoords + Send + Sync, M: Metric<P>> edm_data::clusterer::StreamClusterer<P>
     for EdmStream<P, M>
 {
     fn name(&self) -> &'static str {

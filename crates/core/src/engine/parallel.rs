@@ -5,14 +5,17 @@
 //!
 //! 1. **Probe** (parallel, here): every point's assignment query — the
 //!    nearest cell seed within `r`, resolved through the neighbor index —
-//!    runs against `&self` engine state, fanned out across scoped worker
-//!    threads. This is safe because queries are strictly read-only (the
-//!    layering contract of [`super`]) and is where an insert spends most
-//!    of its time in absorb-dominated steady state.
-//! 2. **Commit** (serial, in `ingest.rs`): points apply in timestamp
-//!    order. A pre-computed probe is only trusted while no earlier commit
-//!    in the same batch could have changed its answer *or its probed
-//!    set*: a cell birth near the point (decided by
+//!    runs against `&self` engine state, fanned out across the engine's
+//!    persistent [`super::pool::WorkerPool`]. This is safe because queries
+//!    are strictly read-only (the layering contract of [`super`]) and is
+//!    where an insert spends most of its time in absorb-dominated steady
+//!    state.
+//! 2. **Commit** (in `ingest.rs`): points apply in timestamp order,
+//!    either serially or — when the sharded index can prove
+//!    non-interference — as shard-owned commit waves merged by a single
+//!    sequencer. A pre-computed probe is only trusted while no earlier
+//!    commit in the same batch could have changed its answer *or its
+//!    probed set*: a cell birth near the point (decided by
 //!    [`crate::index::NeighborIndex::probe_conflicts`]), any recycling,
 //!    or a grid rebuild sends the point back through the serial scan —
 //!    counted in [`crate::EngineStats::probe_revalidations`]. Output is
@@ -20,15 +23,20 @@
 //!    every thread count; parallelism only changes who computes the
 //!    probes.
 //!
-//! The pool itself is just reusable per-point result buffers plus the
-//! fan-out logic: workers are `std::thread::scope` threads spawned per
-//! batch (scoped threads are what lets them borrow the engine without
-//! `'static` gymnastics or `unsafe`), while the [`ProbeSlot`] buffers —
-//! the allocation that would otherwise recur per point — persist on the
-//! engine across batches. Work is partitioned into contiguous chunks of
-//! the batch rather than by grid shard: probes *read* every shard (a
-//! nearest query folds per-shard winners), so batch position is the only
-//! contention-free split.
+//! Until PR 9 the fan-out spawned fresh `std::thread::scope` workers per
+//! round; now the pool's threads persist across rounds and park between
+//! them, so steady-state probing costs a wake/park cycle instead of a
+//! spawn/join pair. Rounds are split into chunks several times smaller
+//! than an even per-thread share, claimed from a shared cursor — a thread
+//! that drew cheap probes steals the tail from one that drew expensive
+//! ones (visible in [`crate::EngineStats::pool_steals`]). Work is still
+//! partitioned by batch position rather than by grid shard: probes *read*
+//! every shard (a nearest query folds per-shard winners), so batch
+//! position is the only contention-free split. The [`ProbeSlot`] result
+//! buffers and the chunk-claim flags both persist on the engine, so a
+//! steady-state round allocates nothing.
+
+use std::sync::atomic::AtomicBool;
 
 use edm_common::metric::Metric;
 use edm_common::point::GridCoords;
@@ -37,6 +45,17 @@ use edm_common::time::Timestamp;
 use crate::cell::CellId;
 use crate::index::{CellIndex, NeighborIndex};
 use crate::slab::CellSlab;
+
+use super::pool::{SliceTasks, WorkerPool};
+
+/// Probe chunks handed out per participating thread (before stealing):
+/// finer than one chunk per thread so an unlucky thread's expensive tail
+/// can be stolen, coarse enough that cursor traffic stays negligible.
+const TASKS_PER_PARTICIPANT: usize = 4;
+
+/// Minimum probe-chunk length — below this, claim traffic would rival
+/// the probes themselves and tiny rounds degenerate to the inline loop.
+const MIN_CHUNK: usize = 16;
 
 /// One point's resolved assignment probe, computed against the engine
 /// state at probe time.
@@ -52,22 +71,27 @@ pub(super) struct ProbeSlot {
     pub(super) probes: Vec<(CellId, f64)>,
 }
 
-/// Reusable fan-out state for the probe phase: per-point result slots
-/// that persist across batches so steady-state probing allocates nothing.
-#[derive(Debug, Clone, Default)]
+/// Reusable fan-out state for the probe phase: per-point result slots and
+/// chunk-claim flags that persist across batches so steady-state probing
+/// allocates nothing.
+#[derive(Debug, Default)]
 pub(super) struct ProbePool {
     slots: Vec<ProbeSlot>,
+    claims: Vec<AtomicBool>,
 }
 
 impl ProbePool {
     /// Probes every point of `batch` against the (frozen, shared) index
-    /// and slab, using up to `threads` OS threads, and returns one filled
-    /// slot per point, in batch order.
+    /// and slab, fanning chunks out across `workers`, and returns one
+    /// filled slot per point, in batch order.
     ///
-    /// The calling thread always works the first chunk itself, so
-    /// `threads = 1` degenerates to an inline loop without a spawn.
+    /// The calling thread claims chunks like any pool worker, so
+    /// `threads = 1` (or a single-chunk round) degenerates to an inline
+    /// loop without waking anyone.
+    #[allow(clippy::too_many_arguments)]
     pub(super) fn run<P, M>(
         &mut self,
+        workers: &mut WorkerPool,
         threads: usize,
         batch: &[(P, Timestamp)],
         index: &CellIndex,
@@ -83,32 +107,24 @@ impl ProbePool {
         if self.slots.len() < n {
             self.slots.resize_with(n, ProbeSlot::default);
         }
-        let slots = &mut self.slots[..n];
-        let workers = threads.min(n).max(1);
-        if workers == 1 {
-            for ((p, _), slot) in batch.iter().zip(slots.iter_mut()) {
+        let participants = threads.min(n).max(1);
+        if participants == 1 {
+            for ((p, _), slot) in batch.iter().zip(self.slots.iter_mut()) {
                 probe_one(index, slab, metric, radius, p, slot);
             }
-        } else {
-            let chunk = n.div_ceil(workers);
-            std::thread::scope(|scope| {
-                let mut point_chunks = batch.chunks(chunk);
-                let mut slot_chunks = slots.chunks_mut(chunk);
-                let own_points = point_chunks.next().expect("batch is non-empty");
-                let own_slots = slot_chunks.next().expect("batch is non-empty");
-                for (points, chunk_slots) in point_chunks.zip(slot_chunks) {
-                    scope.spawn(move || {
-                        for ((p, _), slot) in points.iter().zip(chunk_slots.iter_mut()) {
-                            probe_one(index, slab, metric, radius, p, slot);
-                        }
-                    });
-                }
-                for ((p, _), slot) in own_points.iter().zip(own_slots.iter_mut()) {
-                    probe_one(index, slab, metric, radius, p, slot);
-                }
-            });
+            return &mut self.slots[..n];
         }
-        slots
+        let chunk = n.div_ceil(participants * TASKS_PER_PARTICIPANT).max(MIN_CHUNK);
+        let tasks = SliceTasks::new(&mut self.slots[..n], chunk, &mut self.claims);
+        workers.run(tasks.tasks(), &|i| {
+            let chunk_slots = tasks.take(i);
+            let start = i * chunk;
+            let points = &batch[start..start + chunk_slots.len()];
+            for ((p, _), slot) in points.iter().zip(chunk_slots.iter_mut()) {
+                probe_one(index, slab, metric, radius, p, slot);
+            }
+        });
+        &mut self.slots[..n]
     }
 }
 
@@ -155,7 +171,7 @@ mod tests {
     #[test]
     fn pool_matches_direct_probes_at_every_thread_count() {
         let (slab, index) = slab_grid(64);
-        let batch: Vec<(DenseVector, Timestamp)> = (0..37)
+        let batch: Vec<(DenseVector, Timestamp)> = (0..137)
             .map(|i| (DenseVector::from([(i % 16) as f64 * 2.0 + 0.1, 0.2]), i as f64))
             .collect();
         let mut reference: Vec<ProbeSlot> = Vec::new();
@@ -165,8 +181,9 @@ mod tests {
             reference.push(slot);
         }
         for threads in [1, 2, 4, 64] {
+            let mut workers = WorkerPool::new(threads);
             let mut pool = ProbePool::default();
-            let slots = pool.run(threads, &batch, &index, &slab, &Euclidean, 0.5);
+            let slots = pool.run(&mut workers, threads, &batch, &index, &slab, &Euclidean, 0.5);
             assert_eq!(slots.len(), batch.len());
             for (got, want) in slots.iter().zip(&reference) {
                 assert_eq!(got.best, want.best, "threads={threads}");
@@ -180,13 +197,29 @@ mod tests {
         let (slab, index) = slab_grid(16);
         let batch: Vec<(DenseVector, Timestamp)> =
             (0..8).map(|i| (DenseVector::from([i as f64 * 2.0, 0.0]), i as f64)).collect();
+        let mut workers = WorkerPool::new(2);
         let mut pool = ProbePool::default();
-        pool.run(2, &batch, &index, &slab, &Euclidean, 0.5);
+        pool.run(&mut workers, 2, &batch, &index, &slab, &Euclidean, 0.5);
         // A second, smaller batch must only see freshly cleared slots.
         let small: Vec<(DenseVector, Timestamp)> = vec![(DenseVector::from([1000.0, 1000.0]), 9.0)];
-        let slots = pool.run(2, &small, &index, &slab, &Euclidean, 0.5);
+        let slots = pool.run(&mut workers, 2, &small, &index, &slab, &Euclidean, 0.5);
         assert_eq!(slots.len(), 1);
         assert_eq!(slots[0].best, None);
         assert!(slots[0].probes.is_empty(), "stale probes must not leak across batches");
+    }
+
+    #[test]
+    fn large_rounds_reuse_the_same_persistent_workers() {
+        let (slab, index) = slab_grid(64);
+        let batch: Vec<(DenseVector, Timestamp)> = (0..512)
+            .map(|i| (DenseVector::from([(i % 16) as f64 * 2.0 + 0.1, 0.2]), i as f64))
+            .collect();
+        let mut workers = WorkerPool::new(4);
+        let mut pool = ProbePool::default();
+        for round in 1..=5 {
+            pool.run(&mut workers, 4, &batch, &index, &slab, &Euclidean, 0.5);
+            assert_eq!(workers.rounds(), round, "each batch is one pool round");
+        }
+        assert_eq!(workers.spawned(), 3, "no per-batch spawn: workers persist");
     }
 }

@@ -1,0 +1,554 @@
+//! Persistent worker pool for parallel ingest.
+//!
+//! PR 4's probe-then-commit pipeline spawned fresh `std::thread::scope`
+//! workers for *every* batch round — correct, but the spawn/join pair is
+//! pure coordination overhead paid per round, and scoped threads cannot
+//! outlive the call that spawned them, so nothing could ever be handed to
+//! a worker across rounds. [`WorkerPool`] replaces that: `ingest_threads
+//! − 1` OS threads are spawned once (lazily, on the first round that can
+//! use them), **park** on a condvar between rounds, and are joined when
+//! the engine is dropped. The probe fan-out, the shard-owned commit
+//! waves, and the parallel dependency-candidate pass all dispatch through
+//! the same pool.
+//!
+//! # The round protocol
+//!
+//! A round is `run(tasks, f)`: execute `f(i)` exactly once for every `i
+//! in 0..tasks`, on any participating thread, and do not return before
+//! every call has finished. Tasks are claimed from a shared atomic
+//! cursor, so load balancing is automatic: a worker that finishes its
+//! first claim *steals* further tasks from the cursor (counted in
+//! [`crate::EngineStats::pool_steals`]); the calling thread participates
+//! too, so one configured thread degenerates to the plain inline loop
+//! with no parking and no wake-ups. There is no per-round task list to
+//! build or reallocate — the cursor *is* the queue.
+//!
+//! # Safety
+//!
+//! This module is the engine's one audited `unsafe` boundary (the
+//! workspace precedent is `edm-serve`'s `SwapCell`). The single unsafe
+//! idea: `run` erases the borrow lifetime of its closure reference to
+//! `'static` so parked OS threads can see it. That is sound because
+//! `run` reconstructs exactly the guarantee `std::thread::scope`
+//! provides — **the borrow outlives every use** — via a barrier:
+//!
+//! * A worker may only obtain the job under the state mutex, *while the
+//!   job is published* (`PoolState::job` is `Some`), and checks in by
+//!   incrementing `PoolState::active_workers` under the same lock.
+//! * Every execution of `f` happens between that check-in and the
+//!   worker's check-out (decrement under the lock, then notify).
+//! * `run` returns only after (a) the task cursor is exhausted, (b) the
+//!   outstanding-task count has drained to zero, **and** (c)
+//!   `active_workers == 0` — at which point it unpublishes the job.
+//!   A worker that wakes late finds `job == None` and parks again
+//!   without ever touching the stale pointer.
+//!
+//! So no thread can hold, or later acquire, the erased reference once
+//! `run` returns: the borrow provably outlives every dereference, which
+//! is the exact obligation the lifetime erasure discharges. A panicking
+//! task is caught, flagged, and re-raised on the calling thread after
+//! the barrier — mirroring scoped-spawn behavior without poisoning the
+//! pool (workers survive and park for the next round).
+
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Process-wide count of live pool worker threads. Incremented when a
+/// worker starts, decremented (panic-safely) when it exits; exported as
+/// [`crate::live_pool_workers`] so leak checks — "dropping the engine
+/// joined every worker" — are observable from outside the crate.
+static LIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of `WorkerPool` worker threads currently alive in this
+/// process, across all engines. A diagnostic for tests and operators:
+/// after an engine is dropped, its workers are joined synchronously, so
+/// a count that stays elevated is a thread leak.
+pub fn live_pool_workers() -> usize {
+    LIVE_WORKERS.load(Ordering::SeqCst)
+}
+
+/// Decrements [`LIVE_WORKERS`] even if the worker unwinds.
+struct WorkerGuard;
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        LIVE_WORKERS.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A round's work order: the erased closure plus its task count.
+#[derive(Clone, Copy)]
+struct Job {
+    /// The round closure with its borrow lifetime erased to `'static`;
+    /// only dereferenced between a worker's check-in and check-out, which
+    /// the driver's barrier confines to the lifetime of the real borrow
+    /// (see the module-level safety argument).
+    f: *const (dyn Fn(usize) + Sync + 'static),
+    /// Task indices `0..tasks` are claimed through [`PoolShared::cursor`].
+    tasks: usize,
+}
+
+// SAFETY: `Job` is a shared-reference-like handle (`&dyn Fn + Sync`
+// behind the erasure), so sending it to another thread is sending a
+// `&T where T: Sync` — sound. The *lifetime* obligation is discharged by
+// the barrier protocol, not by this impl.
+unsafe impl Send for Job {}
+
+/// Mutex-guarded pool state: round publication and the check-in ledger.
+struct PoolState {
+    /// Bumped once per dispatched round; a worker re-parks without
+    /// claiming when the epoch it last served is still current.
+    epoch: u64,
+    /// The published round, `None` between rounds. Publication is the
+    /// only gate through which a worker may obtain the erased closure.
+    job: Option<Job>,
+    /// Workers currently between check-in and check-out — the part of
+    /// the barrier that proves no worker still holds the erased borrow.
+    active_workers: usize,
+    /// Set by `Drop`; workers exit instead of parking.
+    shutdown: bool,
+}
+
+/// State shared between the driver and the workers.
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers park here between rounds.
+    work: Condvar,
+    /// The driver parks here while the round drains.
+    done: Condvar,
+    /// Next unclaimed task index of the current round.
+    cursor: AtomicUsize,
+    /// Tasks claimed but not yet completed, plus tasks not yet claimed.
+    remaining: AtomicUsize,
+    /// Tasks claimed by a worker beyond its first in a round — the
+    /// load-balancing traffic the shared cursor absorbs.
+    steals: AtomicU64,
+    /// A task panicked this round; the driver re-raises after the barrier.
+    panicked: AtomicBool,
+}
+
+/// The worker thread body: park, claim, execute, check out, repeat.
+fn worker_loop(shared: Arc<PoolShared>) {
+    let _guard = WorkerGuard;
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool mutex never poisons: tasks are caught");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    if let Some(job) = st.job {
+                        st.active_workers += 1;
+                        break job;
+                    }
+                    // Round already unpublished — arrived too late; the
+                    // epoch is recorded so the next wake isn't a re-run.
+                }
+                st = shared.work.wait(st).expect("pool mutex never poisons");
+            }
+        };
+        let mut claimed_any = false;
+        loop {
+            let i = shared.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= job.tasks {
+                break;
+            }
+            if claimed_any {
+                shared.steals.fetch_add(1, Ordering::Relaxed);
+            }
+            claimed_any = true;
+            if !shared.panicked.load(Ordering::Relaxed) {
+                // SAFETY: obtained under publication between check-in and
+                // check-out; the driver's barrier keeps the real borrow
+                // alive until check-out (module-level argument).
+                let f = unsafe { &*job.f };
+                if catch_unwind(AssertUnwindSafe(|| f(i))).is_err() {
+                    shared.panicked.store(true, Ordering::SeqCst);
+                }
+            }
+            shared.remaining.fetch_sub(1, Ordering::AcqRel);
+        }
+        {
+            let mut st = shared.state.lock().expect("pool mutex never poisons");
+            st.active_workers -= 1;
+        }
+        shared.done.notify_all();
+    }
+}
+
+/// Persistent, parkable worker threads sized by `ingest_threads`.
+///
+/// The pool spawns lazily: a serial engine (`ingest_threads == 1`), or a
+/// parallel engine that never sees a batch, owns no threads at all.
+/// Dropping the pool (with the engine) signals shutdown and joins every
+/// worker synchronously — no detached threads survive the engine.
+pub(super) struct WorkerPool {
+    /// Worker threads to run besides the caller (`ingest_threads − 1`).
+    target: usize,
+    shared: Option<Arc<PoolShared>>,
+    handles: Vec<JoinHandle<()>>,
+    /// Rounds dispatched to parked workers (wake/park cycles). Inline
+    /// degenerate rounds — one configured thread, or a single task — are
+    /// not counted: nothing was woken.
+    rounds: u64,
+    /// Tasks any participant claimed beyond its first in a round.
+    steals: u64,
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        WorkerPool::new(1)
+    }
+}
+
+impl WorkerPool {
+    /// A pool for `threads` total participants (the calling thread plus
+    /// `threads − 1` workers, spawned on first use).
+    pub(super) fn new(threads: usize) -> Self {
+        WorkerPool {
+            target: threads.saturating_sub(1),
+            shared: None,
+            handles: Vec::new(),
+            rounds: 0,
+            steals: 0,
+        }
+    }
+
+    /// Rounds dispatched to parked workers so far.
+    pub(super) fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Cross-thread task claims beyond each participant's first, summed
+    /// over all rounds.
+    pub(super) fn steals(&self) -> u64 {
+        self.steals
+    }
+
+    /// Worker threads currently spawned (0 until the first real round).
+    #[cfg(test)]
+    pub(super) fn spawned(&self) -> usize {
+        self.handles.len()
+    }
+
+    fn ensure_spawned(&mut self) -> &Arc<PoolShared> {
+        if self.shared.is_none() {
+            let shared = Arc::new(PoolShared {
+                state: Mutex::new(PoolState {
+                    epoch: 0,
+                    job: None,
+                    active_workers: 0,
+                    shutdown: false,
+                }),
+                work: Condvar::new(),
+                done: Condvar::new(),
+                cursor: AtomicUsize::new(0),
+                remaining: AtomicUsize::new(0),
+                steals: AtomicU64::new(0),
+                panicked: AtomicBool::new(false),
+            });
+            for _ in 0..self.target {
+                let shared = Arc::clone(&shared);
+                LIVE_WORKERS.fetch_add(1, Ordering::SeqCst);
+                self.handles.push(
+                    std::thread::Builder::new()
+                        .name("edm-pool-worker".into())
+                        .spawn(move || worker_loop(shared))
+                        .expect("spawning a pool worker thread"),
+                );
+            }
+            self.shared = Some(shared);
+        }
+        self.shared.as_ref().expect("just ensured")
+    }
+
+    /// Executes `f(i)` exactly once for every `i in 0..tasks` across the
+    /// pool and the calling thread, returning only when all calls have
+    /// finished (the barrier the module docs describe). With one
+    /// configured participant or one task this is the plain inline loop.
+    ///
+    /// # Panics
+    /// Re-raises (once, on the calling thread, after the barrier) when
+    /// any task panicked.
+    pub(super) fn run(&mut self, tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if tasks == 0 {
+            return;
+        }
+        if self.target == 0 || tasks == 1 {
+            for i in 0..tasks {
+                f(i);
+            }
+            return;
+        }
+        self.rounds += 1;
+        self.ensure_spawned();
+        let shared = self.shared.as_ref().expect("spawned above");
+        shared.cursor.store(0, Ordering::SeqCst);
+        shared.remaining.store(tasks, Ordering::SeqCst);
+        shared.panicked.store(false, Ordering::SeqCst);
+        {
+            let mut st = shared.state.lock().expect("pool mutex never poisons");
+            st.epoch += 1;
+            // SAFETY: lifetime erasure to `'static`; every dereference is
+            // confined between worker check-in and check-out, and the
+            // barrier below outlives all of them — see the module docs.
+            let f: *const (dyn Fn(usize) + Sync + 'static) =
+                unsafe { std::mem::transmute(f as *const (dyn Fn(usize) + Sync)) };
+            st.job = Some(Job { f, tasks });
+        }
+        shared.work.notify_all();
+        // The driver claims tasks like any worker.
+        let mut claimed_any = false;
+        loop {
+            let i = shared.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= tasks {
+                break;
+            }
+            if claimed_any {
+                self.steals += 1;
+            }
+            claimed_any = true;
+            if !shared.panicked.load(Ordering::Relaxed)
+                && catch_unwind(AssertUnwindSafe(|| f(i))).is_err()
+            {
+                shared.panicked.store(true, Ordering::SeqCst);
+            }
+            shared.remaining.fetch_sub(1, Ordering::AcqRel);
+        }
+        // Barrier: all tasks finished AND no worker still inside its
+        // claim loop (it could still be holding the erased borrow).
+        {
+            let mut st = shared.state.lock().expect("pool mutex never poisons");
+            while shared.remaining.load(Ordering::Acquire) > 0 || st.active_workers > 0 {
+                st = shared.done.wait(st).expect("pool mutex never poisons");
+            }
+            st.job = None;
+        }
+        self.steals += shared.steals.swap(0, Ordering::Relaxed);
+        if shared.panicked.load(Ordering::SeqCst) {
+            panic!("worker pool: a parallel task panicked (state may be inconsistent)");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        if let Some(shared) = &self.shared {
+            {
+                let mut st = shared.state.lock().expect("pool mutex never poisons");
+                st.shutdown = true;
+            }
+            shared.work.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Runtime-checked disjoint handout of `&mut` chunks of a slice to pool
+/// tasks.
+///
+/// The pool's contract (each task index claimed exactly once) is what
+/// makes per-index chunk handout aliasing-free, but that contract lives
+/// in `WorkerPool`, not in the type system. `SliceTasks` re-checks it
+/// dynamically — an atomic claim flag per chunk, flipped exactly once —
+/// so its callers in `parallel.rs`, `ingest.rs` and `maintain.rs` stay
+/// entirely safe code: a double claim is a loud panic, never aliasing.
+/// The claim-flag storage is borrowed from the caller so steady-state
+/// rounds reuse one allocation.
+pub(super) struct SliceTasks<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    chunk: usize,
+    claims: &'a [AtomicBool],
+    _borrow: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: handing a `SliceTasks` across threads moves/shares only a raw
+// pointer plus atomics; actual element access is `&mut T` handed out
+// disjointly (claim-checked), so `T: Send` is the exact requirement —
+// the same bound `std::thread::scope` would demand to move `&mut [T]`
+// chunks into workers.
+unsafe impl<T: Send> Send for SliceTasks<'_, T> {}
+// SAFETY: see above — `take(&self)` is the shared entry point, and the
+// claim flags serialize each chunk to exactly one caller.
+unsafe impl<T: Send> Sync for SliceTasks<'_, T> {}
+
+impl<'a, T> SliceTasks<'a, T> {
+    /// Splits `slice` into `⌈len / chunk⌉` tasks of `chunk` elements
+    /// (last one ragged), resetting `claims` storage to fit.
+    pub(super) fn new(slice: &'a mut [T], chunk: usize, claims: &'a mut Vec<AtomicBool>) -> Self {
+        assert!(chunk > 0, "chunk size must be positive");
+        let tasks = slice.len().div_ceil(chunk);
+        claims.clear();
+        claims.resize_with(tasks, || AtomicBool::new(false));
+        SliceTasks {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            chunk,
+            claims,
+            _borrow: PhantomData,
+        }
+    }
+
+    /// Number of chunk tasks.
+    pub(super) fn tasks(&self) -> usize {
+        self.claims.len()
+    }
+
+    /// Elements per (non-ragged) chunk.
+    #[cfg(test)]
+    pub(super) fn chunk_len(&self) -> usize {
+        self.chunk
+    }
+
+    /// Claims chunk `i`, handing out its elements mutably.
+    ///
+    /// # Panics
+    /// Panics when chunk `i` was already claimed — the dynamic re-check
+    /// of the pool's claim-once contract.
+    // `&self -> &mut` is the point of this type: the claim flags are the
+    // interior-mutability gate that serializes each chunk to one caller.
+    #[allow(clippy::mut_from_ref)]
+    pub(super) fn take(&self, i: usize) -> &mut [T] {
+        let already = self.claims[i].swap(true, Ordering::AcqRel);
+        assert!(!already, "pool chunk {i} claimed twice");
+        let start = i * self.chunk;
+        let end = (start + self.chunk).min(self.len);
+        // SAFETY: the claim flag above hands each index to exactly one
+        // caller, and distinct indices map to disjoint subranges, so no
+        // two live `&mut` returns can alias.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), end - start) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Weak;
+
+    #[test]
+    fn runs_every_task_exactly_once_at_various_widths() {
+        for threads in [1usize, 2, 4, 8] {
+            let mut pool = WorkerPool::new(threads);
+            for tasks in [0usize, 1, 3, 64, 257] {
+                let hits: Vec<AtomicUsize> = (0..tasks).map(|_| AtomicUsize::new(0)).collect();
+                pool.run(tasks, &|i| {
+                    hits[i].fetch_add(1, Ordering::SeqCst);
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::SeqCst) == 1),
+                    "threads={threads}, tasks={tasks}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_spawns_nothing_and_counts_no_rounds() {
+        let mut pool = WorkerPool::new(1);
+        let hit = AtomicUsize::new(0);
+        pool.run(16, &|_| {
+            hit.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hit.load(Ordering::SeqCst), 16);
+        assert_eq!(pool.spawned(), 0);
+        assert_eq!(pool.rounds(), 0, "inline rounds wake nobody");
+    }
+
+    #[test]
+    fn rounds_and_reuse_across_many_dispatches() {
+        let mut pool = WorkerPool::new(4);
+        for round in 1..=50u64 {
+            let sum = AtomicUsize::new(0);
+            pool.run(32, &|i| {
+                sum.fetch_add(i + 1, Ordering::SeqCst);
+            });
+            assert_eq!(sum.load(Ordering::SeqCst), 32 * 33 / 2);
+            assert_eq!(pool.rounds(), round);
+            assert_eq!(pool.spawned(), 3, "workers persist across rounds");
+        }
+    }
+
+    #[test]
+    fn drop_joins_every_worker() {
+        let weak: Weak<PoolShared>;
+        {
+            let mut pool = WorkerPool::new(4);
+            pool.run(64, &|_| {});
+            weak = Arc::downgrade(pool.shared.as_ref().expect("spawned"));
+            assert_eq!(pool.spawned(), 3);
+        }
+        // Workers each held an `Arc<PoolShared>`; join-on-drop means all
+        // clones are gone by the time `drop` returns.
+        assert!(weak.upgrade().is_none(), "a worker outlived the pool");
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let mut pool = WorkerPool::new(4);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(16, &|i| {
+                assert!(i != 7, "boom");
+            });
+        }));
+        assert!(caught.is_err(), "panic must reach the driver");
+        // The pool is still usable afterwards.
+        let hits = AtomicUsize::new(0);
+        pool.run(8, &|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn slice_tasks_hands_out_disjoint_chunks() {
+        let mut data = vec![0u32; 103];
+        let mut claims = Vec::new();
+        let tasks = SliceTasks::new(&mut data, 10, &mut claims);
+        assert_eq!(tasks.tasks(), 11);
+        let mut seen = 0usize;
+        for i in 0..tasks.tasks() {
+            let chunk = tasks.take(i);
+            for v in chunk.iter_mut() {
+                *v += 1;
+            }
+            seen += chunk.len();
+        }
+        assert_eq!(seen, 103);
+        assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "claimed twice")]
+    fn slice_tasks_rejects_double_claims() {
+        let mut data = vec![0u8; 8];
+        let mut claims = Vec::new();
+        let tasks = SliceTasks::new(&mut data, 4, &mut claims);
+        let _a = tasks.take(0);
+        let _b = tasks.take(0);
+    }
+
+    #[test]
+    fn pool_drives_slice_tasks_end_to_end() {
+        let mut pool = WorkerPool::new(4);
+        let mut data = vec![0u64; 1000];
+        let mut claims = Vec::new();
+        let tasks = SliceTasks::new(&mut data, 64, &mut claims);
+        let n = tasks.tasks();
+        let chunk = tasks.chunk_len();
+        pool.run(n, &|i| {
+            for (k, v) in tasks.take(i).iter_mut().enumerate() {
+                *v = (i * chunk + k) as u64;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(k, &v)| v == k as u64));
+    }
+}

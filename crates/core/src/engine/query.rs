@@ -24,7 +24,7 @@ use crate::tree;
 
 use super::EdmStream;
 
-impl<P: Clone + GridCoords, M: Metric<P>> EdmStream<P, M> {
+impl<P: Clone + GridCoords + Send + Sync, M: Metric<P>> EdmStream<P, M> {
     /// Engine configuration.
     pub fn config(&self) -> &EdmConfig {
         &self.cfg

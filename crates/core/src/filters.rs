@@ -154,6 +154,38 @@ pub struct EngineStats {
     /// load.
     #[serde(default)]
     pub index_switches: u64,
+    /// Rounds the persistent ingest worker pool dispatched to its parked
+    /// workers — one wake/park cycle each (inline degenerate rounds are
+    /// not counted: nobody was woken). Before PR 9 every one of these was
+    /// a `thread::scope` spawn/join; now it is a condvar signal, and this
+    /// counter is how that coordination cost stays observable. Zero when
+    /// `ingest_threads` is 1. Serde-defaulted so stats persisted before
+    /// the field existed still load.
+    #[serde(default)]
+    pub pool_rounds: u64,
+    /// Shard-owned commit waves executed by the batch commit loop: runs
+    /// of absorb-only commits the wave planner proved independent and
+    /// fanned out by commit route instead of committing serially. Zero
+    /// when `ingest_threads` is 1 or the index offers a single commit
+    /// route (e.g. the unsharded grid). Serde-defaulted so stats
+    /// persisted before the field existed still load.
+    #[serde(default)]
+    pub commit_waves: u64,
+    /// Points committed through those waves (each wave covers
+    /// `commit_wave_min` points or more). Compare against `points` for
+    /// the fraction of the stream that commits in parallel.
+    /// Serde-defaulted so stats persisted before the field existed still
+    /// load.
+    #[serde(default)]
+    pub wave_points: u64,
+    /// Pool tasks a participant claimed beyond its first in a round —
+    /// the work-stealing traffic of the shared task cursor. High values
+    /// relative to `pool_rounds` mean chunks are uneven (some threads
+    /// drew expensive probes and others absorbed their tail), which is
+    /// the load balancing working, not failing. Serde-defaulted so stats
+    /// persisted before the field existed still load.
+    #[serde(default)]
+    pub pool_steals: u64,
 }
 
 impl EngineStats {
@@ -174,20 +206,26 @@ impl EngineStats {
 
     /// A copy with every field exempt from the **parallel == serial
     /// observational-equivalence contract** zeroed: the parallel-path
-    /// counters (`probe_tasks`, `probe_revalidations`, `parallel_batches`)
-    /// describe *who computed* the probes rather than clustering output,
-    /// `dep_update_nanos` is wall clock, and `snapshots_published` counts
-    /// how often the state was *observed* (published) rather than what
-    /// was clustered. All other counters must match exactly between a
-    /// serial and a parallel (or served) ingestion of the same stream —
-    /// the equivalence suites compare through this one normalizer, so
-    /// this method *is* the exemption list.
+    /// counters (`probe_tasks`, `probe_revalidations`, `parallel_batches`,
+    /// `pool_rounds`, `pool_steals`, `commit_waves`, `wave_points`)
+    /// describe *who computed* the work
+    /// rather than clustering output, `dep_update_nanos` is wall clock,
+    /// and `snapshots_published` counts how often the state was
+    /// *observed* (published) rather than what was clustered. All other
+    /// counters must match exactly between a serial and a parallel (or
+    /// served) ingestion of the same stream — the equivalence suites
+    /// compare through this one normalizer, so this method *is* the
+    /// exemption list.
     pub fn normalized_for_equivalence(&self) -> EngineStats {
         EngineStats {
             probe_tasks: 0,
             probe_revalidations: 0,
             probe_revalidations_avoided: 0,
             parallel_batches: 0,
+            pool_rounds: 0,
+            pool_steals: 0,
+            commit_waves: 0,
+            wave_points: 0,
             dep_update_nanos: 0,
             snapshots_published: 0,
             ..self.clone()

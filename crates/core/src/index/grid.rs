@@ -166,6 +166,55 @@ impl UniformGrid {
         self.rebuilds
     }
 
+    /// The per-axis distance beyond which a coordinate-bearing structural
+    /// change provably cannot alter a `nearest_within(q, radius, ..)`
+    /// probe — the same `(reach + 1) · side` geometry `probe_conflicts`
+    /// applies per birth, exposed so the batch committer's birth ledger
+    /// can test a whole *bounding box* of overflowed births at once.
+    pub(crate) fn conflict_horizon(&self, radius: f64) -> f64 {
+        let reach = (radius / self.side).ceil().min(i64::MAX as f64);
+        (reach + 1.0) * self.side
+    }
+
+    /// Whether *any* birth inside the axis-aligned box `[min, max]` could
+    /// conflict with a `nearest_within(q, radius, ..)` probe — the
+    /// bounding-box generalization of
+    /// [`NeighborIndex::probe_conflicts`], used by the batch committer's
+    /// birth ledger once it stops tracking births individually. The box
+    /// only ever holds coordinate-bearing births of one dimensionality
+    /// (`min.len()`); the same coordless / dimension-mismatch escapes as
+    /// the per-birth check apply, because a mismatched birth lands in the
+    /// unbucketed list every query scans.
+    pub(crate) fn bbox_conflicts<P: GridCoords>(
+        &self,
+        q: &P,
+        min: &[f64],
+        max: &[f64],
+        radius: f64,
+    ) -> bool {
+        let Some(qc) = q.grid_coords() else {
+            return true; // coordinate-less query scans every bucket
+        };
+        if qc.len() != min.len() || self.dim.is_some_and(|d| d != min.len()) {
+            return true; // dimension mismatch: births are unbucketed
+        }
+        let horizon = self.conflict_horizon(radius);
+        // A birth in the box can reach the probe only if, on every axis,
+        // the interval `[lo, hi]` comes within the horizon of the query —
+        // the per-axis distance to an interval, against the same
+        // `(reach + 1)·side` bound `probe_conflicts` uses per birth.
+        qc.iter().zip(min.iter().zip(max.iter())).all(|(a, (lo, hi))| {
+            let d = if a < lo {
+                lo - a
+            } else if a > hi {
+                a - hi
+            } else {
+                0.0
+            };
+            d <= horizon
+        })
+    }
+
     /// Cells filed in coordinate buckets (excludes the unbucketed list).
     /// O(1): queried on every cell birth (shard stats refresh) and every
     /// maintenance cadence (occupancy probe); the counter's agreement
@@ -583,8 +632,7 @@ impl<P: GridCoords> NeighborIndex<P> for UniformGrid {
         // set). Keys are floors, so a seed farther than (reach + 1)·side
         // on some axis is strictly beyond reach and can neither enter nor
         // leave the set.
-        let reach = (radius / self.side).ceil().min(i64::MAX as f64);
-        let horizon = (reach + 1.0) * self.side;
+        let horizon = self.conflict_horizon(radius);
         qc.iter().zip(cc.iter()).all(|(a, b)| (a - b).abs() <= horizon)
     }
 

@@ -416,6 +416,58 @@ impl CellIndex {
             _ => 0,
         }
     }
+
+    /// Number of independent commit routes the index structure offers —
+    /// the shard count of a (possibly auto-selected) sharded grid, `1`
+    /// everywhere else. The batch committer only plans shard-owned commit
+    /// waves when this exceeds 1: a single route means every commit would
+    /// land on the same owner anyway.
+    pub(crate) fn commit_routes(&self) -> usize {
+        match self {
+            CellIndex::Sharded(s) => s.shard_count(),
+            CellIndex::Auto(a) => a.inner.commit_routes(),
+            _ => 1,
+        }
+    }
+
+    /// The commit route a cell with this seed belongs to: its shard under
+    /// a (possibly auto-selected) sharded grid, route `0` everywhere
+    /// else. Structural updates for one route touch only that shard's
+    /// grid, which is the disjointness the shard-owned commit waves (and
+    /// the per-route birth ledger) lean on. Depends only on the seed, so
+    /// it is stable for a cell's whole lifetime.
+    pub(crate) fn commit_route<P: GridCoords>(&self, seed: &P) -> u64 {
+        match self {
+            CellIndex::Sharded(s) => s.shard_of(seed.grid_coords()) as u64,
+            CellIndex::Auto(a) => a.inner.commit_route(seed),
+            _ => 0,
+        }
+    }
+
+    /// Whether any cell birth inside the axis-aligned bounding box
+    /// `[min, max]` could conflict with a `nearest_within(q, radius, ..)`
+    /// probe — the bounding-box generalization of
+    /// [`NeighborIndex::probe_conflicts`], used by the batch committer's
+    /// birth ledger once a route has seen too many births to track
+    /// individually. Lives in the index (not the ledger) because the
+    /// coordless / dimension-mismatch escapes need the grid's tracked
+    /// dimensionality to stay sound. Conservative `true` for backends
+    /// with no box geometry: the linear scan probes everything, and the
+    /// cover tree's change horizon is per-change, not global.
+    pub(crate) fn bbox_conflicts<P: GridCoords>(
+        &self,
+        q: &P,
+        min: &[f64],
+        max: &[f64],
+        radius: f64,
+    ) -> bool {
+        match self {
+            CellIndex::Grid(g) => g.bbox_conflicts(q, min, max, radius),
+            CellIndex::Sharded(s) => s.bbox_conflicts(q, min, max, radius),
+            CellIndex::Auto(a) => a.inner.bbox_conflicts(q, min, max, radius),
+            CellIndex::Linear(_) | CellIndex::Cover(_) => true,
+        }
+    }
 }
 
 /// Candidate backend families the auto selector can pick between.

@@ -84,11 +84,28 @@ impl ShardedGrid {
         self.shards.iter().map(UniformGrid::occupied_buckets).sum()
     }
 
+    /// Whether any birth inside the box `[min, max]` could conflict with a
+    /// `nearest_within(q, radius, ..)` probe in *any* shard. The hash
+    /// scatters neighborhoods across shards, so a probe visits all of
+    /// them — the box is clear only when every shard's geometry clears it.
+    /// See [`UniformGrid::bbox_conflicts`].
+    pub(crate) fn bbox_conflicts<P: GridCoords>(
+        &self,
+        q: &P,
+        min: &[f64],
+        max: &[f64],
+        radius: f64,
+    ) -> bool {
+        self.shards.iter().any(|s| s.bbox_conflicts(q, min, max, radius))
+    }
+
     /// The shard a seed with these coordinates routes to. Coordinate-less
     /// payloads all land in shard 0 (its unbucketed list is the shared
     /// degradation path). The route depends only on the seed — stable for
-    /// a cell's whole lifetime, so insert and remove always agree.
-    fn shard_of(&self, coords: Option<&[f64]>) -> usize {
+    /// a cell's whole lifetime, so insert and remove always agree; the
+    /// batch committer's shard-owned commit waves group by it too
+    /// (`pub(crate)` for [`super::CellIndex::commit_route`]).
+    pub(crate) fn shard_of(&self, coords: Option<&[f64]>) -> usize {
         let Some(coords) = coords else { return 0 };
         let mut h = FxHasher::default();
         for &x in coords {

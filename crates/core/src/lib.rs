@@ -65,6 +65,8 @@
 //! | `engine/ingest.rs` | §4.1 | assignment, new-cell admission, emergence, the initialization batch pass |
 //! | `engine/maintain.rs` | §4.2–4.4, Thm 1–3 | dependency maintenance, decay sweep, idle-queue ΔT_del recycling |
 //! | `engine/parallel.rs` | §6.3 (throughput) | parallel probe phase of batch ingest (probe-then-commit; serial-exact) |
+//! | `engine/pool.rs` | §6.3 (throughput) | persistent worker pool: parked workers, atomic task claiming, panic-safe barriers — the fan-out substrate for probes, commit waves, and the candidate pass |
+//! | commit waves (`engine/ingest.rs`) | §4.2 update order | shard-owned parallel commits: the sequencer applies every cross-shard effect (clock, idle queue, stats) in exact timestamp order — the serialization §4.2's dependency-maintenance arguments assume — while per-cell absorbs fan out one task per shard |
 //! | `engine/query.rs` | §3.1, §6.3.1 | clusters, decision graph, snapshots, membership queries, invariant checkers |
 //! | [`filters`] | §4.2 Thm 1–2, Fig 11 | density & triangle-inequality update filters, runtime counters |
 //! | `edm_common::metric` kernels | §4.2 Thm 2, §6.3 | chunked 4-lane Euclidean kernels; `dist_upper_bounded` early-exits once the partial sum proves the Theorem-2 bound `\|dist(p,c) − dist(p,c′)\| > δ_c` — exact below the bound, so filter decisions are unchanged; `dist_batch` amortizes cover-tree child sweeps |
@@ -93,7 +95,7 @@ pub mod tree;
 
 pub use cell::{Cell, CellId};
 pub use config::{ConfigError, EdmConfig, EdmConfigBuilder};
-pub use engine::EdmStream;
+pub use engine::{live_pool_workers, EdmStream};
 pub use error::EdmError;
 pub use evolution::{AdjustKind, ClusterId, Event, EventCursor, EventKind, EvolutionLog};
 pub use evolve::{

@@ -44,7 +44,7 @@ impl<P> Published<P> {
     /// [`EdmStream::publish_snapshot`]).
     pub fn freeze<M: Metric<P>>(engine: &mut EdmStream<P, M>) -> Self
     where
-        P: Clone + GridCoords,
+        P: Clone + GridCoords + Send + Sync,
     {
         let snapshot = engine.publish_snapshot(engine.stream_time());
         let mut members = Vec::with_capacity(snapshot.active_cells());
@@ -176,7 +176,7 @@ pub struct SnapshotPublisher<P> {
     last_publish: Instant,
 }
 
-impl<P: Clone + GridCoords> SnapshotPublisher<P> {
+impl<P: Clone + GridCoords + Send + Sync> SnapshotPublisher<P> {
     /// Publishes the engine's current state as generation 1 (well,
     /// `engine.stats().snapshots_published + 1`) and returns the
     /// publisher configured for the given cadence: republish after every

@@ -418,3 +418,58 @@ fn digest_readers_see_monotone_composable_windows_under_sustained_ingest() {
     let whole = payload.digest_between(oldest, latest).expect("held window");
     assert_eq!((whole.from_generation, whole.to_generation), (oldest, latest));
 }
+
+#[test]
+fn parallel_sharded_engine_drains_and_shuts_down_cleanly() {
+    // The writer thread owns an engine whose ingest fans out to a
+    // persistent worker pool and whose commits ride shard-owned waves
+    // (threads 4 × shards 4, wave threshold lowered so short soak
+    // batches form waves). Shutdown must drain every queued batch into
+    // the engine — no point lost, no worker leaked, no poisoned writer.
+    let workers_before = edm_core::live_pool_workers();
+    let cfg = EdmConfig::builder(1.2)
+        .rate(1000.0)
+        .beta_for_threshold(3.0)
+        .init_points(64)
+        .shards(NonZeroUsize::new(4).expect("nonzero"))
+        .commit_wave_min(4)
+        .ingest_threads(NonZeroUsize::new(4).expect("nonzero"))
+        .build()
+        .expect("valid test configuration");
+    let server = EdmServer::spawn(
+        EdmStream::new(cfg, Euclidean),
+        ServeConfig {
+            queue_capacity: NonZeroUsize::new(4).unwrap(),
+            publish_every_batches: NonZeroU64::new(2).unwrap(),
+            publish_interval: None,
+            policy: BackpressurePolicy::Block,
+        },
+    );
+    let handle = server.handle();
+
+    let mut fed = 0u64;
+    for batch_no in 0..40 {
+        let batch = blob_batch(batch_no * 128, 128);
+        fed += batch.len() as u64;
+        server.ingest(batch).expect("backpressure blocks, never errors");
+    }
+
+    let engine = server.shutdown().expect("clean shutdown after drain");
+    assert_eq!(engine.stats().points, fed, "shutdown lost queued batches");
+    assert!(engine.stats().pool_rounds > 0, "parallel engine never used its pool");
+    assert!(handle.health().is_ok(), "drained writer must not be poisoned");
+    assert_eq!(
+        handle.stats().ingested_points,
+        fed,
+        "every queued point must be applied before shutdown returns"
+    );
+
+    // Dropping the recovered engine joins its pool workers; poll briefly
+    // because other tests in this binary may be spawning engines too.
+    drop(engine);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while edm_core::live_pool_workers() > workers_before {
+        assert!(Instant::now() < deadline, "pool workers leaked through serve shutdown");
+        thread::sleep(Duration::from_millis(10));
+    }
+}

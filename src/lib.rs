@@ -68,11 +68,11 @@ pub use edm_common::decay::DecayModel;
 pub use edm_common::metric::{Euclidean, Jaccard, Metric};
 pub use edm_common::point::{DenseVector, GridCoords, TokenSet};
 pub use edm_core::{
-    AdjustKind, BirthKind, BoundingBox, ClusterEnd, ClusterId, ClusterInfo, ClusterSnapshot,
-    ClusterSummary, ConfigError, DigestWindow, EdmConfig, EdmConfigBuilder, EdmError, EdmStream,
-    EndKind, EngineStats, Event, EventCursor, EventKind, EvolutionDigest, EvolveError,
-    FilterConfig, GenerationRecord, Lineage, LineageGraph, LineageNode, MassDrift, MergeEdge,
-    NeighborIndexKind, SplitEdge, TauMode,
+    live_pool_workers, AdjustKind, BirthKind, BoundingBox, ClusterEnd, ClusterId, ClusterInfo,
+    ClusterSnapshot, ClusterSummary, ConfigError, DigestWindow, EdmConfig, EdmConfigBuilder,
+    EdmError, EdmStream, EndKind, EngineStats, Event, EventCursor, EventKind, EvolutionDigest,
+    EvolveError, FilterConfig, GenerationRecord, Lineage, LineageGraph, LineageNode, MassDrift,
+    MergeEdge, NeighborIndexKind, SplitEdge, TauMode,
 };
 pub use edm_data::clusterer::StreamClusterer;
 pub use edm_serve::{
