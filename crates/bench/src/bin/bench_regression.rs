@@ -7,9 +7,11 @@
 //! 1. **Smoke-measure** the committed throughput sections with reduced
 //!    point budgets — `insert_latency` (one serial pass per dataset
 //!    surrogate), `parallel_batch_ingest` (the crowded 8-d steady state
-//!    at a few (threads, batch) settings), and `mixed_read_write` (the
+//!    at a few (threads, batch) settings), `mixed_read_write` (the
 //!    serving tier: 2 readers hammering `cluster_of` under sustained
-//!    ingest) — writing a fresh artifact via
+//!    ingest), and `net_read_latency` (the same `cluster_of` probe over
+//!    loopback TCP vs in-process, gated through the queries/sec implied
+//!    by the loopback p50) — writing a fresh artifact via
 //!    [`edm_bench::report::merge_bench_json`] (uploaded by the workflow
 //!    for inspection).
 //! 2. **Compare** fresh points/sec against the committed baseline with a
@@ -24,9 +26,10 @@
 //!    on any hardware, a uniformly different machine passes, and a
 //!    uniform shortfall past the tolerance fails once as a global
 //!    regression (with a regenerate-the-baseline remedy for genuinely
-//!    slower hosts). The `mixed_read_write` section is **recorded but
-//!    never compared when either host has one cpu** — with readers and
-//!    the writer timesharing a single core, read latency prices the
+//!    slower hosts). The `mixed_read_write` and `net_read_latency`
+//!    sections are **recorded but never compared when either host has
+//!    one cpu** — with readers (or the TCP client and the server's
+//!    reader pool) timesharing a single core, read latency prices the
 //!    scheduler, not the serving path. An empty comparison set is a hard
 //!    failure only when the baseline itself yielded no entries (sections
 //!    missing or unparsable); when entries exist but every one was
@@ -92,6 +95,18 @@ const MIXED_SMOKE_POINTS: usize = 1 << 13;
 /// Reader threads in the mixed smoke — one mid-size configuration from
 /// the committed grid.
 const MIXED_SMOKE_READERS: usize = 2;
+
+/// Loopback queries timed per path in the network smoke (the full bench
+/// times 1 << 13; the p50 only needs a stable estimate).
+const NET_SMOKE_QUERIES: usize = 2_048;
+
+/// Points quiesced into the served snapshot before the network smoke.
+const NET_SMOKE_WARM: usize = 1 << 13;
+
+/// Effective parallelism of the network smoke: the querying client and
+/// the server reader thread answering it run concurrently (the acceptor
+/// idles once the one connection is up).
+const NET_SMOKE_THREADS: usize = 2;
 
 /// Distance evaluations per (dimensionality, kernel path) in the raw
 /// kernel smoke (the full bench times 4M; recorded, never gated).
@@ -304,6 +319,26 @@ fn main() {
         threads: mixed.readers + 1,
         pps: mixed.points_per_sec,
     });
+    let net = scenarios::net_measure(NET_SMOKE_QUERIES, NET_SMOKE_WARM);
+    println!(
+        "smoke net_read_latency: local p50 {:.1} us / p99 {:.1} us, \
+         loopback p50 {:.1} us / p99 {:.1} us",
+        net.local_p50_us, net.local_p99_us, net.net_p50_us, net.net_p99_us
+    );
+    let net_json = format!(
+        "[{{\"queries\": {}, \"local_p50_us\": {:.2}, \"local_p99_us\": {:.2}, \
+         \"net_p50_us\": {:.2}, \"net_p99_us\": {:.2}}}]",
+        net.queries, net.local_p50_us, net.local_p99_us, net.net_p50_us, net.net_p99_us
+    );
+    // Latency gates inverted: the queries/sec implied by the loopback
+    // p50 rides the same median-calibrated throughput comparison as
+    // every other entry (a p50 that doubles halves the implied rate and
+    // trips the tolerance; p99 is recorded for trend inspection only).
+    fresh.push(Entry {
+        key: "net_read_latency/loopback".into(),
+        threads: NET_SMOKE_THREADS,
+        pps: 1e6 / net.net_p50_us,
+    });
     if let Some(dir) = out_path.parent() {
         std::fs::create_dir_all(dir).expect("create artifact directory");
     }
@@ -318,6 +353,7 @@ fn main() {
     )
     .expect("write fresh artifact");
     merge_bench_json(&out_path, "mixed_read_write", &mixed_json).expect("write fresh artifact");
+    merge_bench_json(&out_path, "net_read_latency", &net_json).expect("write fresh artifact");
     // Evolution-digest latency: recorded for trend inspection, never
     // compared against the baseline (no Entry is pushed into `fresh`).
     let (digest_generations, digest_p50_us, digest_p99_us) = smoke_digest_since();
@@ -356,6 +392,21 @@ fn main() {
         let threads: usize = entry_field(entry, "threads")?.parse().ok()?;
         Some((format!("mixed_read_write/readers{readers}"), threads))
     }));
+    // The network section records latencies, not points/sec; derive the
+    // implied loopback rate from the committed p50 so it compares under
+    // the same machinery as the throughput entries.
+    if let Some((_, value)) = baseline.iter().find(|(k, _)| k == "net_read_latency") {
+        if let Some(entries) = parse_flat_entries(value) {
+            base.extend(entries.iter().filter_map(|entry| {
+                let p50: f64 = entry_field(entry, "net_p50_us")?.parse().ok()?;
+                (p50 > 0.0).then(|| Entry {
+                    key: "net_read_latency/loopback".into(),
+                    threads: NET_SMOKE_THREADS,
+                    pps: 1e6 / p50,
+                })
+            }));
+        }
+    }
 
     let mut failures = 0;
     // ----- threads = 4 scaling bar (gated only on wide-enough hosts) -----
@@ -404,10 +455,13 @@ fn main() {
             println!("  {}: no baseline entry — skipped", entry.key);
             continue;
         };
-        // The serving measurement needs reader/writer parallelism to
-        // mean anything: on one core the threads timeshare and the
-        // numbers price the scheduler. Record, don't gate.
-        if entry.key.starts_with("mixed_read_write/") && (cpus == 1 || base_cpus == 1) {
+        // The serving measurements need reader/writer (or client/server)
+        // parallelism to mean anything: on one core the threads
+        // timeshare and the numbers price the scheduler. Record, don't
+        // gate.
+        let serving = entry.key.starts_with("mixed_read_write/")
+            || entry.key.starts_with("net_read_latency/");
+        if serving && (cpus == 1 || base_cpus == 1) {
             println!(
                 "  {}: recorded, not gated — reader parallelism unmeasurable on a 1-cpu host \
                  ({cpus} here, {base_cpus} at record time)",

@@ -405,6 +405,105 @@ pub fn mixed_measure(readers: usize, points: usize, batch: usize) -> MixedRun {
     }
 }
 
+// ----- network read latency scenario (`net_read_latency`) -----
+
+/// One measured loopback-vs-in-process read-latency run.
+pub struct NetRun {
+    /// Timed queries per path.
+    pub queries: usize,
+    /// Median in-process `cluster_of` latency, microseconds.
+    pub local_p50_us: f64,
+    /// 99th-percentile in-process `cluster_of` latency, microseconds.
+    pub local_p99_us: f64,
+    /// Median loopback TCP `cluster_of` latency, microseconds.
+    pub net_p50_us: f64,
+    /// 99th-percentile loopback TCP `cluster_of` latency, microseconds.
+    pub net_p99_us: f64,
+}
+
+fn latency_percentiles(mut latencies_ns: Vec<u64>) -> (f64, f64) {
+    latencies_ns.sort_unstable();
+    let percentile = |q: f64| -> f64 {
+        if latencies_ns.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies_ns.len() as f64 * q) as usize).min(latencies_ns.len() - 1);
+        latencies_ns[idx] as f64 / 1_000.0
+    };
+    (percentile(0.50), percentile(0.99))
+}
+
+/// Times `queries` sequential `cluster_of` probes twice against one
+/// quiesced served snapshot — once through [`ServeHandle::cluster_of`]
+/// in-process, once through a [`NetClient`] over loopback TCP — and
+/// reports both latency distributions. The delta is the whole cost of
+/// the network front end (frame codec + syscalls + loopback RTT); the
+/// answers themselves are identical by construction, which the loopback
+/// test suite locks down byte-for-byte.
+///
+/// [`ServeHandle::cluster_of`]: edm_serve::ServeHandle::cluster_of
+/// [`NetClient`]: edm_serve::net::NetClient
+pub fn net_measure(queries: usize, warm_points: usize) -> NetRun {
+    use edm_serve::net::{NetClient, NetConfig, NetServer};
+    use edm_serve::{Query, QueryResponse};
+
+    // Same warmed layout as the mixed scenario, quiesced: ingest a warm
+    // stream, drain, final publish — every probe then reads one frozen
+    // generation and the measurement is pure read-path latency.
+    let (engine, mut t) = highd_engine(NeighborIndexKind::Grid { side: None }, SERVE_DIM);
+    let server = EdmServer::spawn(
+        engine,
+        ServeConfig::builder()
+            .queue_capacity(64)
+            .publish_every_batches(4)
+            .build()
+            .expect("valid serve configuration"),
+    );
+    let probes = highd_probes(SERVE_DIM);
+    let warm: Vec<(DenseVector, f64)> = (0..warm_points)
+        .map(|j| {
+            t += 1e-5;
+            (probes[(j * 3) % probes.len()].clone(), t)
+        })
+        .collect();
+    for chunk in warm.chunks(256) {
+        server.ingest(chunk.to_vec()).expect("Block ingest never fails");
+    }
+    let handle = server.handle();
+    server.shutdown().expect("writer survives the warm stream");
+
+    // In-process baseline.
+    let mut local_ns = Vec::with_capacity(queries);
+    for i in 0..queries {
+        let p = &probes[(i * 7) % probes.len()];
+        let begin = std::time::Instant::now();
+        let hit = handle.cluster_of(p).is_some();
+        local_ns.push(begin.elapsed().as_nanos() as u64);
+        assert!(hit, "warmed probes always resolve");
+    }
+
+    // The same probes over loopback TCP.
+    let net = NetServer::bind(handle, NetConfig::builder().build().expect("valid net config"))
+        .expect("bind loopback");
+    let mut client = NetClient::connect(net.local_addr()).expect("connect loopback");
+    let mut net_ns = Vec::with_capacity(queries);
+    for i in 0..queries {
+        let q = Query::ClusterOf { point: probes[(i * 7) % probes.len()].clone() };
+        let begin = std::time::Instant::now();
+        let response = client.query(&q).expect("loopback query");
+        net_ns.push(begin.elapsed().as_nanos() as u64);
+        assert!(
+            matches!(response, QueryResponse::ClusterOf(a) if a.membership().is_some()),
+            "warmed probes resolve over the wire too"
+        );
+    }
+    net.shutdown();
+
+    let (local_p50_us, local_p99_us) = latency_percentiles(local_ns);
+    let (net_p50_us, net_p99_us) = latency_percentiles(net_ns);
+    NetRun { queries, local_p50_us, local_p99_us, net_p50_us, net_p99_us }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -38,6 +38,8 @@ pub use lineage::{BirthKind, ClusterEnd, EndKind, Lineage, LineageGraph, Lineage
 pub use summary::{BoundingBox, ClusterSummary};
 pub(crate) use tracker::EvolutionTracker;
 
+use serde::{Deserialize, Serialize};
+
 use crate::evolution::ClusterId;
 
 /// Why an evolution query could not be answered.
@@ -45,8 +47,9 @@ use crate::evolution::ClusterId;
 /// These are *contract* errors, not bugs: the log and the generation
 /// history are bounded, so a consumer can always ask about history that
 /// is gone. The API refuses with the precise reason instead of
-/// fabricating an answer from partial data.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// fabricating an answer from partial data. Crosses the serving tier's
+/// wire protocol, hence the serde markers alongside the digest types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EvolveError {
     /// The engine was built with `track_evolution(false)` — no events are
     /// recorded, so no lineage or digest exists.

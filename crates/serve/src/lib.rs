@@ -51,20 +51,25 @@
 //! | [`Published::cluster_of`] | §3.1 / Def. 4 | point→cluster via nearest cell seed within `r`, on the frozen view |
 //! | [`ServeConfig::publish_every_batches`] | §4 "cluster evolves as points arrive" | staleness/throughput knob: how much evolution accumulates between published views |
 //! | [`ServeStats`] | §6.3 experiments | the observability the paper's latency/throughput tables need |
+//! | [`ServeHandle::execute`] / [`Query`] | §6.3.1 query kinds | one typed evaluation path shared by in-process readers and remote clients |
+//! | [`net::NetServer`] | §6.3.1 "monitoring applications" | the paper's remote dashboards: the same queries over TCP, answers identical by construction |
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod config;
 mod error;
+pub mod net;
 mod publish;
+mod query;
 mod queue;
 mod server;
 mod stats;
 pub mod swap;
 
-pub use config::{BackpressurePolicy, ServeConfig};
+pub use config::{BackpressurePolicy, ServeConfig, ServeConfigBuilder, ServeConfigError};
 pub use error::ServeError;
 pub use publish::{Published, SnapshotPublisher, SnapshotSource};
+pub use query::{Assignment, ClusterMiss, HealthStatus, Query, QueryError, QueryResponse};
 pub use server::{EdmServer, ServeHandle};
 pub use stats::ServeStats;

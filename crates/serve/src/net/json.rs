@@ -1,0 +1,512 @@
+//! A minimal JSON value, parser, and writer for the wire protocol.
+//!
+//! The vendor tree's `serde` is an offline no-op stub (nothing in the
+//! workspace serialized before this crate), so the wire codec carries
+//! its own ~200-line JSON kernel — the same spirit as
+//! `edm_bench::report::merge_bench_json`, but with a real parser because
+//! the server must survive *hostile* bytes, not just re-read its own
+//! output. Design choices that matter to the protocol:
+//!
+//! * **Numbers stay raw text** ([`Json::Num`] holds the original token).
+//!   Counters and generations are `u64`; routing them through `f64`
+//!   would corrupt values above 2^53. Each field parses its token as the
+//!   exact type it wants (`u64`, `usize`, `f64`) at decode time.
+//! * **Floats encode via `{:?}`** — Rust's shortest round-trip
+//!   formatting — so `encode(decode(x)) == x` byte-for-byte, which is
+//!   what lets the loopback test compare TCP answers with in-process
+//!   answers as raw bytes. Non-finite floats encode as `null` (JSON has
+//!   no NaN/Inf); no published payload produces them.
+//! * **Depth-capped parsing** (64 levels): a hostile frame of ten
+//!   thousand `[` must produce a typed error, not a stack overflow.
+
+use std::fmt::Write as _;
+
+/// One JSON value. Object fields keep insertion order (encoding is
+/// deterministic, which the byte-identity tests rely on).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw token (see module docs).
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, fields in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Why a byte sequence failed to parse as JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong, human-readable.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.what, self.at)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Nesting depth past which the parser refuses (hostile-input guard).
+const MAX_DEPTH: usize = 64;
+
+impl Json {
+    /// Convenience constructors for the codec.
+    pub fn u64(v: u64) -> Json {
+        Json::Num(v.to_string())
+    }
+
+    /// A float value; non-finite becomes `null` (JSON has no NaN/Inf).
+    pub fn f64(v: f64) -> Json {
+        if v.is_finite() {
+            Json::Num(format!("{v:?}"))
+        } else {
+            Json::Null
+        }
+    }
+
+    /// A string value.
+    pub fn str(v: impl Into<String>) -> Json {
+        Json::Str(v.into())
+    }
+
+    /// An array of floats (point coordinates, decision-graph columns).
+    pub fn f64_arr(vs: &[f64]) -> Json {
+        Json::Arr(vs.iter().map(|&v| Json::f64(v)).collect())
+    }
+
+    /// An array of u64s (cluster-id lists).
+    pub fn u64_arr(vs: &[u64]) -> Json {
+        Json::Arr(vs.iter().map(|&v| Json::u64(v)).collect())
+    }
+
+    // ----- accessors (decode side) -----
+
+    /// The field `key` of an object, if present.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// This value as a `u64` (numbers only, exact).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// This value as an `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// This value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// This value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(vs) => Some(vs),
+            _ => None,
+        }
+    }
+
+    /// This value as a vector of floats (all elements must be numbers).
+    pub fn as_f64_arr(&self) -> Option<Vec<f64>> {
+        self.as_arr()?.iter().map(Json::as_f64).collect()
+    }
+
+    /// This value as a vector of u64s (all elements must be numbers).
+    pub fn as_u64_arr(&self) -> Option<Vec<u64>> {
+        self.as_arr()?.iter().map(Json::as_u64).collect()
+    }
+
+    // ----- writer -----
+
+    /// Encodes this value as compact JSON (no whitespace, fields in
+    /// insertion order — deterministic).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(raw) => out.push_str(raw),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(vs) => {
+                out.push('[');
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    // ----- parser -----
+
+    /// Parses one JSON value from `input`, requiring it to consume the
+    /// whole slice (trailing whitespace allowed).
+    pub fn parse(input: &[u8]) -> Result<Json, ParseError> {
+        let mut p = Parser { input, pos: 0 };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.input.len() {
+            return Err(ParseError { at: p.pos, what: "trailing bytes after value" });
+        }
+        Ok(v)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.input.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn err(&self, what: &'static str) -> ParseError {
+        ParseError { at: self.pos, what }
+    }
+
+    fn eat(&mut self, b: u8, what: &'static str) -> Result<(), ParseError> {
+        if self.input.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn literal(&mut self, lit: &[u8], v: Json) -> Result<Json, ParseError> {
+        if self.input[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.input.get(self.pos) {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal(b"null", Json::Null),
+            Some(b't') => self.literal(b"true", Json::Bool(true)),
+            Some(b'f') => self.literal(b"false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut vs = Vec::new();
+                self.skip_ws();
+                if self.input.get(self.pos) == Some(&b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(vs));
+                }
+                loop {
+                    self.skip_ws();
+                    vs.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.input.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(vs));
+                        }
+                        _ => return Err(self.err("expected ',' or ']' in array")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.input.get(self.pos) == Some(&b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':', "expected ':' after object key")?;
+                    self.skip_ws();
+                    let v = self.value(depth + 1)?;
+                    fields.push((key, v));
+                    self.skip_ws();
+                    match self.input.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(self.err("expected ',' or '}' in object")),
+                    }
+                }
+            }
+            Some(_) => self.number(),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.input.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut saw_digit = false;
+        while let Some(&b) = self.input.get(self.pos) {
+            match b {
+                b'0'..=b'9' => {
+                    saw_digit = true;
+                    self.pos += 1;
+                }
+                b'.' | b'e' | b'E' | b'+' | b'-' => self.pos += 1,
+                _ => break,
+            }
+        }
+        if !saw_digit {
+            return Err(self.err("expected a number"));
+        }
+        let raw = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| self.err("non-utf8 number"))?;
+        // The permissive scan above admits shapes like "1.2.3"; a parse
+        // check keeps Num tokens convertible later.
+        if raw.parse::<f64>().is_err() {
+            return Err(ParseError { at: start, what: "malformed number" });
+        }
+        Ok(Json::Num(raw.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.input.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.input.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if !self.input[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c).ok_or_else(|| self.err("invalid code point"))?
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid code point"))?
+                            };
+                            out.push(ch);
+                            continue; // hex4 advanced pos already
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (frames are validated as
+                    // UTF-8 before parsing, so slicing is safe).
+                    let rest = std::str::from_utf8(&self.input[self.pos..])
+                        .map_err(|_| self.err("non-utf8 string"))?;
+                    let ch = rest.chars().next().ok_or_else(|| self.err("empty"))?;
+                    if (ch as u32) < 0x20 {
+                        return Err(self.err("raw control character in string"));
+                    }
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let slice = self
+            .input
+            .get(self.pos..self.pos + 4)
+            .ok_or(ParseError { at: self.pos, what: "truncated \\u escape" })?;
+        let s = std::str::from_utf8(slice).map_err(|_| self.err("non-utf8 \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_structure() {
+        let v = Json::Obj(vec![
+            ("a".into(), Json::u64(u64::MAX)),
+            ("b".into(), Json::f64(1.5)),
+            ("c".into(), Json::Arr(vec![Json::Null, Json::Bool(true), Json::str("x\"\\\n")])),
+        ]);
+        let text = v.encode();
+        let back = Json::parse(text.as_bytes()).unwrap();
+        assert_eq!(back, v);
+        // u64::MAX survives exactly (would not through f64).
+        assert_eq!(back.get("a").unwrap().as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn floats_round_trip_byte_identically() {
+        for x in [0.0, -0.0, 1.0, 0.1, 1e300, 1e-300, std::f64::consts::PI, f64::MIN_POSITIVE] {
+            let enc = Json::f64(x).encode();
+            let re = Json::parse(enc.as_bytes()).unwrap();
+            assert_eq!(re.encode(), enc, "float {x} must re-encode identically");
+            assert_eq!(re.as_f64(), Some(x));
+        }
+        assert_eq!(Json::f64(f64::NAN), Json::Null);
+        assert_eq!(Json::f64(f64::INFINITY), Json::Null);
+    }
+
+    #[test]
+    fn unicode_escapes_parse_including_surrogate_pairs() {
+        let v = Json::parse(br#""\u0041\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé😀"));
+        assert!(Json::parse(br#""\ud83d""#).is_err(), "lone surrogate refused");
+        // Control characters escape on encode and survive the round trip.
+        let s = Json::str("a\u{1}b");
+        let enc = s.encode();
+        assert!(enc.contains("\\u0001"), "{enc}");
+        assert_eq!(Json::parse(enc.as_bytes()).unwrap(), s);
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors_not_panics() {
+        for bad in [
+            &b"{"[..],
+            b"[1,",
+            b"nul",
+            b"\"unterminated",
+            b"{\"a\" 1}",
+            b"1.2.3",
+            b"[] trailing",
+            b"\x00\x01\x02",
+            b"",
+            b"-",
+            b"\"\\q\"",
+            b"{\"a\":}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must fail");
+        }
+    }
+
+    #[test]
+    fn nesting_bomb_is_refused_not_overflowed() {
+        let bomb = vec![b'['; 100_000];
+        let err = Json::parse(&bomb).unwrap_err();
+        assert_eq!(err.what, "nesting too deep");
+    }
+
+    #[test]
+    fn accessors_are_type_strict() {
+        let v = Json::parse(br#"{"n": 3, "s": "x", "a": [1.5, 2.5], "b": false}"#).unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("a").unwrap().as_f64_arr(), Some(vec![1.5, 2.5]));
+        assert_eq!(v.get("a").unwrap().as_u64_arr(), None, "floats are not u64s");
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.get("s").unwrap().as_u64(), None);
+    }
+}

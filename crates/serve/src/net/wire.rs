@@ -1,0 +1,715 @@
+//! The wire codec: length-prefixed frames and the JSON encoding of
+//! [`Query`] / [`QueryResponse`] / [`QueryError`].
+//!
+//! # Frame format
+//!
+//! ```text
+//! +----------------------+----------------------------+
+//! | length: u32, big-end | payload: `length` bytes of |
+//! | (payload bytes only) | UTF-8 JSON                 |
+//! +----------------------+----------------------------+
+//! ```
+//!
+//! One request frame carries one query object; the server answers with
+//! exactly one response frame. Length prefixes above the configured cap
+//! ([`crate::net::NetConfig`] `max_frame_bytes`) are refused *before*
+//! any allocation — a hostile 4 GiB prefix costs the server nothing.
+//!
+//! # Request payloads
+//!
+//! `{"q": <name>, …args}` — the name is [`Query::name`]:
+//!
+//! ```json
+//! {"q":"cluster_of","point":[0.5,1.0]}
+//! {"q":"digest_between","from":3,"to":7}
+//! {"q":"stats"}
+//! ```
+//!
+//! # Response payloads
+//!
+//! `{"ok":{"resp":<name>, …fields}}` on success, `{"err":{…}}` on a
+//! typed refusal. Query-layer refusals carry `"code":"evolve"` plus the
+//! structured [`EvolveError`]; transport-layer refusals (malformed
+//! frame, connection cap, shutdown) use the other
+//! [`ProtocolError`] codes. Encoding is deterministic (insertion-order
+//! fields, shortest-round-trip floats), so equal values encode to equal
+//! bytes — the loopback equivalence test compares raw frames.
+
+use std::io::{Read, Write};
+use std::time::Duration;
+
+use edm_core::{EvolutionDigest, EvolveError, MassDrift, MergeEdge, SplitEdge};
+
+use super::json::Json;
+use crate::query::{Assignment, HealthStatus, Query, QueryError, QueryResponse};
+use crate::stats::ServeStats;
+
+/// Payloads that can cross the wire as a flat `f64` coordinate list.
+///
+/// The engine is generic over payload types; the network protocol is
+/// not — it speaks JSON arrays of numbers. Implementing this trait is
+/// what opts a payload type into [`crate::net::NetServer`].
+pub trait WirePoint: Sized {
+    /// The coordinates to send.
+    fn to_wire(&self) -> Vec<f64>;
+    /// Rebuilds the payload from received coordinates; `None` refuses
+    /// (empty vector, wrong arity for the type, …).
+    fn from_wire(coords: Vec<f64>) -> Option<Self>;
+}
+
+impl WirePoint for edm_common::point::DenseVector {
+    fn to_wire(&self) -> Vec<f64> {
+        self.coords().to_vec()
+    }
+
+    fn from_wire(coords: Vec<f64>) -> Option<Self> {
+        if coords.is_empty() || coords.iter().any(|c| !c.is_finite()) {
+            return None;
+        }
+        Some(edm_common::point::DenseVector::new(coords))
+    }
+}
+
+/// A typed protocol-level refusal — what the server sends when it could
+/// not even reach [`crate::ServeHandle::execute`], and what
+/// [`crate::net::NetClient`] surfaces alongside query errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The frame's length prefix exceeded the server's cap.
+    OversizedFrame {
+        /// Declared payload length.
+        declared: u64,
+        /// The server's cap.
+        max: u64,
+    },
+    /// The payload was not valid UTF-8 JSON.
+    BadJson {
+        /// Parser diagnostic.
+        detail: String,
+    },
+    /// The JSON was well-formed but not a known query (bad `"q"` tag,
+    /// missing or ill-typed argument).
+    BadQuery {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The server is at its connection cap; retry later.
+    Busy {
+        /// The configured cap the connection ran into.
+        max_connections: u64,
+    },
+    /// The server is shutting down and no longer answers.
+    ShuttingDown,
+}
+
+impl ProtocolError {
+    /// Stable wire code of the variant.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ProtocolError::OversizedFrame { .. } => "oversized_frame",
+            ProtocolError::BadJson { .. } => "bad_json",
+            ProtocolError::BadQuery { .. } => "bad_query",
+            ProtocolError::Busy { .. } => "busy",
+            ProtocolError::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::OversizedFrame { declared, max } => {
+                write!(f, "frame of {declared} bytes exceeds the {max}-byte cap")
+            }
+            ProtocolError::BadJson { detail } => write!(f, "payload is not valid JSON: {detail}"),
+            ProtocolError::BadQuery { detail } => write!(f, "not a known query: {detail}"),
+            ProtocolError::Busy { max_connections } => {
+                write!(f, "server at its {max_connections}-connection cap")
+            }
+            ProtocolError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Everything a response frame can carry: the query's own result, or a
+/// protocol-level refusal.
+pub type WireResult = Result<Result<QueryResponse, QueryError>, ProtocolError>;
+
+// ---------------------------------------------------------------------
+// frame I/O
+// ---------------------------------------------------------------------
+
+/// What went wrong reading a frame off a stream.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the stream cleanly before a length prefix.
+    Closed,
+    /// The declared length exceeds `max` — refuse before allocating.
+    Oversized {
+        /// Declared payload length.
+        declared: u64,
+    },
+    /// The stream errored or closed mid-frame (includes read timeouts).
+    Io(std::io::Error),
+}
+
+/// Reads one length-prefixed frame, enforcing the size cap before any
+/// payload allocation.
+pub fn read_frame(r: &mut impl Read, max_bytes: usize) -> Result<Vec<u8>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    // A clean EOF before any prefix byte = peer is done; mid-prefix or
+    // mid-payload EOF is an I/O error (truncated frame).
+    match r.read(&mut len_buf) {
+        Ok(0) => return Err(FrameError::Closed),
+        Ok(n) => {
+            if n < 4 {
+                r.read_exact(&mut len_buf[n..]).map_err(FrameError::Io)?;
+            }
+        }
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    let declared = u32::from_be_bytes(len_buf) as u64;
+    if declared > max_bytes as u64 {
+        return Err(FrameError::Oversized { declared });
+    }
+    let mut payload = vec![0u8; declared as usize];
+    r.read_exact(&mut payload).map_err(FrameError::Io)?;
+    Ok(payload)
+}
+
+/// Writes one length-prefixed frame.
+///
+/// Prefix and payload go out in a single `write_all` — two writes would
+/// put them in separate TCP segments, and Nagle's algorithm holding the
+/// second until the first is ACKed (itself delayed ~40 ms by the peer)
+/// turns every frame into a stall. `NetServer`/`NetClient` additionally
+/// set `TCP_NODELAY`, but coalescing keeps the codec fast even on raw
+/// streams that don't.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"))?;
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&len.to_be_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+// ---------------------------------------------------------------------
+// query encoding
+// ---------------------------------------------------------------------
+
+/// Encodes one query as a request payload.
+pub fn encode_query<P: WirePoint>(q: &Query<P>) -> Vec<u8> {
+    let mut fields = vec![("q".to_string(), Json::str(q.name()))];
+    match q {
+        Query::ClusterOf { point } => {
+            fields.push(("point".into(), Json::f64_arr(&point.to_wire())));
+        }
+        Query::DigestSince { from } => fields.push(("from".into(), Json::u64(*from))),
+        Query::DigestBetween { from, to } => {
+            fields.push(("from".into(), Json::u64(*from)));
+            fields.push(("to".into(), Json::u64(*to)));
+        }
+        _ => {}
+    }
+    Json::Obj(fields).encode().into_bytes()
+}
+
+/// Decodes a request payload into a query, or says precisely why not.
+pub fn decode_query<P: WirePoint>(payload: &[u8]) -> Result<Query<P>, ProtocolError> {
+    let v = Json::parse(payload).map_err(|e| ProtocolError::BadJson { detail: e.to_string() })?;
+    let bad = |detail: &str| ProtocolError::BadQuery { detail: detail.to_string() };
+    let tag = v.get("q").and_then(Json::as_str).ok_or_else(|| bad("missing \"q\" tag"))?;
+    let u64_field = |name: &str| {
+        v.get(name).and_then(Json::as_u64).ok_or_else(|| bad(&format!("missing u64 \"{name}\"")))
+    };
+    match tag {
+        "cluster_of" => {
+            let coords = v
+                .get("point")
+                .and_then(Json::as_f64_arr)
+                .ok_or_else(|| bad("missing numeric \"point\" array"))?;
+            let point =
+                P::from_wire(coords).ok_or_else(|| bad("\"point\" rejected by payload type"))?;
+            Ok(Query::ClusterOf { point })
+        }
+        "n_clusters" => Ok(Query::NClusters),
+        "decision_graph" => Ok(Query::DecisionGraph),
+        "digest_since" => Ok(Query::DigestSince { from: u64_field("from")? }),
+        "digest_between" => {
+            Ok(Query::DigestBetween { from: u64_field("from")?, to: u64_field("to")? })
+        }
+        "generation" => Ok(Query::Generation),
+        "snapshot_age" => Ok(Query::SnapshotAge),
+        "stats" => Ok(Query::Stats),
+        "health" => Ok(Query::Health),
+        other => Err(bad(&format!("unknown query {other:?}"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// response encoding
+// ---------------------------------------------------------------------
+
+fn digest_json(d: &EvolutionDigest) -> Json {
+    let merge = |m: &MergeEdge| {
+        Json::Obj(vec![
+            ("t".into(), Json::f64(m.t)),
+            ("from".into(), Json::u64_arr(&m.from)),
+            ("into".into(), Json::u64(m.into)),
+        ])
+    };
+    let split = |s: &SplitEdge| {
+        Json::Obj(vec![
+            ("t".into(), Json::f64(s.t)),
+            ("from".into(), Json::u64(s.from)),
+            ("into".into(), Json::u64_arr(&s.into)),
+        ])
+    };
+    let drift = |dr: &MassDrift| {
+        Json::Obj(vec![
+            ("cluster".into(), Json::u64(dr.cluster)),
+            ("from_mass".into(), Json::f64(dr.from_mass)),
+            ("to_mass".into(), Json::f64(dr.to_mass)),
+        ])
+    };
+    Json::Obj(vec![
+        ("from_generation".into(), Json::u64(d.from_generation)),
+        ("to_generation".into(), Json::u64(d.to_generation)),
+        ("from_t".into(), Json::f64(d.from_t)),
+        ("to_t".into(), Json::f64(d.to_t)),
+        ("births".into(), Json::u64_arr(&d.births)),
+        ("deaths".into(), Json::u64_arr(&d.deaths)),
+        ("merges".into(), Json::Arr(d.merges.iter().map(merge).collect())),
+        ("splits".into(), Json::Arr(d.splits.iter().map(split).collect())),
+        ("adjustments".into(), Json::u64(d.adjustments)),
+        ("drifts".into(), Json::Arr(d.drifts.iter().map(drift).collect())),
+    ])
+}
+
+fn digest_from_json(v: &Json) -> Option<EvolutionDigest> {
+    let merges = v
+        .get("merges")?
+        .as_arr()?
+        .iter()
+        .map(|m| {
+            Some(MergeEdge {
+                t: m.get("t")?.as_f64()?,
+                from: m.get("from")?.as_u64_arr()?,
+                into: m.get("into")?.as_u64()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let splits = v
+        .get("splits")?
+        .as_arr()?
+        .iter()
+        .map(|s| {
+            Some(SplitEdge {
+                t: s.get("t")?.as_f64()?,
+                from: s.get("from")?.as_u64()?,
+                into: s.get("into")?.as_u64_arr()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let drifts = v
+        .get("drifts")?
+        .as_arr()?
+        .iter()
+        .map(|d| {
+            Some(MassDrift {
+                cluster: d.get("cluster")?.as_u64()?,
+                from_mass: d.get("from_mass")?.as_f64()?,
+                to_mass: d.get("to_mass")?.as_f64()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(EvolutionDigest {
+        from_generation: v.get("from_generation")?.as_u64()?,
+        to_generation: v.get("to_generation")?.as_u64()?,
+        from_t: v.get("from_t")?.as_f64()?,
+        to_t: v.get("to_t")?.as_f64()?,
+        births: v.get("births")?.as_u64_arr()?,
+        deaths: v.get("deaths")?.as_u64_arr()?,
+        merges,
+        splits,
+        adjustments: v.get("adjustments")?.as_u64()?,
+        drifts,
+    })
+}
+
+fn stats_json(s: &ServeStats) -> Json {
+    Json::Obj(vec![
+        ("generation".into(), Json::u64(s.generation)),
+        ("snapshot_age_us".into(), Json::u64(s.snapshot_age.as_micros() as u64)),
+        ("queue_depth".into(), Json::u64(s.queue_depth as u64)),
+        ("queue_depth_hwm".into(), Json::u64(s.queue_depth_hwm as u64)),
+        ("enqueued_points".into(), Json::u64(s.enqueued_points)),
+        ("ingested_points".into(), Json::u64(s.ingested_points)),
+        ("dropped_points".into(), Json::u64(s.dropped_points)),
+        ("rejected_points".into(), Json::u64(s.rejected_points)),
+        ("reads_cluster_of".into(), Json::u64(s.reads_cluster_of)),
+        ("reads_n_clusters".into(), Json::u64(s.reads_n_clusters)),
+        ("reads_decision_graph".into(), Json::u64(s.reads_decision_graph)),
+        ("reads_snapshot".into(), Json::u64(s.reads_snapshot)),
+        ("reads_digest".into(), Json::u64(s.reads_digest)),
+        ("net_connections".into(), Json::u64(s.net_connections)),
+        ("net_connections_rejected".into(), Json::u64(s.net_connections_rejected)),
+        ("net_queries".into(), Json::u64(s.net_queries)),
+        ("net_query_errors".into(), Json::u64(s.net_query_errors)),
+        ("net_protocol_errors".into(), Json::u64(s.net_protocol_errors)),
+        ("poisoned".into(), Json::Bool(s.poisoned)),
+    ])
+}
+
+fn stats_from_json(v: &Json) -> Option<ServeStats> {
+    Some(ServeStats {
+        generation: v.get("generation")?.as_u64()?,
+        snapshot_age: Duration::from_micros(v.get("snapshot_age_us")?.as_u64()?),
+        queue_depth: v.get("queue_depth")?.as_u64()? as usize,
+        queue_depth_hwm: v.get("queue_depth_hwm")?.as_u64()? as usize,
+        enqueued_points: v.get("enqueued_points")?.as_u64()?,
+        ingested_points: v.get("ingested_points")?.as_u64()?,
+        dropped_points: v.get("dropped_points")?.as_u64()?,
+        rejected_points: v.get("rejected_points")?.as_u64()?,
+        reads_cluster_of: v.get("reads_cluster_of")?.as_u64()?,
+        reads_n_clusters: v.get("reads_n_clusters")?.as_u64()?,
+        reads_decision_graph: v.get("reads_decision_graph")?.as_u64()?,
+        reads_snapshot: v.get("reads_snapshot")?.as_u64()?,
+        reads_digest: v.get("reads_digest")?.as_u64()?,
+        net_connections: v.get("net_connections")?.as_u64()?,
+        net_connections_rejected: v.get("net_connections_rejected")?.as_u64()?,
+        net_queries: v.get("net_queries")?.as_u64()?,
+        net_query_errors: v.get("net_query_errors")?.as_u64()?,
+        net_protocol_errors: v.get("net_protocol_errors")?.as_u64()?,
+        poisoned: v.get("poisoned")?.as_bool()?,
+    })
+}
+
+fn response_json(r: &QueryResponse) -> Json {
+    let mut fields = vec![("resp".to_string(), Json::str(r.name()))];
+    match r {
+        QueryResponse::ClusterOf(a) => {
+            let outcome = match a {
+                Assignment::Member { cluster, distance } => Json::Obj(vec![
+                    ("kind".into(), Json::str("member")),
+                    ("cluster".into(), Json::u64(*cluster)),
+                    ("distance".into(), Json::f64(*distance)),
+                ]),
+                Assignment::EmptySnapshot => {
+                    Json::Obj(vec![("kind".into(), Json::str("empty_snapshot"))])
+                }
+                Assignment::OutOfRadius { nearest, r } => Json::Obj(vec![
+                    ("kind".into(), Json::str("out_of_radius")),
+                    ("nearest".into(), Json::f64(*nearest)),
+                    ("r".into(), Json::f64(*r)),
+                ]),
+            };
+            fields.push(("outcome".into(), outcome));
+        }
+        QueryResponse::NClusters(n) => fields.push(("n".into(), Json::u64(*n as u64))),
+        QueryResponse::DecisionGraph { rho, delta } => {
+            fields.push(("rho".into(), Json::f64_arr(rho)));
+            fields.push(("delta".into(), Json::f64_arr(delta)));
+        }
+        QueryResponse::Digest(d) => fields.push(("digest".into(), digest_json(d))),
+        QueryResponse::Generation(g) => fields.push(("generation".into(), Json::u64(*g))),
+        QueryResponse::SnapshotAge(age) => {
+            fields.push(("micros".into(), Json::u64(age.as_micros() as u64)));
+        }
+        QueryResponse::Stats(s) => fields.push(("stats".into(), stats_json(s))),
+        QueryResponse::Health(h) => match h {
+            HealthStatus::Ok => fields.push(("ok".into(), Json::Bool(true))),
+            HealthStatus::WriterPanicked { message } => {
+                fields.push(("ok".into(), Json::Bool(false)));
+                fields.push(("message".into(), Json::str(message.clone())));
+            }
+        },
+    }
+    Json::Obj(fields)
+}
+
+fn response_from_json(v: &Json) -> Option<QueryResponse> {
+    match v.get("resp")?.as_str()? {
+        "cluster_of" => {
+            let o = v.get("outcome")?;
+            let a = match o.get("kind")?.as_str()? {
+                "member" => Assignment::Member {
+                    cluster: o.get("cluster")?.as_u64()?,
+                    distance: o.get("distance")?.as_f64()?,
+                },
+                "empty_snapshot" => Assignment::EmptySnapshot,
+                "out_of_radius" => Assignment::OutOfRadius {
+                    nearest: o.get("nearest")?.as_f64()?,
+                    r: o.get("r")?.as_f64()?,
+                },
+                _ => return None,
+            };
+            Some(QueryResponse::ClusterOf(a))
+        }
+        "n_clusters" => Some(QueryResponse::NClusters(v.get("n")?.as_u64()? as usize)),
+        "decision_graph" => Some(QueryResponse::DecisionGraph {
+            rho: v.get("rho")?.as_f64_arr()?,
+            delta: v.get("delta")?.as_f64_arr()?,
+        }),
+        "digest" => Some(QueryResponse::Digest(digest_from_json(v.get("digest")?)?)),
+        "generation" => Some(QueryResponse::Generation(v.get("generation")?.as_u64()?)),
+        "snapshot_age" => {
+            Some(QueryResponse::SnapshotAge(Duration::from_micros(v.get("micros")?.as_u64()?)))
+        }
+        "stats" => Some(QueryResponse::Stats(stats_from_json(v.get("stats")?)?)),
+        "health" => {
+            let ok = v.get("ok")?.as_bool()?;
+            Some(QueryResponse::Health(if ok {
+                HealthStatus::Ok
+            } else {
+                HealthStatus::WriterPanicked { message: v.get("message")?.as_str()?.to_string() }
+            }))
+        }
+        _ => None,
+    }
+}
+
+fn evolve_json(e: &EvolveError) -> Json {
+    let f = |kind: &str, rest: Vec<(String, Json)>| {
+        let mut fields = vec![("kind".to_string(), Json::str(kind))];
+        fields.extend(rest);
+        Json::Obj(fields)
+    };
+    match e {
+        EvolveError::EvolutionDisabled => f("evolution_disabled", vec![]),
+        EvolveError::EventsLost { lost } => {
+            f("events_lost", vec![("lost".into(), Json::u64(*lost))])
+        }
+        EvolveError::UnknownCluster { cluster } => {
+            f("unknown_cluster", vec![("cluster".into(), Json::u64(*cluster))])
+        }
+        EvolveError::NoGenerations => f("no_generations", vec![]),
+        EvolveError::FutureGeneration { requested, latest } => f(
+            "future_generation",
+            vec![
+                ("requested".into(), Json::u64(*requested)),
+                ("latest".into(), Json::u64(*latest)),
+            ],
+        ),
+        EvolveError::EvictedGeneration { requested, oldest } => f(
+            "evicted_generation",
+            vec![
+                ("requested".into(), Json::u64(*requested)),
+                ("oldest".into(), Json::u64(*oldest)),
+            ],
+        ),
+        EvolveError::InvertedWindow { from, to } => f(
+            "inverted_window",
+            vec![("from".into(), Json::u64(*from)), ("to".into(), Json::u64(*to))],
+        ),
+        EvolveError::LossyWindow { from, to, lost } => f(
+            "lossy_window",
+            vec![
+                ("from".into(), Json::u64(*from)),
+                ("to".into(), Json::u64(*to)),
+                ("lost".into(), Json::u64(*lost)),
+            ],
+        ),
+    }
+}
+
+fn evolve_from_json(v: &Json) -> Option<EvolveError> {
+    let u = |name: &str| v.get(name).and_then(Json::as_u64);
+    Some(match v.get("kind")?.as_str()? {
+        "evolution_disabled" => EvolveError::EvolutionDisabled,
+        "events_lost" => EvolveError::EventsLost { lost: u("lost")? },
+        "unknown_cluster" => EvolveError::UnknownCluster { cluster: u("cluster")? },
+        "no_generations" => EvolveError::NoGenerations,
+        "future_generation" => {
+            EvolveError::FutureGeneration { requested: u("requested")?, latest: u("latest")? }
+        }
+        "evicted_generation" => {
+            EvolveError::EvictedGeneration { requested: u("requested")?, oldest: u("oldest")? }
+        }
+        "inverted_window" => EvolveError::InvertedWindow { from: u("from")?, to: u("to")? },
+        "lossy_window" => {
+            EvolveError::LossyWindow { from: u("from")?, to: u("to")?, lost: u("lost")? }
+        }
+        _ => return None,
+    })
+}
+
+fn error_json(code: &str, fields: Vec<(String, Json)>) -> Json {
+    let mut inner = vec![("code".to_string(), Json::str(code))];
+    inner.extend(fields);
+    Json::Obj(vec![("err".into(), Json::Obj(inner))])
+}
+
+/// Encodes a full wire result (query outcome or protocol refusal) as a
+/// response payload.
+pub fn encode_result(r: &WireResult) -> Vec<u8> {
+    let v = match r {
+        Ok(Ok(resp)) => Json::Obj(vec![("ok".into(), response_json(resp))]),
+        Ok(Err(QueryError::Evolve(e))) => {
+            error_json("evolve", vec![("evolve".into(), evolve_json(e))])
+        }
+        Err(p) => {
+            let mut fields = vec![("message".to_string(), Json::str(p.to_string()))];
+            match p {
+                ProtocolError::OversizedFrame { declared, max } => {
+                    fields.push(("declared".into(), Json::u64(*declared)));
+                    fields.push(("max".into(), Json::u64(*max)));
+                }
+                ProtocolError::Busy { max_connections } => {
+                    fields.push(("max_connections".into(), Json::u64(*max_connections)));
+                }
+                ProtocolError::BadJson { detail } | ProtocolError::BadQuery { detail } => {
+                    fields.push(("detail".into(), Json::str(detail.clone())));
+                }
+                ProtocolError::ShuttingDown => {}
+            }
+            error_json(p.code(), fields)
+        }
+    };
+    v.encode().into_bytes()
+}
+
+/// Decodes a response payload back into the full wire result. `None`
+/// means the payload does not follow the protocol at all (a client
+/// talking to something that is not this server).
+pub fn decode_result(payload: &[u8]) -> Option<WireResult> {
+    let v = Json::parse(payload).ok()?;
+    if let Some(ok) = v.get("ok") {
+        return Some(Ok(Ok(response_from_json(ok)?)));
+    }
+    let err = v.get("err")?;
+    let code = err.get("code")?.as_str()?;
+    let detail = || err.get("detail").and_then(Json::as_str).unwrap_or("").to_string();
+    Some(match code {
+        "evolve" => Ok(Err(QueryError::Evolve(evolve_from_json(err.get("evolve")?)?))),
+        "oversized_frame" => Err(ProtocolError::OversizedFrame {
+            declared: err.get("declared")?.as_u64()?,
+            max: err.get("max")?.as_u64()?,
+        }),
+        "bad_json" => Err(ProtocolError::BadJson { detail: detail() }),
+        "bad_query" => Err(ProtocolError::BadQuery { detail: detail() }),
+        "busy" => {
+            Err(ProtocolError::Busy { max_connections: err.get("max_connections")?.as_u64()? })
+        }
+        "shutting_down" => Err(ProtocolError::ShuttingDown),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edm_common::point::DenseVector;
+
+    #[test]
+    fn frame_round_trip_and_caps() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        assert_eq!(&buf[..4], &5u32.to_be_bytes());
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor, 1024).unwrap(), b"hello");
+        // Same frame against a 4-byte cap: refused before allocation.
+        let mut cursor = &buf[..];
+        assert!(matches!(read_frame(&mut cursor, 4), Err(FrameError::Oversized { declared: 5 })));
+        // Clean EOF = Closed; truncated payload = Io.
+        assert!(matches!(read_frame(&mut &[][..], 1024), Err(FrameError::Closed)));
+        let truncated = &buf[..6];
+        assert!(matches!(read_frame(&mut &truncated[..], 1024), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn every_query_variant_round_trips() {
+        let queries: Vec<Query<DenseVector>> = vec![
+            Query::ClusterOf { point: DenseVector::from([1.5, -2.5, 0.0]) },
+            Query::NClusters,
+            Query::DecisionGraph,
+            Query::DigestSince { from: 7 },
+            Query::DigestBetween { from: 3, to: u64::MAX },
+            Query::Generation,
+            Query::SnapshotAge,
+            Query::Stats,
+            Query::Health,
+        ];
+        for q in queries {
+            let enc = encode_query(&q);
+            let back: Query<DenseVector> = decode_query(&enc).unwrap();
+            assert_eq!(back, q);
+        }
+    }
+
+    #[test]
+    fn bad_requests_are_typed() {
+        type Q = Query<DenseVector>;
+        let bad_json: Result<Q, _> = decode_query(b"{not json");
+        assert_eq!(bad_json.unwrap_err().code(), "bad_json");
+        let unknown: Result<Q, _> = decode_query(br#"{"q":"flush_all"}"#);
+        assert_eq!(unknown.unwrap_err().code(), "bad_query");
+        let missing_arg: Result<Q, _> = decode_query(br#"{"q":"digest_since"}"#);
+        assert_eq!(missing_arg.unwrap_err().code(), "bad_query");
+        let empty_point: Result<Q, _> = decode_query(br#"{"q":"cluster_of","point":[]}"#);
+        assert_eq!(empty_point.unwrap_err().code(), "bad_query");
+        let no_tag: Result<Q, _> = decode_query(br#"{"point":[1.0]}"#);
+        assert_eq!(no_tag.unwrap_err().code(), "bad_query");
+    }
+
+    #[test]
+    fn results_round_trip_ok_err_and_protocol() {
+        let results: Vec<WireResult> = vec![
+            Ok(Ok(QueryResponse::ClusterOf(Assignment::Member { cluster: 3, distance: 0.25 }))),
+            Ok(Ok(QueryResponse::ClusterOf(Assignment::EmptySnapshot))),
+            Ok(Ok(QueryResponse::ClusterOf(Assignment::OutOfRadius { nearest: 9.5, r: 0.5 }))),
+            Ok(Ok(QueryResponse::NClusters(42))),
+            Ok(Ok(QueryResponse::DecisionGraph { rho: vec![1.0, 2.5], delta: vec![0.5, 9.0] })),
+            Ok(Ok(QueryResponse::Generation(u64::MAX))),
+            Ok(Ok(QueryResponse::SnapshotAge(Duration::from_micros(1234)))),
+            Ok(Ok(QueryResponse::Health(HealthStatus::Ok))),
+            Ok(Ok(QueryResponse::Health(HealthStatus::WriterPanicked {
+                message: "boom \"quoted\"".into(),
+            }))),
+            Ok(Err(QueryError::Evolve(EvolveError::FutureGeneration { requested: 9, latest: 4 }))),
+            Err(ProtocolError::OversizedFrame { declared: 1 << 40, max: 1 << 20 }),
+            Err(ProtocolError::BadJson { detail: "x".into() }),
+            Err(ProtocolError::BadQuery { detail: "y".into() }),
+            Err(ProtocolError::Busy { max_connections: 64 }),
+            Err(ProtocolError::ShuttingDown),
+        ];
+        for r in results {
+            let enc = encode_result(&r);
+            let back = decode_result(&enc).unwrap();
+            assert_eq!(back, r);
+            // Deterministic encoding: encode is a pure function of value.
+            assert_eq!(encode_result(&back), enc);
+        }
+    }
+
+    #[test]
+    fn digest_payload_round_trips_fully() {
+        let digest = EvolutionDigest {
+            from_generation: 1,
+            to_generation: 5,
+            from_t: 0.5,
+            to_t: 9.25,
+            births: vec![4, 5],
+            deaths: vec![1],
+            merges: vec![MergeEdge { t: 1.5, from: vec![1, 2], into: 3 }],
+            splits: vec![SplitEdge { t: 2.5, from: 3, into: vec![4, 5] }],
+            adjustments: 17,
+            drifts: vec![MassDrift { cluster: 3, from_mass: 1.25, to_mass: 8.5 }],
+        };
+        let r: WireResult = Ok(Ok(QueryResponse::Digest(digest)));
+        let back = decode_result(&encode_result(&r)).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn dense_vector_wire_codec_guards_inputs() {
+        let p = DenseVector::from([1.0, 2.0]);
+        assert_eq!(DenseVector::from_wire(p.to_wire()), Some(p));
+        assert_eq!(DenseVector::from_wire(vec![]), None);
+        assert_eq!(DenseVector::from_wire(vec![f64::NAN]), None);
+    }
+}

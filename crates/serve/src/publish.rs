@@ -19,6 +19,7 @@ use edm_core::cell::CellId;
 use edm_core::evolution::ClusterId;
 use edm_core::{ClusterSnapshot, DigestWindow, EdmStream, EvolutionDigest, EvolveError};
 
+use crate::query::Assignment;
 use crate::swap::SwapCell;
 
 /// One published view: a frozen snapshot plus the point-level lookup
@@ -121,16 +122,28 @@ impl<P> Published<P> {
     /// published; that staleness window is the serving tradeoff
     /// (`ServeConfig::publish_every_batches`).
     pub fn cluster_of<M: Metric<P>>(&self, p: &P, metric: &M) -> Option<ClusterId> {
+        self.assign(p, metric).membership()
+    }
+
+    /// [`Published::cluster_of`] with the miss reason kept: the same
+    /// nearest-seed-within-`r` scan, but a miss distinguishes an empty
+    /// snapshot (nothing clustered yet) from a genuine outlier, and a
+    /// hit reports the winning distance.
+    pub fn assign<M: Metric<P>>(&self, p: &P, metric: &M) -> Assignment {
         let mut best: Option<(f64, ClusterId)> = None;
         for (_, cluster, seed) in &self.members {
             let d = metric.dist(p, seed);
-            if d <= self.r && best.is_none_or(|(bd, _)| d < bd) {
+            if best.is_none_or(|(bd, _)| d < bd) {
                 // Strict `<` + id-sorted members = lowest-id winner on
                 // ties, without tracking ids here.
                 best = Some((d, *cluster));
             }
         }
-        best.map(|(_, c)| c)
+        match best {
+            None => Assignment::EmptySnapshot,
+            Some((d, cluster)) if d <= self.r => Assignment::Member { cluster, distance: d },
+            Some((d, _)) => Assignment::OutOfRadius { nearest: d, r: self.r },
+        }
     }
 }
 

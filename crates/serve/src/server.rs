@@ -25,6 +25,7 @@ use edm_core::EdmStream;
 use crate::config::ServeConfig;
 use crate::error::ServeError;
 use crate::publish::{Published, SnapshotPublisher, SnapshotSource};
+use crate::query::{Assignment, ClusterMiss, HealthStatus, Query, QueryError, QueryResponse};
 use crate::queue::{BatchQueue, Popped, PushOutcome};
 use crate::stats::{Counters, ServeStats};
 
@@ -71,6 +72,11 @@ impl<P> Shared<P> {
             reads_decision_graph: self.counters.reads_decision_graph.load(Relaxed),
             reads_snapshot: self.counters.reads_snapshot.load(Relaxed),
             reads_digest: self.counters.reads_digest.load(Relaxed),
+            net_connections: self.counters.net_connections.load(Relaxed),
+            net_connections_rejected: self.counters.net_rejected_connections.load(Relaxed),
+            net_queries: self.counters.net_queries.load(Relaxed),
+            net_query_errors: self.counters.net_query_errors.load(Relaxed),
+            net_protocol_errors: self.counters.net_protocol_errors.load(Relaxed),
             poisoned: self.poisoned.load(SeqCst),
         }
     }
@@ -90,8 +96,10 @@ impl<P> Shared<P> {
 /// Dropping the server without `shutdown` closes the queue and joins the
 /// writer (discarding the engine) — no thread is leaked either way.
 pub struct EdmServer<P, M: Metric<P>> {
-    shared: Arc<Shared<P>>,
-    metric: M,
+    /// The server's own read handle — the canonical query path.
+    /// `stats`/`health` delegate here so the server and every cloned
+    /// [`ServeHandle`] answer from literally the same code.
+    handle: ServeHandle<P, M>,
     writer: Option<JoinHandle<EdmStream<P, M>>>,
     capacity: usize,
     policy: crate::BackpressurePolicy,
@@ -125,8 +133,7 @@ where
             .spawn(move || writer_loop(engine, publisher, writer_shared))
             .expect("spawn edm-serve writer thread");
         EdmServer {
-            shared,
-            metric,
+            handle: ServeHandle { shared, metric },
             writer: Some(writer),
             capacity: cfg.queue_capacity.get(),
             policy: cfg.policy,
@@ -138,12 +145,13 @@ where
     /// poisoned or shut-down server fails with the corresponding
     /// [`ServeError`], returning the batch's points uningested.
     pub fn ingest(&self, batch: Vec<(P, Timestamp)>) -> Result<(), ServeError> {
-        if let Some(err) = self.shared.poison_error() {
+        let shared = &self.handle.shared;
+        if let Some(err) = shared.poison_error() {
             return Err(err);
         }
         let n = batch.len() as u64;
-        let c = &self.shared.counters;
-        match self.shared.queue.push(batch, self.policy) {
+        let c = &shared.counters;
+        match shared.queue.push(batch, self.policy) {
             PushOutcome::Queued => {
                 c.add(&c.enqueued_points, n);
                 Ok(())
@@ -157,26 +165,26 @@ where
                 c.add(&c.rejected_points, n);
                 Err(ServeError::QueueFull { capacity: self.capacity })
             }
-            PushOutcome::Closed => Err(self.shared.poison_error().unwrap_or(ServeError::ShutDown)),
+            PushOutcome::Closed => Err(shared.poison_error().unwrap_or(ServeError::ShutDown)),
         }
     }
 
     /// A new concurrent read handle. Cheap (an `Arc` clone plus the
     /// metric); spawn as many as there are readers.
     pub fn handle(&self) -> ServeHandle<P, M> {
-        ServeHandle { shared: Arc::clone(&self.shared), metric: self.metric.clone() }
+        self.handle.clone()
     }
 
-    /// Current serving statistics (same view as
-    /// [`ServeHandle::stats`]).
+    /// Current serving statistics. Delegates to [`ServeHandle::stats`] —
+    /// the handle is the canonical read path.
     pub fn stats(&self) -> ServeStats {
-        self.shared.stats()
+        self.handle.stats()
     }
 
     /// `Err(WriterPanicked)` once the writer thread has panicked, `Ok`
-    /// otherwise.
+    /// otherwise. Delegates to [`ServeHandle::health`].
     pub fn health(&self) -> Result<(), ServeError> {
-        self.shared.poison_error().map_or(Ok(()), Err)
+        self.handle.health()
     }
 
     /// Graceful shutdown: stop accepting ingest, let the writer drain
@@ -185,12 +193,12 @@ where
     /// back. Fails with [`ServeError::WriterPanicked`] if the writer
     /// panicked before or during the drain.
     pub fn shutdown(mut self) -> Result<EdmStream<P, M>, ServeError> {
-        self.shared.queue.close();
+        self.handle.shared.queue.close();
         let writer = self.writer.take().expect("writer present until shutdown");
         let engine = writer.join().map_err(|_| ServeError::WriterPanicked {
             message: "writer thread died outside its panic guard".into(),
         })?;
-        match self.shared.poison_error() {
+        match self.handle.shared.poison_error() {
             Some(err) => Err(err),
             None => Ok(engine),
         }
@@ -200,7 +208,7 @@ where
 impl<P, M: Metric<P>> Drop for EdmServer<P, M> {
     fn drop(&mut self) {
         if let Some(writer) = self.writer.take() {
-            self.shared.queue.close();
+            self.handle.shared.queue.close();
             let _ = writer.join();
         }
     }
@@ -278,10 +286,79 @@ impl<P, M: Metric<P> + Clone> Clone for ServeHandle<P, M> {
 }
 
 impl<P, M: Metric<P>> ServeHandle<P, M> {
+    /// Evaluates one typed [`Query`] against the latest published
+    /// snapshot — **the** evaluation path of the serving tier. Every
+    /// inherent convenience method below is a thin wrapper over this
+    /// function, and the TCP front end ([`crate::net::NetServer`])
+    /// dispatches decoded frames straight into it, so an in-process
+    /// caller and a remote client asking the same question run the same
+    /// code and get the same answer by construction.
+    ///
+    /// A `ClusterOf` miss is *data* ([`Assignment`]), not an error;
+    /// [`QueryError`] is reserved for typed refusals (today: the digest
+    /// window contract). Lock-free like every handle read.
+    pub fn execute(&self, query: &Query<P>) -> Result<QueryResponse, QueryError> {
+        let c = &self.shared.counters;
+        match query {
+            Query::ClusterOf { point } => Ok(QueryResponse::ClusterOf(self.assign_probe(point))),
+            Query::NClusters => {
+                c.add(&c.reads_n_clusters, 1);
+                Ok(QueryResponse::NClusters(self.shared.source.latest().snapshot().n_clusters()))
+            }
+            Query::DecisionGraph => {
+                c.add(&c.reads_decision_graph, 1);
+                let latest = self.shared.source.latest();
+                let (rho, delta) = latest.snapshot().decision_graph();
+                Ok(QueryResponse::DecisionGraph { rho: rho.to_vec(), delta: delta.to_vec() })
+            }
+            Query::DigestSince { from } => {
+                c.add(&c.reads_digest, 1);
+                let digest = self.shared.source.latest().digest_since(*from)?;
+                Ok(QueryResponse::Digest(digest))
+            }
+            Query::DigestBetween { from, to } => {
+                c.add(&c.reads_digest, 1);
+                let digest = self.shared.source.latest().digest_between(*from, *to)?;
+                Ok(QueryResponse::Digest(digest))
+            }
+            Query::Generation => {
+                c.add(&c.reads_snapshot, 1);
+                Ok(QueryResponse::Generation(self.shared.source.generation()))
+            }
+            Query::SnapshotAge => {
+                c.add(&c.reads_snapshot, 1);
+                // Truncated to microseconds: the handle and the wire
+                // answer at the same (ample) resolution.
+                let age = self.shared.source.latest().age();
+                Ok(QueryResponse::SnapshotAge(Duration::from_micros(age.as_micros() as u64)))
+            }
+            Query::Stats => Ok(QueryResponse::Stats(self.shared.stats())),
+            Query::Health => {
+                let status = match self.shared.poison_error() {
+                    Some(ServeError::WriterPanicked { message }) => {
+                        HealthStatus::WriterPanicked { message }
+                    }
+                    _ => HealthStatus::Ok,
+                };
+                Ok(QueryResponse::Health(status))
+            }
+        }
+    }
+
+    /// The one `ClusterOf` evaluation, shared between [`Query`] dispatch
+    /// and the borrowing wrappers below (which thereby skip the point
+    /// clone an owned `Query` would force onto the hot read path).
+    fn assign_probe(&self, p: &P) -> Assignment {
+        let c = &self.shared.counters;
+        c.add(&c.reads_cluster_of, 1);
+        self.shared.source.latest().assign(p, &self.metric)
+    }
+
     /// The latest published payload (snapshot + membership data), for
     /// multi-field reads that must be mutually coherent: one `latest()`
     /// is one frozen generation, whereas two separate handle calls may
-    /// straddle a publication.
+    /// straddle a publication. (Deliberately not a [`Query`]: an `Arc`
+    /// into the payload cannot cross a wire.)
     pub fn latest(&self) -> Arc<Published<P>> {
         let c = &self.shared.counters;
         c.add(&c.reads_snapshot, 1);
@@ -291,28 +368,41 @@ impl<P, M: Metric<P>> ServeHandle<P, M> {
     /// The cluster a fresh point would join, per the published state:
     /// nearest published seed within `r` under the engine's own metric
     /// (`None` = outlier). See [`Published::cluster_of`] for staleness
-    /// semantics.
+    /// semantics, and [`ServeHandle::try_cluster_of`] for the typed-miss
+    /// form.
     pub fn cluster_of(&self, p: &P) -> Option<ClusterId> {
-        let c = &self.shared.counters;
-        c.add(&c.reads_cluster_of, 1);
-        self.shared.source.latest().cluster_of(p, &self.metric)
+        self.assign_probe(p).membership()
+    }
+
+    /// [`ServeHandle::cluster_of`] with the miss reason kept: `Ok` is
+    /// the winning `(cluster, distance)`, `Err` says *why* the probe
+    /// missed — [`ClusterMiss::EmptySnapshot`] (nothing clustered yet;
+    /// wait for a publication) vs [`ClusterMiss::OutOfRadius`] (a
+    /// genuine outlier, with the distance it missed by). Routed through
+    /// [`ServeHandle::execute`] like every other read.
+    pub fn try_cluster_of(&self, p: &P) -> Result<(ClusterId, f64), ClusterMiss> {
+        match self.assign_probe(p) {
+            Assignment::Member { cluster, distance } => Ok((cluster, distance)),
+            Assignment::EmptySnapshot => Err(ClusterMiss::EmptySnapshot),
+            Assignment::OutOfRadius { nearest, r } => Err(ClusterMiss::OutOfRadius { nearest, r }),
+        }
     }
 
     /// Number of clusters in the published snapshot.
     pub fn n_clusters(&self) -> usize {
-        let c = &self.shared.counters;
-        c.add(&c.reads_n_clusters, 1);
-        self.shared.source.latest().snapshot().n_clusters()
+        match self.execute(&Query::NClusters) {
+            Ok(QueryResponse::NClusters(n)) => n,
+            _ => unreachable!("NClusters answers NClusters and never errors"),
+        }
     }
 
     /// The published (ρ, δ) decision graph, cloned out so the caller
     /// holds no borrow into the payload.
     pub fn decision_graph(&self) -> (Vec<f64>, Vec<f64>) {
-        let c = &self.shared.counters;
-        c.add(&c.reads_decision_graph, 1);
-        let latest = self.shared.source.latest();
-        let (rho, delta) = latest.snapshot().decision_graph();
-        (rho.to_vec(), delta.to_vec())
+        match self.execute(&Query::DecisionGraph) {
+            Ok(QueryResponse::DecisionGraph { rho, delta }) => (rho, delta),
+            _ => unreachable!("DecisionGraph answers DecisionGraph and never errors"),
+        }
     }
 
     /// What changed since generation `from`, per the latest published
@@ -327,9 +417,11 @@ impl<P, M: Metric<P>> ServeHandle<P, M> {
         &self,
         from: u64,
     ) -> Result<edm_core::EvolutionDigest, edm_core::EvolveError> {
-        let c = &self.shared.counters;
-        c.add(&c.reads_digest, 1);
-        self.shared.source.latest().digest_since(from)
+        match self.execute(&Query::DigestSince { from }) {
+            Ok(QueryResponse::Digest(d)) => Ok(d),
+            Err(QueryError::Evolve(e)) => Err(e),
+            _ => unreachable!("DigestSince answers Digest"),
+        }
     }
 
     /// What changed in the window `(from, to]` of published generations,
@@ -339,9 +431,11 @@ impl<P, M: Metric<P>> ServeHandle<P, M> {
         from: u64,
         to: u64,
     ) -> Result<edm_core::EvolutionDigest, edm_core::EvolveError> {
-        let c = &self.shared.counters;
-        c.add(&c.reads_digest, 1);
-        self.shared.source.latest().digest_between(from, to)
+        match self.execute(&Query::DigestBetween { from, to }) {
+            Ok(QueryResponse::Digest(d)) => Ok(d),
+            Err(QueryError::Evolve(e)) => Err(e),
+            _ => unreachable!("DigestBetween answers Digest"),
+        }
     }
 
     /// The `(oldest, latest)` generations the latest published payload
@@ -354,26 +448,46 @@ impl<P, M: Metric<P>> ServeHandle<P, M> {
 
     /// Generation of the published snapshot (1-based, monotone).
     pub fn generation(&self) -> u64 {
-        let c = &self.shared.counters;
-        c.add(&c.reads_snapshot, 1);
-        self.shared.source.generation()
+        match self.execute(&Query::Generation) {
+            Ok(QueryResponse::Generation(g)) => g,
+            _ => unreachable!("Generation answers Generation and never errors"),
+        }
     }
 
-    /// Wall-clock age of the published snapshot.
+    /// Wall-clock age of the published snapshot (microsecond
+    /// granularity).
     pub fn snapshot_age(&self) -> Duration {
-        let c = &self.shared.counters;
-        c.add(&c.reads_snapshot, 1);
-        self.shared.source.latest().age()
+        match self.execute(&Query::SnapshotAge) {
+            Ok(QueryResponse::SnapshotAge(age)) => age,
+            _ => unreachable!("SnapshotAge answers SnapshotAge and never errors"),
+        }
     }
 
-    /// Current serving statistics.
+    /// Current serving statistics — the canonical path
+    /// ([`EdmServer::stats`] delegates here).
     pub fn stats(&self) -> ServeStats {
-        self.shared.stats()
+        match self.execute(&Query::Stats) {
+            Ok(QueryResponse::Stats(s)) => s,
+            _ => unreachable!("Stats answers Stats and never errors"),
+        }
     }
 
     /// `Err(WriterPanicked)` once the writer thread has panicked, `Ok`
-    /// otherwise.
+    /// otherwise — the canonical path ([`EdmServer::health`] delegates
+    /// here).
     pub fn health(&self) -> Result<(), ServeError> {
-        self.shared.poison_error().map_or(Ok(()), Err)
+        match self.execute(&Query::Health) {
+            Ok(QueryResponse::Health(HealthStatus::Ok)) => Ok(()),
+            Ok(QueryResponse::Health(HealthStatus::WriterPanicked { message })) => {
+                Err(ServeError::WriterPanicked { message })
+            }
+            _ => unreachable!("Health answers Health and never errors"),
+        }
+    }
+
+    /// The shared counters, for the network front end's bookkeeping
+    /// (accepted/rejected connections, protocol errors).
+    pub(crate) fn counters(&self) -> &Counters {
+        &self.shared.counters
     }
 }

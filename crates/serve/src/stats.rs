@@ -17,6 +17,11 @@ pub(crate) struct Counters {
     pub(crate) reads_decision_graph: AtomicU64,
     pub(crate) reads_snapshot: AtomicU64,
     pub(crate) reads_digest: AtomicU64,
+    pub(crate) net_connections: AtomicU64,
+    pub(crate) net_rejected_connections: AtomicU64,
+    pub(crate) net_queries: AtomicU64,
+    pub(crate) net_query_errors: AtomicU64,
+    pub(crate) net_protocol_errors: AtomicU64,
 }
 
 impl Counters {
@@ -63,6 +68,22 @@ pub struct ServeStats {
     /// Evolution-digest reads served (`digest_since` / `digest_between` /
     /// `digest_generations`).
     pub reads_digest: u64,
+    /// TCP connections accepted by the network front end
+    /// ([`crate::net::NetServer`]); 0 when no front end is attached.
+    pub net_connections: u64,
+    /// TCP connections refused at the configured connection cap (the
+    /// client got a typed `busy` protocol error and was closed).
+    pub net_connections_rejected: u64,
+    /// Well-formed queries answered over the network (with an `ok` *or*
+    /// a typed query-error response — both count as served).
+    pub net_queries: u64,
+    /// Network answers that carried a typed [`crate::QueryError`]
+    /// (e.g. a digest window already evicted). A subset of
+    /// [`ServeStats::net_queries`].
+    pub net_query_errors: u64,
+    /// Malformed frames answered with a typed protocol error (bad JSON,
+    /// unknown query tag, oversized length prefix).
+    pub net_protocol_errors: u64,
     /// The writer thread panicked; ingest fails, reads serve the last
     /// published snapshot.
     pub poisoned: bool,

@@ -16,7 +16,6 @@
 //! cargo run --release --example serve_live
 //! ```
 
-use std::num::{NonZeroU64, NonZeroUsize};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -41,15 +40,14 @@ fn main() {
         .build()
         .expect("valid SDS configuration");
 
-    let server = EdmServer::spawn(
-        EdmStream::new(cfg, Euclidean),
-        ServeConfig {
-            queue_capacity: NonZeroUsize::new(32).expect("nonzero"),
-            publish_every_batches: NonZeroU64::new(4).expect("nonzero"),
-            publish_interval: Some(Duration::from_millis(20)),
-            policy: BackpressurePolicy::Block,
-        },
-    );
+    let serve_cfg = ServeConfig::builder()
+        .queue_capacity(32)
+        .publish_every_batches(4)
+        .publish_interval(Duration::from_millis(20))
+        .policy(BackpressurePolicy::Block)
+        .build()
+        .expect("valid serving configuration");
+    let server = EdmServer::spawn(EdmStream::new(cfg, Euclidean), serve_cfg);
     let stop = Arc::new(AtomicBool::new(false));
 
     // Three concurrent readers, each with its own cheap handle.

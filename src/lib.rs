@@ -23,7 +23,9 @@
 //! * [`serve`] — the concurrent serving tier ([`EdmServer`],
 //!   [`ServeHandle`]): lock-free snapshot publication, bounded ingest
 //!   queue with backpressure, reader-side evolution digests, serving
-//!   observability.
+//!   observability, the typed query surface ([`Query`],
+//!   [`QueryResponse`]), and a TCP network front end
+//!   ([`serve::net::NetServer`]).
 //!
 //! The API follows a **builder → session → snapshot** shape: configure
 //! with [`EdmConfig::builder`] (typed [`ConfigError`]s instead of panics),
@@ -76,5 +78,7 @@ pub use edm_core::{
 };
 pub use edm_data::clusterer::StreamClusterer;
 pub use edm_serve::{
-    BackpressurePolicy, EdmServer, ServeConfig, ServeError, ServeHandle, ServeStats,
+    Assignment, BackpressurePolicy, ClusterMiss, EdmServer, HealthStatus, Query, QueryError,
+    QueryResponse, ServeConfig, ServeConfigBuilder, ServeConfigError, ServeError, ServeHandle,
+    ServeStats,
 };
